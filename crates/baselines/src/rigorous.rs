@@ -1,0 +1,169 @@
+//! Rigorous-LSH: one E2LSH index per search radius.
+//!
+//! The theoretically clean way to answer c-ANN with the static framework
+//! is to reduce it to `(R, c)`-NN instances for `R ∈ {1, c, c², …}` and
+//! build a *separate* E2LSH index for each radius (bucket width `w·R`).
+//! The index size multiplies by the number of radii — exactly the
+//! overhead C2LSH's virtual rehashing eliminates, and the comparison the
+//! paper's index-size table makes.
+//!
+//! The query walks the radii in increasing order and stops at the first
+//! radius that yields `k` candidates within `c·R`.
+
+use crate::e2lsh::{E2lsh, E2lshConfig};
+use crate::BaselineStats;
+use cc_vector::dataset::Dataset;
+use cc_vector::gt::Neighbor;
+
+/// Rigorous-LSH configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigorousConfig {
+    /// Base E2LSH shape (applied at every radius, width scaled by `R`).
+    pub base: E2lshConfig,
+    /// Integer approximation ratio (radius multiplier between levels).
+    pub c: u32,
+    /// Number of radius levels `R = 1, c, …, c^(levels-1)`.
+    pub levels: u32,
+}
+
+impl Default for RigorousConfig {
+    fn default() -> Self {
+        Self { base: E2lshConfig::default(), c: 2, levels: 12 }
+    }
+}
+
+/// One E2LSH index per radius.
+pub struct RigorousLsh<'d> {
+    indexes: Vec<E2lsh<'d>>,
+    config: RigorousConfig,
+}
+
+impl<'d> RigorousLsh<'d> {
+    /// Build all `levels` physical indexes.
+    ///
+    /// # Panics
+    /// Panics on empty data, `c < 2`, or zero levels.
+    pub fn build(data: &'d Dataset, config: RigorousConfig) -> Self {
+        assert!(config.c >= 2, "c must be >= 2");
+        assert!(config.levels > 0, "need at least one radius level");
+        let indexes = (0..config.levels)
+            .map(|lvl| {
+                let r = (config.c as f64).powi(lvl as i32);
+                let cfg = E2lshConfig {
+                    w: config.base.w * r,
+                    seed: config.base.seed.wrapping_add(lvl as u64),
+                    ..config.base
+                };
+                E2lsh::build(data, cfg)
+            })
+            .collect();
+        Self { indexes, config }
+    }
+
+    /// c-k-ANN by radius sweep.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, BaselineStats) {
+        let mut stats = BaselineStats::default();
+        let mut best: Vec<Neighbor> = Vec::new();
+        for (lvl, index) in self.indexes.iter().enumerate() {
+            let r = (self.config.c as f64).powi(lvl as i32);
+            let (nn, s) = index.query(q, k);
+            stats.candidates_verified += s.candidates_verified;
+            stats.probes += s.probes;
+            stats.io.reads += s.io.reads;
+            merge_neighbors(&mut best, &nn, k);
+            let within = best.iter().filter(|n| n.dist <= self.config.c as f64 * r).count();
+            if within >= k {
+                break;
+            }
+        }
+        (best, stats)
+    }
+
+    /// Sum of the per-radius index sizes — the number the paper's
+    /// index-size comparison holds against C2LSH.
+    pub fn size_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.size_bytes()).sum()
+    }
+
+    /// Number of physical radius levels.
+    pub fn num_levels(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+/// Merge `new` into `best`, dedupe by id, keep the `k` nearest.
+fn merge_neighbors(best: &mut Vec<Neighbor>, new: &[Neighbor], k: usize) {
+    for n in new {
+        if !best.iter().any(|b| b.id == n.id) {
+            best.push(*n);
+        }
+    }
+    best.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+    best.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_vector::gen::{generate, Distribution};
+
+    fn clustered(n: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 8, spread: 0.015, scale: 10.0 },
+            n,
+            12,
+            seed,
+        )
+    }
+
+    fn cfg() -> RigorousConfig {
+        RigorousConfig {
+            base: E2lshConfig { k_funcs: 4, l_tables: 16, w: 0.5, seed: 3 },
+            c: 2,
+            levels: 8,
+        }
+    }
+
+    #[test]
+    fn finds_exact_match_early() {
+        let data = clustered(400, 1);
+        let idx = RigorousLsh::build(&data, cfg());
+        let (nn, _) = idx.query(data.get(9), 1);
+        assert_eq!(nn[0].id, 9);
+    }
+
+    #[test]
+    fn size_is_levels_times_single() {
+        let data = clustered(200, 2);
+        let multi = RigorousLsh::build(&data, cfg());
+        let single = E2lsh::build(&data, cfg().base);
+        assert_eq!(multi.num_levels(), 8);
+        assert_eq!(multi.size_bytes(), 8 * single.size_bytes());
+    }
+
+    #[test]
+    fn radius_sweep_accumulates_cost() {
+        let data = clustered(400, 3);
+        let idx = RigorousLsh::build(&data, cfg());
+        // A far query must climb several radii.
+        let far = vec![500.0f32; 12];
+        let (_, stats) = idx.query(&far, 1);
+        assert!(stats.probes >= 16, "expected probes across multiple radii");
+    }
+
+    #[test]
+    fn merge_dedupes_and_truncates() {
+        let mut best = vec![Neighbor::new(1, 1.0), Neighbor::new(2, 2.0)];
+        merge_neighbors(&mut best, &[Neighbor::new(1, 1.0), Neighbor::new(3, 0.5)], 2);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].id, 3);
+        assert_eq!(best[1].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be >= 2")]
+    fn rejects_bad_c() {
+        let data = clustered(10, 4);
+        let _ = RigorousLsh::build(&data, RigorousConfig { c: 1, ..cfg() });
+    }
+}

@@ -1,0 +1,43 @@
+//! Micro-benchmark: the distance kernel (the hot loop of every method's
+//! verification phase).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn gen(d: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..d)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 40) as f32 / (1u32 << 24) as f32
+        })
+        .collect()
+}
+
+fn bench_euclidean(c: &mut Criterion) {
+    let mut g = c.benchmark_group("euclidean_sq");
+    for d in [32usize, 128, 512] {
+        let a = gen(d, 1);
+        let b = gen(d, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| cc_vector::dist::euclidean_sq(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let a = gen(128, 3);
+    let b = gen(128, 4);
+    c.bench_function("dot_128", |bench| {
+        bench.iter(|| cc_vector::dist::dot(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_euclidean, bench_dot
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmark: p-stable hashing throughput and parameter
+//! derivation cost.
+
+use c2lsh::{C2lshConfig, FullParams, HashFamily};
+use cc_vector::gen::{generate, Distribution};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_hash_string(c: &mut Criterion) {
+    let d = 128;
+    let data = generate(Distribution::UniformCube { side: 1.0 }, 16, d, 1);
+    let cfg = C2lshConfig::default();
+    let family = HashFamily::generate(100, d, &cfg);
+    let v = data.get(0);
+    c.bench_function("hash_string_m100_d128", |b| {
+        b.iter(|| family.buckets(black_box(v)))
+    });
+}
+
+fn bench_derive_params(c: &mut Criterion) {
+    let cfg = C2lshConfig::default();
+    c.bench_function("derive_params_n60000", |b| {
+        b.iter(|| FullParams::derive(black_box(60_000), &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hash_string, bench_derive_params
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmark: index construction time of every method on a small
+//! clustered dataset (relative numbers mirror the paper's build-time
+//! column; absolute scale is set by T3).
+
+use cc_baselines::e2lsh::{E2lsh, E2lshConfig};
+use cc_baselines::lsb::{LsbConfig, LsbForest};
+use cc_vector::gen::{generate, Distribution};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn data() -> cc_vector::Dataset {
+    generate(
+        Distribution::GaussianMixture { clusters: 16, spread: 0.015, scale: 10.0 },
+        2_000,
+        32,
+        5,
+    )
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let data = data();
+    let mut g = c.benchmark_group("index_build_n2000_d32");
+    g.bench_function("c2lsh", |b| {
+        let cfg = c2lsh::C2lshConfig::builder().bucket_width(1.0).seed(1).build();
+        b.iter(|| c2lsh::C2lshIndex::build(&data, &cfg))
+    });
+    g.bench_function("qalsh", |b| {
+        let cfg = qalsh::QalshConfig { w: 1.2, seed: 1, ..Default::default() };
+        b.iter(|| qalsh::Qalsh::build(&data, cfg))
+    });
+    g.bench_function("e2lsh", |b| {
+        let cfg = E2lshConfig { k_funcs: 8, l_tables: 32, w: 1.0, seed: 1 };
+        b.iter(|| E2lsh::build(&data, cfg))
+    });
+    g.bench_function("lsb_forest", |b| {
+        let cfg = LsbConfig { l_trees: 12, w: 0.5, seed: 1, ..Default::default() };
+        b.iter(|| LsbForest::build(&data, cfg))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_builds
+}
+criterion_main!(benches);

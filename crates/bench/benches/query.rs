@@ -1,0 +1,52 @@
+//! Micro-benchmark: c-k-ANN query latency of every method on a fixed
+//! clustered dataset (n = 5000, d = 32, k = 10).
+
+use cc_baselines::e2lsh::{E2lsh, E2lshConfig};
+use cc_baselines::linear::LinearScan;
+use cc_baselines::lsb::{LsbConfig, LsbForest};
+use cc_vector::gen::{generate, Distribution};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn data() -> cc_vector::Dataset {
+    generate(
+        Distribution::GaussianMixture { clusters: 16, spread: 0.015, scale: 10.0 },
+        5_000,
+        32,
+        9,
+    )
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let data = data();
+    let q = data.get(123).to_vec();
+    let k = 10;
+    let mut g = c.benchmark_group("query_n5000_d32_k10");
+
+    let cfg = c2lsh::C2lshConfig::builder().bucket_width(1.0).seed(2).build();
+    let c2 = c2lsh::C2lshIndex::build(&data, &cfg);
+    g.bench_function("c2lsh", |b| b.iter(|| c2.query(black_box(&q), k)));
+
+    let qa = qalsh::Qalsh::build(&data, qalsh::QalshConfig { w: 1.2, seed: 2, ..Default::default() });
+    g.bench_function("qalsh", |b| b.iter(|| qa.query(black_box(&q), k)));
+
+    let e2 = E2lsh::build(&data, E2lshConfig { k_funcs: 8, l_tables: 32, w: 1.0, seed: 2 });
+    g.bench_function("e2lsh", |b| b.iter(|| e2.query(black_box(&q), k)));
+
+    let lsb = LsbForest::build(
+        &data,
+        LsbConfig { l_trees: 12, w: 0.5, budget: 200, quality_stop: false, seed: 2, ..Default::default() },
+    );
+    g.bench_function("lsb_forest", |b| b.iter(|| lsb.query(black_box(&q), k)));
+
+    let lin = LinearScan::new(&data);
+    g.bench_function("linear_scan", |b| b.iter(|| lin.query(black_box(&q), k)));
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **A1 — ablation: virtual rehashing vs physical per-radius indexes.**
+//!
+//! C2LSH's virtual rehashing answers every radius from one physical
+//! index; the rigorous-LSH alternative builds one index per radius.
+//! The ablation holds quality roughly fixed and compares index size and
+//! build time — the paper's argument for the design choice.
+
+use cc_baselines::e2lsh::E2lshConfig;
+use cc_baselines::rigorous::{RigorousConfig, RigorousLsh};
+use cc_bench::eval::evaluate;
+use cc_bench::methods::{defaults, RigorousIdx};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+use std::time::Instant;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("A1: virtual rehashing vs physical per-radius indexes (k = {k}, scale {scale})"),
+        &["dataset", "method", "physical_indexes", "MiB", "build_s", "recall", "ratio"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 41);
+
+        let t0 = Instant::now();
+        let c2 = defaults::c2lsh(&w.data, 41);
+        let build_c2 = t0.elapsed().as_secs_f64();
+        let r = evaluate(&c2, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "C2LSH (virtual)".into(),
+            "1".into(),
+            f1(c2.0.size_bytes() as f64 / (1024.0 * 1024.0)),
+            f3(build_c2),
+            f3(r.recall),
+            f3(r.ratio),
+        ]);
+
+        for levels in [4u32, 8, 12] {
+            let t0 = Instant::now();
+            let rig = RigorousIdx(RigorousLsh::build(
+                &w.data,
+                RigorousConfig {
+                    base: E2lshConfig { k_funcs: 8, l_tables: 48, w: 2.184, seed: 41 },
+                    c: 2,
+                    levels,
+                },
+            ));
+            let build = t0.elapsed().as_secs_f64();
+            let r = evaluate(&rig, &w, k);
+            t.row(vec![
+                profile.name().into(),
+                "Rigorous (physical)".into(),
+                levels.to_string(),
+                f1(rig.0.size_bytes() as f64 / (1024.0 * 1024.0)),
+                f3(build),
+                f3(r.recall),
+                f3(r.ratio),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("a1_virtual_rehash");
+}

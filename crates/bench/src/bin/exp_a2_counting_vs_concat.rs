@@ -1,0 +1,68 @@
+//! **A2 — ablation: dynamic collision counting vs static concatenation
+//! at an equal hash-function budget.**
+//!
+//! C2LSH's central claim: m single-function tables with a collision
+//! threshold extract far more signal than the same m functions split
+//! into K-wise concatenations across L = m/K tables. The ablation gives
+//! both frameworks the *same* number of p-stable functions and compares
+//! quality and work.
+
+use c2lsh::{C2lshConfig, C2lshIndex};
+use cc_baselines::e2lsh::{E2lsh, E2lshConfig};
+use cc_bench::eval::evaluate;
+use cc_bench::methods::{C2lshMem, E2lshIdx};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("A2: dynamic counting vs static concatenation, equal hash budget (k = {k})"),
+        &["dataset", "framework", "functions", "layout", "recall", "ratio", "verified", "ms"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 43);
+
+        // Dynamic counting: the derived m is the budget.
+        let cfg = C2lshConfig::builder().bucket_width(2.184).seed(43).build();
+        let c2 = C2lshMem(C2lshIndex::build(&w.data, &cfg));
+        let m = c2.0.params().m;
+        let r = evaluate(&c2, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "dynamic counting".into(),
+            m.to_string(),
+            format!("m={m}, l={}", c2.0.params().l),
+            f3(r.recall),
+            f3(r.ratio),
+            f1(r.verified),
+            f3(r.time_ms),
+        ]);
+
+        // Static concatenation with the same budget m = K × L.
+        for kf in [2usize, 4, 8] {
+            let l = (m / kf).max(1);
+            let e2 = E2lshIdx(E2lsh::build(
+                &w.data,
+                E2lshConfig { k_funcs: kf, l_tables: l, w: 2.184, seed: 43 },
+            ));
+            let r = evaluate(&e2, &w, k);
+            t.row(vec![
+                profile.name().into(),
+                "static concat".into(),
+                (kf * l).to_string(),
+                format!("K={kf}, L={l}"),
+                f3(r.recall),
+                f3(r.ratio),
+                f1(r.verified),
+                f3(r.time_ms),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("a2_counting_vs_concat");
+}

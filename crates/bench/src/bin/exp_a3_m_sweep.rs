@@ -1,0 +1,47 @@
+//! **A3 — ablation: is the Hoeffding-derived m actually needed?**
+//!
+//! Overrides `m` to fractions/multiples of the derived value (threshold
+//! percentage held at α*) and measures quality. Expected shape: recall
+//! climbs steeply up to roughly the derived `m` and flattens after — the
+//! theory's `m` sits at the knee, which is the point of deriving it
+//! instead of hand-tuning.
+
+use c2lsh::{C2lshConfig, C2lshIndex, FullParams};
+use cc_bench::eval::evaluate;
+use cc_bench::methods::C2lshMem;
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("A3: sweep of m around the derived optimum (k = {k}, scale {scale})"),
+        &["dataset", "m/m*", "m", "l", "recall", "ratio", "verified", "MiB"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 53);
+        let derived = FullParams::derive(w.n(), &C2lshConfig::default());
+        for frac in [0.25f64, 0.5, 0.75, 1.0, 1.5, 2.0] {
+            let m = ((derived.m as f64 * frac).round() as usize).max(2);
+            let cfg = C2lshConfig::builder().m_override(m).seed(53).build();
+            let idx = C2lshMem(C2lshIndex::build(&w.data, &cfg));
+            let row = evaluate(&idx, &w, k);
+            t.row(vec![
+                profile.name().into(),
+                f3(frac),
+                idx.0.params().m.to_string(),
+                idx.0.params().l.to_string(),
+                f3(row.recall),
+                f3(row.ratio),
+                f1(row.verified),
+                f1(idx.0.size_bytes() as f64 / (1024.0 * 1024.0)),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("a3_m_sweep");
+}

@@ -1,0 +1,41 @@
+//! **F1 — overall ratio vs k** (the paper's quality figures).
+//!
+//! For every dataset and `k ∈ {1, 10, 20, 40, 60, 80, 100}`, reports the
+//! overall ratio (and recall) of C2LSH, QALSH, E2LSH and LSB-forest.
+//! Expected shape: all methods stay well below the `c = 2` bound; C2LSH
+//! and QALSH track close to 1.0 and degrade more slowly with `k` than
+//! the static-framework methods.
+
+use cc_bench::eval::evaluate;
+use cc_bench::methods::{defaults, AnnIndex};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{push_eval_row, Table, EVAL_HEADERS};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let ks = [1usize, 10, 20, 40, 60, 80, 100];
+    let mut t = Table::new(
+        format!("F1: ratio & recall vs k (scale {scale}, {nq} queries)"),
+        &EVAL_HEADERS,
+    );
+    for profile in Profile::paper_profiles() {
+        let w = prepare_workload(profile, scale, nq, *ks.last().unwrap(), 11);
+        let c2 = defaults::c2lsh(&w.data, 11);
+        let qa = defaults::qalsh(&w.data, 11);
+        let e2 = defaults::e2lsh(&w.data, 11);
+        let lsb = defaults::lsb(&w.data, 11);
+        let mp = defaults::multiprobe(&w.data, 11);
+        let methods: [&dyn AnnIndex; 5] = [&c2, &qa, &e2, &lsb, &mp];
+        for &k in &ks {
+            for m in methods {
+                let row = evaluate(m, &w, k);
+                push_eval_row(&mut t, profile.name(), &row);
+            }
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f1_ratio_vs_k");
+}

@@ -1,0 +1,41 @@
+//! **F2 — I/O cost vs k** (the paper's efficiency figures; C2LSH and
+//! LSB-forest are disk-based systems and the paper reports page reads).
+//!
+//! Uses the paged C2LSH backend (exact page accounting), QALSH's B+-tree
+//! accounting, LSB-forest's page model, and the linear-scan full read as
+//! the upper reference. Expected shape: C2LSH beats LSB-forest on most
+//! datasets at equal or better ratio, and everything is far below the
+//! linear scan.
+
+use cc_bench::eval::evaluate;
+use cc_bench::methods::{defaults, AnnIndex};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{push_eval_row, Table, EVAL_HEADERS};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let ks = [1usize, 10, 20, 40, 60, 80, 100];
+    let mut t = Table::new(
+        format!("F2: page I/O vs k (scale {scale}, {nq} queries)"),
+        &EVAL_HEADERS,
+    );
+    for profile in Profile::paper_profiles() {
+        let w = prepare_workload(profile, scale, nq, *ks.last().unwrap(), 13);
+        let c2d = defaults::c2lsh_disk(&w.data, 13);
+        let qa = defaults::qalsh(&w.data, 13);
+        let lsb = defaults::lsb(&w.data, 13);
+        let lin = defaults::linear(&w.data);
+        let methods: [&dyn AnnIndex; 4] = [&c2d, &qa, &lsb, &lin];
+        for &k in &ks {
+            for m in methods {
+                let row = evaluate(m, &w, k);
+                push_eval_row(&mut t, profile.name(), &row);
+            }
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f2_io_vs_k");
+}

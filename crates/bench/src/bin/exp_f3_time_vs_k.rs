@@ -1,0 +1,39 @@
+//! **F3 — wall-clock query time vs k** (memory mode).
+//!
+//! Complements F2 for in-memory deployments: mean per-query milliseconds
+//! of every method, including the exact linear scan as the budget every
+//! approximate method must undercut.
+
+use cc_bench::eval::evaluate;
+use cc_bench::methods::{defaults, AnnIndex};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{push_eval_row, Table, EVAL_HEADERS};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let ks = [1usize, 10, 50, 100];
+    let mut t = Table::new(
+        format!("F3: query time vs k, memory mode (scale {scale}, {nq} queries)"),
+        &EVAL_HEADERS,
+    );
+    for profile in Profile::paper_profiles() {
+        let w = prepare_workload(profile, scale, nq, *ks.last().unwrap(), 17);
+        let c2 = defaults::c2lsh(&w.data, 17);
+        let qa = defaults::qalsh(&w.data, 17);
+        let e2 = defaults::e2lsh(&w.data, 17);
+        let lsb = defaults::lsb(&w.data, 17);
+        let lin = defaults::linear(&w.data);
+        let methods: [&dyn AnnIndex; 5] = [&c2, &qa, &e2, &lsb, &lin];
+        for &k in &ks {
+            for m in methods {
+                let row = evaluate(m, &w, k);
+                push_eval_row(&mut t, profile.name(), &row);
+            }
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f3_time_vs_k");
+}

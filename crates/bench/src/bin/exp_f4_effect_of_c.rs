@@ -1,0 +1,51 @@
+//! **F4 — effect of the approximation ratio c** (the paper's c = 2 vs
+//! c = 3 study).
+//!
+//! A larger `c` widens the `p1/p2` gap, shrinking `m` (and the index) and
+//! the query cost, at the price of a weaker quality guarantee. The table
+//! reports `m`, index size, I/O, ratio and recall for `c ∈ {2, 3}` on
+//! every dataset (disk backend, exact I/O accounting).
+
+use c2lsh::{C2lshConfig, DiskIndex};
+use cc_bench::eval::evaluate;
+use cc_bench::methods::{AnnIndex, C2lshDisk};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("F4: effect of c (k = {k}, scale {scale}, {nq} queries)"),
+        &["dataset", "c", "m", "l", "MiB", "recall", "ratio", "io", "verified"],
+    );
+    for profile in Profile::paper_profiles() {
+        let w = prepare_workload(profile, scale, nq, k, 19);
+        for c in [2u32, 3] {
+            let cfg = C2lshConfig::builder()
+                .approximation_ratio(c)
+                .bucket_width(if c == 2 { 2.184 } else { 2.719 })
+                .seed(19)
+                .build();
+            let idx = C2lshDisk(DiskIndex::build(&w.data, &cfg));
+            let row = evaluate(&idx, &w, k);
+            let p = idx.0.params();
+            t.row(vec![
+                profile.name().into(),
+                c.to_string(),
+                p.m.to_string(),
+                p.l.to_string(),
+                f1(idx.size_bytes() as f64 / (1024.0 * 1024.0)),
+                f3(row.recall),
+                f3(row.ratio),
+                f1(row.io_reads),
+                f1(row.verified),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f4_effect_of_c");
+}

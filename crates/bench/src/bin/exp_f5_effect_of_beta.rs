@@ -1,0 +1,48 @@
+//! **F5 — effect of the false-positive budget β** (the paper's β study).
+//!
+//! β controls terminating condition T2 (`k + βn` verified candidates)
+//! *and* feeds the Hoeffding bound, so a larger β both verifies more
+//! candidates (better recall) and slightly shrinks `m`. The sweep
+//! reports the trade-off on one dataset; run with `CC_SCALE`/`CC_QUERIES`
+//! to vary the setting.
+
+use c2lsh::{Beta, C2lshConfig, DiskIndex};
+use cc_bench::eval::evaluate;
+use cc_bench::methods::C2lshDisk;
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("F5: effect of beta (k = {k}, scale {scale}, {nq} queries)"),
+        &["dataset", "beta_count", "m", "recall", "ratio", "verified", "io"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 23);
+        for beta_count in [25u64, 50, 100, 200, 400] {
+            let cfg = C2lshConfig::builder()
+                .bucket_width(2.184)
+                .beta(Beta::Count(beta_count))
+                .seed(23)
+                .build();
+            let idx = C2lshDisk(DiskIndex::build(&w.data, &cfg));
+            let row = evaluate(&idx, &w, k);
+            t.row(vec![
+                profile.name().into(),
+                beta_count.to_string(),
+                idx.0.params().m.to_string(),
+                f3(row.recall),
+                f3(row.ratio),
+                f1(row.verified),
+                f1(row.io_reads),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f5_effect_of_beta");
+}

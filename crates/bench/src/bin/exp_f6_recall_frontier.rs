@@ -1,0 +1,118 @@
+//! **F6 — recall / query-time frontier** (grid search per method).
+//!
+//! Mirrors the paper's protocol of reporting each method at its best
+//! parameters per recall level: sweeps a small parameter grid for every
+//! method and prints all (recall, time) points; the frontier is the
+//! lower envelope per method.
+
+use c2lsh::{Beta, C2lshConfig, C2lshIndex};
+use cc_baselines::e2lsh::{E2lsh, E2lshConfig};
+use cc_baselines::lsb::{LsbConfig, LsbForest};
+use cc_bench::eval::evaluate;
+use cc_baselines::multiprobe::{MultiProbeConfig, MultiProbeLsh};
+use cc_bench::methods::{C2lshMem, E2lshIdx, LsbIdx, MultiProbeIdx, QalshIdx};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f3, Table};
+use cc_vector::synth::Profile;
+use qalsh::{Qalsh, QalshConfig};
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("F6: recall/time frontier (k = {k}, scale {scale}, {nq} queries)"),
+        &["dataset", "method", "params", "recall", "ratio", "ms"],
+    );
+    let profile = Profile::Mnist;
+    let w = prepare_workload(profile, scale, nq, k, 29);
+
+    // C2LSH: sweep the verification budget via beta.
+    for beta in [25u64, 50, 100, 200, 400, 800] {
+        let cfg =
+            C2lshConfig::builder().bucket_width(2.184).beta(Beta::Count(beta)).seed(29).build();
+        let idx = C2lshMem(C2lshIndex::build(&w.data, &cfg));
+        let r = evaluate(&idx, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "C2LSH".into(),
+            format!("beta={beta}"),
+            f3(r.recall),
+            f3(r.ratio),
+            f3(r.time_ms),
+        ]);
+    }
+    // QALSH: same sweep.
+    for beta in [25u64, 50, 100, 200, 400] {
+        let idx =
+            QalshIdx(Qalsh::build(&w.data, QalshConfig { beta_count: beta, seed: 29, ..Default::default() }));
+        let r = evaluate(&idx, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "QALSH".into(),
+            format!("beta={beta}"),
+            f3(r.recall),
+            f3(r.ratio),
+            f3(r.time_ms),
+        ]);
+    }
+    // E2LSH: sweep K and L.
+    for (kf, l) in [(10, 32), (8, 32), (8, 64), (6, 64), (6, 128), (4, 128)] {
+        let idx = E2lshIdx(E2lsh::build(
+            &w.data,
+            E2lshConfig { k_funcs: kf, l_tables: l, w: 2.184, seed: 29 },
+        ));
+        let r = evaluate(&idx, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "E2LSH".into(),
+            format!("K={kf},L={l}"),
+            f3(r.recall),
+            f3(r.ratio),
+            f3(r.time_ms),
+        ]);
+    }
+    // LSB-forest: sweep trees and budget.
+    for (l, budget) in [(8, 100), (16, 100), (16, 200), (24, 200), (24, 400), (32, 800)] {
+        let idx = LsbIdx(LsbForest::build(
+            &w.data,
+            LsbConfig {
+                k_funcs: 8,
+                l_trees: l,
+                u_bits: 16,
+                w: 1.5,
+                c: 2,
+                budget,
+                quality_stop: false,
+                seed: 29,
+            },
+        ));
+        let r = evaluate(&idx, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "LSB-forest".into(),
+            format!("L={l},budget={budget}"),
+            f3(r.recall),
+            f3(r.ratio),
+            f3(r.time_ms),
+        ]);
+    }
+    // Multi-Probe LSH: few tables, sweep the probe count.
+    for probes in [0usize, 8, 16, 32, 64, 128] {
+        let idx = MultiProbeIdx(MultiProbeLsh::build(
+            &w.data,
+            MultiProbeConfig { k_funcs: 8, l_tables: 8, w: 2.184, probes, seed: 29 },
+        ));
+        let r = evaluate(&idx, &w, k);
+        t.row(vec![
+            profile.name().into(),
+            "MultiProbe".into(),
+            format!("L=8,probes={probes}"),
+            f3(r.recall),
+            f3(r.ratio),
+            f3(r.time_ms),
+        ]);
+    }
+    t.print();
+    t.save_csv("f6_recall_frontier");
+}

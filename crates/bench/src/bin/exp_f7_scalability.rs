@@ -1,0 +1,60 @@
+//! **F7 — scalability in n**.
+//!
+//! Sweeps the dataset size at fixed dimensionality and reports C2LSH's
+//! derived `m` (theory: `O(log n)`), index size (`O(n log n)`), query
+//! I/O and verified candidates. Expected shape: verified candidates stay
+//! near `k + βn·(β=100/n ⇒ ≈ k + 100)` — i.e. roughly flat — while the
+//! linear scan's cost grows linearly.
+
+use cc_bench::eval::evaluate;
+use cc_bench::methods::defaults;
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let nq = cc_bench::queries();
+    let k = 10;
+    let d = 32;
+    let base = cc_bench::env_usize("CC_SCALE_BASE", 4_000);
+    let mut t = Table::new(
+        format!("F7: scalability in n (d = {d}, k = {k}, {nq} queries)"),
+        &["n", "method", "m", "MiB", "recall", "ratio", "verified", "io", "ms"],
+    );
+    for mult in [1usize, 2, 4, 8, 16] {
+        let n = base * mult;
+        let profile = Profile::Custom { n, d };
+        let w = prepare_workload(profile, 1.0, nq, k, 31);
+
+        let c2 = defaults::c2lsh_disk(&w.data, 31);
+        let row = evaluate(&c2, &w, k);
+        t.row(vec![
+            n.to_string(),
+            "C2LSH(disk)".into(),
+            c2.0.params().m.to_string(),
+            f1(c2.0.size_bytes() as f64 / (1024.0 * 1024.0)),
+            f3(row.recall),
+            f3(row.ratio),
+            f1(row.verified),
+            f1(row.io_reads),
+            f3(row.time_ms),
+        ]);
+
+        let lin = defaults::linear(&w.data);
+        let row = evaluate(&lin, &w, k);
+        t.row(vec![
+            n.to_string(),
+            "LinearScan".into(),
+            "-".into(),
+            "0.0".into(),
+            f3(row.recall),
+            f3(row.ratio),
+            f1(row.verified),
+            f1(row.io_reads),
+            f3(row.time_ms),
+        ]);
+        eprintln!("[n = {n} done]");
+    }
+    t.print();
+    t.save_csv("f7_scalability");
+}

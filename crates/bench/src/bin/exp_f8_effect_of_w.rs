@@ -1,0 +1,48 @@
+//! **F8 — effect of the bucket width w** (the paper tunes `w` per
+//! dataset; this sweep shows why the ρ-minimizing default is a good
+//! one).
+//!
+//! Sweeps `w` around 2.184 on NN-normalized data and reports the derived
+//! `m`, recall, ratio and verified candidates. Too-small `w` collapses
+//! `p1` (more tables, noisier counts); too-large `w` collapses the
+//! `p1/p2` contrast (windows admit far points).
+
+use c2lsh::{C2lshConfig, C2lshIndex, FullParams};
+use cc_bench::eval::evaluate;
+use cc_bench::methods::C2lshMem;
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("F8: effect of bucket width w (k = {k}, scale {scale}, {nq} queries)"),
+        &["dataset", "w", "rho", "m", "l", "recall", "ratio", "verified", "ms"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 47);
+        for width in [1.0f64, 1.5, 2.184, 3.0, 4.0, 6.0] {
+            let cfg = C2lshConfig::builder().bucket_width(width).seed(47).build();
+            let p = FullParams::derive(w.n(), &cfg);
+            let idx = C2lshMem(C2lshIndex::build(&w.data, &cfg));
+            let row = evaluate(&idx, &w, k);
+            t.row(vec![
+                profile.name().into(),
+                f3(width),
+                f3(cc_math::pstable::rho(2.0, width)),
+                p.m.to_string(),
+                p.l.to_string(),
+                f3(row.recall),
+                f3(row.ratio),
+                f1(row.verified),
+                f3(row.time_ms),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f8_effect_of_w");
+}

@@ -1,0 +1,65 @@
+//! **F9 — buffer-pool sensitivity** (beyond the paper: how much of
+//! C2LSH's logical I/O a small page cache absorbs).
+//!
+//! The disk experiments (F2) report *logical* page reads, matching the
+//! paper's cold-cache protocol. Real deployments keep a buffer pool;
+//! this experiment records the exact page-access trace of a C2LSH query
+//! workload and replays it through LRU pools of increasing capacity,
+//! reporting the physical-read rate (miss rate).
+
+use c2lsh::{C2lshConfig, DiskIndex};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_storage::buffer::BufferPool;
+use cc_storage::pagefile::PageFile;
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("F9: LRU buffer-pool hit rates on the C2LSH access trace (k = {k})"),
+        &["dataset", "index_pages", "trace_len", "pool_pages", "pool_frac", "hit_rate", "physical_reads"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 59);
+        let cfg = C2lshConfig::builder().bucket_width(2.184).seed(59).build();
+        let idx = DiskIndex::build(&w.data, &cfg);
+
+        // Record the page trace of the whole query workload.
+        idx.page_file().start_trace();
+        for q in w.queries.iter() {
+            let _ = idx.query(q, k);
+        }
+        let trace = idx.page_file().take_trace();
+        let total_pages = idx.size_pages();
+
+        for frac in [0.01f64, 0.05, 0.1, 0.25, 0.5] {
+            let capacity = ((total_pages as f64 * frac) as usize).max(1);
+            // Replay through a fresh file of the same shape (contents do
+            // not matter for cache behavior, only the id sequence).
+            let mut file = PageFile::new();
+            for _ in 0..total_pages {
+                file.alloc();
+            }
+            let pool = BufferPool::new(&file, capacity);
+            for &pid in &trace {
+                pool.get(pid);
+            }
+            let s = pool.stats();
+            t.row(vec![
+                profile.name().into(),
+                total_pages.to_string(),
+                trace.len().to_string(),
+                capacity.to_string(),
+                f3(frac),
+                f3(s.hit_ratio()),
+                f1(s.misses as f64 / nq as f64),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("f9_buffer_pool");
+}

@@ -1,0 +1,33 @@
+//! **T1 — dataset statistics** (the paper's dataset table).
+//!
+//! Prints the four evaluation profiles at the configured scale plus the
+//! paper-scale shapes they mirror. Run with `CC_SCALE=1` to reproduce the
+//! full sizes.
+
+use cc_bench::prep::{mean_nn_distance, prepare_workload};
+use cc_bench::table::{f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let mut t = Table::new(
+        format!("T1: datasets (scale {scale}, {nq} queries)"),
+        &["dataset", "n(paper)", "d", "n(run)", "queries", "meanNN(norm)"],
+    );
+    for profile in Profile::paper_profiles() {
+        let (n_full, d) = profile.shape();
+        let w = prepare_workload(profile, scale, nq, 1, 42);
+        let nn = mean_nn_distance(&w.data, 30);
+        t.row(vec![
+            profile.name().to_string(),
+            n_full.to_string(),
+            d.to_string(),
+            w.n().to_string(),
+            w.queries.len().to_string(),
+            f3(nn),
+        ]);
+    }
+    t.print();
+    t.save_csv("t1_datasets");
+}

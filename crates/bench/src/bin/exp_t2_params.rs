@@ -1,0 +1,55 @@
+//! **T2 — derived parameters** (the paper's parameter table).
+//!
+//! For every dataset profile and `c ∈ {2, 3}`, prints the collision
+//! probabilities `p1`, `p2`, the optimal threshold percentage `α*`, the
+//! number of hash functions `m` and the collision threshold `l` that the
+//! Hoeffding machinery derives, plus the corresponding QALSH parameters
+//! for comparison.
+
+use c2lsh::{C2lshConfig, FullParams};
+use cc_bench::table::{f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let mut t = Table::new(
+        format!("T2: derived parameters (scale {scale}, delta = 1/e, beta = 100/n)"),
+        &["dataset", "n", "c", "method", "w", "p1", "p2", "alpha*", "m", "l"],
+    );
+    for profile in Profile::paper_profiles() {
+        let (n_full, _) = profile.shape();
+        let n = ((n_full as f64 * scale) as usize).max(1);
+        for c in [2u32, 3] {
+            let cfg = C2lshConfig::builder().approximation_ratio(c).build();
+            let p = FullParams::derive(n, &cfg);
+            t.row(vec![
+                profile.name().into(),
+                n.to_string(),
+                c.to_string(),
+                "C2LSH".into(),
+                f3(cfg.w),
+                f3(p.derived.p1),
+                f3(p.derived.p2),
+                f3(p.derived.alpha),
+                p.m.to_string(),
+                p.l.to_string(),
+            ]);
+            let w_q = qalsh::params::optimal_width(c);
+            let dq = qalsh::params::derive(c, w_q, cfg.delta, 100.0 / n as f64);
+            t.row(vec![
+                profile.name().into(),
+                n.to_string(),
+                c.to_string(),
+                "QALSH".into(),
+                f3(w_q),
+                f3(dq.p1),
+                f3(dq.p2),
+                f3(dq.alpha),
+                dq.m.to_string(),
+                dq.l.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    t.save_csv("t2_params");
+}

@@ -1,0 +1,69 @@
+//! **T3 — index size and construction time** (the paper's index-size
+//! comparison, the headline of C2LSH's space advantage).
+//!
+//! Builds every method on every dataset and reports size (MiB) and build
+//! time. The paper's shape: LSB-forest ≫ rigorous-LSH ≫ E2LSH > C2LSH,
+//! with C2LSH one to two orders of magnitude below LSB-forest.
+
+use cc_baselines::e2lsh::E2lshConfig;
+use cc_baselines::rigorous::{RigorousConfig, RigorousLsh};
+use cc_bench::methods::{defaults, AnnIndex, RigorousIdx};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f1, f3, Table};
+use cc_vector::synth::Profile;
+use std::time::Instant;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let mut t = Table::new(
+        format!("T3: index size & build time (scale {scale})"),
+        &["dataset", "n", "method", "MiB", "build_s"],
+    );
+    for profile in Profile::paper_profiles() {
+        let w = prepare_workload(profile, scale, 1, 1, 7);
+        let n = w.n();
+
+        let t0 = Instant::now();
+        let c2 = defaults::c2lsh(&w.data, 7);
+        push(&mut t, profile.name(), n, &c2, t0);
+
+        let t0 = Instant::now();
+        let qa = defaults::qalsh(&w.data, 7);
+        push(&mut t, profile.name(), n, &qa, t0);
+
+        let t0 = Instant::now();
+        let e2 = defaults::e2lsh(&w.data, 7);
+        push(&mut t, profile.name(), n, &e2, t0);
+
+        let t0 = Instant::now();
+        let lsb = defaults::lsb(&w.data, 7);
+        push(&mut t, profile.name(), n, &lsb, t0);
+
+        let t0 = Instant::now();
+        let mp = defaults::multiprobe(&w.data, 7);
+        push(&mut t, profile.name(), n, &mp, t0);
+
+        let t0 = Instant::now();
+        let rig = RigorousIdx(RigorousLsh::build(
+            &w.data,
+            RigorousConfig {
+                base: E2lshConfig { k_funcs: 8, l_tables: 64, w: 2.184, seed: 7 },
+                c: 2,
+                levels: 10,
+            },
+        ));
+        push(&mut t, profile.name(), n, &rig, t0);
+    }
+    t.print();
+    t.save_csv("t3_index_size");
+}
+
+fn push(t: &mut Table, dataset: &str, n: usize, idx: &dyn AnnIndex, t0: Instant) {
+    t.row(vec![
+        dataset.to_string(),
+        n.to_string(),
+        idx.name().to_string(),
+        f1(idx.size_bytes() as f64 / (1024.0 * 1024.0)),
+        f3(t0.elapsed().as_secs_f64()),
+    ]);
+}

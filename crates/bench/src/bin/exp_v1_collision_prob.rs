@@ -1,0 +1,85 @@
+//! **V1 — collision-probability validation** (theory check).
+//!
+//! The entire parameter derivation rests on the closed-form p-stable
+//! collision probability `p(s, w)` and its QALSH counterpart. This
+//! experiment plants point pairs at controlled distances, hashes them
+//! under many independently drawn functions, and compares empirical
+//! collision rates against the closed forms — including at the virtual
+//! rehashing levels `R ∈ {1, 2, 4}` where the effective width is `w·R`.
+
+use c2lsh::{C2lshConfig, HashFamily};
+use cc_bench::table::{f3, Table};
+use cc_math::pstable::collision_probability;
+use qalsh::qalsh_collision_probability;
+
+fn main() {
+    let d = 32;
+    let m = 20_000; // i.i.d. trials
+    let w = 2.184;
+    let cfg = C2lshConfig::builder().bucket_width(w).seed(1234).build();
+    let family = HashFamily::generate(m, d, &cfg);
+
+    let mut t = Table::new(
+        format!("V1: empirical vs theoretical collision probability (m = {m} trials)"),
+        &["family", "s", "R", "empirical", "theory", "abs_err"],
+    );
+
+    let o = vec![0.0f32; d];
+    for s in [0.5f64, 1.0, 1.5, 2.0, 3.0, 5.0] {
+        let mut q = vec![0.0f32; d];
+        q[0] = s as f32;
+        for r in [1i64, 2, 4] {
+            let coll = family
+                .iter()
+                .filter(|h| h.bucket(&o).div_euclid(r) == h.bucket(&q).div_euclid(r))
+                .count();
+            let emp = coll as f64 / m as f64;
+            let theory = collision_probability(s, w * r as f64);
+            t.row(vec![
+                "p-stable".into(),
+                f3(s),
+                r.to_string(),
+                f3(emp),
+                f3(theory),
+                f3((emp - theory).abs()),
+            ]);
+        }
+    }
+
+    // QALSH family: |a·(o−q)| ≤ w/2 with a ~ N(0,1)^d.
+    let wq = qalsh::params::optimal_width(2);
+    let mut rng_proj = Vec::with_capacity(m);
+    {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut normal = cc_vector::gen::NormalSampler::new();
+        for _ in 0..m {
+            let a: Vec<f32> = (0..d).map(|_| normal.sample(&mut rng) as f32).collect();
+            rng_proj.push(a);
+        }
+    }
+    for s in [0.5f64, 1.0, 2.0, 4.0] {
+        let mut q = vec![0.0f32; d];
+        q[0] = s as f32;
+        let coll = rng_proj
+            .iter()
+            .filter(|a| {
+                let proj = cc_vector::dist::dot(a, &q) - cc_vector::dist::dot(a, &o);
+                proj.abs() <= wq / 2.0
+            })
+            .count();
+        let emp = coll as f64 / m as f64;
+        let theory = qalsh_collision_probability(s, wq);
+        t.row(vec![
+            "query-aware".into(),
+            f3(s),
+            "1".into(),
+            f3(emp),
+            f3(theory),
+            f3((emp - theory).abs()),
+        ]);
+    }
+    t.print();
+    t.save_csv("v1_collision_prob");
+}

@@ -1,0 +1,62 @@
+//! **V2 — success-probability validation** (the quality guarantee).
+//!
+//! Theorem (C2LSH): with `δ = 1/e` the scheme answers each `(R, c)`-NN
+//! instance correctly with probability ≥ `1/2 − 1/e ≈ 0.132`; for
+//! c-k-ANN this translates into the returned i-th neighbor being within
+//! `c ×` the true i-th NN distance. The experiment measures, over many
+//! queries and independent index draws, how often every rank satisfies
+//! the c-bound — empirically far above the conservative bound, which is
+//! exactly what the theory (a lower bound) predicts.
+
+use c2lsh::{C2lshConfig, C2lshIndex};
+use cc_bench::prep::prepare_workload;
+use cc_bench::table::{f3, Table};
+use cc_vector::synth::Profile;
+
+fn main() {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let c = 2u32;
+    let mut t = Table::new(
+        format!("V2: empirical c-ANN success rate (c = {c}, k = {k}, bound = 1/2 - 1/e = 0.132)"),
+        &["dataset", "seed", "all_ranks_ok", "rank1_ok", "mean_ratio"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 37);
+        for seed in [1u64, 2, 3] {
+            let cfg = C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
+            let idx = C2lshIndex::build(&w.data, &cfg);
+            let truth = w.truth_at(k);
+            let mut all_ok = 0usize;
+            let mut rank1_ok = 0usize;
+            let mut ratio_acc = 0.0;
+            for (qi, q) in w.queries.iter().enumerate() {
+                let (nn, _) = idx.query(q, k);
+                let ok_all = (0..k).all(|i| match (nn.get(i), truth[qi].get(i)) {
+                    (Some(got), Some(want)) => got.dist <= c as f64 * want.dist.max(1e-12),
+                    _ => false,
+                });
+                if ok_all {
+                    all_ok += 1;
+                }
+                if let (Some(got), Some(want)) = (nn.first(), truth[qi].first()) {
+                    if got.dist <= c as f64 * want.dist.max(1e-12) {
+                        rank1_ok += 1;
+                    }
+                }
+                ratio_acc += cc_vector::metrics::overall_ratio(&nn, &truth[qi]);
+            }
+            t.row(vec![
+                profile.name().into(),
+                seed.to_string(),
+                f3(all_ok as f64 / nq as f64),
+                f3(rank1_ok as f64 / nq as f64),
+                f3(ratio_acc / nq as f64),
+            ]);
+        }
+        eprintln!("[{} done]", profile.name());
+    }
+    t.print();
+    t.save_csv("v2_success_prob");
+}

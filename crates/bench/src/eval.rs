@@ -1,0 +1,76 @@
+//! Query-set evaluation: run a method over a workload, aggregate the
+//! paper's metrics.
+
+use crate::methods::AnnIndex;
+use cc_math::stats::mean;
+use cc_vector::metrics::{overall_ratio, recall};
+use cc_vector::workload::Workload;
+use std::time::Instant;
+
+/// Aggregated result of one (method, workload, k) cell.
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Method display name.
+    pub method: String,
+    /// Neighbors requested.
+    pub k: usize,
+    /// Mean recall over the query set.
+    pub recall: f64,
+    /// Mean overall ratio over the query set.
+    pub ratio: f64,
+    /// Mean verified candidates per query.
+    pub verified: f64,
+    /// Mean page reads per query.
+    pub io_reads: f64,
+    /// Mean wall-clock query time in milliseconds.
+    pub time_ms: f64,
+    /// Index size in MiB.
+    pub index_mib: f64,
+}
+
+/// Run every workload query at depth `k` through `index`.
+pub fn evaluate(index: &dyn AnnIndex, w: &Workload, k: usize) -> EvalRow {
+    let truth = w.truth_at(k);
+    let mut recalls = Vec::with_capacity(w.queries.len());
+    let mut ratios = Vec::with_capacity(w.queries.len());
+    let mut verified = Vec::with_capacity(w.queries.len());
+    let mut ios = Vec::with_capacity(w.queries.len());
+    let mut times = Vec::with_capacity(w.queries.len());
+    for (qi, q) in w.queries.iter().enumerate() {
+        let t0 = Instant::now();
+        let (nn, cost) = index.query(q, k);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        recalls.push(recall(&nn, &truth[qi]));
+        ratios.push(overall_ratio(&nn, &truth[qi]));
+        verified.push(cost.verified as f64);
+        ios.push(cost.io_reads as f64);
+    }
+    EvalRow {
+        method: index.name().to_string(),
+        k,
+        recall: mean(&recalls),
+        ratio: mean(&ratios),
+        verified: mean(&verified),
+        io_reads: mean(&ios),
+        time_ms: mean(&times),
+        index_mib: index.size_bytes() as f64 / (1024.0 * 1024.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::defaults;
+    use cc_vector::synth::Profile;
+
+    #[test]
+    fn linear_scan_is_exact() {
+        let w = Workload::from_profile(Profile::Color, 0.01, 5, 10, 1);
+        let idx = defaults::linear(&w.data);
+        let row = evaluate(&idx, &w, 10);
+        assert_eq!(row.recall, 1.0);
+        assert!((row.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(row.method, "LinearScan");
+        assert_eq!(row.verified, w.n() as f64);
+    }
+}

@@ -1,0 +1,265 @@
+//! Configuration of a C2LSH index.
+//!
+//! The scheme's public knobs are deliberately few — that is one of the
+//! paper's selling points. Everything else (`m`, `l`, `α`) is *derived*
+//! from these plus the dataset size (see [`crate::params`]).
+
+use crate::error::C2lshError;
+
+/// False-positive budget: the number of far objects the query phase is
+/// allowed to verify before concluding (terminating condition T2 fires at
+/// `k + β·n` verified candidates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Beta {
+    /// Absolute count: `β = count / n`. The paper's default is 100.
+    Count(u64),
+    /// Direct fraction of the dataset size, in `(0, 1)`.
+    Fraction(f64),
+}
+
+impl Beta {
+    /// Resolve against a dataset of `n` objects, clamped into a usable
+    /// open interval (a β of 0 or ≥ 1 would make the Hoeffding bound
+    /// degenerate).
+    pub fn resolve(&self, n: usize) -> f64 {
+        let raw = match *self {
+            Beta::Count(c) => c as f64 / n.max(1) as f64,
+            Beta::Fraction(f) => f,
+        };
+        raw.clamp(1.0 / (n.max(2) as f64 * 10.0), 0.999)
+    }
+}
+
+/// Tunables of a C2LSH index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct C2lshConfig {
+    /// Integer approximation ratio `c ≥ 2`.
+    pub c: u32,
+    /// Bucket width `w` of the level-1 p-stable hash functions, in data
+    /// units. The ρ-minimizing default is ≈ 2.184 for `c = 2` when the
+    /// dataset's nearest-neighbor scale is ≈ 1; real deployments tune it
+    /// to the data scale (see `cc-bench`'s width picker).
+    pub w: f64,
+    /// Failure budget `δ ∈ (0, 1/2)`; success probability ≥ `1/2 − δ`.
+    /// Paper default `1/e`.
+    pub delta: f64,
+    /// The geometric base radius the theory's `R = 1` corresponds to, in
+    /// data units. The paper normalizes its datasets so the nearest-
+    /// neighbor scale is 1 and keeps this at 1.0; for raw data pass the
+    /// distance that should count as "near" — the parameter derivation
+    /// evaluates `p1 = p(base_radius, w)`, `p2 = p(c·base_radius, w)` and
+    /// terminating condition T1 compares against `c·R·base_radius`.
+    pub base_radius: f64,
+    /// False-positive budget.
+    pub beta: Beta,
+    /// RNG seed for the hash family.
+    pub seed: u64,
+    /// Optional override of the derived number of hash functions `m`
+    /// (used by ablation experiments; `None` = derive from theory).
+    pub m_override: Option<usize>,
+    /// Optional override of the derived collision threshold `l`.
+    pub l_override: Option<usize>,
+}
+
+impl C2lshConfig {
+    /// Start building a config (defaults: `c = 2`, `w = 2.184`,
+    /// `δ = 1/e`, `β = Count(100)`, `seed = 0`).
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
+    /// Validate all invariants.
+    pub fn validate(&self) -> Result<(), C2lshError> {
+        if self.c < 2 {
+            return Err(C2lshError::BadApproximationRatio(self.c));
+        }
+        if !(self.w.is_finite() && self.w > 0.0) {
+            return Err(C2lshError::BadBucketWidth(self.w));
+        }
+        if !(self.base_radius.is_finite() && self.base_radius > 0.0) {
+            return Err(C2lshError::BadBucketWidth(self.base_radius));
+        }
+        if !(self.delta > 0.0 && self.delta < 0.5) {
+            return Err(C2lshError::BadDelta(self.delta));
+        }
+        match self.beta {
+            Beta::Count(0) => return Err(C2lshError::BadBeta(0.0)),
+            Beta::Fraction(f) if !(f > 0.0 && f < 1.0) => {
+                return Err(C2lshError::BadBeta(f))
+            }
+            _ => {}
+        }
+        if self.m_override == Some(0) {
+            return Err(C2lshError::BadM(0));
+        }
+        Ok(())
+    }
+}
+
+impl Default for C2lshConfig {
+    fn default() -> Self {
+        ConfigBuilder::default().build()
+    }
+}
+
+/// Builder for [`C2lshConfig`].
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: C2lshConfig,
+}
+
+impl Default for ConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: C2lshConfig {
+                c: 2,
+                w: 2.184,
+                delta: (-1.0f64).exp(),
+                base_radius: 1.0,
+                beta: Beta::Count(100),
+                seed: 0,
+                m_override: None,
+                l_override: None,
+            },
+        }
+    }
+}
+
+impl ConfigBuilder {
+    /// Set the integer approximation ratio `c ≥ 2`.
+    pub fn approximation_ratio(mut self, c: u32) -> Self {
+        self.config.c = c;
+        self
+    }
+
+    /// Set the level-1 bucket width `w > 0`.
+    pub fn bucket_width(mut self, w: f64) -> Self {
+        self.config.w = w;
+        self
+    }
+
+    /// Set the failure budget `δ ∈ (0, 1/2)`.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.config.delta = delta;
+        self
+    }
+
+    /// Set the geometric base radius (data units) the theory's `R = 1`
+    /// maps to. Pair with `bucket_width ≈ 2.184 · base_radius` at c = 2.
+    pub fn base_radius(mut self, r: f64) -> Self {
+        self.config.base_radius = r;
+        self
+    }
+
+    /// Set the false-positive budget.
+    pub fn beta(mut self, beta: Beta) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Force a specific number of hash functions (ablations only).
+    pub fn m_override(mut self, m: usize) -> Self {
+        self.config.m_override = Some(m);
+        self
+    }
+
+    /// Force a specific collision threshold (ablations only).
+    pub fn l_override(mut self, l: usize) -> Self {
+        self.config.l_override = Some(l);
+        self
+    }
+
+    /// Finish, panicking on invalid combinations (builder misuse is a
+    /// programming error; fallible validation is available via
+    /// [`ConfigBuilder::try_build`]).
+    pub fn build(self) -> C2lshConfig {
+        self.try_build().expect("invalid C2LSH configuration")
+    }
+
+    /// Finish, returning a configuration error instead of panicking.
+    pub fn try_build(self) -> Result<C2lshConfig, C2lshError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_papers() {
+        let c = C2lshConfig::default();
+        assert_eq!(c.c, 2);
+        assert!((c.w - 2.184).abs() < 1e-12);
+        assert!((c.delta - 1.0 / std::f64::consts::E).abs() < 1e-12);
+        assert_eq!(c.beta, Beta::Count(100));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn beta_resolution() {
+        assert!((Beta::Count(100).resolve(10_000) - 0.01).abs() < 1e-12);
+        assert!((Beta::Fraction(0.05).resolve(123) - 0.05).abs() < 1e-12);
+        // Clamped when the count exceeds the dataset.
+        let b = Beta::Count(1000).resolve(100);
+        assert!(b < 1.0);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = C2lshConfig::builder()
+            .approximation_ratio(3)
+            .bucket_width(1.5)
+            .delta(0.1)
+            .beta(Beta::Fraction(0.02))
+            .seed(99)
+            .m_override(64)
+            .l_override(32)
+            .build();
+        assert_eq!(c.c, 3);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.m_override, Some(64));
+        assert_eq!(c.l_override, Some(32));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(matches!(
+            C2lshConfig::builder().approximation_ratio(1).try_build(),
+            Err(C2lshError::BadApproximationRatio(1))
+        ));
+        assert!(matches!(
+            C2lshConfig::builder().bucket_width(0.0).try_build(),
+            Err(C2lshError::BadBucketWidth(_))
+        ));
+        assert!(matches!(
+            C2lshConfig::builder().bucket_width(f64::NAN).try_build(),
+            Err(C2lshError::BadBucketWidth(_))
+        ));
+        assert!(matches!(
+            C2lshConfig::builder().delta(0.5).try_build(),
+            Err(C2lshError::BadDelta(_))
+        ));
+        assert!(matches!(
+            C2lshConfig::builder().beta(Beta::Fraction(1.0)).try_build(),
+            Err(C2lshError::BadBeta(_))
+        ));
+        assert!(matches!(
+            C2lshConfig::builder().beta(Beta::Count(0)).try_build(),
+            Err(C2lshError::BadBeta(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid C2LSH configuration")]
+    fn build_panics_on_invalid() {
+        let _ = C2lshConfig::builder().approximation_ratio(0).build();
+    }
+}

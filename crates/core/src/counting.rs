@@ -1,0 +1,147 @@
+//! Epoch-stamped collision counters.
+//!
+//! The query phase maintains `#Col(o)` for every object that collides
+//! with the query at the current radius. A `HashMap` would allocate per
+//! query; instead we keep two flat arrays indexed by object id — a count
+//! and an epoch stamp — and bump the epoch to "clear" in O(1) between
+//! queries. A separate flag array (same trick) remembers which objects
+//! were already verified, so an object is never verified twice even
+//! though its count keeps growing past `l`.
+
+/// Collision counter for up to `n` objects.
+#[derive(Debug)]
+pub struct CollisionCounter {
+    counts: Vec<u32>,
+    count_epoch: Vec<u32>,
+    verified_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl CollisionCounter {
+    /// Counter sized for object ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            counts: vec![0; n],
+            count_epoch: vec![0; n],
+            verified_epoch: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Begin a new query: logically clears all counts and verified flags.
+    pub fn begin_query(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped (after 2^32 queries): hard-reset the stamps so
+            // stale entries from epoch 0 cannot alias.
+            self.count_epoch.fill(0);
+            self.verified_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Increment the collision count of `oid`; returns the new count.
+    #[inline]
+    pub fn increment(&mut self, oid: u32) -> u32 {
+        let i = oid as usize;
+        if self.count_epoch[i] != self.epoch {
+            self.count_epoch[i] = self.epoch;
+            self.counts[i] = 1;
+        } else {
+            self.counts[i] += 1;
+        }
+        self.counts[i]
+    }
+
+    /// Current count of `oid` in this query (0 when untouched).
+    pub fn count(&self, oid: u32) -> u32 {
+        let i = oid as usize;
+        if self.count_epoch[i] == self.epoch {
+            self.counts[i]
+        } else {
+            0
+        }
+    }
+
+    /// Mark `oid` verified; returns `false` when it already was.
+    #[inline]
+    pub fn mark_verified(&mut self, oid: u32) -> bool {
+        let i = oid as usize;
+        if self.verified_epoch[i] == self.epoch {
+            false
+        } else {
+            self.verified_epoch[i] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `oid` was verified in this query.
+    pub fn is_verified(&self, oid: u32) -> bool {
+        self.verified_epoch[oid as usize] == self.epoch
+    }
+
+    /// Capacity (number of object ids representable).
+    pub fn capacity(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = CollisionCounter::new(10);
+        c.begin_query();
+        assert_eq!(c.count(3), 0);
+        assert_eq!(c.increment(3), 1);
+        assert_eq!(c.increment(3), 2);
+        assert_eq!(c.increment(5), 1);
+        assert_eq!(c.count(3), 2);
+        assert_eq!(c.count(5), 1);
+        assert_eq!(c.count(0), 0);
+    }
+
+    #[test]
+    fn begin_query_resets_logically() {
+        let mut c = CollisionCounter::new(4);
+        c.begin_query();
+        c.increment(1);
+        c.increment(1);
+        c.mark_verified(1);
+        c.begin_query();
+        assert_eq!(c.count(1), 0);
+        assert!(!c.is_verified(1));
+        assert_eq!(c.increment(1), 1, "stale count must not leak across queries");
+    }
+
+    #[test]
+    fn verification_happens_once() {
+        let mut c = CollisionCounter::new(4);
+        c.begin_query();
+        assert!(c.mark_verified(2));
+        assert!(!c.mark_verified(2));
+        assert!(c.is_verified(2));
+        assert!(!c.is_verified(3));
+    }
+
+    #[test]
+    fn epoch_wrap_is_safe() {
+        let mut c = CollisionCounter::new(2);
+        c.begin_query();
+        c.increment(0);
+        c.mark_verified(0);
+        // Force a wrap.
+        c.epoch = u32::MAX;
+        c.begin_query();
+        assert_eq!(c.epoch, 1);
+        assert_eq!(c.count(0), 0, "wrapped epoch must not alias old stamps");
+        assert!(!c.is_verified(0));
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(CollisionCounter::new(7).capacity(), 7);
+    }
+}

@@ -1,0 +1,331 @@
+//! The dynamic (updatable) C2LSH index.
+//!
+//! A key advantage the paper claims over LSB-forest: because every hash
+//! table is keyed by a *single* LSH function, updates are trivial —
+//! insert/delete an object touches one bucket per table, no compound
+//! keys, no tree rebalancing across radii (virtual rehashing still works
+//! because it only relies on bucket-id arithmetic).
+//!
+//! [`DynamicIndex`] owns its data and keeps each hash table as a
+//! `BTreeMap<bucket, Vec<oid>>`, trading the static index's cache-dense
+//! sorted runs for O(log n) updates. The query loop is the same
+//! algorithm as [`crate::query::run_query`] — virtual rehashing windows,
+//! incremental counting, terminating conditions T1/T2 — expressed over
+//! key ranges instead of array positions.
+
+use crate::config::C2lshConfig;
+use crate::counting::CollisionCounter;
+use crate::hash::HashFamily;
+use crate::params::FullParams;
+use crate::rehash::{radius_at, window};
+use crate::stats::{QueryStats, Termination};
+use cc_vector::dataset::Dataset;
+use cc_vector::dist::euclidean;
+use cc_vector::gt::Neighbor;
+use std::collections::BTreeMap;
+
+/// An updatable C2LSH index owning its vectors.
+pub struct DynamicIndex {
+    dim: usize,
+    config: C2lshConfig,
+    params: FullParams,
+    family: HashFamily,
+    /// Object id → vector (tombstoned on delete).
+    vectors: Vec<Option<Vec<f32>>>,
+    live: usize,
+    tables: Vec<BTreeMap<i64, Vec<u32>>>,
+    counter: CollisionCounter,
+}
+
+impl DynamicIndex {
+    /// Create an empty index sized for an *expected* dataset size
+    /// `expected_n` (drives the `(m, l)` derivation; the guarantee is
+    /// calibrated to that order of magnitude — re-derive and rebuild if
+    /// the live size drifts by more than ~10×).
+    ///
+    /// # Panics
+    /// Panics on `expected_n == 0`, `dim == 0` or an invalid config.
+    pub fn new(dim: usize, expected_n: usize, config: &C2lshConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let params = FullParams::derive(expected_n, config);
+        let family = HashFamily::generate(params.m, dim, config);
+        let tables = vec![BTreeMap::new(); params.m];
+        Self {
+            dim,
+            config: config.clone(),
+            params,
+            family,
+            vectors: Vec::new(),
+            live: 0,
+            tables,
+            counter: CollisionCounter::new(0),
+        }
+    }
+
+    /// Build from an existing dataset (bulk path used by tests and by
+    /// migrations from the static index).
+    pub fn from_dataset(data: &Dataset, config: &C2lshConfig) -> Self {
+        let mut idx = Self::new(data.dim(), data.len().max(1), config);
+        for v in data.iter() {
+            idx.insert(v.to_vec());
+        }
+        idx
+    }
+
+    /// Insert a vector; returns its object id. O(m log n).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn insert(&mut self, v: Vec<f32>) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector length mismatch");
+        assert!(v.iter().all(|x| x.is_finite()), "vector contains non-finite coordinates");
+        let oid = self.vectors.len() as u32;
+        for (t, h) in self.family.iter().enumerate() {
+            let b = h.bucket(&v);
+            self.tables[t].entry(b).or_default().push(oid);
+        }
+        self.vectors.push(Some(v));
+        self.live += 1;
+        oid
+    }
+
+    /// Delete an object by id; returns `false` when the id is unknown or
+    /// already deleted. O(m log n + bucket sizes).
+    pub fn delete(&mut self, oid: u32) -> bool {
+        let Some(slot) = self.vectors.get_mut(oid as usize) else {
+            return false;
+        };
+        let Some(v) = slot.take() else {
+            return false;
+        };
+        for (t, h) in self.family.iter().enumerate() {
+            let b = h.bucket(&v);
+            if let Some(bucket) = self.tables[t].get_mut(&b) {
+                bucket.retain(|&o| o != oid);
+                if bucket.is_empty() {
+                    self.tables[t].remove(&b);
+                }
+            }
+        }
+        self.live -= 1;
+        true
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when the index holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The derived parameters in effect.
+    pub fn params(&self) -> &FullParams {
+        &self.params
+    }
+
+    /// Access a live vector by id.
+    pub fn get(&self, oid: u32) -> Option<&[f32]> {
+        self.vectors.get(oid as usize).and_then(|v| v.as_deref())
+    }
+
+    /// c-k-ANN query (same algorithm and guarantees as the static
+    /// index; see module docs).
+    pub fn query(&mut self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        assert!(q.iter().all(|x| x.is_finite()), "query contains non-finite coordinates");
+        let m = self.family.len();
+        let l = self.params.l as u32;
+        let cap = k + self.params.beta_n;
+        let mut stats = QueryStats::new();
+        if self.counter.capacity() < self.vectors.len() {
+            self.counter = CollisionCounter::new(self.vectors.len());
+        }
+        self.counter.begin_query();
+
+        let q_buckets: Vec<i64> = self.family.buckets(q);
+        // Covered bucket-id window per table (half-open, in bucket ids).
+        let mut covered: Vec<Option<(i64, i64)>> = vec![None; m];
+        let mut candidates: Vec<Neighbor> = Vec::with_capacity(cap);
+
+        let mut level: u32 = 0;
+        'outer: loop {
+            let radius = radius_at(self.config.c, level);
+            stats.rounds += 1;
+            stats.final_radius = radius;
+
+            for t in 0..m {
+                let (blo, bhi) = window(q_buckets[t], radius);
+                // Delta key ranges vs the previously covered window.
+                let deltas: [(i64, i64); 2] = match covered[t] {
+                    None => [(blo, bhi), (0, 0)],
+                    Some((plo, phi)) => [(blo, plo), (phi, bhi)],
+                };
+                covered[t] = Some((blo, bhi));
+                for &(lo, hi) in &deltas {
+                    if lo >= hi {
+                        continue;
+                    }
+                    for (_, bucket) in self.tables[t].range(lo..hi) {
+                        for &oid in bucket {
+                            stats.collisions_counted += 1;
+                            let cnt = self.counter.increment(oid);
+                            if cnt == l && self.counter.mark_verified(oid) {
+                                let Some(v) = self.vectors[oid as usize].as_deref() else {
+                                    continue;
+                                };
+                                let d = euclidean(v, q);
+                                stats.candidates_verified += 1;
+                                candidates.push(Neighbor::new(oid, d));
+                                if candidates.len() >= cap {
+                                    stats.terminated_by = Termination::T2CandidateBudget;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            let c_r = self.config.c as f64 * radius as f64 * self.config.base_radius;
+            if candidates.iter().filter(|cand| cand.dist <= c_r).count() >= k {
+                stats.terminated_by = Termination::T1AtRadius;
+                break;
+            }
+            // Exhausted: every table's window covers all its keys.
+            let all_covered = (0..m).all(|t| {
+                let Some((lo, hi)) = covered[t] else { return false };
+                match (self.tables[t].keys().next(), self.tables[t].keys().next_back()) {
+                    (Some(&min), Some(&max)) => lo <= min && hi > max,
+                    _ => true, // empty table
+                }
+            });
+            if all_covered {
+                stats.terminated_by = Termination::Exhausted;
+                break;
+            }
+            level += 1;
+        }
+
+        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        candidates.truncate(k);
+        (candidates, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::C2lshIndex;
+    use cc_vector::gen::{generate, Distribution};
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 16, spread: 0.015, scale: 10.0 },
+            n,
+            d,
+            seed,
+        )
+    }
+
+    fn cfg() -> C2lshConfig {
+        C2lshConfig::builder().bucket_width(1.0).seed(42).build()
+    }
+
+    #[test]
+    fn matches_static_index_results() {
+        // Same config/seed => same hash family => identical candidates.
+        let data = clustered(800, 12, 1);
+        let static_idx = C2lshIndex::build(&data, &cfg());
+        let mut dyn_idx = DynamicIndex::from_dataset(&data, &cfg());
+        for qi in [0usize, 99, 700] {
+            let q = data.get(qi).to_vec();
+            let (s_nn, _) = static_idx.query(&q, 10);
+            let (d_nn, _) = dyn_idx.query(&q, 10);
+            assert_eq!(s_nn, d_nn, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let mut idx = DynamicIndex::new(8, 1000, &cfg());
+        let data = clustered(200, 8, 2);
+        for v in data.iter() {
+            idx.insert(v.to_vec());
+        }
+        assert_eq!(idx.len(), 200);
+        let (nn, _) = idx.query(data.get(57), 1);
+        assert_eq!(nn[0].id, 57);
+        assert_eq!(nn[0].dist, 0.0);
+    }
+
+    #[test]
+    fn delete_removes_from_results() {
+        let mut idx = DynamicIndex::new(8, 1000, &cfg());
+        let data = clustered(100, 8, 3);
+        for v in data.iter() {
+            idx.insert(v.to_vec());
+        }
+        let q = data.get(42).to_vec();
+        assert_eq!(idx.query(&q, 1).0[0].id, 42);
+        assert!(idx.delete(42));
+        assert!(!idx.delete(42), "double delete must be a no-op");
+        assert_eq!(idx.len(), 99);
+        assert!(idx.get(42).is_none());
+        let (nn, _) = idx.query(&q, 1);
+        assert_ne!(nn[0].id, 42, "deleted object must not be returned");
+    }
+
+    #[test]
+    fn interleaved_updates_stay_consistent() {
+        let mut idx = DynamicIndex::new(6, 500, &cfg());
+        let data = clustered(300, 6, 4);
+        let mut live: Vec<u32> = Vec::new();
+        for (i, v) in data.iter().enumerate() {
+            let oid = idx.insert(v.to_vec());
+            live.push(oid);
+            if i % 3 == 2 {
+                let victim = live.remove(live.len() / 2);
+                assert!(idx.delete(victim));
+            }
+        }
+        assert_eq!(idx.len(), live.len());
+        // Every remaining live object findable by exact-match query.
+        for &oid in live.iter().step_by(17) {
+            let q = idx.get(oid).unwrap().to_vec();
+            let (nn, _) = idx.query(&q, 1);
+            assert_eq!(nn[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut idx = DynamicIndex::new(4, 100, &cfg());
+        assert!(!idx.delete(0));
+        assert!(idx.get(5).is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn query_on_sparse_index_terminates() {
+        let mut idx = DynamicIndex::new(4, 1000, &cfg());
+        idx.insert(vec![0.0; 4]);
+        idx.insert(vec![100.0; 4]);
+        let (nn, stats) = idx.query(&[50.0; 4], 2);
+        assert_eq!(nn.len(), 2);
+        assert!(matches!(
+            stats.terminated_by,
+            Termination::Exhausted | Termination::T1AtRadius
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn rejects_wrong_dimension() {
+        let mut idx = DynamicIndex::new(4, 100, &cfg());
+        idx.insert(vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors surfaced by configuration validation.
+
+use std::fmt;
+
+/// Why a [`crate::C2lshConfig`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum C2lshError {
+    /// Approximation ratio must be an integer ≥ 2 (virtual rehashing
+    /// merges `c` child buckets per level, so `c` must be integral).
+    BadApproximationRatio(u32),
+    /// Bucket width must be positive and finite.
+    BadBucketWidth(f64),
+    /// Failure budget must satisfy `0 < δ < 1/2`.
+    BadDelta(f64),
+    /// False-positive budget must be positive (count) or in `(0, 1)`
+    /// (fraction).
+    BadBeta(f64),
+    /// Explicit `m` override must be ≥ 1.
+    BadM(usize),
+}
+
+impl fmt::Display for C2lshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            C2lshError::BadApproximationRatio(c) => {
+                write!(f, "approximation ratio must be an integer >= 2, got {c}")
+            }
+            C2lshError::BadBucketWidth(w) => {
+                write!(f, "bucket width must be positive and finite, got {w}")
+            }
+            C2lshError::BadDelta(d) => write!(f, "delta must be in (0, 1/2), got {d}"),
+            C2lshError::BadBeta(b) => write!(f, "beta must be positive (and < 1 as a fraction), got {b}"),
+            C2lshError::BadM(m) => write!(f, "explicit m must be >= 1, got {m}"),
+        }
+    }
+}
+
+impl std::error::Error for C2lshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = C2lshError::BadApproximationRatio(1);
+        assert!(e.to_string().contains("integer >= 2"));
+        let e = C2lshError::BadBucketWidth(-1.0);
+        assert!(e.to_string().contains("-1"));
+    }
+}

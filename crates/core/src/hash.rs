@@ -1,0 +1,238 @@
+//! The p-stable LSH family used by C2LSH.
+//!
+//! One hash function is `h_{a,b}(o) = ⌊(a·o + b)/w⌋` with
+//! `a ~ N(0,1)^d`. The offset `b` is drawn uniformly from
+//! `[0, w · c^L)` — a multiple of every level's bucket width
+//! `w·c^i, i ≤ L` — so that **virtual rehashing is exact**: the level-`R`
+//! hash value `⌊(a·o + b)/(wR)⌋` equals `⌊h_{a,b}(o)/R⌋` (nested floor
+//! division) *and* the offset is uniform modulo every level's width,
+//! making each level a textbook p-stable function with collision
+//! probability `p(s, wR)`.
+
+use crate::config::C2lshConfig;
+use cc_vector::dist::dot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The highest virtual-rehashing level supported (radii up to
+/// `c^MAX_LEVEL`); chosen so `2^MAX_LEVEL` dwarfs any practical radius.
+pub const MAX_LEVEL: u32 = 30;
+
+/// One p-stable hash function.
+#[derive(Debug, Clone)]
+pub struct PstableHash {
+    /// Projection vector, entries i.i.d. standard normal.
+    a: Vec<f32>,
+    /// Uniform offset in `[0, w·c^L)`.
+    b: f64,
+    /// Level-1 bucket width.
+    w: f64,
+}
+
+impl PstableHash {
+    /// Raw projection `a·o + b` (before bucketing). Exposed because
+    /// QALSH-style schemes index this value directly.
+    pub fn project(&self, o: &[f32]) -> f64 {
+        dot(&self.a, o) + self.b
+    }
+
+    /// Level-1 bucket id `⌊(a·o + b)/w⌋`.
+    pub fn bucket(&self, o: &[f32]) -> i64 {
+        (self.project(o) / self.w).floor() as i64
+    }
+
+    /// Dimensionality this function was drawn for.
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Level-1 bucket width.
+    pub fn width(&self) -> f64 {
+        self.w
+    }
+
+    /// The projection coefficients `a` (for persistence).
+    pub fn projection_coeffs(&self) -> &[f32] {
+        &self.a
+    }
+
+    /// The offset `b` (for persistence).
+    pub fn offset(&self) -> f64 {
+        self.b
+    }
+
+    /// Reassemble a function from persisted parts.
+    ///
+    /// # Panics
+    /// Panics on an empty projection or non-positive width.
+    pub fn from_parts(a: Vec<f32>, b: f64, w: f64) -> Self {
+        assert!(!a.is_empty(), "empty projection vector");
+        assert!(w > 0.0, "width must be positive");
+        Self { a, b, w }
+    }
+}
+
+/// A family of `m` i.i.d. p-stable hash functions.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    functions: Vec<PstableHash>,
+}
+
+impl HashFamily {
+    /// Reassemble a family from persisted functions.
+    ///
+    /// # Panics
+    /// Panics when `functions` is empty or dimensions disagree.
+    pub fn from_functions(functions: Vec<PstableHash>) -> Self {
+        assert!(!functions.is_empty(), "empty hash family");
+        let d = functions[0].dim();
+        assert!(functions.iter().all(|h| h.dim() == d), "mixed dimensions in family");
+        Self { functions }
+    }
+
+    /// Draw `m` functions for `d`-dimensional data, deterministically
+    /// from `config.seed`.
+    pub fn generate(m: usize, d: usize, config: &C2lshConfig) -> Self {
+        assert!(m > 0 && d > 0, "need m > 0 and d > 0");
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ee1_c0de);
+        let mut normal = cc_vector::gen::NormalSampler::new();
+        // Offsets uniform over [0, w * c^MAX_LEVEL): a multiple of every
+        // level's width, see module docs.
+        let level_cap = (config.c as f64).powi(MAX_LEVEL as i32);
+        let functions = (0..m)
+            .map(|_| {
+                let a: Vec<f32> = (0..d).map(|_| normal.sample(&mut rng) as f32).collect();
+                let b = rng.gen::<f64>() * config.w * level_cap;
+                PstableHash { a, b, w: config.w }
+            })
+            .collect();
+        Self { functions }
+    }
+
+    /// Number of functions `m`.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// `true` when the family is empty (never happens post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Access function `i`.
+    pub fn get(&self, i: usize) -> &PstableHash {
+        &self.functions[i]
+    }
+
+    /// Iterate over the functions.
+    pub fn iter(&self) -> impl Iterator<Item = &PstableHash> {
+        self.functions.iter()
+    }
+
+    /// Level-1 bucket ids of `o` under every function ("hash string").
+    pub fn buckets(&self, o: &[f32]) -> Vec<i64> {
+        self.functions.iter().map(|h| h.bucket(o)).collect()
+    }
+
+    /// Estimated heap size of the family in bytes (index-size reports).
+    pub fn size_bytes(&self) -> usize {
+        self.functions
+            .iter()
+            .map(|h| h.a.len() * core::mem::size_of::<f32>() + 2 * core::mem::size_of::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_math::pstable::collision_probability;
+    use cc_vector::dist::euclidean;
+
+    fn cfg(seed: u64, w: f64) -> C2lshConfig {
+        C2lshConfig::builder().bucket_width(w).seed(seed).build()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = cfg(5, 1.0);
+        let f1 = HashFamily::generate(4, 8, &c);
+        let f2 = HashFamily::generate(4, 8, &c);
+        let o = [1.0f32, -2.0, 0.5, 3.0, 0.0, 1.0, 2.0, -1.0];
+        assert_eq!(f1.buckets(&o), f2.buckets(&o));
+        let c2 = cfg(6, 1.0);
+        let f3 = HashFamily::generate(4, 8, &c2);
+        assert_ne!(f1.buckets(&o), f3.buckets(&o));
+    }
+
+    #[test]
+    fn offsets_are_positive_and_bounded() {
+        let c = cfg(1, 0.5);
+        let fam = HashFamily::generate(16, 4, &c);
+        let cap = 0.5 * 2f64.powi(MAX_LEVEL as i32);
+        for h in fam.iter() {
+            assert!(h.b >= 0.0 && h.b < cap);
+            assert_eq!(h.dim(), 4);
+            assert_eq!(h.width(), 0.5);
+        }
+    }
+
+    #[test]
+    fn bucket_is_floor_of_projection() {
+        let c = cfg(2, 2.0);
+        let fam = HashFamily::generate(1, 3, &c);
+        let h = fam.get(0);
+        let o = [0.3f32, -1.0, 2.5];
+        assert_eq!(h.bucket(&o), (h.project(&o) / 2.0).floor() as i64);
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_theory() {
+        // Two points at distance s must collide with probability p(s, w)
+        // over the random draw of the family. Use many functions as i.i.d.
+        // trials.
+        let w = 2.184;
+        let c = cfg(77, w);
+        let d = 24;
+        let m = 8000;
+        let fam = HashFamily::generate(m, d, &c);
+        let o: Vec<f32> = vec![0.0; d];
+        let mut q = vec![0.0f32; d];
+        q[0] = 1.3; // distance 1.3
+        let s = euclidean(&o, &q);
+        let collisions = fam
+            .iter()
+            .filter(|h| h.bucket(&o) == h.bucket(&q))
+            .count();
+        let empirical = collisions as f64 / m as f64;
+        let theory = collision_probability(s, w);
+        // Standard error ~ sqrt(p(1-p)/m) ≈ 0.005; allow 4 sigma.
+        assert!(
+            (empirical - theory).abs() < 0.025,
+            "empirical {empirical} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn virtual_rehash_consistency() {
+        // floor(bucket / R) must equal floor((a·o + b) / (w R)).
+        let w = 1.7;
+        let c = cfg(3, w);
+        let fam = HashFamily::generate(32, 6, &c);
+        let o = [0.2f32, 5.0, -3.0, 0.7, 1.1, -0.4];
+        for h in fam.iter() {
+            for level in 0..10u32 {
+                let r = 2i64.pow(level);
+                let direct = (h.project(&o) / (w * r as f64)).floor() as i64;
+                let derived = h.bucket(&o).div_euclid(r);
+                assert_eq!(direct, derived, "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need m > 0")]
+    fn rejects_empty_family() {
+        HashFamily::generate(0, 4, &cfg(0, 1.0));
+    }
+}

@@ -1,0 +1,401 @@
+//! The in-memory C2LSH index.
+//!
+//! Per hash function, the index stores one run of `(level-1 bucket id,
+//! object id)` entries sorted by bucket id, in structure-of-arrays form
+//! (`Vec<i64>` + `Vec<u32>`) so binary searches touch only the bucket
+//! array. This *is* the paper's hash table: virtual rehashing turns
+//! every level-`R` bucket lookup into a contiguous range of this run.
+
+use crate::config::C2lshConfig;
+use crate::counting::CollisionCounter;
+use crate::hash::HashFamily;
+use crate::params::FullParams;
+use crate::query::{run_query, TableStore};
+use crate::stats::QueryStats;
+use cc_vector::dataset::Dataset;
+use cc_vector::gt::Neighbor;
+use parking_lot::Mutex;
+
+/// One sorted hash table in SoA layout.
+#[derive(Debug)]
+struct SortedRun {
+    buckets: Vec<i64>,
+    oids: Vec<u32>,
+}
+
+/// The in-memory C2LSH index over a borrowed dataset.
+#[derive(Debug)]
+pub struct C2lshIndex<'d> {
+    data: &'d Dataset,
+    config: C2lshConfig,
+    params: FullParams,
+    family: HashFamily,
+    tables: Vec<SortedRun>,
+    /// Reusable query scratch (epoch counter), lazily rebuilt per query.
+    counter: Mutex<CollisionCounter>,
+}
+
+impl<'d> C2lshIndex<'d> {
+    /// Build an index: draw `m` hash functions, hash every object, sort
+    /// each table by bucket id.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or an invalid config.
+    pub fn build(data: &'d Dataset, config: &C2lshConfig) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let params = FullParams::derive(data.len(), config);
+        let family = HashFamily::generate(params.m, data.dim(), config);
+        let tables = build_tables(data, &family);
+        Self {
+            data,
+            config: config.clone(),
+            params,
+            family,
+            tables,
+            counter: Mutex::new(CollisionCounter::new(data.len())),
+        }
+    }
+
+    /// The derived parameters in effect.
+    pub fn params(&self) -> &FullParams {
+        &self.params
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &C2lshConfig {
+        &self.config
+    }
+
+    /// The hash family (exposed for the theory-validation experiments).
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// c-k-ANN query: the `k` nearest verified candidates, ascending by
+    /// distance, plus cost counters.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let mut counter = self.counter.lock();
+        run_query(
+            self.data,
+            self,
+            &self.family,
+            &self.params,
+            &self.config,
+            &mut counter,
+            q,
+            k,
+        )
+    }
+
+    /// Convenience c-ANN (k = 1).
+    pub fn query_one(&self, q: &[f32]) -> (Option<Neighbor>, QueryStats) {
+        let (mut nn, stats) = self.query(q, 1);
+        (nn.pop(), stats)
+    }
+
+    /// Answer a whole query set in parallel across scoped threads.
+    ///
+    /// Results are in query order and identical to sequential
+    /// [`C2lshIndex::query`] calls (each worker owns its own collision
+    /// counter). Thread count defaults to the machine's parallelism.
+    pub fn query_batch(&self, queries: &Dataset, k: usize) -> Vec<(Vec<Neighbor>, QueryStats)> {
+        assert_eq!(queries.dim(), self.data.dim(), "query dimensionality mismatch");
+        let nq = queries.len();
+        if nq == 0 {
+            return Vec::new();
+        }
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq);
+        let mut out: Vec<(Vec<Neighbor>, QueryStats)> =
+            vec![(Vec::new(), QueryStats::new()); nq];
+        crossbeam::scope(|scope| {
+            let chunk = nq.div_ceil(threads);
+            for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let lo = t * chunk;
+                scope.spawn(move |_| {
+                    let mut counter = CollisionCounter::new(self.data.len());
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = run_query(
+                            self.data,
+                            self,
+                            &self.family,
+                            &self.params,
+                            &self.config,
+                            &mut counter,
+                            queries.get(lo + off),
+                            k,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("batch-query worker panicked");
+        out
+    }
+
+    /// Estimated index size in bytes (hash tables + hash family), the
+    /// quantity reported in the paper's index-size table.
+    pub fn size_bytes(&self) -> usize {
+        let tables: usize = self
+            .tables
+            .iter()
+            .map(|t| t.buckets.len() * 8 + t.oids.len() * 4)
+            .sum();
+        tables + self.family.size_bytes()
+    }
+
+    /// Number of hash tables `m`.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `(n, dim)` of the indexed dataset (for persistence fingerprints).
+    pub fn data_shape(&self) -> (usize, usize) {
+        (self.data.len(), self.data.dim())
+    }
+
+    /// Visit every `(bucket, oid)` entry, table by table in order (the
+    /// persistence serializer).
+    pub fn for_each_table_entry(&self, mut f: impl FnMut(i64, u32)) {
+        for t in &self.tables {
+            for (b, o) in t.buckets.iter().zip(&t.oids) {
+                f(*b, *o);
+            }
+        }
+    }
+
+    /// Reassemble an index from persisted parts (`crate::persist`).
+    pub(crate) fn from_parts(
+        data: &'d Dataset,
+        config: C2lshConfig,
+        functions: Vec<crate::hash::PstableHash>,
+        tables: Vec<(Vec<i64>, Vec<u32>)>,
+    ) -> Self {
+        let params = FullParams::derive(data.len(), &config);
+        let family = HashFamily::from_functions(functions);
+        assert_eq!(family.len(), params.m, "family size disagrees with parameters");
+        let tables = tables
+            .into_iter()
+            .map(|(buckets, oids)| SortedRun { buckets, oids })
+            .collect();
+        Self {
+            data,
+            config,
+            params,
+            family,
+            tables,
+            counter: Mutex::new(CollisionCounter::new(data.len())),
+        }
+    }
+}
+
+fn build_tables(data: &Dataset, family: &HashFamily) -> Vec<SortedRun> {
+    family
+        .iter()
+        .map(|h| {
+            let mut pairs: Vec<(i64, u32)> =
+                data.iter().enumerate().map(|(i, v)| (h.bucket(v), i as u32)).collect();
+            pairs.sort_unstable();
+            SortedRun {
+                buckets: pairs.iter().map(|p| p.0).collect(),
+                oids: pairs.iter().map(|p| p.1).collect(),
+            }
+        })
+        .collect()
+}
+
+impl TableStore for C2lshIndex<'_> {
+    fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn table_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn lower_bound(&self, t: usize, target: i64) -> usize {
+        self.tables[t].buckets.partition_point(|&b| b < target)
+    }
+
+    fn scan_while(&self, t: usize, from: usize, to: usize, f: &mut dyn FnMut(u32) -> bool) {
+        for &oid in &self.tables[t].oids[from..to] {
+            if !f(oid) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Beta;
+    use crate::stats::Termination;
+    use cc_vector::gen::{generate, Distribution};
+    use cc_vector::gt::knn_linear;
+    use cc_vector::metrics::{overall_ratio, recall};
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 16, spread: 0.015, scale: 10.0 },
+            n,
+            d,
+            seed,
+        )
+    }
+
+    fn cfg() -> C2lshConfig {
+        // w matched to the data scale of `clustered` (NN distances ~0.4).
+        C2lshConfig::builder().bucket_width(1.0).seed(42).build()
+    }
+
+    #[test]
+    fn finds_exact_match() {
+        let data = clustered(500, 16, 1);
+        let index = C2lshIndex::build(&data, &cfg());
+        for i in [0usize, 17, 499] {
+            let (nn, _) = index.query(data.get(i), 1);
+            assert_eq!(nn[0].id as usize, i);
+            assert_eq!(nn[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        let data = clustered(2000, 24, 2);
+        let index = C2lshIndex::build(&data, &cfg());
+        let queries = generate(
+            Distribution::GaussianMixture { clusters: 16, spread: 0.015, scale: 10.0 },
+            2020,
+            24,
+            2,
+        );
+        let mut total_recall = 0.0;
+        let mut total_ratio = 0.0;
+        let nq = 20;
+        for qi in 0..nq {
+            let q = queries.get(2000 + qi);
+            let truth = knn_linear(&data, q, 10);
+            let (got, _) = index.query(q, 10);
+            total_recall += recall(&got, &truth);
+            total_ratio += overall_ratio(&got, &truth);
+        }
+        let mean_recall = total_recall / nq as f64;
+        let mean_ratio = total_ratio / nq as f64;
+        assert!(mean_recall > 0.8, "recall too low: {mean_recall}");
+        assert!(mean_ratio < 1.2, "ratio too high: {mean_ratio}");
+    }
+
+    #[test]
+    fn results_are_sorted_and_unique() {
+        let data = clustered(800, 12, 3);
+        let index = C2lshIndex::build(&data, &cfg());
+        let (nn, _) = index.query(data.get(5), 20);
+        assert_eq!(nn.len(), 20);
+        for w in nn.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        let mut ids: Vec<u32> = nn.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20, "duplicate ids in result");
+    }
+
+    #[test]
+    fn t2_budget_bounds_verification() {
+        let data = clustered(3000, 16, 4);
+        let config = C2lshConfig::builder()
+            .bucket_width(1.0)
+            .seed(7)
+            .beta(Beta::Count(30))
+            .build();
+        let index = C2lshIndex::build(&data, &config);
+        let (_, stats) = index.query(data.get(11), 10);
+        // T2 caps verified candidates at k + beta_n.
+        assert!(
+            stats.candidates_verified <= 10 + index.params().beta_n,
+            "verified {} > budget {}",
+            stats.candidates_verified,
+            10 + index.params().beta_n
+        );
+    }
+
+    #[test]
+    fn exhausts_tiny_dataset_and_still_answers() {
+        let data = clustered(20, 8, 5);
+        let index = C2lshIndex::build(&data, &cfg());
+        // Far-away query: loop must terminate via window exhaustion or T1
+        // and return all reachable points.
+        let far = vec![1e4f32; 8];
+        let (nn, stats) = index.query(&far, 5);
+        assert_eq!(nn.len(), 5);
+        assert!(matches!(
+            stats.terminated_by,
+            Termination::Exhausted | Termination::T1AtRadius | Termination::T2CandidateBudget
+        ));
+    }
+
+    #[test]
+    fn query_one_matches_query_k1() {
+        let data = clustered(300, 8, 6);
+        let index = C2lshIndex::build(&data, &cfg());
+        let (one, _) = index.query_one(data.get(42));
+        let (k1, _) = index.query(data.get(42), 1);
+        assert_eq!(one.unwrap(), k1[0]);
+    }
+
+    #[test]
+    fn deterministic_across_rebuilds() {
+        let data = clustered(400, 10, 7);
+        let i1 = C2lshIndex::build(&data, &cfg());
+        let i2 = C2lshIndex::build(&data, &cfg());
+        let q = data.get(123);
+        assert_eq!(i1.query(q, 5).0, i2.query(q, 5).0);
+    }
+
+    #[test]
+    fn size_accounting_scales_with_m_and_n() {
+        let data = clustered(1000, 8, 8);
+        let index = C2lshIndex::build(&data, &cfg());
+        let m = index.num_tables();
+        // 12 bytes per entry per table plus the family itself.
+        assert!(index.size_bytes() >= m * 1000 * 12);
+    }
+
+    #[test]
+    fn k_exceeding_candidates_returns_fewer() {
+        let data = clustered(10, 4, 9);
+        let index = C2lshIndex::build(&data, &cfg());
+        let (nn, _) = index.query(data.get(0), 50);
+        assert!(nn.len() <= 10);
+        assert!(!nn.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let data = Dataset::empty(4);
+        let _ = C2lshIndex::build(&data, &cfg());
+    }
+
+    #[test]
+    fn batch_query_matches_sequential() {
+        let data = clustered(1200, 12, 10);
+        let index = C2lshIndex::build(&data, &cfg());
+        let queries = data.slice_rows(0, 37);
+        let batch = index.query_batch(&queries, 5);
+        assert_eq!(batch.len(), 37);
+        for (qi, (nn, stats)) in batch.iter().enumerate() {
+            let (seq_nn, seq_stats) = index.query(queries.get(qi), 5);
+            assert_eq!(nn, &seq_nn, "query {qi}");
+            assert_eq!(stats.candidates_verified, seq_stats.candidates_verified);
+        }
+    }
+
+    #[test]
+    fn batch_query_empty_set() {
+        let data = clustered(50, 8, 11);
+        let index = C2lshIndex::build(&data, &cfg());
+        assert!(index.query_batch(&Dataset::empty(8), 3).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # c2lsh — Locality-Sensitive Hashing with Dynamic Collision Counting
+//!
+//! A from-scratch Rust implementation of **C2LSH** (Gan, Feng, Fang, Ng —
+//! *"Locality-Sensitive Hashing Scheme Based on Dynamic Collision
+//! Counting"*, SIGMOD 2012), the LSH scheme that replaces E2LSH's static
+//! concatenation of `K` hash functions with per-object collision counting
+//! over `m` *single-function* hash tables, and replaces per-radius
+//! physical indexes with **virtual rehashing** over one set of tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use c2lsh::{C2lshConfig, C2lshIndex};
+//! use cc_vector::gen::{generate, Distribution};
+//!
+//! // 1000 clustered vectors in R^16.
+//! let data = generate(
+//!     Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+//!     1000, 16, 42,
+//! );
+//! let config = C2lshConfig::builder().approximation_ratio(2).bucket_width(1.0).seed(7).build();
+//! let index = C2lshIndex::build(&data, &config);
+//!
+//! let query = data.get(0).to_vec();
+//! let (neighbors, stats) = index.query(&query, 5);
+//! assert_eq!(neighbors.len(), 5);
+//! assert_eq!(neighbors[0].id, 0); // the query itself is in the data
+//! assert!(stats.candidates_verified >= 5);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — tunables (`c`, `w`, `δ`, `β`, seed) with a builder,
+//! * [`params`] — per-dataset derived parameters (`m`, `l`, `α`),
+//! * [`hash`] — the p-stable hash family and hash-string computation,
+//! * [`index`] — the in-memory virtual-rehashing index,
+//! * [`disk`] — the same index over 4 KiB pages with I/O accounting,
+//! * [`rehash`] — virtual rehashing window arithmetic (shared by both),
+//! * [`counting`] — epoch-stamped collision counters,
+//! * [`query`] — the c-k-ANN search loop (terminating conditions T1/T2),
+//! * [`stats`] — per-query cost counters,
+//! * [`error`] — configuration errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counting;
+pub mod disk;
+pub mod dynamic;
+pub mod error;
+pub mod hash;
+pub mod index;
+pub mod params;
+pub mod persist;
+pub mod query;
+pub mod rehash;
+pub mod stats;
+
+pub use config::{Beta, C2lshConfig, ConfigBuilder};
+pub use disk::DiskIndex;
+pub use dynamic::DynamicIndex;
+pub use error::C2lshError;
+pub use hash::{HashFamily, PstableHash};
+pub use index::C2lshIndex;
+pub use params::FullParams;
+pub use persist::{load_index, save_index, PersistError};
+pub use stats::QueryStats;

@@ -1,0 +1,269 @@
+//! Index persistence: serialize a built [`crate::C2lshIndex`]'s state so
+//! it can be reloaded without re-hashing the dataset.
+//!
+//! The serialized form (`C2L1` format) contains the configuration, the
+//! derived parameters, the hash family (`a` vectors and offsets) and the
+//! sorted hash tables — everything except the raw vectors, which the
+//! caller keeps (the index borrows them at load time, and a fingerprint
+//! of the dataset shape guards against loading an index against the
+//! wrong data).
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "C2L1" | n | dim | c | w | delta | base_radius | beta_num |
+//! m | l | beta_n | seed |
+//! per function: d×f32 (a), f64 (b) |
+//! per table:    n×(i64 bucket, u32 oid) |
+//! xor-fold checksum
+//! ```
+
+use crate::config::{Beta, C2lshConfig};
+use crate::index::C2lshIndex;
+use bytes::{Buf, BufMut};
+use cc_vector::dataset::Dataset;
+use std::fmt;
+
+const MAGIC: u32 = 0x4332_4C31; // "C2L1"
+
+/// Why loading failed.
+#[derive(Debug, PartialEq)]
+pub enum PersistError {
+    /// Wrong magic / truncated / checksum mismatch.
+    Malformed(String),
+    /// The provided dataset does not match the fingerprint recorded at
+    /// save time.
+    DatasetMismatch {
+        /// Expected number of vectors.
+        want_n: usize,
+        /// Expected dimensionality.
+        want_dim: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Malformed(m) => write!(f, "malformed index blob: {m}"),
+            PersistError::DatasetMismatch { want_n, want_dim } => write!(
+                f,
+                "dataset mismatch: index was built over {want_n} vectors of dim {want_dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize a built index (excluding the raw vectors).
+pub fn save_index(index: &C2lshIndex<'_>) -> Vec<u8> {
+    let (n, dim) = index.data_shape();
+    let cfg = index.config();
+    let mut buf = Vec::with_capacity(64 + index.size_bytes());
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u32_le(dim as u32);
+    buf.put_u32_le(cfg.c);
+    buf.put_f64_le(cfg.w);
+    buf.put_f64_le(cfg.delta);
+    buf.put_f64_le(cfg.base_radius);
+    match cfg.beta {
+        Beta::Count(c) => {
+            buf.put_u8(0);
+            buf.put_u64_le(c);
+        }
+        Beta::Fraction(f) => {
+            buf.put_u8(1);
+            buf.put_f64_le(f);
+        }
+    }
+    buf.put_u64_le(cfg.seed);
+    let p = index.params();
+    buf.put_u32_le(p.m as u32);
+    buf.put_u32_le(p.l as u32);
+    buf.put_u32_le(p.beta_n as u32);
+
+    for h in index.family().iter() {
+        for &a in h.projection_coeffs() {
+            buf.put_f32_le(a);
+        }
+        buf.put_f64_le(h.offset());
+    }
+    index.for_each_table_entry(|bucket, oid| {
+        buf.put_i64_le(bucket);
+        buf.put_u32_le(oid);
+    });
+    let checksum = xor_fold(&buf);
+    buf.put_u32_le(checksum);
+    buf
+}
+
+/// Reload an index over the same (caller-kept) dataset.
+pub fn load_index<'d>(data: &'d Dataset, mut buf: &[u8]) -> Result<C2lshIndex<'d>, PersistError> {
+    let full = buf;
+    if buf.remaining() < 4 + 8 + 4 {
+        return Err(PersistError::Malformed("header too short".into()));
+    }
+    if xor_fold(&full[..full.len() - 4]) != (&full[full.len() - 4..]).get_u32_le() {
+        return Err(PersistError::Malformed("checksum mismatch".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(PersistError::Malformed(format!("bad magic {magic:#010x}")));
+    }
+    let n = buf.get_u64_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    if n != data.len() || dim != data.dim() {
+        return Err(PersistError::DatasetMismatch { want_n: n, want_dim: dim });
+    }
+    let c = buf.get_u32_le();
+    let w = buf.get_f64_le();
+    let delta = buf.get_f64_le();
+    let base_radius = buf.get_f64_le();
+    let beta = match buf.get_u8() {
+        0 => Beta::Count(buf.get_u64_le()),
+        1 => Beta::Fraction(buf.get_f64_le()),
+        x => return Err(PersistError::Malformed(format!("unknown beta tag {x}"))),
+    };
+    let seed = buf.get_u64_le();
+    let m = buf.get_u32_le() as usize;
+    let l = buf.get_u32_le() as usize;
+    let beta_n = buf.get_u32_le() as usize;
+    if m == 0 || l == 0 || l > m {
+        return Err(PersistError::Malformed(format!("bad (m, l) = ({m}, {l})")));
+    }
+
+    let config = C2lshConfig {
+        c,
+        w,
+        delta,
+        base_radius,
+        beta,
+        seed,
+        m_override: Some(m),
+        l_override: Some(l),
+    };
+    config.validate().map_err(|e| PersistError::Malformed(e.to_string()))?;
+
+    let need = m * (dim * 4 + 8) + m * n * 12;
+    if buf.remaining() != need + 4 {
+        return Err(PersistError::Malformed(format!(
+            "payload size {} != expected {}",
+            buf.remaining() - 4.min(buf.remaining()),
+            need
+        )));
+    }
+    let mut functions = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut a = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            a.push(buf.get_f32_le());
+        }
+        let b = buf.get_f64_le();
+        functions.push(crate::hash::PstableHash::from_parts(a, b, w));
+    }
+    let mut tables = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut buckets = Vec::with_capacity(n);
+        let mut oids = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(buf.get_i64_le());
+            oids.push(buf.get_u32_le());
+        }
+        if !buckets.windows(2).all(|p| p[0] <= p[1]) {
+            return Err(PersistError::Malformed("table not sorted".into()));
+        }
+        if oids.iter().any(|&o| o as usize >= n) {
+            return Err(PersistError::Malformed("object id out of range".into()));
+        }
+        tables.push((buckets, oids));
+    }
+    // beta_n re-derives identically from (beta, n); sanity-check it.
+    let idx = C2lshIndex::from_parts(data, config, functions, tables);
+    if idx.params().beta_n != beta_n {
+        return Err(PersistError::Malformed(format!(
+            "beta_n mismatch: stored {beta_n}, derived {}",
+            idx.params().beta_n
+        )));
+    }
+    Ok(idx)
+}
+
+fn xor_fold(bytes: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    for chunk in bytes.chunks(4) {
+        let mut word = [0u8; 4];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = acc.rotate_left(1) ^ u32::from_le_bytes(word);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_vector::gen::{generate, Distribution};
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 },
+            n,
+            d,
+            seed,
+        )
+    }
+
+    fn cfg() -> C2lshConfig {
+        C2lshConfig::builder().bucket_width(1.0).seed(9).build()
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_queries() {
+        let data = clustered(600, 10, 1);
+        let idx = C2lshIndex::build(&data, &cfg());
+        let blob = save_index(&idx);
+        let loaded = load_index(&data, &blob).unwrap();
+        for qi in [0usize, 123, 599] {
+            let q = data.get(qi);
+            assert_eq!(idx.query(q, 7).0, loaded.query(q, 7).0, "query {qi}");
+        }
+        assert_eq!(idx.params().m, loaded.params().m);
+        assert_eq!(idx.params().l, loaded.params().l);
+    }
+
+    #[test]
+    fn rejects_wrong_dataset() {
+        let data = clustered(100, 8, 2);
+        let idx = C2lshIndex::build(&data, &cfg());
+        let blob = save_index(&idx);
+        let other = clustered(101, 8, 2);
+        assert!(matches!(
+            load_index(&other, &blob),
+            Err(PersistError::DatasetMismatch { want_n: 100, want_dim: 8 })
+        ));
+        let other_dim = clustered(100, 9, 2);
+        assert!(load_index(&other_dim, &blob).is_err());
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let data = clustered(80, 6, 3);
+        let idx = C2lshIndex::build(&data, &cfg());
+        let mut blob = save_index(&idx);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xFF;
+        let err = load_index(&data, &blob).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_magic() {
+        let data = clustered(50, 4, 4);
+        let idx = C2lshIndex::build(&data, &cfg());
+        let blob = save_index(&idx);
+        assert!(load_index(&data, &blob[..10]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 1;
+        assert!(load_index(&data, &bad).is_err());
+    }
+}

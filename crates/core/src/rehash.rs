@@ -1,0 +1,148 @@
+//! Virtual rehashing window arithmetic.
+//!
+//! At search radius `R = c^level`, the level-`R` bucket containing a
+//! level-1 bucket id `b` is `b.div_euclid(R)`, and it covers the level-1
+//! bucket-id interval `[v·R, (v+1)·R)` where `v = b.div_euclid(R)`.
+//! Because levels nest (`c` children per parent), the interval at level
+//! `i+1` always contains the interval at level `i` — a query's covered
+//! window only ever *grows*, which is what makes incremental collision
+//! counting correct: entries are counted exactly once, when the window
+//! first reaches them.
+
+/// The half-open level-1 bucket-id interval `[lo, hi)` covered by the
+/// level-`radius` bucket of `bucket` (`radius = c^level ≥ 1`).
+///
+/// # Panics
+/// Panics when `radius < 1`.
+pub fn window(bucket: i64, radius: i64) -> (i64, i64) {
+    assert!(radius >= 1, "radius must be >= 1, got {radius}");
+    let v = bucket.div_euclid(radius);
+    (v * radius, v * radius + radius)
+}
+
+/// Radius at `level` for ratio `c`: `c^level`, saturating at `i64::MAX`
+/// (the query loop stops expanding far earlier; saturation just keeps the
+/// arithmetic total).
+pub fn radius_at(c: u32, level: u32) -> i64 {
+    (c as i64).checked_pow(level).unwrap_or(i64::MAX)
+}
+
+/// Tracks the covered entry range `[lo, hi)` (indices into one hash
+/// table's sorted run) per hash function, and yields only the *delta*
+/// ranges when the radius grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Start of the covered entry range.
+    pub lo: usize,
+    /// End (exclusive) of the covered entry range.
+    pub hi: usize,
+}
+
+impl Window {
+    /// An empty window (nothing covered yet).
+    pub fn empty() -> Self {
+        Window { lo: 0, hi: 0 }
+    }
+
+    /// `true` once the window covers the entire table of `n` entries.
+    pub fn is_full(&self, n: usize) -> bool {
+        self.lo == 0 && self.hi >= n
+    }
+
+    /// Grow to `[new_lo, new_hi)` and return the delta ranges
+    /// `(left, right)` that became newly covered. The new window must
+    /// contain the old one (guaranteed by level nesting).
+    ///
+    /// # Panics
+    /// Panics when the new window does not contain the old one.
+    pub fn grow(&mut self, new_lo: usize, new_hi: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        if self.lo == self.hi {
+            // Previously empty: everything is new.
+            *self = Window { lo: new_lo, hi: new_hi };
+            return (new_lo..new_hi, 0..0);
+        }
+        assert!(
+            new_lo <= self.lo && new_hi >= self.hi,
+            "window must grow monotonically: old [{}, {}), new [{new_lo}, {new_hi})",
+            self.lo,
+            self.hi
+        );
+        let left = new_lo..self.lo;
+        let right = self.hi..new_hi;
+        *self = Window { lo: new_lo, hi: new_hi };
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_at_level_one_is_single_bucket() {
+        assert_eq!(window(7, 1), (7, 8));
+        assert_eq!(window(-3, 1), (-3, -2));
+    }
+
+    #[test]
+    fn windows_nest_across_levels() {
+        for &bucket in &[-17i64, -1, 0, 5, 123] {
+            for level in 0..10u32 {
+                let r1 = radius_at(2, level);
+                let r2 = radius_at(2, level + 1);
+                let (lo1, hi1) = window(bucket, r1);
+                let (lo2, hi2) = window(bucket, r2);
+                assert!(lo2 <= lo1 && hi2 >= hi1, "bucket {bucket} level {level}");
+                assert_eq!(hi2 - lo2, 2 * (hi1 - lo1));
+                // The query's own bucket stays inside.
+                assert!((lo2..hi2).contains(&bucket));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_buckets_use_euclidean_division() {
+        // bucket -1 at radius 4 lives in parent bucket -1 -> [-4, 0)
+        assert_eq!(window(-1, 4), (-4, 0));
+        assert_eq!(window(-4, 4), (-4, 0));
+        assert_eq!(window(-5, 4), (-8, -4));
+        assert_eq!(window(3, 4), (0, 4));
+    }
+
+    #[test]
+    fn radius_saturates() {
+        assert_eq!(radius_at(2, 3), 8);
+        assert_eq!(radius_at(3, 2), 9);
+        assert_eq!(radius_at(2, 63), i64::MAX);
+        assert_eq!(radius_at(2, 0), 1);
+    }
+
+    #[test]
+    fn grow_yields_exact_deltas() {
+        let mut w = Window::empty();
+        let (l, r) = w.grow(10, 20);
+        assert_eq!((l, r), (10..20, 0..0));
+        let (l, r) = w.grow(5, 25);
+        assert_eq!((l, r), (5..10, 20..25));
+        let (l, r) = w.grow(5, 25); // no growth
+        assert_eq!((l, r), (5..5, 25..25));
+        assert!(!w.is_full(26));
+        let (l, r) = w.grow(0, 26);
+        assert_eq!((l, r), (0..5, 25..26));
+        assert!(w.is_full(26));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonically")]
+    fn grow_rejects_shrinking() {
+        let mut w = Window::empty();
+        w.grow(10, 20);
+        w.grow(12, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be >= 1")]
+    fn window_rejects_zero_radius() {
+        window(0, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-query cost counters.
+//!
+//! Every experiment in the paper reports some slice of these: verified
+//! candidates (distance computations), page I/O, rounds of virtual
+//! rehashing. They are returned alongside the neighbors by every query
+//! entry point.
+
+use cc_storage::pagefile::IoStats;
+
+/// Why the query loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// T1: at the end of a round, ≥ k verified candidates lay within
+    /// `c·R` of the query.
+    T1AtRadius,
+    /// T2: `k + β·n` candidates were verified.
+    T2CandidateBudget,
+    /// The windows covered every table completely (tiny datasets or
+    /// pathological configurations); all reachable candidates were seen.
+    Exhausted,
+}
+
+/// Cost counters for one c-k-ANN query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryStats {
+    /// Virtual-rehashing rounds executed (levels tried).
+    pub rounds: u32,
+    /// Final search radius `R = c^(rounds-1)` reached.
+    pub final_radius: i64,
+    /// Total collision-count increments performed.
+    pub collisions_counted: u64,
+    /// Objects whose true distance was computed (= frequent objects).
+    pub candidates_verified: usize,
+    /// Page I/O (zero in memory mode).
+    pub io: IoStats,
+    /// Which condition stopped the loop.
+    pub terminated_by: Termination,
+}
+
+impl QueryStats {
+    /// A zeroed stats block (start of a query).
+    pub fn new() -> Self {
+        Self {
+            rounds: 0,
+            final_radius: 1,
+            collisions_counted: 0,
+            candidates_verified: 0,
+            io: IoStats::default(),
+            terminated_by: Termination::Exhausted,
+        }
+    }
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_stats_are_zero() {
+        let s = QueryStats::new();
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.collisions_counted, 0);
+        assert_eq!(s.candidates_verified, 0);
+        assert_eq!(s.io.total(), 0);
+        assert_eq!(s.terminated_by, Termination::Exhausted);
+    }
+}

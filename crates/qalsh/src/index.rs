@@ -1,0 +1,391 @@
+//! The QALSH index and query loop.
+//!
+//! One B+-tree per hash function, keyed by the raw projection `a·o`.
+//! A query computes its own projections, positions one bidirectional
+//! cursor pair per tree, and performs C2LSH-style virtual rehashing: at
+//! radius `R = c^level` the collision window of tree `i` is
+//! `[a_i·q − w·R/2, a_i·q + w·R/2]`; rounds expand the windows, count
+//! newly covered objects, verify those reaching the collision threshold
+//! `l`, and stop on the same T1/T2 conditions as C2LSH.
+
+use crate::params::derive;
+use c2lsh::counting::CollisionCounter;
+use c2lsh::stats::{QueryStats, Termination};
+use cc_math::hoeffding::DerivedParams;
+use cc_storage::bptree::{BPlusTree, Cursor};
+use cc_storage::pagefile::IoStats;
+use cc_vector::dataset::Dataset;
+use cc_vector::dist::{dot, euclidean};
+use cc_vector::gt::Neighbor;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+
+/// Totally ordered `f64` key (orders by `total_cmp`; projections are
+/// always finite here, so this matches numeric order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// QALSH configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QalshConfig {
+    /// Integer approximation ratio `c ≥ 2`.
+    pub c: u32,
+    /// Window width `w` (radius-1 collision window is `w/2` each side).
+    pub w: f64,
+    /// Failure budget `δ ∈ (0, 1/2)`.
+    pub delta: f64,
+    /// Geometric base radius the theory's `R = 1` maps to (data units).
+    /// Keep at 1.0 for NN-normalized data; for raw data pass the "near"
+    /// distance and scale `w` by the same factor.
+    pub base_radius: f64,
+    /// False-positive budget as an absolute count (`β = count/n`).
+    pub beta_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QalshConfig {
+    fn default() -> Self {
+        Self {
+            c: 2,
+            w: crate::params::optimal_width(2),
+            delta: (-1.0f64).exp(),
+            base_radius: 1.0,
+            beta_count: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// The QALSH index over a borrowed dataset.
+pub struct Qalsh<'d> {
+    data: &'d Dataset,
+    config: QalshConfig,
+    derived: DerivedParams,
+    m: usize,
+    l: u32,
+    beta_n: usize,
+    /// `m` projection vectors.
+    proj: Vec<Vec<f32>>,
+    /// One B+-tree per projection, keyed by `a·o`.
+    trees: Vec<BPlusTree<OrdF64, u32>>,
+    counter: Mutex<CollisionCounter>,
+    verify_pages: u64,
+}
+
+impl<'d> Qalsh<'d> {
+    /// Build the index: derive `(m, l)`, draw `m` projections, bulk-load
+    /// `m` B+-trees.
+    ///
+    /// # Panics
+    /// Panics on empty data or invalid config (`c < 2`, `w ≤ 0`, …).
+    pub fn build(data: &'d Dataset, config: QalshConfig) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(config.c >= 2, "c must be >= 2");
+        assert!(config.w > 0.0, "w must be positive");
+        assert!(config.base_radius > 0.0, "base_radius must be positive");
+        let n = data.len();
+        let beta = (config.beta_count as f64 / n as f64).clamp(1.0 / (10.0 * n as f64), 0.999);
+        // p depends only on s/w, so deriving at base radius r is the
+        // same as deriving at radius 1 with width w/r.
+        let derived = derive(config.c, config.w / config.base_radius, config.delta, beta);
+        let m = derived.m;
+        let l = derived.l as u32;
+        let beta_n = ((beta * n as f64).ceil() as usize).max(1);
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9a15_4aa1);
+        let mut normal = cc_vector::gen::NormalSampler::new();
+        let d = data.dim();
+        let proj: Vec<Vec<f32>> = (0..m)
+            .map(|_| (0..d).map(|_| normal.sample(&mut rng) as f32).collect())
+            .collect();
+        let trees: Vec<BPlusTree<OrdF64, u32>> = proj
+            .iter()
+            .map(|a| {
+                let mut pairs: Vec<(OrdF64, u32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (OrdF64(dot(a, v)), i as u32))
+                    .collect();
+                pairs.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+                let t = BPlusTree::bulk_load(&pairs);
+                t.reset_io();
+                t
+            })
+            .collect();
+        let verify_pages = (d as u64 * 4).div_ceil(4096).max(1);
+        Self {
+            data,
+            config,
+            derived,
+            m,
+            l,
+            beta_n,
+            proj,
+            trees,
+            counter: Mutex::new(CollisionCounter::new(n)),
+            verify_pages,
+        }
+    }
+
+    /// The Hoeffding-derived parameters (`p1`, `p2`, `α`, `m`, `l`).
+    pub fn derived(&self) -> &DerivedParams {
+        &self.derived
+    }
+
+    /// Number of hash functions / B+-trees.
+    pub fn num_trees(&self) -> usize {
+        self.m
+    }
+
+    /// Index size in bytes: B+-tree pages plus projection vectors.
+    pub fn size_bytes(&self) -> usize {
+        let pages: usize = self.trees.iter().map(|t| t.num_pages()).sum();
+        pages * 4096 + self.m * self.data.dim() * 4
+    }
+
+    /// c-k-ANN query with B+-tree I/O accounting.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimensionality mismatch");
+        assert!(q.iter().all(|x| x.is_finite()), "query contains non-finite coordinates");
+        let mut counter = self.counter.lock();
+        counter.begin_query();
+        let mut stats = QueryStats::new();
+        let io_before: u64 = self.trees.iter().map(|t| t.io_reads()).sum();
+
+        let cap = k + self.beta_n;
+        let n = self.data.len();
+        let pq: Vec<f64> = self.proj.iter().map(|a| dot(a, q)).collect();
+
+        // Per-tree cursor pair straddling the query projection: `right`
+        // sits at the first key ≥ a·q, `left` just below it. `lo/hi`
+        // track the window edge keys already consumed.
+        struct Probe {
+            left: Cursor,
+            right: Cursor,
+            left_done: bool,
+            right_done: bool,
+        }
+        let mut probes: Vec<Probe> = (0..self.m)
+            .map(|t| {
+                let right = self.trees[t].lower_bound(OrdF64(pq[t]));
+                let left = self.trees[t].retreat(right);
+                Probe {
+                    left,
+                    right,
+                    left_done: self.trees[t].get(left).is_none(),
+                    right_done: self.trees[t].get(right).is_none(),
+                }
+            })
+            .collect();
+
+        let mut candidates: Vec<Neighbor> = Vec::with_capacity(cap.min(n));
+        let mut level: u32 = 0;
+        'outer: loop {
+            let radius = (self.config.c as i64).checked_pow(level).unwrap_or(i64::MAX);
+            stats.rounds += 1;
+            stats.final_radius = radius;
+            let half = self.config.w * radius as f64 / 2.0;
+
+            for t in 0..self.m {
+                let tree = &self.trees[t];
+                let (lo_key, hi_key) = (pq[t] - half, pq[t] + half);
+                // Expand rightward.
+                while !probes[t].right_done {
+                    match tree.get(probes[t].right) {
+                        Some((OrdF64(key), oid)) if key <= hi_key => {
+                            stats.collisions_counted += 1;
+                            let cnt = counter.increment(oid);
+                            if cnt == self.l && counter.mark_verified(oid) {
+                                let d = euclidean(self.data.get(oid as usize), q);
+                                stats.candidates_verified += 1;
+                                candidates.push(Neighbor::new(oid, d));
+                                if candidates.len() >= cap {
+                                    stats.terminated_by = Termination::T2CandidateBudget;
+                                    break 'outer;
+                                }
+                            }
+                            probes[t].right = tree.advance(probes[t].right);
+                        }
+                        Some(_) => break,
+                        None => {
+                            probes[t].right_done = true;
+                        }
+                    }
+                }
+                // Expand leftward.
+                while !probes[t].left_done {
+                    match tree.get(probes[t].left) {
+                        Some((OrdF64(key), oid)) if key >= lo_key => {
+                            stats.collisions_counted += 1;
+                            let cnt = counter.increment(oid);
+                            if cnt == self.l && counter.mark_verified(oid) {
+                                let d = euclidean(self.data.get(oid as usize), q);
+                                stats.candidates_verified += 1;
+                                candidates.push(Neighbor::new(oid, d));
+                                if candidates.len() >= cap {
+                                    stats.terminated_by = Termination::T2CandidateBudget;
+                                    break 'outer;
+                                }
+                            }
+                            let prev = tree.retreat(probes[t].left);
+                            if tree.get(prev).is_none() {
+                                probes[t].left_done = true;
+                            } else {
+                                probes[t].left = prev;
+                            }
+                        }
+                        Some(_) => break,
+                        None => {
+                            probes[t].left_done = true;
+                        }
+                    }
+                }
+            }
+
+            // T1: enough verified candidates within c·R·base_radius.
+            let c_r = self.config.c as f64 * radius as f64 * self.config.base_radius;
+            if candidates.iter().filter(|c| c.dist <= c_r).count() >= k {
+                stats.terminated_by = Termination::T1AtRadius;
+                break;
+            }
+            // Exhausted: every tree fully consumed.
+            if probes.iter().all(|p| p.left_done && p.right_done) {
+                stats.terminated_by = Termination::Exhausted;
+                break;
+            }
+            level += 1;
+        }
+
+        let io_after: u64 = self.trees.iter().map(|t| t.io_reads()).sum();
+        stats.io = IoStats {
+            reads: io_after - io_before + stats.candidates_verified as u64 * self.verify_pages,
+            writes: 0,
+        };
+        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        candidates.truncate(k);
+        (candidates, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_vector::gen::{generate, Distribution};
+    use cc_vector::gt::knn_linear;
+    use cc_vector::metrics::{overall_ratio, recall};
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 16, spread: 0.015, scale: 10.0 },
+            n,
+            d,
+            seed,
+        )
+    }
+
+    fn cfg() -> QalshConfig {
+        QalshConfig { w: 1.2, seed: 21, ..QalshConfig::default() }
+    }
+
+    #[test]
+    fn ordf64_total_order() {
+        let mut v = [OrdF64(1.5), OrdF64(-2.0), OrdF64(0.0), OrdF64(7.25)];
+        v.sort();
+        let keys: Vec<f64> = v.iter().map(|k| k.0).collect();
+        assert_eq!(keys, vec![-2.0, 0.0, 1.5, 7.25]);
+    }
+
+    #[test]
+    fn finds_exact_match() {
+        let data = clustered(600, 16, 1);
+        let idx = Qalsh::build(&data, cfg());
+        for i in [0usize, 42, 599] {
+            let (nn, _) = idx.query(data.get(i), 1);
+            assert_eq!(nn[0].id as usize, i);
+            assert_eq!(nn[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn high_quality_on_clusters() {
+        let data = clustered(2000, 24, 2);
+        let idx = Qalsh::build(&data, cfg());
+        let mut r = 0.0;
+        let mut ratio = 0.0;
+        for qi in 0..20 {
+            let q = data.get(qi * 91);
+            let truth = knn_linear(&data, q, 10);
+            let (got, _) = idx.query(q, 10);
+            r += recall(&got, &truth);
+            ratio += overall_ratio(&got, &truth);
+        }
+        r /= 20.0;
+        ratio /= 20.0;
+        assert!(r > 0.8, "recall {r}");
+        assert!(ratio < 1.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uses_fewer_trees_than_c2lsh_tables() {
+        let data = clustered(2000, 16, 3);
+        let q_idx = Qalsh::build(&data, QalshConfig::default());
+        let c_cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(3).build();
+        let c_idx = c2lsh::C2lshIndex::build(&data, &c_cfg);
+        assert!(
+            q_idx.num_trees() < c_idx.params().m,
+            "QALSH m = {} should be below C2LSH m = {}",
+            q_idx.num_trees(),
+            c_idx.params().m
+        );
+    }
+
+    #[test]
+    fn io_accounting_positive_and_reproducible() {
+        let data = clustered(1500, 16, 4);
+        let idx = Qalsh::build(&data, cfg());
+        let (_, s1) = idx.query(data.get(7), 10);
+        let (_, s2) = idx.query(data.get(7), 10);
+        assert!(s1.io.reads > 0);
+        assert_eq!(s1.io, s2.io);
+    }
+
+    #[test]
+    fn t2_budget_respected() {
+        let data = clustered(2500, 16, 5);
+        let idx = Qalsh::build(&data, QalshConfig { beta_count: 20, ..cfg() });
+        let (_, stats) = idx.query(data.get(0), 10);
+        assert!(stats.candidates_verified <= 10 + idx.beta_n);
+    }
+
+    #[test]
+    fn exhausts_tiny_dataset() {
+        let data = clustered(15, 8, 6);
+        let idx = Qalsh::build(&data, cfg());
+        let far = vec![1e5f32; 8];
+        let (nn, _) = idx.query(&far, 4);
+        assert_eq!(nn.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be >= 2")]
+    fn rejects_bad_c() {
+        let data = clustered(10, 4, 7);
+        let _ = Qalsh::build(&data, QalshConfig { c: 1, ..QalshConfig::default() });
+    }
+}

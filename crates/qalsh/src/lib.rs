@@ -1,0 +1,34 @@
+//! # qalsh — Query-Aware LSH over B+-trees
+//!
+//! QALSH (Huang, Feng, Zhang, Fang, Ng — PVLDB 2015 / VLDBJ 2017) is the
+//! direct follow-up to C2LSH by the same group and keeps its **dynamic
+//! collision counting** framework while removing the random bucket
+//! offset: each hash function is the bare projection `h_a(o) = a·o`,
+//! indexed in a B+-tree, and the *query* anchors the bucket — object `o`
+//! collides with query `q` at radius `R` iff `|a·o − a·q| ≤ w·R/2`.
+//!
+//! Compared to C2LSH this improves the per-function collision
+//! probabilities to
+//!
+//! ```text
+//! p(s) = 2·Φ( w / (2s) ) − 1
+//! ```
+//!
+//! (`p1 = p(1)`, `p2 = p(c)`), needing fewer hash functions for the same
+//! guarantee; the price is a B+-tree search plus bidirectional leaf
+//! expansion per function instead of an array window.
+//!
+//! It is implemented here as the repository's *extension feature*: it
+//! reuses C2LSH's collision counter, Hoeffding parameter solver and
+//! terminating conditions, and runs on the `cc-storage` B+-tree with
+//! per-node I/O accounting — so it slots directly into the paper's
+//! experiment harness as an extra comparator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod params;
+
+pub use index::{Qalsh, QalshConfig};
+pub use params::qalsh_collision_probability;

@@ -1,0 +1,91 @@
+//! QALSH collision probabilities and parameter derivation.
+//!
+//! The query-aware function has no random offset; a collision at radius
+//! `R` is `|a·(o − q)| ≤ w·R/2` with `a·(o − q) ~ N(0, s²)` for distance
+//! `s`, giving `p_R(s) = 2Φ(wR/(2s)) − 1`. As with C2LSH, `p` depends
+//! only on `s/(wR)`, so one parameter set serves every radius.
+
+use cc_math::gaussian::normal_cdf;
+use cc_math::hoeffding::{derive_params, DerivedParams};
+
+/// Collision probability of one query-aware hash function for two points
+/// at distance `s` with window width `w` (radius 1).
+///
+/// # Panics
+/// Panics when `s < 0` or `w <= 0`.
+pub fn qalsh_collision_probability(s: f64, w: f64) -> f64 {
+    assert!(s >= 0.0, "distance must be non-negative, got {s}");
+    assert!(w > 0.0, "window width must be positive, got {w}");
+    if s == 0.0 {
+        return 1.0;
+    }
+    2.0 * normal_cdf(w / (2.0 * s)) - 1.0
+}
+
+/// Derive `(α*, m, l)` for QALSH with ratio `c`, window `w`, failure
+/// budget `δ` and false-positive fraction `β`.
+pub fn derive(c: u32, w: f64, delta: f64, beta: f64) -> DerivedParams {
+    let p1 = qalsh_collision_probability(1.0, w);
+    let p2 = qalsh_collision_probability(c as f64, w);
+    derive_params(p1, p2, delta, beta)
+}
+
+/// The ρ-minimizing window width for ratio `c` derived in the QALSH
+/// paper: `w* = sqrt( 8·c²·ln(c) / (c² − 1) )`.
+pub fn optimal_width(c: u32) -> f64 {
+    let c2 = (c as f64) * (c as f64);
+    (8.0 * c2 * (c as f64).ln() / (c2 - 1.0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_monotone_in_distance() {
+        let w = 2.719;
+        // For tiny s the probability saturates at 1.0 in f64, so require
+        // non-strict monotonicity globally and strict decrease once the
+        // probability has left the saturated regime.
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let s = i as f64 * 0.1;
+            let p = qalsh_collision_probability(s, w);
+            assert!(p <= prev && p > 0.0, "s={s}");
+            if s >= 1.0 {
+                assert!(p < prev, "not strictly decreasing at s={s}");
+            }
+            prev = p;
+        }
+        assert_eq!(qalsh_collision_probability(0.0, w), 1.0);
+    }
+
+    #[test]
+    fn qalsh_beats_c2lsh_probability_gap() {
+        // At the respective optimal widths, QALSH's (p1 − p2) gap is
+        // wider than C2LSH's — the reason it needs smaller m.
+        let q1 = qalsh_collision_probability(1.0, 2.719);
+        let q2 = qalsh_collision_probability(2.0, 2.719);
+        let c1 = cc_math::pstable::collision_probability(1.0, 2.184);
+        let c2 = cc_math::pstable::collision_probability(2.0, 2.184);
+        assert!(q1 - q2 > c1 - c2, "QALSH gap {} <= C2LSH gap {}", q1 - q2, c1 - c2);
+    }
+
+    #[test]
+    fn optimal_width_for_c2() {
+        // QALSH paper: w* ≈ 2.7189 at c = 2.
+        let w = optimal_width(2);
+        assert!((w - 2.7189).abs() < 1e-3, "w* = {w}");
+    }
+
+    #[test]
+    fn derive_produces_fewer_functions_than_c2lsh() {
+        let beta = 100.0 / 60_000.0;
+        let delta = 1.0 / std::f64::consts::E;
+        let q = derive(2, optimal_width(2), delta, beta);
+        let p1 = cc_math::pstable::collision_probability(1.0, 2.184);
+        let p2 = cc_math::pstable::collision_probability(2.0, 2.184);
+        let c = cc_math::hoeffding::derive_params(p1, p2, delta, beta);
+        assert!(q.m < c.m, "QALSH m = {} should undercut C2LSH m = {}", q.m, c.m);
+    }
+}

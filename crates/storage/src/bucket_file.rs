@@ -1,0 +1,285 @@
+//! Packed sorted runs of `(bucket, object)` entries — the on-disk layout
+//! of one C2LSH hash table.
+//!
+//! A C2LSH hash table is logically a list of `(bucket_id, object_id)`
+//! pairs sorted by bucket id (ties by object id). On disk this becomes a
+//! contiguous run of 4 KiB pages, each holding
+//! `⌊4096 / 12⌋ = 341` entries (`i64` bucket + `u32` object id).
+//!
+//! The *first key of every page* (the fence keys) is kept in memory —
+//! this mirrors a real system where the single-level sparse index over a
+//! sorted run (a few KB) is always cached, while leaf pages are charged
+//! to the I/O counter. Virtual rehashing then costs exactly
+//! `O(window / 341)` page reads per hash table per radius increment.
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::pagefile::PageFile;
+
+/// Bytes per entry: `i64` bucket + `u32` object id.
+const ENTRY_BYTES: usize = 12;
+
+/// Entries per 4 KiB page.
+pub const ENTRIES_PER_PAGE: usize = PAGE_SIZE / ENTRY_BYTES;
+
+/// One sorted `(bucket, object)` run packed into pages.
+#[derive(Debug)]
+pub struct BucketFile {
+    /// Ids of the pages backing this run, in order.
+    pages: Vec<PageId>,
+    /// First bucket id stored on each page (in-memory sparse index).
+    fences: Vec<i64>,
+    /// Total number of entries.
+    len: usize,
+}
+
+impl BucketFile {
+    /// Pack `entries` (must be sorted by bucket, ties by object id) into
+    /// freshly allocated pages of `file`.
+    ///
+    /// # Panics
+    /// Panics when `entries` is not sorted — the layout's binary searches
+    /// would silently return wrong windows otherwise.
+    pub fn build(file: &mut PageFile, entries: &[(i64, u32)]) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0] <= w[1]),
+            "bucket entries must be sorted"
+        );
+        let mut pages = Vec::new();
+        let mut fences = Vec::new();
+        for chunk in entries.chunks(ENTRIES_PER_PAGE) {
+            let id = file.alloc();
+            let mut page = Page::zeroed();
+            for (i, &(bucket, oid)) in chunk.iter().enumerate() {
+                page.put_i64(i * ENTRY_BYTES, bucket);
+                page.put_u32(i * ENTRY_BYTES + 8, oid);
+            }
+            file.write_page(id, page);
+            pages.push(id);
+            fences.push(chunk[0].0);
+        }
+        Self { pages, fences, len: entries.len() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the run holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Index of the first entry with `bucket >= target` (global entry
+    /// index in `[0, len]`). Costs at most one page read: the page is
+    /// located through the in-memory fence keys first.
+    pub fn lower_bound(&self, file: &PageFile, target: i64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        // partition_point over fences: first page whose fence >= target
+        // may still be preceded by a page containing `target` entries.
+        let pp = self.fences.partition_point(|&f| f < target);
+        let page_idx = pp.saturating_sub(1);
+        let page = file.read_page(self.pages[page_idx]);
+        let in_page = self.page_entry_count(page_idx);
+        let mut lo = 0usize;
+        let mut hi = in_page;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if page.get_i64(mid * ENTRY_BYTES) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let global = page_idx * ENTRIES_PER_PAGE + lo;
+        if lo == in_page && pp < self.pages.len() && page_idx + 1 == pp {
+            // target falls exactly at the start of the next page
+            pp * ENTRIES_PER_PAGE
+        } else {
+            global
+        }
+    }
+
+    /// Visit entries with global index in `[from, to)`, in order, calling
+    /// `f(bucket, object)` for each. Reads each touched page exactly once.
+    ///
+    /// # Panics
+    /// Panics when `to > len` or `from > to`.
+    pub fn scan(&self, file: &PageFile, from: usize, to: usize, mut f: impl FnMut(i64, u32)) {
+        assert!(from <= to && to <= self.len, "bad scan range {from}..{to} (len {})", self.len);
+        if from == to {
+            return;
+        }
+        let first_page = from / ENTRIES_PER_PAGE;
+        let last_page = (to - 1) / ENTRIES_PER_PAGE;
+        for p in first_page..=last_page {
+            let page = file.read_page(self.pages[p]);
+            let base = p * ENTRIES_PER_PAGE;
+            let lo = from.max(base) - base;
+            let hi = to.min(base + self.page_entry_count(p)) - base;
+            for i in lo..hi {
+                f(page.get_i64(i * ENTRY_BYTES), page.get_u32(i * ENTRY_BYTES + 8));
+            }
+        }
+    }
+
+    /// Like [`BucketFile::scan`], but stops (and stops reading pages) as
+    /// soon as `f` returns `false`. Returns `true` when the full range was
+    /// visited.
+    pub fn scan_while(
+        &self,
+        file: &PageFile,
+        from: usize,
+        to: usize,
+        mut f: impl FnMut(i64, u32) -> bool,
+    ) -> bool {
+        assert!(from <= to && to <= self.len, "bad scan range {from}..{to} (len {})", self.len);
+        if from == to {
+            return true;
+        }
+        let first_page = from / ENTRIES_PER_PAGE;
+        let last_page = (to - 1) / ENTRIES_PER_PAGE;
+        for p in first_page..=last_page {
+            let page = file.read_page(self.pages[p]);
+            let base = p * ENTRIES_PER_PAGE;
+            let lo = from.max(base) - base;
+            let hi = to.min(base + self.page_entry_count(p)) - base;
+            for i in lo..hi {
+                if !f(page.get_i64(i * ENTRY_BYTES), page.get_u32(i * ENTRY_BYTES + 8)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Entry at global index `idx` (one page read).
+    pub fn entry(&self, file: &PageFile, idx: usize) -> (i64, u32) {
+        assert!(idx < self.len, "entry index {idx} out of bounds (len {})", self.len);
+        let p = idx / ENTRIES_PER_PAGE;
+        let off = (idx % ENTRIES_PER_PAGE) * ENTRY_BYTES;
+        let page = file.read_page(self.pages[p]);
+        (page.get_i64(off), page.get_u32(off + 8))
+    }
+
+    fn page_entry_count(&self, page_idx: usize) -> usize {
+        if page_idx + 1 == self.pages.len() {
+            self.len - page_idx * ENTRIES_PER_PAGE
+        } else {
+            ENTRIES_PER_PAGE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_run(n: usize) -> (PageFile, BucketFile, Vec<(i64, u32)>) {
+        let mut file = PageFile::new();
+        // buckets 0,0,1,1,2,2,... with oid = index
+        let entries: Vec<(i64, u32)> = (0..n).map(|i| ((i / 2) as i64 - 5, i as u32)).collect();
+        let bf = BucketFile::build(&mut file, &entries);
+        file.reset_stats();
+        (file, bf, entries)
+    }
+
+    #[test]
+    fn packs_into_expected_pages() {
+        let (_, bf, _) = build_run(1000);
+        assert_eq!(bf.len(), 1000);
+        assert_eq!(bf.num_pages(), 1000usize.div_ceil(ENTRIES_PER_PAGE));
+    }
+
+    #[test]
+    fn lower_bound_matches_slice_search() {
+        let (file, bf, entries) = build_run(1200);
+        for target in -10..=610 {
+            let want = entries.partition_point(|e| e.0 < target);
+            let got = bf.lower_bound(&file, target);
+            assert_eq!(got, want, "target {target}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_costs_at_most_one_read() {
+        let (file, bf, _) = build_run(5000);
+        let before = file.stats().reads;
+        bf.lower_bound(&file, 100);
+        assert!(file.stats().reads - before <= 1);
+    }
+
+    #[test]
+    fn scan_visits_exact_range_and_counts_pages() {
+        let (file, bf, entries) = build_run(2000);
+        let (from, to) = (100, 1500);
+        let mut seen = Vec::new();
+        let before = file.stats().reads;
+        bf.scan(&file, from, to, |b, o| seen.push((b, o)));
+        let pages_touched = file.stats().reads - before;
+        assert_eq!(seen, &entries[from..to]);
+        let expect_pages = (to - 1) / ENTRIES_PER_PAGE - from / ENTRIES_PER_PAGE + 1;
+        assert_eq!(pages_touched, expect_pages as u64);
+    }
+
+    #[test]
+    fn scan_while_stops_early_and_saves_io() {
+        let (file, bf, entries) = build_run(2000);
+        let mut seen = 0usize;
+        let completed = bf.scan_while(&file, 0, 2000, |b, o| {
+            assert_eq!((b, o), entries[seen]);
+            seen += 1;
+            seen < 100
+        });
+        assert!(!completed);
+        assert_eq!(seen, 100);
+        // 100 entries fit in the first page: exactly one read.
+        assert_eq!(file.stats().reads, 1);
+        // Full traversal returns true.
+        assert!(bf.scan_while(&file, 0, 50, |_, _| true));
+    }
+
+    #[test]
+    fn empty_scan_costs_nothing() {
+        let (file, bf, _) = build_run(100);
+        bf.scan(&file, 50, 50, |_, _| panic!("must not be called"));
+        assert_eq!(file.stats().reads, 0);
+    }
+
+    #[test]
+    fn entry_access() {
+        let (file, bf, entries) = build_run(700);
+        for idx in [0usize, 1, 340, 341, 699] {
+            assert_eq!(bf.entry(&file, idx), entries[idx]);
+        }
+    }
+
+    #[test]
+    fn empty_run() {
+        let mut file = PageFile::new();
+        let bf = BucketFile::build(&mut file, &[]);
+        assert!(bf.is_empty());
+        assert_eq!(bf.lower_bound(&file, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn rejects_unsorted() {
+        let mut file = PageFile::new();
+        BucketFile::build(&mut file, &[(2, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scan range")]
+    fn rejects_bad_range() {
+        let (file, bf, _) = build_run(10);
+        bf.scan(&file, 5, 11, |_, _| {});
+    }
+}

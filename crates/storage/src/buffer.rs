@@ -1,0 +1,194 @@
+//! LRU buffer pool.
+//!
+//! Sits between a query engine and a [`PageFile`], caching hot pages.
+//! Accounting distinguishes **logical** accesses (every `get`) from
+//! **physical** reads (cache misses forwarded to the page file). The
+//! disk-mode experiments report physical reads, matching a real system
+//! where a small fraction of the index fits in RAM.
+//!
+//! The pool hands out owned page clones rather than references; pages are
+//! 4 KiB and the experiments read a handful per query, so the copy is
+//! irrelevant next to the simulated I/O — and it keeps the API free of
+//! lifetime entanglements with the interior mutex.
+
+use crate::page::{Page, PageId};
+use crate::pagefile::PageFile;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Buffer pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Logical page requests.
+    pub requests: u64,
+    /// Requests served from the pool.
+    pub hits: u64,
+    /// Requests forwarded to the page file.
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in `[0, 1]`; 0 when no request was made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+struct Frame {
+    page: Page,
+    last_used: u64,
+}
+
+struct Inner {
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// A fixed-capacity LRU cache over a [`PageFile`].
+pub struct BufferPool<'f> {
+    file: &'f PageFile,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl<'f> BufferPool<'f> {
+    /// Create a pool with room for `capacity` pages (≥ 1).
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(file: &'f PageFile, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            file,
+            capacity,
+            inner: Mutex::new(Inner {
+                frames: HashMap::with_capacity(capacity),
+                clock: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Fetch a page, through the cache.
+    pub fn get(&self, id: PageId) -> Page {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        inner.stats.requests += 1;
+        let hit = inner.frames.contains_key(&id);
+        if hit {
+            inner.stats.hits += 1;
+            let frame = inner.frames.get_mut(&id).expect("frame vanished");
+            frame.last_used = now;
+            return frame.page.clone();
+        }
+        inner.stats.misses += 1;
+        let page = self.file.read_page(id).clone();
+        if inner.frames.len() >= self.capacity {
+            // Evict the least-recently-used frame.
+            if let Some((&victim, _)) =
+                inner.frames.iter().min_by_key(|(_, f)| f.last_used)
+            {
+                inner.frames.remove(&victim);
+            }
+        }
+        inner.frames.insert(id, Frame { page: page.clone(), last_used: now });
+        page
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Drop every cached page and reset counters (cold-cache experiments).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.stats = PoolStats::default();
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_with(n: usize) -> PageFile {
+        let mut f = PageFile::new();
+        for i in 0..n {
+            let id = f.alloc();
+            f.update_page(id, |p| p.put_u32(0, i as u32));
+        }
+        f.reset_stats();
+        f
+    }
+
+    #[test]
+    fn hit_avoids_physical_read() {
+        let f = file_with(4);
+        let pool = BufferPool::new(&f, 2);
+        assert_eq!(pool.get(PageId(0)).get_u32(0), 0);
+        assert_eq!(pool.get(PageId(0)).get_u32(0), 0);
+        let s = pool.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(f.stats().reads, 1, "second access must be served by pool");
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let f = file_with(3);
+        let pool = BufferPool::new(&f, 2);
+        pool.get(PageId(0)); // miss
+        pool.get(PageId(1)); // miss
+        pool.get(PageId(0)); // hit, freshens 0
+        pool.get(PageId(2)); // miss, evicts 1
+        pool.get(PageId(0)); // hit
+        pool.get(PageId(1)); // miss again (was evicted)
+        let s = pool.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(f.stats().reads, 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let f = file_with(1);
+        let pool = BufferPool::new(&f, 1);
+        pool.get(PageId(0));
+        pool.clear();
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.get(PageId(0));
+        assert_eq!(pool.stats().misses, 1, "cache must be cold after clear");
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let f = file_with(2);
+        let pool = BufferPool::new(&f, 1);
+        pool.get(PageId(0));
+        pool.get(PageId(1));
+        pool.get(PageId(0));
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let f = file_with(1);
+        let _ = BufferPool::new(&f, 0);
+    }
+}

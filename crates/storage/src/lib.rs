@@ -1,0 +1,33 @@
+//! # cc-storage — paged storage substrate
+//!
+//! The original C2LSH evaluation (and its main competitor, LSB-forest) is
+//! *disk-based*: the headline efficiency metric is the number of 4 KiB
+//! pages read per query, not wall-clock time. This crate supplies the
+//! storage layer those experiments need, built from scratch:
+//!
+//! * [`page`] — the 4 KiB page unit and typed little-endian access,
+//! * [`pagefile`] — a simulated page file with exact logical-I/O
+//!   accounting (the substitution for a real spinning disk — see
+//!   `DESIGN.md` §2: the paper reports I/O *counts*, which a deterministic
+//!   simulation reproduces exactly),
+//! * [`buffer`] — an LRU buffer pool distinguishing logical accesses from
+//!   physical page reads,
+//! * [`bucket_file`] — packed sorted runs of `(bucket, object)` entries
+//!   with in-memory fence keys; the on-disk layout of a C2LSH hash table,
+//! * [`bptree`] — a B+-tree (bulk-load, insert, point and range search)
+//!   with per-node I/O accounting; the index structure behind QALSH.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bptree;
+pub mod bucket_file;
+pub mod buffer;
+pub mod page;
+pub mod pagefile;
+
+pub use bptree::BPlusTree;
+pub use bucket_file::BucketFile;
+pub use buffer::BufferPool;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pagefile::{IoStats, PageFile};

@@ -1,0 +1,123 @@
+//! The page: the unit of I/O accounting.
+//!
+//! Pages are fixed at 4 KiB (the size used by the paper's experimental
+//! setup and by common filesystems). A [`Page`] is an owned byte buffer
+//! with little-endian typed accessors; all higher layers serialize
+//! through these so a page's content is exactly what would hit a disk.
+
+use bytes::{Buf, BufMut};
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a [`crate::PageFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An owned 4 KiB page.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        Self { data: vec![0u8; PAGE_SIZE].into_boxed_slice() }
+    }
+
+    /// Raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Read a little-endian `u32` at byte offset `off`.
+    pub fn get_u32(&self, off: usize) -> u32 {
+        (&self.data[off..off + 4]).get_u32_le()
+    }
+
+    /// Write a little-endian `u32` at byte offset `off`.
+    pub fn put_u32(&mut self, off: usize, v: u32) {
+        (&mut self.data[off..off + 4]).put_u32_le(v);
+    }
+
+    /// Read a little-endian `i64` at byte offset `off`.
+    pub fn get_i64(&self, off: usize) -> i64 {
+        (&self.data[off..off + 8]).get_i64_le()
+    }
+
+    /// Write a little-endian `i64` at byte offset `off`.
+    pub fn put_i64(&mut self, off: usize, v: i64) {
+        (&mut self.data[off..off + 8]).put_i64_le(v);
+    }
+
+    /// Read a little-endian `f32` at byte offset `off`.
+    pub fn get_f32(&self, off: usize) -> f32 {
+        (&self.data[off..off + 4]).get_f32_le()
+    }
+
+    /// Write a little-endian `f32` at byte offset `off`.
+    pub fn put_f32(&mut self, off: usize, v: f32) {
+        (&mut self.data[off..off + 4]).put_f32_le(v);
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({PAGE_SIZE} bytes)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_access_roundtrip() {
+        let mut p = Page::zeroed();
+        p.put_u32(0, 0xDEAD_BEEF);
+        p.put_i64(8, -42);
+        p.put_f32(100, 3.5);
+        assert_eq!(p.get_u32(0), 0xDEAD_BEEF);
+        assert_eq!(p.get_i64(8), -42);
+        assert_eq!(p.get_f32(100), 3.5);
+    }
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let p = Page::zeroed();
+        assert_eq!(p.bytes().len(), PAGE_SIZE);
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let p = Page::zeroed();
+        let _ = p.get_u32(PAGE_SIZE - 2);
+    }
+
+    #[test]
+    fn page_id_ordering() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId(7).index(), 7);
+    }
+}

@@ -1,0 +1,213 @@
+//! The simulated page file.
+//!
+//! A [`PageFile`] is an append-allocated array of 4 KiB pages plus an
+//! [`IoStats`] counter. Every `read_page`/`write_page` call bumps the
+//! counters; the experiment harness snapshots and diffs them around each
+//! query, reproducing exactly the "number of page accesses" metric of the
+//! paper without depending on real disk hardware.
+//!
+//! The counters sit behind an atomic so shared (`&self`) readers can be
+//! accounted without locks.
+
+use crate::page::{Page, PageId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Read/write counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Number of page reads.
+    pub reads: u64,
+    /// Number of page writes.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise difference `self − earlier` (for snapshot/diff).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats { reads: self.reads - earlier.reads, writes: self.writes - earlier.writes }
+    }
+}
+
+/// An in-memory page store with exact I/O accounting.
+#[derive(Debug, Default)]
+pub struct PageFile {
+    pages: Vec<Page>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// Optional read trace (page ids in access order), for cache
+    /// simulations — see the buffer-pool experiment.
+    trace: Mutex<Option<Vec<PageId>>>,
+}
+
+impl PageFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh zeroed page; returns its id. Allocation itself is
+    /// not counted as I/O (the paper charges index *queries*, not builds,
+    /// with per-access costs; build cost is reported separately as size).
+    pub fn alloc(&mut self) -> PageId {
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(Page::zeroed());
+        id
+    }
+
+    /// Number of allocated pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` when no page has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * crate::page::PAGE_SIZE
+    }
+
+    /// Read a page (counted).
+    ///
+    /// # Panics
+    /// Panics on an unallocated id — that is always a bug in the caller.
+    pub fn read_page(&self, id: PageId) -> &Page {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = self.trace.lock().as_mut() {
+            trace.push(id);
+        }
+        &self.pages[id.index()]
+    }
+
+    /// Start recording the ids of every subsequent page read.
+    pub fn start_trace(&self) {
+        *self.trace.lock() = Some(Vec::new());
+    }
+
+    /// Stop recording and return the read trace (empty when tracing was
+    /// never started).
+    pub fn take_trace(&self) -> Vec<PageId> {
+        self.trace.lock().take().unwrap_or_default()
+    }
+
+    /// Overwrite a page (counted).
+    pub fn write_page(&mut self, id: PageId, page: Page) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.pages[id.index()] = page;
+    }
+
+    /// Mutate a page in place through a closure (counted as one write).
+    pub fn update_page(&mut self, id: PageId, f: impl FnOnce(&mut Page)) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        f(&mut self.pages[id.index()]);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset counters to zero (e.g. after the build phase, before
+    /// measuring queries).
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_accounting() {
+        let mut f = PageFile::new();
+        let a = f.alloc();
+        let b = f.alloc();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.stats(), IoStats { reads: 0, writes: 0 });
+
+        let mut p = Page::zeroed();
+        p.put_u32(0, 7);
+        f.write_page(a, p);
+        assert_eq!(f.stats().writes, 1);
+
+        assert_eq!(f.read_page(a).get_u32(0), 7);
+        assert_eq!(f.read_page(b).get_u32(0), 0);
+        assert_eq!(f.stats().reads, 2);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut f = PageFile::new();
+        let a = f.alloc();
+        f.update_page(a, |p| p.put_i64(16, 99));
+        assert_eq!(f.read_page(a).get_i64(16), 99);
+        assert_eq!(f.stats(), IoStats { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let mut f = PageFile::new();
+        let a = f.alloc();
+        f.read_page(a);
+        let snap = f.stats();
+        f.read_page(a);
+        f.read_page(a);
+        let d = f.stats().since(&snap);
+        assert_eq!(d.reads, 2);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut f = PageFile::new();
+        let a = f.alloc();
+        f.read_page(a);
+        f.reset_stats();
+        assert_eq!(f.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut f = PageFile::new();
+        for _ in 0..3 {
+            f.alloc();
+        }
+        assert_eq!(f.size_bytes(), 3 * crate::page::PAGE_SIZE);
+    }
+
+    #[test]
+    fn trace_records_reads_in_order() {
+        let mut f = PageFile::new();
+        let a = f.alloc();
+        let b = f.alloc();
+        f.read_page(a); // before tracing: not recorded
+        f.start_trace();
+        f.read_page(b);
+        f.read_page(a);
+        f.read_page(b);
+        assert_eq!(f.take_trace(), vec![b, a, b]);
+        // Tracing stopped: subsequent reads are not recorded.
+        f.read_page(a);
+        assert!(f.take_trace().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_unallocated_panics() {
+        let f = PageFile::new();
+        f.read_page(PageId(0));
+    }
+}

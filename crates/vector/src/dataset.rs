@@ -1,0 +1,168 @@
+//! Flat, row-major vector dataset.
+//!
+//! All indexes in this repository operate on a [`Dataset`]: `n` vectors of
+//! a fixed dimensionality `d`, stored contiguously as one `Vec<f32>`.
+//! The flat layout keeps the verification step (true distance
+//! computations, the dominant query-time cost of every LSH scheme here)
+//! sequential in memory.
+
+use std::fmt;
+
+/// A dense collection of `n` vectors in `R^d`, stored row-major.
+#[derive(Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Create a dataset from a flat buffer. `data.len()` must be a
+    /// multiple of `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` or the buffer length is not a multiple of
+    /// `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Create a dataset from a slice of equal-length vectors.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or rows disagree on length.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot infer dimension from zero rows");
+        let dim = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), dim, "row {i} has length {} != {dim}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self::from_flat(dim, data)
+    }
+
+    /// An empty dataset of the given dimensionality (for incremental fill).
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Append one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector length mismatch");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when the dataset holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw flat buffer (row-major).
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterate over vectors in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Bytes of vector payload (excluding the struct header).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * core::mem::size_of::<f32>()
+    }
+
+    /// Copy a contiguous id range `[lo, hi)` into a new dataset
+    /// (used to split generator output into data / query parts).
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Dataset {
+        assert!(lo <= hi && hi <= self.len(), "bad range {lo}..{hi}");
+        Dataset { dim: self.dim, data: self.data[lo * self.dim..hi * self.dim].to_vec() }
+    }
+}
+
+impl fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dataset")
+            .field("n", &self.len())
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let ds = Dataset::from_rows(&rows);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.get(1), &[3.0, 4.0]);
+        let collected: Vec<&[f32]> = ds.iter().collect();
+        assert_eq!(collected[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn push_and_slice() {
+        let mut ds = Dataset::empty(3);
+        assert!(ds.is_empty());
+        ds.push(&[1.0, 1.0, 1.0]);
+        ds.push(&[2.0, 2.0, 2.0]);
+        ds.push(&[3.0, 3.0, 3.0]);
+        let mid = ds.slice_rows(1, 2);
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid.get(0), &[2.0, 2.0, 2.0]);
+        assert_eq!(ds.payload_bytes(), 9 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_flat() {
+        Dataset::from_flat(3, vec![1.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn rejects_ragged_rows() {
+        Dataset::from_rows(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn rejects_bad_push() {
+        let mut ds = Dataset::empty(2);
+        ds.push(&[1.0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Distance kernels.
+//!
+//! C2LSH targets Euclidean space; the angular distance is included because
+//! the baseline comparison (and follow-up work) occasionally normalizes
+//! vectors. The squared-Euclidean kernel is the hot loop of every method's
+//! verification phase, so it is written to auto-vectorize: four
+//! independent accumulators over `chunks_exact(4)`.
+
+/// Squared Euclidean distance `‖a − b‖²`.
+///
+/// # Panics
+/// Panics when the slices disagree on length (debug and release: a length
+/// mismatch silently truncating would corrupt every experiment).
+#[inline]
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let (ac, ar) = a.split_at(a.len() - a.len() % 4);
+    let (bc, br) = b.split_at(b.len() - b.len() % 4);
+    for (ca, cb) in ac.chunks_exact(4).zip(bc.chunks_exact(4)) {
+        for i in 0..4 {
+            let d = ca[i] - cb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ar.iter().zip(br) {
+        let d = x - y;
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) as f64 + (acc[2] + acc[3]) as f64 + tail as f64
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Euclidean norm `‖a‖`.
+pub fn norm(a: &[f32]) -> f64 {
+    a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Dot product in `f64` accumulation.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Angular distance `θ(a, b) = arccos(a·b / (‖a‖‖b‖)) ∈ [0, π]`.
+///
+/// Returns `0` when either vector is all-zero (the convention used by the
+/// normalized-data experiments; a zero vector carries no direction).
+pub fn angular(a: &[f32], b: &[f32]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0).acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0; 17], &[1.0; 17]), 0.0);
+    }
+
+    #[test]
+    fn handles_non_multiple_of_four_dims() {
+        for d in 1..=13 {
+            let a: Vec<f32> = (0..d).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..d).map(|i| (i + 1) as f32).collect();
+            // every coordinate differs by exactly 1
+            assert!(
+                (euclidean_sq(&a, &b) - d as f64).abs() < 1e-6,
+                "dim {d} wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_vectors() {
+        // Simple LCG so this test needs no rand dependency.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+        };
+        for d in [1usize, 3, 4, 64, 129] {
+            let a: Vec<f32> = (0..d).map(|_| next()).collect();
+            let b: Vec<f32> = (0..d).map(|_| next()).collect();
+            let naive: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let diff = x as f64 - y as f64;
+                    diff * diff
+                })
+                .sum();
+            let fast = euclidean_sq(&a, &b);
+            assert!((naive - fast).abs() < 1e-4 * (1.0 + naive), "dim {d}");
+        }
+    }
+
+    #[test]
+    fn angular_distance_properties() {
+        let x = [1.0, 0.0];
+        let y = [0.0, 1.0];
+        let z = [-1.0, 0.0];
+        assert!((angular(&x, &y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((angular(&x, &z) - std::f64::consts::PI).abs() < 1e-12);
+        assert!(angular(&x, &x).abs() < 1e-6);
+        assert_eq!(angular(&[0.0, 0.0], &x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        euclidean_sq(&[1.0], &[1.0, 2.0]);
+    }
+}

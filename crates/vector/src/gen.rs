@@ -1,0 +1,225 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The original evaluation ran on four real datasets that are not
+//! redistributable. LSH behaviour is governed by (a) the dimensionality,
+//! (b) the contrast between nearest-neighbor distances and typical
+//! pairwise distances, and (c) local cluster structure — all of which the
+//! generators below control. Each generator is fully determined by a
+//! `u64` seed, so every experiment in the repository is reproducible
+//! bit-for-bit.
+//!
+//! Normal variates are produced with Box–Muller from `rand`'s uniform
+//! source (this repo deliberately avoids `rand_distr`).
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A standard-normal sampler (Box–Muller, caches the spare variate).
+#[derive(Debug)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// New sampler with an empty cache.
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// Draw one `N(0, 1)` variate.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Box–Muller on (0,1] uniforms; `1.0 - gen` keeps u1 > 0.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+impl Default for NormalSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shape of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// `clusters` Gaussian blobs with centers uniform in
+    /// `[0, scale]^d` and per-coordinate standard deviation
+    /// `spread · scale`. Mimics feature datasets with local structure
+    /// (Audio, Mnist, LabelMe).
+    GaussianMixture {
+        /// Number of mixture components.
+        clusters: usize,
+        /// Relative within-cluster std-dev (fraction of `scale`).
+        spread: f64,
+        /// Bounding-box side length of the cluster centers.
+        scale: f64,
+    },
+    /// Uniform in `[0, side]^d` — the unstructured stress case where LSH
+    /// contrast is worst.
+    UniformCube {
+        /// Cube side length.
+        side: f64,
+    },
+    /// Gaussian mixture whose per-cluster spreads follow a Pareto law
+    /// (`spread_i = spread · u^{-1/tail}`), giving a mix of tight and
+    /// diffuse regions like real color-histogram data (Color).
+    HeavyTailedMixture {
+        /// Number of mixture components.
+        clusters: usize,
+        /// Base relative spread.
+        spread: f64,
+        /// Bounding-box side of cluster centers.
+        scale: f64,
+        /// Pareto tail index; smaller = heavier tail. Must be > 0.
+        tail: f64,
+    },
+}
+
+/// Generate `n` vectors in `R^d` from `dist`, deterministically from
+/// `seed`.
+///
+/// # Panics
+/// Panics on `n == 0`, `d == 0`, zero clusters, or non-positive scale
+/// parameters.
+pub fn generate(dist: Distribution, n: usize, d: usize, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0, "need n > 0 and d > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = NormalSampler::new();
+    let mut data = Vec::with_capacity(n * d);
+
+    match dist {
+        Distribution::UniformCube { side } => {
+            assert!(side > 0.0, "side must be positive");
+            for _ in 0..n * d {
+                data.push((rng.gen::<f64>() * side) as f32);
+            }
+        }
+        Distribution::GaussianMixture { clusters, spread, scale } => {
+            assert!(clusters > 0, "need at least one cluster");
+            assert!(spread > 0.0 && scale > 0.0, "spread/scale must be positive");
+            let centers = cluster_centers(&mut rng, clusters, d, scale);
+            let sigma = spread * scale;
+            for i in 0..n {
+                let c = &centers[i % clusters];
+                for &cj in c.iter().take(d) {
+                    data.push((cj + sigma * normal.sample(&mut rng)) as f32);
+                }
+            }
+        }
+        Distribution::HeavyTailedMixture { clusters, spread, scale, tail } => {
+            assert!(clusters > 0, "need at least one cluster");
+            assert!(spread > 0.0 && scale > 0.0 && tail > 0.0, "parameters must be positive");
+            let centers = cluster_centers(&mut rng, clusters, d, scale);
+            let sigmas: Vec<f64> = (0..clusters)
+                .map(|_| {
+                    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                    // Pareto multiplier, capped to keep the box bounded.
+                    spread * scale * u.powf(-1.0 / tail).min(20.0)
+                })
+                .collect();
+            for i in 0..n {
+                let k = i % clusters;
+                for &cj in centers[k].iter().take(d) {
+                    data.push((cj + sigmas[k] * normal.sample(&mut rng)) as f32);
+                }
+            }
+        }
+    }
+    Dataset::from_flat(d, data)
+}
+
+fn cluster_centers(rng: &mut StdRng, clusters: usize, d: usize, scale: f64) -> Vec<Vec<f64>> {
+    (0..clusters)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>() * scale).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::euclidean;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Distribution::UniformCube { side: 1.0 }, 50, 8, 42);
+        let b = generate(Distribution::UniformCube { side: 1.0 }, 50, 8, 42);
+        let c = generate(Distribution::UniformCube { side: 1.0 }, 50, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_are_respected() {
+        let ds = generate(
+            Distribution::GaussianMixture { clusters: 5, spread: 0.05, scale: 10.0 },
+            123,
+            17,
+            7,
+        );
+        assert_eq!(ds.len(), 123);
+        assert_eq!(ds.dim(), 17);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = NormalSampler::new();
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = s.sample(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn mixture_is_actually_clustered() {
+        // Within-cluster distances must be far below typical cross-cluster
+        // distances; this is the property every LSH experiment relies on.
+        let clusters = 4;
+        let ds = generate(
+            Distribution::GaussianMixture { clusters, spread: 0.01, scale: 100.0 },
+            400,
+            32,
+            9,
+        );
+        // Points i and i+clusters share a cluster (round-robin assignment).
+        let within = euclidean(ds.get(0), ds.get(clusters));
+        let across = euclidean(ds.get(0), ds.get(1));
+        assert!(
+            within * 5.0 < across,
+            "within {within} not well below across {across}"
+        );
+    }
+
+    #[test]
+    fn uniform_stays_in_box() {
+        let ds = generate(Distribution::UniformCube { side: 3.0 }, 100, 5, 3);
+        for v in ds.iter() {
+            for &x in v {
+                assert!((0.0..=3.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > 0")]
+    fn rejects_empty_request() {
+        generate(Distribution::UniformCube { side: 1.0 }, 0, 4, 0);
+    }
+}

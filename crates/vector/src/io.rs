@@ -1,0 +1,248 @@
+//! Dataset (de)serialization.
+//!
+//! Two formats:
+//!
+//! * **`fvecs`** — the de-facto standard of the ANN benchmarking
+//!   community (TEXMEX): each vector is a little-endian `i32` dimension
+//!   followed by `d` little-endian `f32`s. Supported so users can load
+//!   the *real* Audio/Sift/Gist files if they have them.
+//! * **native `ccv1`** — a single header (`magic, n, d`) followed by the
+//!   flat payload, with an XOR-fold checksum; faster and self-describing.
+//!
+//! Both paths go through [`bytes::Buf`]/[`bytes::BufMut`] so the parsing
+//! logic is testable in memory without touching the filesystem.
+
+use crate::dataset::Dataset;
+use bytes::{Buf, BufMut};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Structurally invalid content.
+    Malformed(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Malformed(m) => write!(f, "malformed dataset file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+const CCV1_MAGIC: u32 = 0x4343_5631; // "CCV1"
+
+/// Encode a dataset in `fvecs` layout.
+pub fn to_fvecs(ds: &Dataset) -> Vec<u8> {
+    let d = ds.dim();
+    let mut buf = Vec::with_capacity(ds.len() * (4 + 4 * d));
+    for v in ds.iter() {
+        buf.put_i32_le(d as i32);
+        for &x in v {
+            buf.put_f32_le(x);
+        }
+    }
+    buf
+}
+
+/// Decode an `fvecs` buffer.
+pub fn from_fvecs(mut buf: &[u8]) -> Result<Dataset, IoError> {
+    if buf.is_empty() {
+        return Err(IoError::Malformed("empty fvecs buffer".into()));
+    }
+    let mut dim: Option<usize> = None;
+    let mut data = Vec::new();
+    let mut n = 0usize;
+    while buf.has_remaining() {
+        if buf.remaining() < 4 {
+            return Err(IoError::Malformed("truncated vector header".into()));
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Malformed(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(d0) if d0 != d => {
+                return Err(IoError::Malformed(format!(
+                    "inconsistent dimensions: {d0} then {d} at vector {n}"
+                )))
+            }
+            _ => {}
+        }
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Malformed(format!("truncated vector {n}")));
+        }
+        for _ in 0..d {
+            data.push(buf.get_f32_le());
+        }
+        n += 1;
+    }
+    Ok(Dataset::from_flat(dim.unwrap(), data))
+}
+
+/// Encode a dataset in the native `ccv1` layout.
+pub fn to_ccv1(ds: &Dataset) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + ds.payload_bytes());
+    buf.put_u32_le(CCV1_MAGIC);
+    buf.put_u32_le(ds.len() as u32);
+    buf.put_u32_le(ds.dim() as u32);
+    let mut checksum = 0u32;
+    for &x in ds.as_flat() {
+        let bits = x.to_bits();
+        checksum = checksum.rotate_left(1) ^ bits;
+    }
+    buf.put_u32_le(checksum);
+    for &x in ds.as_flat() {
+        buf.put_f32_le(x);
+    }
+    buf
+}
+
+/// Decode a native `ccv1` buffer, verifying magic, size and checksum.
+pub fn from_ccv1(mut buf: &[u8]) -> Result<Dataset, IoError> {
+    if buf.remaining() < 16 {
+        return Err(IoError::Malformed("header too short".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != CCV1_MAGIC {
+        return Err(IoError::Malformed(format!("bad magic {magic:#010x}")));
+    }
+    let n = buf.get_u32_le() as usize;
+    let d = buf.get_u32_le() as usize;
+    let want_sum = buf.get_u32_le();
+    if d == 0 {
+        return Err(IoError::Malformed("zero dimension".into()));
+    }
+    if buf.remaining() != 4 * n * d {
+        return Err(IoError::Malformed(format!(
+            "payload size {} != expected {}",
+            buf.remaining(),
+            4 * n * d
+        )));
+    }
+    let mut data = Vec::with_capacity(n * d);
+    let mut checksum = 0u32;
+    for _ in 0..n * d {
+        let x = buf.get_f32_le();
+        checksum = checksum.rotate_left(1) ^ x.to_bits();
+        data.push(x);
+    }
+    if checksum != want_sum {
+        return Err(IoError::Malformed(format!(
+            "checksum mismatch: stored {want_sum:#010x}, computed {checksum:#010x}"
+        )));
+    }
+    Ok(Dataset::from_flat(d, data))
+}
+
+/// Read a dataset from disk, dispatching on the `.fvecs` extension
+/// (anything else is treated as `ccv1`).
+pub fn read_dataset(path: &Path) -> Result<Dataset, IoError> {
+    let buf = fs::read(path)?;
+    if path.extension().is_some_and(|e| e == "fvecs") {
+        from_fvecs(&buf)
+    } else {
+        from_ccv1(&buf)
+    }
+}
+
+/// Write a dataset to disk in the format implied by the extension.
+pub fn write_dataset(path: &Path, ds: &Dataset) -> Result<(), IoError> {
+    let buf = if path.extension().is_some_and(|e| e == "fvecs") {
+        to_fvecs(ds)
+    } else {
+        to_ccv1(ds)
+    };
+    fs::write(path, buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(&[vec![1.5, -2.0, 0.0], vec![3.25, 4.0, -1.0]])
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let ds = sample();
+        let buf = to_fvecs(&ds);
+        assert_eq!(buf.len(), 2 * (4 + 12));
+        let back = from_fvecs(&buf).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn ccv1_roundtrip() {
+        let ds = sample();
+        let back = from_ccv1(&to_ccv1(&ds)).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn fvecs_rejects_truncation() {
+        let ds = sample();
+        let buf = to_fvecs(&ds);
+        assert!(matches!(from_fvecs(&buf[..buf.len() - 3]), Err(IoError::Malformed(_))));
+        assert!(matches!(from_fvecs(&buf[..2]), Err(IoError::Malformed(_))));
+        assert!(from_fvecs(&[]).is_err());
+    }
+
+    #[test]
+    fn fvecs_rejects_inconsistent_dims() {
+        let mut buf = to_fvecs(&sample());
+        let extra = to_fvecs(&Dataset::from_rows(&[vec![1.0, 2.0]]));
+        buf.extend_from_slice(&extra);
+        let err = from_fvecs(&buf).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn ccv1_detects_corruption() {
+        let mut buf = to_ccv1(&sample());
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let err = from_ccv1(&buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn ccv1_rejects_bad_magic_and_size() {
+        let mut buf = to_ccv1(&sample());
+        buf[0] ^= 0x01;
+        assert!(from_ccv1(&buf).unwrap_err().to_string().contains("magic"));
+        let buf = to_ccv1(&sample());
+        assert!(from_ccv1(&buf[..buf.len() - 4]).unwrap_err().to_string().contains("payload"));
+    }
+
+    #[test]
+    fn file_roundtrip_both_formats() {
+        let dir = std::env::temp_dir();
+        let ds = sample();
+        for name in ["cc_io_test.fvecs", "cc_io_test.ccv1"] {
+            let p = dir.join(name);
+            write_dataset(&p, &ds).unwrap();
+            let back = read_dataset(&p).unwrap();
+            assert_eq!(back, ds, "format {name}");
+            let _ = fs::remove_file(&p);
+        }
+    }
+}

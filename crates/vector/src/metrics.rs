@@ -1,0 +1,145 @@
+//! Quality metrics used throughout the evaluation.
+//!
+//! The paper reports two accuracy measures for c-k-ANN:
+//!
+//! * **recall** — the fraction of a method's `k` returned objects that
+//!   appear among the exact `k` nearest neighbors, and
+//! * **overall ratio** — `(1/k) Σ_i dist(o_i, q) / dist(o*_i, q)`, where
+//!   `o_i` is the method's i-th returned object (sorted by distance) and
+//!   `o*_i` the exact i-th NN. Ratio 1.0 is perfect; the theory bounds it
+//!   by `c` per rank with constant probability.
+
+use crate::gt::Neighbor;
+
+/// Recall of `result` against the exact neighbors `truth`.
+///
+/// Both lists are treated as id sets truncated to `k = truth.len()`.
+/// An empty truth set yields recall 1.0 by convention (nothing to find).
+pub fn recall(result: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = result
+        .iter()
+        .take(truth.len())
+        .filter(|r| truth.iter().any(|t| t.id == r.id))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Overall ratio of `result` against `truth` (both sorted by ascending
+/// distance). Pairs with an exact distance of zero contribute ratio 1
+/// when the method also returned distance zero, and are skipped when the
+/// method's distance is positive (the paper's datasets contain no
+/// duplicate-of-query cases; this convention keeps the metric finite).
+///
+/// When the method returned fewer than `truth.len()` objects, missing
+/// ranks are *penalized* with the worst observed finite ratio — an
+/// incomplete answer must not look better than a complete one.
+pub fn overall_ratio(result: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut ratios = Vec::with_capacity(truth.len());
+    for (i, t) in truth.iter().enumerate() {
+        if let Some(r) = result.get(i) {
+            if t.dist == 0.0 {
+                ratios.push(if r.dist == 0.0 { Some(1.0) } else { None });
+            } else {
+                ratios.push(Some(r.dist / t.dist));
+            }
+        } else {
+            ratios.push(None);
+        }
+    }
+    let worst = ratios
+        .iter()
+        .flatten()
+        .fold(1.0f64, |a, &b| a.max(b));
+    let filled: Vec<f64> = ratios.into_iter().map(|r| r.unwrap_or(worst.max(2.0))).collect();
+    filled.iter().sum::<f64>() / filled.len() as f64
+}
+
+/// Mean of per-query recalls.
+pub fn mean_recall(results: &[Vec<Neighbor>], truths: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(results.len(), truths.len(), "result/truth count mismatch");
+    if results.is_empty() {
+        return 1.0;
+    }
+    results.iter().zip(truths).map(|(r, t)| recall(r, t)).sum::<f64>() / results.len() as f64
+}
+
+/// Mean of per-query overall ratios.
+pub fn mean_ratio(results: &[Vec<Neighbor>], truths: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(results.len(), truths.len(), "result/truth count mismatch");
+    if results.is_empty() {
+        return 1.0;
+    }
+    results.iter().zip(truths).map(|(r, t)| overall_ratio(r, t)).sum::<f64>()
+        / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32, dist: f64) -> Neighbor {
+        Neighbor::new(id, dist)
+    }
+
+    #[test]
+    fn perfect_result() {
+        let truth = vec![n(3, 1.0), n(7, 2.0)];
+        assert_eq!(recall(&truth, &truth), 1.0);
+        assert_eq!(overall_ratio(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn half_recall() {
+        let truth = vec![n(1, 1.0), n(2, 2.0)];
+        let result = vec![n(1, 1.0), n(9, 3.0)];
+        assert_eq!(recall(&result, &truth), 0.5);
+    }
+
+    #[test]
+    fn ratio_reflects_distance_inflation() {
+        let truth = vec![n(1, 1.0), n(2, 2.0)];
+        let result = vec![n(5, 1.5), n(6, 3.0)];
+        // (1.5/1 + 3/2) / 2 = 1.5
+        assert!((overall_ratio(&result, &truth) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_result_is_penalized() {
+        let truth = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
+        let full = vec![n(1, 1.0), n(2, 2.0), n(3, 3.0)];
+        let short = vec![n(1, 1.0)];
+        assert!(overall_ratio(&short, &truth) > overall_ratio(&full, &truth));
+        assert!(overall_ratio(&short, &truth) >= 2.0 * 2.0 / 3.0);
+    }
+
+    #[test]
+    fn zero_distance_truth_handled() {
+        let truth = vec![n(1, 0.0), n(2, 2.0)];
+        let exact = vec![n(1, 0.0), n(2, 2.0)];
+        assert_eq!(overall_ratio(&exact, &truth), 1.0);
+        let miss = vec![n(9, 1.0), n(2, 2.0)];
+        let r = overall_ratio(&miss, &truth);
+        assert!(r.is_finite() && r > 1.0);
+    }
+
+    #[test]
+    fn empty_truth_conventions() {
+        assert_eq!(recall(&[], &[]), 1.0);
+        assert_eq!(overall_ratio(&[], &[]), 1.0);
+        assert_eq!(mean_recall(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn mean_metrics_average_queries() {
+        let truths = vec![vec![n(1, 1.0)], vec![n(2, 1.0)]];
+        let results = vec![vec![n(1, 1.0)], vec![n(9, 2.0)]];
+        assert!((mean_recall(&results, &truths) - 0.5).abs() < 1e-12);
+        assert!((mean_ratio(&results, &truths) - 1.5).abs() < 1e-12);
+    }
+}

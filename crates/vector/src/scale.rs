@@ -1,0 +1,96 @@
+//! Distance-scale estimation and normalization.
+//!
+//! LSH parameter theory is stated for a base radius `R = 1`; deployments
+//! either normalize the data so the nearest-neighbor scale is ≈ 1 (the
+//! paper's protocol) or tell the index the real scale via its
+//! `base_radius` knob. Both paths need an estimate of the typical 1-NN
+//! distance, provided here.
+
+use crate::dataset::Dataset;
+use crate::gt::knn_linear;
+
+/// Estimate the mean 1-NN distance of `data` from up to `sample` evenly
+/// spaced probe points (each matched against the full dataset, ignoring
+/// its zero self-distance).
+///
+/// # Panics
+/// Panics when the dataset has fewer than two points or every sampled
+/// point is a duplicate of another.
+pub fn mean_nn_distance(data: &Dataset, sample: usize) -> f64 {
+    assert!(data.len() >= 2, "need at least two points");
+    let step = (data.len() / sample.max(1)).max(1);
+    let mut acc = 0.0;
+    let mut cnt = 0usize;
+    let mut i = 0;
+    while i < data.len() && cnt < sample {
+        // 2-NN because the point itself is rank 1 at distance 0.
+        let nn = knn_linear(data, data.get(i), 2);
+        let d = if nn[0].dist > 0.0 { nn[0].dist } else { nn[1].dist };
+        if d > 0.0 {
+            acc += d;
+            cnt += 1;
+        }
+        i += step;
+    }
+    assert!(cnt > 0, "all sampled points were duplicates");
+    acc / cnt as f64
+}
+
+/// Multiply every coordinate by `factor` (distances scale by the same
+/// factor).
+pub fn rescale(data: &Dataset, factor: f64) -> Dataset {
+    Dataset::from_flat(
+        data.dim(),
+        data.as_flat().iter().map(|&x| (x as f64 * factor) as f32).collect(),
+    )
+}
+
+/// Normalize `data` so its mean 1-NN distance is ≈ 1. Returns the
+/// normalized dataset and the factor applied (apply the same factor to
+/// queries).
+pub fn normalize_to_unit_nn(data: &Dataset, sample: usize) -> (Dataset, f64) {
+    let unit = mean_nn_distance(data, sample);
+    let factor = 1.0 / unit;
+    (rescale(data, factor), factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_nn_ignores_self() {
+        let d = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]);
+        let m = mean_nn_distance(&d, 3);
+        // NN distances: 1, 1, 2 -> mean 4/3.
+        assert!((m - 4.0 / 3.0).abs() < 1e-6, "m = {m}");
+    }
+
+    #[test]
+    fn rescale_scales_distances_linearly() {
+        let d = Dataset::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        let r = rescale(&d, 0.5);
+        assert!((crate::dist::euclidean(r.get(0), r.get(1)) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_reaches_unit_scale() {
+        let d = crate::gen::generate(
+            crate::gen::Distribution::UniformCube { side: 500.0 },
+            300,
+            6,
+            1,
+        );
+        let (norm, factor) = normalize_to_unit_nn(&d, 40);
+        assert!(factor > 0.0);
+        let unit = mean_nn_distance(&norm, 40);
+        assert!((0.5..2.0).contains(&unit), "unit = {unit}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_singleton() {
+        let d = Dataset::from_rows(&[vec![1.0]]);
+        mean_nn_distance(&d, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Named dataset profiles mirroring the paper's evaluation datasets.
+//!
+//! The C2LSH evaluation used four real datasets. Their files are not
+//! redistributable, so each profile below reproduces the *(n, d)* shape
+//! and a qualitatively similar structure with a seeded generator
+//! (documented substitution — see `DESIGN.md` §2):
+//!
+//! | Profile   | n       | d   | paper dataset                      |
+//! |-----------|---------|-----|------------------------------------|
+//! | `Audio`   | 54,387  | 192 | audio features (LDC SWITCHBOARD)   |
+//! | `Mnist`   | 60,000  | 50  | MNIST digits, 50 principal dims    |
+//! | `Color`   | 68,040  | 32  | Corel color histograms             |
+//! | `LabelMe` | 181,093 | 512 | LabelMe GIST descriptors           |
+//!
+//! Every profile can be scaled down (`with_scale`) for quick runs and CI;
+//! the experiment binaries default to a scale chosen to finish in minutes
+//! while keeping n large enough for the asymptotic effects to show.
+
+use crate::dataset::Dataset;
+use crate::gen::{generate, Distribution};
+
+/// The four evaluation dataset profiles plus a free-form custom one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Profile {
+    /// 54,387 × 192 audio-feature-like vectors (smooth Gaussian mixture).
+    Audio,
+    /// 60,000 × 50 digit-feature-like vectors (many small clusters).
+    Mnist,
+    /// 68,040 × 32 color-histogram-like vectors (heavy-tailed mixture).
+    Color,
+    /// 181,093 × 512 GIST-like vectors (high-d Gaussian mixture).
+    LabelMe,
+    /// Arbitrary shape for scalability studies.
+    Custom {
+        /// Number of base vectors.
+        n: usize,
+        /// Dimensionality.
+        d: usize,
+    },
+}
+
+impl Profile {
+    /// Canonical profile name used in experiment tables and file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::Audio => "audio",
+            Profile::Mnist => "mnist",
+            Profile::Color => "color",
+            Profile::LabelMe => "labelme",
+            Profile::Custom { .. } => "custom",
+        }
+    }
+
+    /// Paper-scale `(n, d)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match *self {
+            Profile::Audio => (54_387, 192),
+            Profile::Mnist => (60_000, 50),
+            Profile::Color => (68_040, 32),
+            Profile::LabelMe => (181_093, 512),
+            Profile::Custom { n, d } => (n, d),
+        }
+    }
+
+    /// The generator behind this profile.
+    pub fn distribution(&self) -> Distribution {
+        match self {
+            // Broad clusters, moderate contrast: audio features vary
+            // smoothly across recordings.
+            Profile::Audio => {
+                Distribution::GaussianMixture { clusters: 120, spread: 0.035, scale: 10.0 }
+            }
+            // Ten digit classes with sub-structure: many tight clusters.
+            Profile::Mnist => {
+                Distribution::GaussianMixture { clusters: 200, spread: 0.02, scale: 255.0 }
+            }
+            // Histograms: most mass in a few dense regions, some diffuse.
+            Profile::Color => Distribution::HeavyTailedMixture {
+                clusters: 80,
+                spread: 0.008,
+                scale: 1.0,
+                tail: 1.5,
+            },
+            // High-d scene descriptors: moderate cluster count, high d.
+            Profile::LabelMe => {
+                Distribution::GaussianMixture { clusters: 300, spread: 0.03, scale: 1.0 }
+            }
+            Profile::Custom { .. } => {
+                Distribution::GaussianMixture { clusters: 64, spread: 0.03, scale: 10.0 }
+            }
+        }
+    }
+
+    /// Generate the base vectors plus `n_queries` held-out queries (drawn
+    /// from the same distribution, never part of the base set), at a size
+    /// scale `scale ∈ (0, 1]` of the paper-scale `n`.
+    ///
+    /// # Panics
+    /// Panics when `scale` is outside `(0, 1]` or scaling leaves zero
+    /// base vectors.
+    pub fn generate_scaled(&self, scale: f64, n_queries: usize, seed: u64) -> (Dataset, Dataset) {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let (n_full, d) = self.shape();
+        let n = ((n_full as f64 * scale) as usize).max(1);
+        let total = n + n_queries;
+        let all = generate(self.distribution(), total, d, seed);
+        let base = all.slice_rows(0, n);
+        let queries = all.slice_rows(n, total);
+        (base, queries)
+    }
+
+    /// Paper-scale generation (`scale = 1`).
+    pub fn generate(&self, n_queries: usize, seed: u64) -> (Dataset, Dataset) {
+        self.generate_scaled(1.0, n_queries, seed)
+    }
+
+    /// All four paper profiles, in the order the paper lists them.
+    pub fn paper_profiles() -> [Profile; 4] {
+        [Profile::Audio, Profile::Mnist, Profile::Color, Profile::LabelMe]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        assert_eq!(Profile::Audio.shape(), (54_387, 192));
+        assert_eq!(Profile::Mnist.shape(), (60_000, 50));
+        assert_eq!(Profile::Color.shape(), (68_040, 32));
+        assert_eq!(Profile::LabelMe.shape(), (181_093, 512));
+    }
+
+    #[test]
+    fn scaled_generation_splits_queries() {
+        let (base, queries) = Profile::Color.generate_scaled(0.01, 10, 5);
+        assert_eq!(base.dim(), 32);
+        assert_eq!(queries.dim(), 32);
+        assert_eq!(queries.len(), 10);
+        assert_eq!(base.len(), 680);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, qa) = Profile::Mnist.generate_scaled(0.002, 3, 11);
+        let (b, qb) = Profile::Mnist.generate_scaled(0.002, 3, 11);
+        assert_eq!(a, b);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn custom_profile_shape() {
+        let p = Profile::Custom { n: 1000, d: 24 };
+        assert_eq!(p.shape(), (1000, 24));
+        let (base, q) = p.generate_scaled(0.5, 4, 0);
+        assert_eq!(base.len(), 500);
+        assert_eq!(q.len(), 4);
+        assert_eq!(base.dim(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn rejects_zero_scale() {
+        Profile::Audio.generate_scaled(0.0, 1, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Workload bundles: base vectors + queries + exact ground truth.
+//!
+//! Every experiment consumes a [`Workload`]; building one is the single
+//! place where ground truth gets computed, so experiment binaries can
+//! share it across methods and `k` values (ground truth is computed once
+//! at the maximum `k` and truncated per use).
+
+use crate::dataset::Dataset;
+use crate::gt::{ground_truth, Neighbor};
+use crate::synth::Profile;
+
+/// A fully prepared evaluation workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name (profile name by default).
+    pub name: String,
+    /// Base vectors to index.
+    pub data: Dataset,
+    /// Held-out query vectors.
+    pub queries: Dataset,
+    /// Exact `gt_k` nearest neighbors per query.
+    pub truth: Vec<Vec<Neighbor>>,
+    /// Ground-truth depth.
+    pub gt_k: usize,
+}
+
+impl Workload {
+    /// Build a workload from explicit parts, computing ground truth.
+    pub fn from_parts(name: impl Into<String>, data: Dataset, queries: Dataset, gt_k: usize) -> Self {
+        let truth = ground_truth(&data, &queries, gt_k);
+        Self { name: name.into(), data, queries, truth, gt_k }
+    }
+
+    /// Build a workload from a synthetic [`Profile`].
+    ///
+    /// `scale` shrinks the paper-scale `n` (for quick runs); `n_queries`
+    /// follows the paper's protocol of 100 held-out queries; `gt_k` is the
+    /// deepest `k` any consumer will ask for.
+    pub fn from_profile(profile: Profile, scale: f64, n_queries: usize, gt_k: usize, seed: u64) -> Self {
+        let (data, queries) = profile.generate_scaled(scale, n_queries, seed);
+        Self::from_parts(profile.name(), data, queries, gt_k)
+    }
+
+    /// Ground truth truncated to depth `k`.
+    ///
+    /// # Panics
+    /// Panics when `k > self.gt_k` — callers must size `gt_k` up front.
+    pub fn truth_at(&self, k: usize) -> Vec<Vec<Neighbor>> {
+        assert!(k <= self.gt_k, "requested k={k} exceeds ground-truth depth {}", self.gt_k);
+        self.truth.iter().map(|t| t[..k.min(t.len())].to_vec()).collect()
+    }
+
+    /// Number of base vectors.
+    pub fn n(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_workload_has_truth() {
+        let w = Workload::from_profile(Profile::Color, 0.01, 5, 10, 3);
+        assert_eq!(w.queries.len(), 5);
+        assert_eq!(w.truth.len(), 5);
+        assert_eq!(w.truth[0].len(), 10);
+        assert_eq!(w.name, "color");
+        // Truth is sorted ascending.
+        for t in &w.truth {
+            for pair in t.windows(2) {
+                assert!(pair[0].dist <= pair[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn truth_truncation() {
+        let w = Workload::from_profile(Profile::Mnist, 0.002, 3, 8, 4);
+        let t5 = w.truth_at(5);
+        assert!(t5.iter().all(|t| t.len() == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ground-truth depth")]
+    fn deep_truncation_panics() {
+        let w = Workload::from_profile(Profile::Mnist, 0.002, 2, 4, 5);
+        let _ = w.truth_at(9);
+    }
+}

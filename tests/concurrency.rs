@@ -1,0 +1,93 @@
+//! Concurrency behaviour: shared indexes must be safe to query from many
+//! threads and produce exactly the sequential results.
+
+use c2lsh::{C2lshConfig, C2lshIndex, DiskIndex};
+use cc_vector::gen::{generate, Distribution};
+use cc_vector::gt::Neighbor;
+use std::sync::Arc;
+
+fn clustered(n: usize, d: usize, seed: u64) -> cc_vector::Dataset {
+    generate(
+        Distribution::GaussianMixture { clusters: 12, spread: 0.02, scale: 10.0 },
+        n,
+        d,
+        seed,
+    )
+}
+
+#[test]
+fn concurrent_queries_match_sequential() {
+    let data = Arc::new(clustered(1500, 16, 1));
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(2).build();
+    let index = C2lshIndex::build(&data, &cfg);
+
+    // Sequential reference.
+    let expected: Vec<Vec<Neighbor>> =
+        (0..32).map(|qi| index.query(data.get(qi * 40), 5).0).collect();
+
+    // 8 threads × 4 queries each, interleaved, against the same index.
+    let results: Vec<Vec<Neighbor>> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let index = &index;
+            let data = Arc::clone(&data);
+            handles.push(scope.spawn(move |_| {
+                (0..4)
+                    .map(|i| {
+                        let qi = t * 4 + i;
+                        index.query(data.get(qi * 40), 5).0
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    assert_eq!(results, expected, "concurrent results diverged from sequential");
+}
+
+#[test]
+fn batch_query_equals_manual_threads() {
+    let data = clustered(1000, 12, 3);
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(4).build();
+    let index = C2lshIndex::build(&data, &cfg);
+    let queries = data.slice_rows(0, 24);
+    let batch = index.query_batch(&queries, 7);
+    for (qi, (nn, _)) in batch.iter().enumerate() {
+        assert_eq!(nn, &index.query(queries.get(qi), 7).0, "query {qi}");
+    }
+}
+
+#[test]
+fn disk_index_io_accounting_is_exact_under_concurrency() {
+    // Atomic counters must not lose updates: total I/O after N concurrent
+    // queries equals the sum of N identical sequential queries.
+    let data = clustered(1200, 8, 5);
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(6).build();
+    let disk = DiskIndex::build(&data, &cfg);
+    let q = data.get(77).to_vec();
+
+    let (_, one) = disk.query(&q, 5);
+    let per_query_tables = one.io.reads - one.candidates_verified as u64;
+
+    let before = disk.page_file().stats();
+    crossbeam::scope(|scope| {
+        for _ in 0..6 {
+            let disk = &disk;
+            let q = q.clone();
+            scope.spawn(move |_| {
+                for _ in 0..5 {
+                    let _ = disk.query(&q, 5);
+                }
+            });
+        }
+    })
+    .unwrap();
+    let after = disk.page_file().stats().since(&before);
+    assert_eq!(
+        after.reads,
+        30 * per_query_tables,
+        "lost or duplicated I/O counts under concurrency"
+    );
+}

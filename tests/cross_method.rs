@@ -1,0 +1,107 @@
+//! Cross-method integration tests: every index answers the same workload
+//! coherently.
+
+use c2lsh::{C2lshConfig, C2lshIndex, DiskIndex};
+use cc_baselines::e2lsh::{E2lsh, E2lshConfig};
+use cc_baselines::linear::LinearScan;
+use cc_baselines::lsb::{LsbConfig, LsbForest};
+use cc_vector::gen::{generate, Distribution};
+use cc_vector::metrics::{mean_ratio, mean_recall};
+use cc_vector::workload::Workload;
+use qalsh::{Qalsh, QalshConfig};
+
+fn workload() -> Workload {
+    let all = generate(
+        Distribution::GaussianMixture { clusters: 20, spread: 0.015, scale: 10.0 },
+        2_030,
+        24,
+        77,
+    );
+    let data = all.slice_rows(0, 2_000);
+    let queries = all.slice_rows(2_000, 2_030);
+    Workload::from_parts("it", data, queries, 10)
+}
+
+#[test]
+fn all_methods_find_planted_exact_matches() {
+    let w = workload();
+    let c_cfg = C2lshConfig::builder().bucket_width(1.0).seed(5).build();
+    let c2 = C2lshIndex::build(&w.data, &c_cfg);
+    let c2d = DiskIndex::build(&w.data, &c_cfg);
+    let qa = Qalsh::build(&w.data, QalshConfig { w: 1.2, seed: 5, ..Default::default() });
+    let e2 = E2lsh::build(&w.data, E2lshConfig { k_funcs: 6, l_tables: 48, w: 1.0, seed: 5 });
+    let lsb = LsbForest::build(
+        &w.data,
+        LsbConfig { w: 0.5, budget: 200, quality_stop: false, seed: 5, ..Default::default() },
+    );
+
+    for probe in [0usize, 500, 1999] {
+        let q = w.data.get(probe);
+        assert_eq!(c2.query(q, 1).0[0].id as usize, probe, "c2lsh mem");
+        assert_eq!(c2d.query(q, 1).0[0].id as usize, probe, "c2lsh disk");
+        assert_eq!(qa.query(q, 1).0[0].id as usize, probe, "qalsh");
+        assert_eq!(e2.query(q, 1).0[0].id as usize, probe, "e2lsh");
+        assert_eq!(lsb.query(q, 1).0[0].id as usize, probe, "lsb");
+    }
+}
+
+#[test]
+fn memory_and_disk_c2lsh_agree_exactly() {
+    let w = workload();
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(6).build();
+    let mem = C2lshIndex::build(&w.data, &cfg);
+    let disk = DiskIndex::build(&w.data, &cfg);
+    for q in w.queries.iter() {
+        assert_eq!(mem.query(q, 10).0, disk.query(q, 10).0);
+    }
+}
+
+#[test]
+fn collision_counting_methods_beat_static_concat_at_equal_budget() {
+    // The paper's core claim (ablation A2): at an equal hash budget,
+    // dynamic collision counting extracts more recall.
+    let w = workload();
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(8).build();
+    let c2 = C2lshIndex::build(&w.data, &cfg);
+    let m = c2.params().m;
+    let e2 = E2lsh::build(
+        &w.data,
+        E2lshConfig { k_funcs: 8, l_tables: (m / 8).max(1), w: 1.0, seed: 8 },
+    );
+
+    let truth = w.truth_at(10);
+    let c2_res: Vec<_> = w.queries.iter().map(|q| c2.query(q, 10).0).collect();
+    let e2_res: Vec<_> = w.queries.iter().map(|q| e2.query(q, 10).0).collect();
+    let r_c2 = mean_recall(&c2_res, &truth);
+    let r_e2 = mean_recall(&e2_res, &truth);
+    assert!(
+        r_c2 > r_e2,
+        "dynamic counting recall {r_c2} should beat static concat {r_e2} at equal budget"
+    );
+}
+
+#[test]
+fn approximate_methods_stay_within_c_bound_on_ratio() {
+    let w = workload();
+    let truth = w.truth_at(10);
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(9).build();
+    let c2 = C2lshIndex::build(&w.data, &cfg);
+    let qa = Qalsh::build(&w.data, QalshConfig { w: 1.2, seed: 9, ..Default::default() });
+
+    let c2_res: Vec<_> = w.queries.iter().map(|q| c2.query(q, 10).0).collect();
+    let qa_res: Vec<_> = w.queries.iter().map(|q| qa.query(q, 10).0).collect();
+    // c = 2 quality bound, with margin: mean ratio far below 2.
+    assert!(mean_ratio(&c2_res, &truth) < 1.5);
+    assert!(mean_ratio(&qa_res, &truth) < 1.5);
+}
+
+#[test]
+fn linear_scan_is_the_quality_ceiling() {
+    let w = workload();
+    let lin = LinearScan::new(&w.data);
+    let truth = w.truth_at(10);
+    for (qi, q) in w.queries.iter().enumerate() {
+        let (nn, _) = lin.query(q, 10);
+        assert_eq!(nn, truth[qi], "query {qi}");
+    }
+}
