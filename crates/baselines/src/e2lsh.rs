@@ -145,7 +145,7 @@ impl<'d> E2lsh<'d> {
             reads: stats.io.reads + stats.candidates_verified as u64 * self.verify_pages,
             writes: 0,
         };
-        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         candidates.truncate(k);
         (candidates, stats)
     }

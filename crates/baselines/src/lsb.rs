@@ -63,7 +63,16 @@ pub struct LsbConfig {
 
 impl Default for LsbConfig {
     fn default() -> Self {
-        Self { k_funcs: 8, l_trees: 16, u_bits: 16, w: 1.0, c: 2, budget: 400, quality_stop: true, seed: 0 }
+        Self {
+            k_funcs: 8,
+            l_trees: 16,
+            u_bits: 16,
+            w: 1.0,
+            c: 2,
+            budget: 400,
+            quality_stop: true,
+            seed: 0,
+        }
     }
 }
 
@@ -210,11 +219,10 @@ impl<'d> LsbForest<'d> {
             // the c-approximation and the sweep stops.
             if self.config.quality_stop && candidates.len() >= k {
                 let mut kth: Vec<f64> = candidates.iter().map(|n| n.dist).collect();
-                kth.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                kth.sort_by(|a, b| a.total_cmp(b));
                 let dk = kth[k - 1];
                 let level = (f.llcp / self.config.k_funcs as u32).min(self.config.u_bits - 1);
-                let half_cell =
-                    self.config.w * 2f64.powi((self.config.u_bits - 1 - level) as i32);
+                let half_cell = self.config.w * 2f64.powi((self.config.u_bits - 1 - level) as i32);
                 if dk <= self.config.c as f64 * half_cell {
                     break;
                 }
@@ -241,7 +249,7 @@ impl<'d> LsbForest<'d> {
             reads: stats.io.reads + stats.candidates_verified as u64 * self.verify_pages,
             writes: 0,
         };
-        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         candidates.truncate(k);
         (candidates, stats)
     }

@@ -80,7 +80,7 @@ impl Eq for PSet {}
 impl Ord for PSet {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on score.
-        other.score.partial_cmp(&self.score).expect("non-finite probe score")
+        other.score.total_cmp(&self.score)
     }
 }
 impl PartialOrd for PSet {
@@ -142,7 +142,7 @@ impl<'d> MultiProbeLsh<'d> {
             moves.push((frac * frac, f, -1)); // cross the lower boundary
             moves.push(((w - frac) * (w - frac), f, 1)); // cross the upper
         }
-        moves.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        moves.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Enumerate perturbation sets in ascending total score using the
         // shift/expand heap over indices into `moves`.
@@ -336,14 +336,10 @@ mod tests {
         // The multi-probe selling point: L=4 with 24 probes should reach
         // the recall ballpark of L=16 with none, at a quarter the index.
         let data = clustered(2000, 6);
-        let small = MultiProbeLsh::build(
-            &data,
-            MultiProbeConfig { l_tables: 4, probes: 24, ..cfg() },
-        );
-        let big = MultiProbeLsh::build(
-            &data,
-            MultiProbeConfig { l_tables: 16, probes: 0, ..cfg() },
-        );
+        let small =
+            MultiProbeLsh::build(&data, MultiProbeConfig { l_tables: 4, probes: 24, ..cfg() });
+        let big =
+            MultiProbeLsh::build(&data, MultiProbeConfig { l_tables: 16, probes: 0, ..cfg() });
         let mut r_small = 0.0;
         let mut r_big = 0.0;
         for qi in 0..20 {

@@ -98,7 +98,7 @@ fn merge_neighbors(best: &mut Vec<Neighbor>, new: &[Neighbor], k: usize) {
             best.push(*n);
         }
     }
-    best.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+    best.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     best.truncate(k);
 }
 

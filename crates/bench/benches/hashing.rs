@@ -11,9 +11,7 @@ fn bench_hash_string(c: &mut Criterion) {
     let cfg = C2lshConfig::default();
     let family = HashFamily::generate(100, d, &cfg);
     let v = data.get(0);
-    c.bench_function("hash_string_m100_d128", |b| {
-        b.iter(|| family.buckets(black_box(v)))
-    });
+    c.bench_function("hash_string_m100_d128", |b| b.iter(|| family.buckets(black_box(v))));
 }
 
 fn bench_derive_params(c: &mut Criterion) {

@@ -26,7 +26,8 @@ fn bench_queries(c: &mut Criterion) {
     let c2 = c2lsh::C2lshIndex::build(&data, &cfg);
     g.bench_function("c2lsh", |b| b.iter(|| c2.query(black_box(&q), k)));
 
-    let qa = qalsh::Qalsh::build(&data, qalsh::QalshConfig { w: 1.2, seed: 2, ..Default::default() });
+    let qa =
+        qalsh::Qalsh::build(&data, qalsh::QalshConfig { w: 1.2, seed: 2, ..Default::default() });
     g.bench_function("qalsh", |b| b.iter(|| qa.query(black_box(&q), k)));
 
     let e2 = E2lsh::build(&data, E2lshConfig { k_funcs: 8, l_tables: 32, w: 1.0, seed: 2 });
@@ -34,7 +35,14 @@ fn bench_queries(c: &mut Criterion) {
 
     let lsb = LsbForest::build(
         &data,
-        LsbConfig { l_trees: 12, w: 0.5, budget: 200, quality_stop: false, seed: 2, ..Default::default() },
+        LsbConfig {
+            l_trees: 12,
+            w: 0.5,
+            budget: 200,
+            quality_stop: false,
+            seed: 2,
+            ..Default::default()
+        },
     );
     g.bench_function("lsb_forest", |b| b.iter(|| lsb.query(black_box(&q), k)));
 

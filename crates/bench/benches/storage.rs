@@ -11,9 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn bench_bptree(c: &mut Criterion) {
     let pairs: Vec<(i64, u32)> = (0..100_000).map(|i| (i as i64, i as u32)).collect();
     let tree = BPlusTree::bulk_load(&pairs);
-    c.bench_function("bptree_lower_bound_100k", |b| {
-        b.iter(|| tree.lower_bound(black_box(73_421)))
-    });
+    c.bench_function("bptree_lower_bound_100k", |b| b.iter(|| tree.lower_bound(black_box(73_421))));
     c.bench_function("bptree_range_scan_1k", |b| {
         b.iter(|| tree.range(black_box(50_000), black_box(51_000)))
     });

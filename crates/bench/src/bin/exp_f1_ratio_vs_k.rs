@@ -16,10 +16,8 @@ fn main() {
     let scale = cc_bench::scale();
     let nq = cc_bench::queries();
     let ks = [1usize, 10, 20, 40, 60, 80, 100];
-    let mut t = Table::new(
-        format!("F1: ratio & recall vs k (scale {scale}, {nq} queries)"),
-        &EVAL_HEADERS,
-    );
+    let mut t =
+        Table::new(format!("F1: ratio & recall vs k (scale {scale}, {nq} queries)"), &EVAL_HEADERS);
     for profile in Profile::paper_profiles() {
         let w = prepare_workload(profile, scale, nq, *ks.last().unwrap(), 11);
         let c2 = defaults::c2lsh(&w.data, 11);

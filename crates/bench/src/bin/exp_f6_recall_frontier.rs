@@ -8,8 +8,8 @@
 use c2lsh::{Beta, C2lshConfig, C2lshIndex};
 use cc_baselines::e2lsh::{E2lsh, E2lshConfig};
 use cc_baselines::lsb::{LsbConfig, LsbForest};
-use cc_bench::eval::evaluate;
 use cc_baselines::multiprobe::{MultiProbeConfig, MultiProbeLsh};
+use cc_bench::eval::evaluate;
 use cc_bench::methods::{C2lshMem, E2lshIdx, LsbIdx, MultiProbeIdx, QalshIdx};
 use cc_bench::prep::prepare_workload;
 use cc_bench::table::{f3, Table};
@@ -44,8 +44,10 @@ fn main() {
     }
     // QALSH: same sweep.
     for beta in [25u64, 50, 100, 200, 400] {
-        let idx =
-            QalshIdx(Qalsh::build(&w.data, QalshConfig { beta_count: beta, seed: 29, ..Default::default() }));
+        let idx = QalshIdx(Qalsh::build(
+            &w.data,
+            QalshConfig { beta_count: beta, seed: 29, ..Default::default() },
+        ));
         let r = evaluate(&idx, &w, k);
         t.row(vec![
             profile.name().into(),

@@ -20,7 +20,15 @@ fn main() {
     let k = 10;
     let mut t = Table::new(
         format!("F9: LRU buffer-pool hit rates on the C2LSH access trace (k = {k})"),
-        &["dataset", "index_pages", "trace_len", "pool_pages", "pool_frac", "hit_rate", "physical_reads"],
+        &[
+            "dataset",
+            "index_pages",
+            "trace_len",
+            "pool_pages",
+            "pool_frac",
+            "hit_rate",
+            "physical_reads",
+        ],
     );
     for profile in [Profile::Mnist, Profile::Color] {
         let w = prepare_workload(profile, scale, nq, k, 59);

@@ -1,26 +1,38 @@
 //! A uniform facade over every method in the evaluation.
 //!
 //! The experiment binaries talk to [`AnnIndex`] only, so each figure's
-//! code is a loop over methods instead of per-method plumbing.
+//! code is a loop over methods instead of per-method plumbing. Every
+//! method reports its cost as a [`QueryStats`] — the engine-backed
+//! methods return theirs natively (with wall-clock timing enabled);
+//! baseline methods have their [`BaselineStats`] lifted into the same
+//! shape — so the harness aggregates everything through
+//! [`c2lsh::BatchStats`].
 
+use c2lsh::engine::SearchOptions;
+use c2lsh::QueryStats;
+use cc_baselines::BaselineStats;
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
 
-/// Per-query cost in the units the paper reports.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Cost {
-    /// Objects whose true distance was computed.
-    pub verified: usize,
-    /// Page reads (disk cost model; 0 where not modeled).
-    pub io_reads: u64,
+/// Options the engine-backed wrappers query with: wall-clock timing on,
+/// per-round breakdowns off (the harness reports means, not rounds).
+fn timed() -> SearchOptions {
+    SearchOptions { timing: true, ..Default::default() }
+}
+
+/// Lift a baseline's counters into the uniform [`QueryStats`] shape
+/// (no rehashing rounds or termination reason to report; the harness
+/// stamps wall-clock time itself for these).
+fn lift(s: &BaselineStats) -> QueryStats {
+    QueryStats { candidates_verified: s.candidates_verified, io: s.io, ..QueryStats::new() }
 }
 
 /// Uniform query interface.
 pub trait AnnIndex {
     /// Display name used in tables.
     fn name(&self) -> &str;
-    /// c-k-ANN query.
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost);
+    /// c-k-ANN query with cost counters.
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats);
     /// Index size in bytes (excluding the raw data, which all methods
     /// share).
     fn size_bytes(&self) -> usize;
@@ -33,9 +45,8 @@ impl AnnIndex for C2lshMem<'_> {
     fn name(&self) -> &str {
         "C2LSH"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
-        let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.0.query_with(q, k, &timed())
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -49,12 +60,26 @@ impl AnnIndex for C2lshDisk<'_> {
     fn name(&self) -> &str {
         "C2LSH(disk)"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
-        let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.0.query_with(q, k, &timed())
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
+    }
+}
+
+/// C2LSH, updatable backend (owns its vectors).
+pub struct C2lshDyn(pub c2lsh::DynamicIndex);
+
+impl AnnIndex for C2lshDyn {
+    fn name(&self) -> &str {
+        "C2LSH(dyn)"
+    }
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.0.query_with(q, k, &timed())
+    }
+    fn size_bytes(&self) -> usize {
+        0 // in-memory maps; not part of the paper's index-size metric
     }
 }
 
@@ -65,9 +90,8 @@ impl AnnIndex for QalshIdx<'_> {
     fn name(&self) -> &str {
         "QALSH"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
-        let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.0.query_with(q, k, &timed())
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -81,9 +105,9 @@ impl AnnIndex for E2lshIdx<'_> {
     fn name(&self) -> &str {
         "E2LSH"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
         let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+        (nn, lift(&s))
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -97,9 +121,9 @@ impl AnnIndex for RigorousIdx<'_> {
     fn name(&self) -> &str {
         "RigorousLSH"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
         let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+        (nn, lift(&s))
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -113,9 +137,9 @@ impl AnnIndex for LsbIdx<'_> {
     fn name(&self) -> &str {
         "LSB-forest"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
         let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+        (nn, lift(&s))
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -129,9 +153,9 @@ impl AnnIndex for MultiProbeIdx<'_> {
     fn name(&self) -> &str {
         "MultiProbe"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
         let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+        (nn, lift(&s))
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -145,9 +169,9 @@ impl AnnIndex for LinearIdx<'_> {
     fn name(&self) -> &str {
         "LinearScan"
     }
-    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, Cost) {
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
         let (nn, s) = self.0.query(q, k);
-        (nn, Cost { verified: s.candidates_verified, io_reads: s.io.reads })
+        (nn, lift(&s))
     }
     fn size_bytes(&self) -> usize {
         self.0.size_bytes()
@@ -171,6 +195,12 @@ pub mod defaults {
     pub fn c2lsh_disk(data: &Dataset, seed: u64) -> C2lshDisk<'_> {
         let cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
         C2lshDisk(c2lsh::DiskIndex::build(data, &cfg))
+    }
+
+    /// C2LSH dynamic backend, same parameters (bulk-loaded).
+    pub fn c2lsh_dyn(data: &Dataset, seed: u64) -> C2lshDyn {
+        let cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
+        C2lshDyn(c2lsh::DynamicIndex::from_dataset(data, &cfg))
     }
 
     /// QALSH at its ρ-optimal width.

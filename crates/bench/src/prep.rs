@@ -40,10 +40,7 @@ mod tests {
     fn normalization_brings_nn_scale_to_one() {
         let w = prepare_workload(Profile::Color, 0.02, 4, 5, 3);
         let unit = mean_nn_distance(&w.data, 40);
-        assert!(
-            (0.5..2.0).contains(&unit),
-            "normalized mean NN distance {unit} not near 1"
-        );
+        assert!((0.5..2.0).contains(&unit), "normalized mean NN distance {unit} not near 1");
     }
 
     #[test]

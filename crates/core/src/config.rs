@@ -84,9 +84,7 @@ impl C2lshConfig {
         }
         match self.beta {
             Beta::Count(0) => return Err(C2lshError::BadBeta(0.0)),
-            Beta::Fraction(f) if !(f > 0.0 && f < 1.0) => {
-                return Err(C2lshError::BadBeta(f))
-            }
+            Beta::Fraction(f) if !(f > 0.0 && f < 1.0) => return Err(C2lshError::BadBeta(f)),
             _ => {}
         }
         if self.m_override == Some(0) {

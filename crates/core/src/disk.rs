@@ -5,19 +5,19 @@
 //! into 4 KiB pages of a [`PageFile`] — so each query's page I/O can be
 //! measured exactly, reproducing the paper's I/O-cost experiments.
 //!
-//! The same [`run_query`] loop runs against this store; the in-memory
+//! The [`crate::engine`] loop runs against this store; the in-memory
 //! fence keys of each [`BucketFile`] play the role of the (always-cached)
 //! sparse index over each sorted run, and leaf-page reads are charged to
 //! the embedded [`PageFile`]'s counters.
 
 use crate::config::C2lshConfig;
-use crate::counting::CollisionCounter;
+use crate::engine::counting::CollisionCounter;
+use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
 use crate::params::FullParams;
-use crate::query::{run_query, TableStore};
-use crate::stats::QueryStats;
+use crate::stats::{BatchStats, QueryStats};
 use cc_storage::bucket_file::BucketFile;
-use cc_storage::pagefile::{IoStats, PageFile};
+use cc_storage::pagefile::PageFile;
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
 use parking_lot::Mutex;
@@ -75,6 +75,15 @@ impl<'d> DiskIndex<'d> {
         &self.params
     }
 
+    fn search_params(&self) -> SearchParams {
+        SearchParams {
+            c: self.config.c,
+            l: self.params.l as u32,
+            beta_n: self.params.beta_n,
+            base_radius: self.config.base_radius,
+        }
+    }
+
     /// c-k-ANN query with exact page-I/O accounting.
     ///
     /// The returned [`QueryStats::io`] contains the pages read from the
@@ -82,24 +91,49 @@ impl<'d> DiskIndex<'d> {
     /// vector to compute its true distance), matching the paper's cost
     /// model for disk-resident data.
     pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
-        let before = self.file.stats();
+        self.query_with(q, k, &SearchOptions::default())
+    }
+
+    /// [`DiskIndex::query`] with explicit observability options.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
         let mut counter = self.counter.lock();
-        let (nn, mut stats) = run_query(
-            self.data,
-            self,
-            &self.family,
-            &self.params,
-            &self.config,
-            &mut counter,
-            q,
-            k,
-        );
-        let table_io = self.file.stats().since(&before);
-        stats.io = IoStats {
-            reads: table_io.reads + stats.candidates_verified as u64 * self.verify_pages,
-            writes: table_io.writes,
-        };
-        (nn, stats)
+        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+    }
+
+    /// Convenience c-ANN (k = 1).
+    pub fn query_one(&self, q: &[f32]) -> (Option<Neighbor>, QueryStats) {
+        let (mut nn, stats) = self.query(q, 1);
+        (nn.pop(), stats)
+    }
+
+    /// Answer a whole query set in parallel across scoped threads.
+    ///
+    /// Per-query [`QueryStats::io`] carries the deterministic
+    /// verification charge; the table page reads of the whole batch are
+    /// reported once in [`BatchStats::io`] (workers share the page
+    /// file's counters, so a per-query table delta is not attributable
+    /// under concurrency).
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        self.query_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`DiskIndex::query_batch`] with explicit observability options.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        engine::run_query_batch(self, &self.search_params(), queries, k, opts)
     }
 
     /// Index size in pages (hash tables only; the paper's index-size
@@ -120,20 +154,55 @@ impl<'d> DiskIndex<'d> {
 }
 
 impl TableStore for DiskIndex<'_> {
+    type Cursor = BucketWindows;
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn num_tables(&self) -> usize {
         self.tables.len()
     }
 
-    fn table_len(&self) -> usize {
-        self.data.len()
+    fn begin(&self, q: &[f32]) -> BucketWindows {
+        BucketWindows::new(self.family.buckets(q))
     }
 
-    fn lower_bound(&self, t: usize, target: i64) -> usize {
-        self.tables[t].lower_bound(&self.file, target)
+    fn expand(
+        &self,
+        cursor: &mut BucketWindows,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(u32) -> bool,
+    ) {
+        let table = &self.tables[t];
+        let n = self.data.len();
+        let (left, right) = cursor.grow(t, radius, n, |b| table.lower_bound(&self.file, b));
+        for range in [left, right] {
+            if !range.is_empty() {
+                table.scan_while(&self.file, range.start, range.end, |_, oid| visit(oid));
+            }
+        }
     }
 
-    fn scan_while(&self, t: usize, from: usize, to: usize, f: &mut dyn FnMut(u32) -> bool) {
-        self.tables[t].scan_while(&self.file, from, to, |_, oid| f(oid));
+    fn exhausted(&self, cursor: &BucketWindows) -> bool {
+        cursor.exhausted(self.data.len())
+    }
+
+    fn vector(&self, oid: u32) -> Option<&[f32]> {
+        Some(self.data.get(oid as usize))
+    }
+
+    fn verify_pages(&self) -> u64 {
+        self.verify_pages
+    }
+
+    fn io_reads(&self) -> u64 {
+        self.file.stats().reads
     }
 }
 
@@ -202,5 +271,28 @@ mod tests {
         let data = clustered(300, 1500, 14); // 6000 B per vector -> 2 pages
         let disk = DiskIndex::build(&data, &cfg());
         assert_eq!(disk.verify_pages, 2);
+    }
+
+    #[test]
+    fn batch_results_match_sequential_and_io_is_conserved() {
+        let data = clustered(900, 12, 15);
+        let disk = DiskIndex::build(&data, &cfg());
+        let queries = data.slice_rows(0, 16);
+        let (batch, agg) = disk.query_batch(&queries, 5);
+        let mut seq_table_reads = 0u64;
+        let mut seq_verify_reads = 0u64;
+        for (qi, (nn, stats)) in batch.iter().enumerate() {
+            let (seq_nn, seq_stats) = disk.query(queries.get(qi), 5);
+            assert_eq!(nn, &seq_nn, "query {qi}");
+            let verify = seq_stats.candidates_verified as u64 * disk.verify_pages;
+            // Per-query batch I/O carries only the verification charge.
+            assert_eq!(stats.io.reads, verify, "query {qi}");
+            seq_verify_reads += verify;
+            seq_table_reads += seq_stats.io.reads - verify;
+        }
+        // Batch-level I/O = all verification charges + table reads of
+        // the whole batch, which matches the sequential sum exactly
+        // (bucket scans read the same pages either way).
+        assert_eq!(agg.io.reads, seq_verify_reads + seq_table_reads);
     }
 }

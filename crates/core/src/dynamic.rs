@@ -8,20 +8,21 @@
 //!
 //! [`DynamicIndex`] owns its data and keeps each hash table as a
 //! `BTreeMap<bucket, Vec<oid>>`, trading the static index's cache-dense
-//! sorted runs for O(log n) updates. The query loop is the same
-//! algorithm as [`crate::query::run_query`] — virtual rehashing windows,
-//! incremental counting, terminating conditions T1/T2 — expressed over
-//! key ranges instead of array positions.
+//! sorted runs for O(log n) updates. Queries run through the shared
+//! [`crate::engine`] loop — the same virtual-rehashing windows,
+//! incremental counting and T1/T2 termination as every other backend —
+//! expressed over key ranges ([`KeyWindows`]) instead of array
+//! positions, with deleted ids tombstoned via [`TableStore::vector`].
 
 use crate::config::C2lshConfig;
-use crate::counting::CollisionCounter;
+use crate::engine::counting::CollisionCounter;
+use crate::engine::{self, KeyWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
 use crate::params::FullParams;
-use crate::rehash::{radius_at, window};
-use crate::stats::{QueryStats, Termination};
+use crate::stats::{BatchStats, QueryStats};
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::euclidean;
 use cc_vector::gt::Neighbor;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// An updatable C2LSH index owning its vectors.
@@ -34,7 +35,8 @@ pub struct DynamicIndex {
     vectors: Vec<Option<Vec<f32>>>,
     live: usize,
     tables: Vec<BTreeMap<i64, Vec<u32>>>,
-    counter: CollisionCounter,
+    /// Reusable query scratch behind a lock, so queries take `&self`.
+    counter: Mutex<CollisionCounter>,
 }
 
 impl DynamicIndex {
@@ -58,7 +60,7 @@ impl DynamicIndex {
             vectors: Vec::new(),
             live: 0,
             tables,
-            counter: CollisionCounter::new(0),
+            counter: Mutex::new(CollisionCounter::new(0)),
         }
     }
 
@@ -131,88 +133,117 @@ impl DynamicIndex {
         self.vectors.get(oid as usize).and_then(|v| v.as_deref())
     }
 
+    fn search_params(&self) -> SearchParams {
+        SearchParams {
+            c: self.config.c,
+            l: self.params.l as u32,
+            beta_n: self.params.beta_n,
+            base_radius: self.config.base_radius,
+        }
+    }
+
     /// c-k-ANN query (same algorithm and guarantees as the static
-    /// index; see module docs).
-    pub fn query(&mut self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
-        assert!(k > 0, "k must be positive");
-        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
-        assert!(q.iter().all(|x| x.is_finite()), "query contains non-finite coordinates");
-        let m = self.family.len();
-        let l = self.params.l as u32;
-        let cap = k + self.params.beta_n;
-        let mut stats = QueryStats::new();
-        if self.counter.capacity() < self.vectors.len() {
-            self.counter = CollisionCounter::new(self.vectors.len());
-        }
-        self.counter.begin_query();
+    /// index; see module docs). Takes `&self`: the collision-counter
+    /// scratch lives behind a lock, so concurrent readers are fine.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.query_with(q, k, &SearchOptions::default())
+    }
 
-        let q_buckets: Vec<i64> = self.family.buckets(q);
-        // Covered bucket-id window per table (half-open, in bucket ids).
-        let mut covered: Vec<Option<(i64, i64)>> = vec![None; m];
-        let mut candidates: Vec<Neighbor> = Vec::with_capacity(cap);
+    /// [`DynamicIndex::query`] with explicit observability options.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let mut counter = self.counter.lock();
+        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+    }
 
-        let mut level: u32 = 0;
-        'outer: loop {
-            let radius = radius_at(self.config.c, level);
-            stats.rounds += 1;
-            stats.final_radius = radius;
+    /// Convenience c-ANN (k = 1).
+    pub fn query_one(&self, q: &[f32]) -> (Option<Neighbor>, QueryStats) {
+        let (mut nn, stats) = self.query(q, 1);
+        (nn.pop(), stats)
+    }
 
-            for t in 0..m {
-                let (blo, bhi) = window(q_buckets[t], radius);
-                // Delta key ranges vs the previously covered window.
-                let deltas: [(i64, i64); 2] = match covered[t] {
-                    None => [(blo, bhi), (0, 0)],
-                    Some((plo, phi)) => [(blo, plo), (phi, bhi)],
-                };
-                covered[t] = Some((blo, bhi));
-                for &(lo, hi) in &deltas {
-                    if lo >= hi {
-                        continue;
-                    }
-                    for (_, bucket) in self.tables[t].range(lo..hi) {
-                        for &oid in bucket {
-                            stats.collisions_counted += 1;
-                            let cnt = self.counter.increment(oid);
-                            if cnt == l && self.counter.mark_verified(oid) {
-                                let Some(v) = self.vectors[oid as usize].as_deref() else {
-                                    continue;
-                                };
-                                let d = euclidean(v, q);
-                                stats.candidates_verified += 1;
-                                candidates.push(Neighbor::new(oid, d));
-                                if candidates.len() >= cap {
-                                    stats.terminated_by = Termination::T2CandidateBudget;
-                                    break 'outer;
-                                }
-                            }
-                        }
+    /// Answer a whole query set in parallel across scoped threads
+    /// (results in query order, identical to sequential queries).
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        self.query_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`DynamicIndex::query_batch`] with explicit observability options.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        engine::run_query_batch(self, &self.search_params(), queries, k, opts)
+    }
+}
+
+impl TableStore for DynamicIndex {
+    type Cursor = KeyWindows;
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn id_bound(&self) -> usize {
+        // Tombstoned ids still index the counter arrays.
+        self.vectors.len()
+    }
+
+    fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn begin(&self, q: &[f32]) -> KeyWindows {
+        KeyWindows::new(self.family.buckets(q))
+    }
+
+    fn expand(
+        &self,
+        cursor: &mut KeyWindows,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(u32) -> bool,
+    ) {
+        for (lo, hi) in cursor.grow(t, radius) {
+            if lo >= hi {
+                continue;
+            }
+            for (_, bucket) in self.tables[t].range(lo..hi) {
+                for &oid in bucket {
+                    if !visit(oid) {
+                        return;
                     }
                 }
             }
-
-            let c_r = self.config.c as f64 * radius as f64 * self.config.base_radius;
-            if candidates.iter().filter(|cand| cand.dist <= c_r).count() >= k {
-                stats.terminated_by = Termination::T1AtRadius;
-                break;
-            }
-            // Exhausted: every table's window covers all its keys.
-            let all_covered = (0..m).all(|t| {
-                let Some((lo, hi)) = covered[t] else { return false };
-                match (self.tables[t].keys().next(), self.tables[t].keys().next_back()) {
-                    (Some(&min), Some(&max)) => lo <= min && hi > max,
-                    _ => true, // empty table
-                }
-            });
-            if all_covered {
-                stats.terminated_by = Termination::Exhausted;
-                break;
-            }
-            level += 1;
         }
+    }
 
-        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
-        candidates.truncate(k);
-        (candidates, stats)
+    fn exhausted(&self, cursor: &KeyWindows) -> bool {
+        (0..self.tables.len()).all(|t| {
+            let keys = match (self.tables[t].keys().next(), self.tables[t].keys().next_back()) {
+                (Some(&min), Some(&max)) => Some((min, max)),
+                _ => None, // empty table
+            };
+            cursor.covers(t, keys)
+        })
+    }
+
+    fn vector(&self, oid: u32) -> Option<&[f32]> {
+        self.vectors.get(oid as usize).and_then(|v| v.as_deref())
     }
 }
 
@@ -220,6 +251,7 @@ impl DynamicIndex {
 mod tests {
     use super::*;
     use crate::index::C2lshIndex;
+    use crate::stats::Termination;
     use cc_vector::gen::{generate, Distribution};
 
     fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
@@ -240,7 +272,7 @@ mod tests {
         // Same config/seed => same hash family => identical candidates.
         let data = clustered(800, 12, 1);
         let static_idx = C2lshIndex::build(&data, &cfg());
-        let mut dyn_idx = DynamicIndex::from_dataset(&data, &cfg());
+        let dyn_idx = DynamicIndex::from_dataset(&data, &cfg());
         for qi in [0usize, 99, 700] {
             let q = data.get(qi).to_vec();
             let (s_nn, _) = static_idx.query(&q, 10);
@@ -316,10 +348,41 @@ mod tests {
         idx.insert(vec![100.0; 4]);
         let (nn, stats) = idx.query(&[50.0; 4], 2);
         assert_eq!(nn.len(), 2);
-        assert!(matches!(
-            stats.terminated_by,
-            Termination::Exhausted | Termination::T1AtRadius
-        ));
+        assert!(matches!(stats.terminated_by, Termination::Exhausted | Termination::T1AtRadius));
+    }
+
+    #[test]
+    fn query_takes_shared_reference() {
+        // Concurrent readers over one shared index: compiles only with
+        // `query(&self)`, and the lock keeps the scratch coherent.
+        let data = clustered(150, 6, 5);
+        let idx = DynamicIndex::from_dataset(&data, &cfg());
+        let expected = idx.query(data.get(3), 4).0;
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                let expected = &expected;
+                let idx = &idx;
+                let data = &data;
+                s.spawn(move |_| {
+                    let (nn, _) = idx.query(data.get(3), 4);
+                    assert_eq!(&nn, expected);
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let data = clustered(400, 8, 6);
+        let idx = DynamicIndex::from_dataset(&data, &cfg());
+        let queries = data.slice_rows(0, 13);
+        let (batch, agg) = idx.query_batch(&queries, 3);
+        assert_eq!(batch.len(), 13);
+        assert_eq!(agg.queries, 13);
+        for (qi, (nn, _)) in batch.iter().enumerate() {
+            assert_eq!(nn, &idx.query(queries.get(qi), 3).0, "query {qi}");
+        }
     }
 
     #[test]

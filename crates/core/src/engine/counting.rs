@@ -20,12 +20,7 @@ pub struct CollisionCounter {
 impl CollisionCounter {
     /// Counter sized for object ids `0..n`.
     pub fn new(n: usize) -> Self {
-        Self {
-            counts: vec![0; n],
-            count_epoch: vec![0; n],
-            verified_epoch: vec![0; n],
-            epoch: 0,
-        }
+        Self { counts: vec![0; n], count_epoch: vec![0; n], verified_epoch: vec![0; n], epoch: 0 }
     }
 
     /// Begin a new query: logically clears all counts and verified flags.

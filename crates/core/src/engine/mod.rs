@@ -1,0 +1,585 @@
+//! The collision-counting search engine — the c-k-ANN loop of C2LSH.
+//!
+//! Exactly one implementation of the paper's query algorithm lives here
+//! (virtual rehashing, dynamic collision counting, terminating
+//! conditions T1/T2); every index backend drives it through the
+//! [`TableStore`] trait:
+//!
+//! * [`crate::index::C2lshIndex`] — in-memory sorted runs,
+//! * [`crate::disk::DiskIndex`] — 4 KiB-paged bucket files,
+//! * [`crate::dynamic::DynamicIndex`] — updatable `BTreeMap` tables,
+//! * `qalsh::Qalsh` (sibling crate) — query-aware B+-tree cursors.
+//!
+//! ## The algorithm (paper §4)
+//!
+//! ```text
+//! R ← 1;  C ← ∅                         // verified candidates
+//! loop:
+//!   for each hash table i ∈ 1..m:
+//!     grow table i's covered window to the level-R bucket of q
+//!     for each newly covered object o:
+//!       #Col(o) += 1
+//!       if #Col(o) = l:                  // o became frequent
+//!         verify o (compute true distance), C ← C ∪ {o}
+//!         if |C| ≥ k + βn: STOP          // T2
+//!   if |{o ∈ C : dist(o, q) ≤ c·R}| ≥ k: STOP   // T1
+//!   if every window covers its whole table: STOP // exhausted
+//!   R ← c·R
+//! return the k nearest members of C
+//! ```
+//!
+//! Because the per-level windows nest, each `(object, table)` pair is
+//! visited at most once per query, so the cumulative count *is* the
+//! collision count at the current radius. A store only has to answer
+//! "which entries became newly covered when the radius grew to R" —
+//! [`TableStore::expand`] — plus a handful of bookkeeping queries; the
+//! engine owns counting, verification, termination, result ranking,
+//! per-round observability ([`crate::stats::RoundStats`]) and the
+//! parallel batch executor ([`run_query_batch`]).
+
+pub mod counting;
+
+use crate::rehash::{radius_at, window, Window};
+use crate::stats::{BatchStats, QueryStats, RoundStats, Termination};
+use cc_vector::dataset::Dataset;
+use cc_vector::dist::euclidean;
+use cc_vector::gt::Neighbor;
+use counting::CollisionCounter;
+use std::ops::Range;
+use std::time::Instant;
+
+/// The parameters the search loop needs, independent of how they were
+/// derived (C2LSH's Chernoff bounds and QALSH's Hoeffding bounds both
+/// reduce to this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchParams {
+    /// Integer approximation ratio `c ≥ 2` (radius grows by ×c per round).
+    pub c: u32,
+    /// Collision threshold `l`: an object is verified when its count
+    /// reaches `l`.
+    pub l: u32,
+    /// False-positive budget `β·n`; T2 stops after `k + β·n`
+    /// verifications.
+    pub beta_n: usize,
+    /// Data-units distance the theoretical radius `R = 1` maps to; T1
+    /// compares true distances against `c·R·base_radius`.
+    pub base_radius: f64,
+}
+
+/// Per-query knobs for the observability layer. All default to off /
+/// cheapest; the flags only cost a branch when disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Record a [`RoundStats`] entry per virtual-rehashing round.
+    pub per_round: bool,
+    /// Measure wall-clock time (whole query, and per round when
+    /// `per_round` is also set).
+    pub timing: bool,
+    /// Charge the store's table I/O delta to this query's stats.
+    /// Disabled by the batch executor, where concurrent queries share
+    /// the store's I/O counters and a per-query delta would be noise;
+    /// the batch-level delta is reported in [`BatchStats::io`] instead.
+    pub charge_table_io: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self { per_round: false, timing: false, charge_table_io: true }
+    }
+}
+
+/// Storage abstraction over the `m` per-function hash tables.
+///
+/// Implementations answer range-expansion queries against whatever
+/// physical layout they keep — positional windows over sorted runs
+/// ([`BucketWindows`]), key windows over ordered maps ([`KeyWindows`]),
+/// or cursor pairs over B+-trees — and resolve object ids to vectors.
+pub trait TableStore {
+    /// Per-query expansion state: the query's per-table hash position
+    /// plus how far each table's window has grown.
+    type Cursor;
+
+    /// Dataset dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Number of live (queryable) objects.
+    fn len(&self) -> usize;
+
+    /// `true` when the store holds no live objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exclusive upper bound on object ids (≥ [`TableStore::len`]; they
+    /// differ for stores with tombstoned deletes). Sizes the collision
+    /// counter.
+    fn id_bound(&self) -> usize {
+        self.len()
+    }
+
+    /// Number of hash tables `m`.
+    fn num_tables(&self) -> usize;
+
+    /// Start a query: hash `q` under every function and position the
+    /// per-table windows (all empty).
+    fn begin(&self, q: &[f32]) -> Self::Cursor;
+
+    /// Grow table `t`'s window to `radius` and call `visit` once per
+    /// newly covered object id, in table order; stop early when `visit`
+    /// returns `false`.
+    fn expand(
+        &self,
+        cursor: &mut Self::Cursor,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(u32) -> bool,
+    );
+
+    /// `true` once every table's window covers its entire table (no
+    /// further expansion can reach new entries).
+    fn exhausted(&self, cursor: &Self::Cursor) -> bool;
+
+    /// Resolve an object id to its vector; `None` for tombstoned ids
+    /// (such objects are skipped, not verified).
+    fn vector(&self, oid: u32) -> Option<&[f32]>;
+
+    /// Pages charged per verified candidate (reading the vector under
+    /// the paper's disk cost model; 0 for in-memory stores).
+    fn verify_pages(&self) -> u64 {
+        0
+    }
+
+    /// Monotone table-read counter (pages / nodes), used to attribute
+    /// I/O deltas; 0 forever for stores that don't model I/O.
+    fn io_reads(&self) -> u64 {
+        0
+    }
+}
+
+/// Positional window state for stores whose tables are runs of
+/// `(bucket id, oid)` entries sorted by bucket id ([`crate::index`],
+/// [`crate::disk`]): maps bucket intervals to entry-index intervals and
+/// yields only the newly covered delta ranges as the radius grows.
+#[derive(Debug, Clone)]
+pub struct BucketWindows {
+    q_buckets: Vec<i64>,
+    windows: Vec<Window>,
+}
+
+impl BucketWindows {
+    /// State for a query hashing to `q_buckets` (one level-1 bucket per
+    /// table).
+    pub fn new(q_buckets: Vec<i64>) -> Self {
+        let m = q_buckets.len();
+        Self { q_buckets, windows: vec![Window::empty(); m] }
+    }
+
+    /// Grow table `t`'s window to `radius`; returns the two delta entry
+    /// ranges (left of and right of the previously covered range).
+    /// `lower_bound(b)` must return the index of the first entry of
+    /// table `t` with bucket id ≥ `b`; `n` is the table length.
+    pub fn grow(
+        &mut self,
+        t: usize,
+        radius: i64,
+        n: usize,
+        mut lower_bound: impl FnMut(i64) -> usize,
+    ) -> (Range<usize>, Range<usize>) {
+        let (blo, bhi) = window(self.q_buckets[t], radius);
+        let elo = lower_bound(blo);
+        // `bhi` saturates/wraps past the key space at extreme radii;
+        // treat it as "end of table".
+        let ehi = if bhi == i64::MIN { n } else { lower_bound(bhi) };
+        self.windows[t].grow(elo, ehi)
+    }
+
+    /// `true` once every window covers its full table of `n` entries.
+    pub fn exhausted(&self, n: usize) -> bool {
+        self.windows.iter().all(|w| w.is_full(n))
+    }
+}
+
+/// Key-range window state for stores whose tables are ordered maps
+/// keyed by bucket id ([`crate::dynamic`]): tracks the covered bucket
+/// interval per table and yields the delta key ranges as the radius
+/// grows.
+#[derive(Debug, Clone)]
+pub struct KeyWindows {
+    q_buckets: Vec<i64>,
+    covered: Vec<Option<(i64, i64)>>,
+}
+
+impl KeyWindows {
+    /// State for a query hashing to `q_buckets`.
+    pub fn new(q_buckets: Vec<i64>) -> Self {
+        let m = q_buckets.len();
+        Self { q_buckets, covered: vec![None; m] }
+    }
+
+    /// Grow table `t`'s covered interval to `radius`; returns up to two
+    /// half-open delta key ranges (empty ranges where nothing grew).
+    pub fn grow(&mut self, t: usize, radius: i64) -> [(i64, i64); 2] {
+        let (blo, bhi) = window(self.q_buckets[t], radius);
+        let deltas = match self.covered[t] {
+            None => [(blo, bhi), (0, 0)],
+            Some((plo, phi)) => [(blo, plo), (phi, bhi)],
+        };
+        self.covered[t] = Some((blo, bhi));
+        deltas
+    }
+
+    /// `true` when table `t`'s covered interval contains the key range
+    /// `[min, max]` reported by the store (`None` for an empty table).
+    pub fn covers(&self, t: usize, key_range: Option<(i64, i64)>) -> bool {
+        let Some((lo, hi)) = self.covered[t] else { return false };
+        match key_range {
+            Some((min, max)) => lo <= min && hi > max,
+            None => true,
+        }
+    }
+}
+
+/// Run one c-k-ANN query against `store`. Returns the k nearest
+/// verified candidates (ascending distance, ties by id) plus cost
+/// counters.
+///
+/// `counter` is caller-owned scratch so batches and repeated queries
+/// reuse its O(n) arrays; it is (re)sized and epoch-cleared here.
+pub fn run_query<S: TableStore>(
+    store: &S,
+    params: &SearchParams,
+    counter: &mut CollisionCounter,
+    q: &[f32],
+    k: usize,
+    opts: &SearchOptions,
+) -> (Vec<Neighbor>, QueryStats) {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(q.len(), store.dim(), "query dimensionality mismatch");
+    assert!(q.iter().all(|x| x.is_finite()), "query contains non-finite coordinates");
+
+    let m = store.num_tables();
+    let n = store.len();
+    let l = params.l;
+    let cap = k + params.beta_n; // T2 budget
+    if counter.capacity() < store.id_bound() {
+        *counter = CollisionCounter::new(store.id_bound());
+    }
+    counter.begin_query();
+
+    let mut stats = QueryStats::new();
+    let query_start = opts.timing.then(Instant::now);
+    let io_before = opts.charge_table_io.then(|| store.io_reads());
+
+    let mut cursor = store.begin(q);
+    // The budget threshold stays `k + β·n`, but no query can verify more
+    // than the live objects — clamp the allocation, not the condition.
+    let mut candidates: Vec<Neighbor> = Vec::with_capacity(cap.min(n));
+
+    let mut level: u32 = 0;
+    loop {
+        let radius = radius_at(params.c, level);
+        stats.rounds += 1;
+        stats.final_radius = radius;
+        let round_start = (opts.timing && opts.per_round).then(Instant::now);
+        let round_collisions = stats.collisions_counted;
+        let round_verified = stats.candidates_verified;
+
+        let mut budget_hit = false;
+        for t in 0..m {
+            store.expand(&mut cursor, t, radius, &mut |oid| {
+                stats.collisions_counted += 1;
+                if counter.increment(oid) == l && counter.mark_verified(oid) {
+                    // Frequent: verify unless tombstoned.
+                    if let Some(v) = store.vector(oid) {
+                        stats.candidates_verified += 1;
+                        candidates.push(Neighbor::new(oid, euclidean(v, q)));
+                        if candidates.len() >= cap {
+                            budget_hit = true;
+                            return false; // T2: stop scanning
+                        }
+                    }
+                }
+                true
+            });
+            if budget_hit {
+                break;
+            }
+        }
+
+        // T1 progress: verified candidates within the geometric radius
+        // c·R·base_radius.
+        let c_r = params.c as f64 * radius as f64 * params.base_radius;
+        let within_c_r = candidates.iter().filter(|cand| cand.dist <= c_r).count();
+
+        if opts.per_round {
+            stats.per_round.push(RoundStats {
+                level,
+                radius,
+                collisions: stats.collisions_counted - round_collisions,
+                verified: stats.candidates_verified - round_verified,
+                within_c_r,
+                elapsed_nanos: round_start.map_or(0, |s| s.elapsed().as_nanos() as u64),
+            });
+        }
+
+        if budget_hit {
+            stats.terminated_by = Termination::T2CandidateBudget;
+            break;
+        }
+        if within_c_r >= k {
+            stats.terminated_by = Termination::T1AtRadius;
+            break;
+        }
+        if store.exhausted(&cursor) {
+            stats.terminated_by = Termination::Exhausted;
+            break;
+        }
+        level += 1;
+    }
+
+    stats.io.reads = stats.candidates_verified as u64 * store.verify_pages();
+    if let Some(before) = io_before {
+        stats.io.reads += store.io_reads() - before;
+    }
+    candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    candidates.truncate(k);
+    if let Some(start) = query_start {
+        stats.elapsed_nanos = start.elapsed().as_nanos() as u64;
+    }
+    (candidates, stats)
+}
+
+/// Answer a whole query set in parallel across scoped threads.
+///
+/// Results are in query order and identical to sequential [`run_query`]
+/// calls — each worker owns its own [`CollisionCounter`] scratch.
+/// Thread count defaults to the machine's parallelism. Per-query
+/// [`QueryStats::io`] carries only the deterministic verification
+/// charge; the store's table I/O over the whole batch is reported once
+/// in [`BatchStats::io`] (concurrent workers share the store's I/O
+/// counters, so a per-query table delta would be attribution noise).
+pub fn run_query_batch<S: TableStore + Sync>(
+    store: &S,
+    params: &SearchParams,
+    queries: &Dataset,
+    k: usize,
+    opts: &SearchOptions,
+) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+    assert_eq!(queries.dim(), store.dim(), "query dimensionality mismatch");
+    let nq = queries.len();
+    let mut batch = BatchStats::default();
+    if nq == 0 {
+        return (Vec::new(), batch);
+    }
+    let batch_start = opts.timing.then(Instant::now);
+    let io_before = store.io_reads();
+    let worker_opts = SearchOptions { charge_table_io: false, ..*opts };
+
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq);
+    let mut out: Vec<(Vec<Neighbor>, QueryStats)> = vec![(Vec::new(), QueryStats::new()); nq];
+    crossbeam::scope(|scope| {
+        let chunk = nq.div_ceil(threads);
+        for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let lo = t * chunk;
+            scope.spawn(move |_| {
+                let mut counter = CollisionCounter::new(store.id_bound());
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = run_query(
+                        store,
+                        params,
+                        &mut counter,
+                        queries.get(lo + off),
+                        k,
+                        &worker_opts,
+                    );
+                }
+            });
+        }
+    })
+    .expect("batch-query worker panicked");
+
+    for (_, s) in &out {
+        batch.absorb(s);
+    }
+    batch.io.reads += store.io_reads() - io_before;
+    if let Some(start) = batch_start {
+        batch.elapsed_nanos = start.elapsed().as_nanos() as u64;
+    }
+    (out, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    //! The engine is exercised end-to-end through the four backends in
+    //! their own modules and in `tests/`; here we pin the store-level
+    //! contract with a hand-rolled mock.
+
+    use super::*;
+    use crate::config::C2lshConfig;
+    use crate::hash::HashFamily;
+    use crate::params::FullParams;
+
+    /// A store over explicit `(bucket, oid)` tables.
+    struct MockStore {
+        data: Dataset,
+        family: HashFamily,
+        tables: Vec<Vec<(i64, u32)>>,
+    }
+
+    impl TableStore for MockStore {
+        type Cursor = BucketWindows;
+
+        fn dim(&self) -> usize {
+            self.data.dim()
+        }
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        fn num_tables(&self) -> usize {
+            self.tables.len()
+        }
+        fn begin(&self, q: &[f32]) -> BucketWindows {
+            BucketWindows::new(self.family.buckets(q))
+        }
+        fn expand(
+            &self,
+            cursor: &mut BucketWindows,
+            t: usize,
+            radius: i64,
+            visit: &mut dyn FnMut(u32) -> bool,
+        ) {
+            let n = self.tables[t].len();
+            let (left, right) =
+                cursor.grow(t, radius, n, |b| self.tables[t].partition_point(|e| e.0 < b));
+            for range in [left, right] {
+                for e in &self.tables[t][range] {
+                    if !visit(e.1) {
+                        return;
+                    }
+                }
+            }
+        }
+        fn exhausted(&self, cursor: &BucketWindows) -> bool {
+            cursor.exhausted(self.data.len())
+        }
+        fn vector(&self, oid: u32) -> Option<&[f32]> {
+            Some(self.data.get(oid as usize))
+        }
+    }
+
+    fn mock_store(n: usize, seed: u64) -> (MockStore, SearchParams) {
+        use cc_vector::gen::{generate, Distribution};
+        let data = generate(
+            Distribution::GaussianMixture { clusters: 4, spread: 0.02, scale: 10.0 },
+            n,
+            8,
+            seed,
+        );
+        let cfg = C2lshConfig::builder().bucket_width(1.0).seed(1).build();
+        let params = FullParams::derive(data.len(), &cfg);
+        let family = HashFamily::generate(params.m, data.dim(), &cfg);
+        let mut tables = Vec::with_capacity(params.m);
+        for t in 0..params.m {
+            let h = family.get(t);
+            let mut entries: Vec<(i64, u32)> =
+                data.iter().enumerate().map(|(i, v)| (h.bucket(v), i as u32)).collect();
+            entries.sort_unstable();
+            tables.push(entries);
+        }
+        let search = SearchParams {
+            c: cfg.c,
+            l: params.l as u32,
+            beta_n: params.beta_n,
+            base_radius: cfg.base_radius,
+        };
+        (MockStore { data, family, tables }, search)
+    }
+
+    /// Build a coherent store for a tiny dataset via the real hashing
+    /// path, then check the loop's bookkeeping.
+    #[test]
+    fn mock_store_agrees_with_real_index() {
+        let (store, params) = mock_store(200, 3);
+        let mut counter = CollisionCounter::new(store.len());
+        let q = store.data.get(17).to_vec();
+        let (nn, stats) =
+            run_query(&store, &params, &mut counter, &q, 3, &SearchOptions::default());
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].id, 17, "query point itself must be the 1-NN");
+        assert_eq!(nn[0].dist, 0.0);
+        assert!(stats.candidates_verified >= 3);
+        assert!(stats.rounds >= 1);
+        // Collision increments can't exceed m·n.
+        assert!(stats.collisions_counted <= (store.num_tables() * store.len()) as u64);
+        // Observability off by default.
+        assert!(stats.per_round.is_empty());
+        assert_eq!(stats.elapsed_nanos, 0);
+    }
+
+    #[test]
+    fn per_round_breakdown_sums_to_totals() {
+        let (store, params) = mock_store(300, 4);
+        let mut counter = CollisionCounter::new(store.len());
+        let q = store.data.get(5).to_vec();
+        let opts = SearchOptions { per_round: true, timing: true, ..Default::default() };
+        let (_, stats) = run_query(&store, &params, &mut counter, &q, 5, &opts);
+        assert_eq!(stats.per_round.len(), stats.rounds as usize);
+        let col: u64 = stats.per_round.iter().map(|r| r.collisions).sum();
+        let ver: usize = stats.per_round.iter().map(|r| r.verified).sum();
+        assert_eq!(col, stats.collisions_counted);
+        assert_eq!(ver, stats.candidates_verified);
+        assert_eq!(stats.per_round.last().unwrap().radius, stats.final_radius);
+        // Levels are consecutive from 0.
+        for (i, r) in stats.per_round.iter().enumerate() {
+            assert_eq!(r.level, i as u32);
+        }
+        assert!(stats.elapsed_nanos > 0, "timing was requested");
+    }
+
+    #[test]
+    fn undersized_counter_is_resized() {
+        let (store, params) = mock_store(120, 5);
+        let mut counter = CollisionCounter::new(1);
+        let q = store.data.get(0).to_vec();
+        let (nn, _) = run_query(&store, &params, &mut counter, &q, 2, &SearchOptions::default());
+        assert_eq!(nn.len(), 2);
+        assert!(counter.capacity() >= store.len());
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_aggregates() {
+        let (store, params) = mock_store(400, 6);
+        let queries = store.data.slice_rows(0, 23);
+        let opts = SearchOptions { timing: true, ..Default::default() };
+        let (batch, agg) = run_query_batch(&store, &params, &queries, 4, &opts);
+        assert_eq!(batch.len(), 23);
+        assert_eq!(agg.queries, 23);
+        let mut counter = CollisionCounter::new(store.len());
+        let mut verified_total = 0u64;
+        for (qi, (nn, stats)) in batch.iter().enumerate() {
+            let (seq_nn, seq_stats) = run_query(
+                &store,
+                &params,
+                &mut counter,
+                queries.get(qi),
+                4,
+                &SearchOptions::default(),
+            );
+            assert_eq!(nn, &seq_nn, "query {qi}");
+            assert_eq!(stats.candidates_verified, seq_stats.candidates_verified);
+            verified_total += stats.candidates_verified as u64;
+        }
+        assert_eq!(agg.verified, verified_total);
+        assert_eq!(agg.t1 + agg.t2 + agg.exhausted, 23, "every query's termination is tallied");
+        assert!(agg.elapsed_nanos > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (store, params) = mock_store(50, 7);
+        let mut counter = CollisionCounter::new(store.len());
+        let q = store.data.get(0).to_vec();
+        let _ = run_query(&store, &params, &mut counter, &q, 0, &SearchOptions::default());
+    }
+}

@@ -29,7 +29,9 @@ impl fmt::Display for C2lshError {
                 write!(f, "bucket width must be positive and finite, got {w}")
             }
             C2lshError::BadDelta(d) => write!(f, "delta must be in (0, 1/2), got {d}"),
-            C2lshError::BadBeta(b) => write!(f, "beta must be positive (and < 1 as a fraction), got {b}"),
+            C2lshError::BadBeta(b) => {
+                write!(f, "beta must be positive (and < 1 as a fraction), got {b}")
+            }
             C2lshError::BadM(m) => write!(f, "explicit m must be >= 1, got {m}"),
         }
     }

@@ -200,17 +200,11 @@ mod tests {
         let mut q = vec![0.0f32; d];
         q[0] = 1.3; // distance 1.3
         let s = euclidean(&o, &q);
-        let collisions = fam
-            .iter()
-            .filter(|h| h.bucket(&o) == h.bucket(&q))
-            .count();
+        let collisions = fam.iter().filter(|h| h.bucket(&o) == h.bucket(&q)).count();
         let empirical = collisions as f64 / m as f64;
         let theory = collision_probability(s, w);
         // Standard error ~ sqrt(p(1-p)/m) ≈ 0.005; allow 4 sigma.
-        assert!(
-            (empirical - theory).abs() < 0.025,
-            "empirical {empirical} vs theory {theory}"
-        );
+        assert!((empirical - theory).abs() < 0.025, "empirical {empirical} vs theory {theory}");
     }
 
     #[test]

@@ -5,13 +5,16 @@
 //! (`Vec<i64>` + `Vec<u32>`) so binary searches touch only the bucket
 //! array. This *is* the paper's hash table: virtual rehashing turns
 //! every level-`R` bucket lookup into a contiguous range of this run.
+//!
+//! The query loop itself lives in [`crate::engine`]; this module only
+//! maps delta-range requests onto its sorted runs.
 
 use crate::config::C2lshConfig;
-use crate::counting::CollisionCounter;
+use crate::engine::counting::CollisionCounter;
+use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
 use crate::params::FullParams;
-use crate::query::{run_query, TableStore};
-use crate::stats::QueryStats;
+use crate::stats::{BatchStats, QueryStats};
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
 use parking_lot::Mutex;
@@ -71,20 +74,30 @@ impl<'d> C2lshIndex<'d> {
         &self.family
     }
 
+    fn search_params(&self) -> SearchParams {
+        SearchParams {
+            c: self.config.c,
+            l: self.params.l as u32,
+            beta_n: self.params.beta_n,
+            base_radius: self.config.base_radius,
+        }
+    }
+
     /// c-k-ANN query: the `k` nearest verified candidates, ascending by
     /// distance, plus cost counters.
     pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.query_with(q, k, &SearchOptions::default())
+    }
+
+    /// [`C2lshIndex::query`] with explicit observability options.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
         let mut counter = self.counter.lock();
-        run_query(
-            self.data,
-            self,
-            &self.family,
-            &self.params,
-            &self.config,
-            &mut counter,
-            q,
-            k,
-        )
+        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
     }
 
     /// Convenience c-ANN (k = 1).
@@ -98,49 +111,29 @@ impl<'d> C2lshIndex<'d> {
     /// Results are in query order and identical to sequential
     /// [`C2lshIndex::query`] calls (each worker owns its own collision
     /// counter). Thread count defaults to the machine's parallelism.
-    pub fn query_batch(&self, queries: &Dataset, k: usize) -> Vec<(Vec<Neighbor>, QueryStats)> {
-        assert_eq!(queries.dim(), self.data.dim(), "query dimensionality mismatch");
-        let nq = queries.len();
-        if nq == 0 {
-            return Vec::new();
-        }
-        let threads =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq);
-        let mut out: Vec<(Vec<Neighbor>, QueryStats)> =
-            vec![(Vec::new(), QueryStats::new()); nq];
-        crossbeam::scope(|scope| {
-            let chunk = nq.div_ceil(threads);
-            for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
-                let lo = t * chunk;
-                scope.spawn(move |_| {
-                    let mut counter = CollisionCounter::new(self.data.len());
-                    for (off, slot) in out_chunk.iter_mut().enumerate() {
-                        *slot = run_query(
-                            self.data,
-                            self,
-                            &self.family,
-                            &self.params,
-                            &self.config,
-                            &mut counter,
-                            queries.get(lo + off),
-                            k,
-                        );
-                    }
-                });
-            }
-        })
-        .expect("batch-query worker panicked");
-        out
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        self.query_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`C2lshIndex::query_batch`] with explicit observability options.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        engine::run_query_batch(self, &self.search_params(), queries, k, opts)
     }
 
     /// Estimated index size in bytes (hash tables + hash family), the
     /// quantity reported in the paper's index-size table.
     pub fn size_bytes(&self) -> usize {
-        let tables: usize = self
-            .tables
-            .iter()
-            .map(|t| t.buckets.len() * 8 + t.oids.len() * 4)
-            .sum();
+        let tables: usize =
+            self.tables.iter().map(|t| t.buckets.len() * 8 + t.oids.len() * 4).sum();
         tables + self.family.size_bytes()
     }
 
@@ -174,10 +167,8 @@ impl<'d> C2lshIndex<'d> {
         let params = FullParams::derive(data.len(), &config);
         let family = HashFamily::from_functions(functions);
         assert_eq!(family.len(), params.m, "family size disagrees with parameters");
-        let tables = tables
-            .into_iter()
-            .map(|(buckets, oids)| SortedRun { buckets, oids })
-            .collect();
+        let tables =
+            tables.into_iter().map(|(buckets, oids)| SortedRun { buckets, oids }).collect();
         Self {
             data,
             config,
@@ -205,24 +196,49 @@ fn build_tables(data: &Dataset, family: &HashFamily) -> Vec<SortedRun> {
 }
 
 impl TableStore for C2lshIndex<'_> {
+    type Cursor = BucketWindows;
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn num_tables(&self) -> usize {
         self.tables.len()
     }
 
-    fn table_len(&self) -> usize {
-        self.data.len()
+    fn begin(&self, q: &[f32]) -> BucketWindows {
+        BucketWindows::new(self.family.buckets(q))
     }
 
-    fn lower_bound(&self, t: usize, target: i64) -> usize {
-        self.tables[t].buckets.partition_point(|&b| b < target)
-    }
-
-    fn scan_while(&self, t: usize, from: usize, to: usize, f: &mut dyn FnMut(u32) -> bool) {
-        for &oid in &self.tables[t].oids[from..to] {
-            if !f(oid) {
-                return;
+    fn expand(
+        &self,
+        cursor: &mut BucketWindows,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(u32) -> bool,
+    ) {
+        let run = &self.tables[t];
+        let n = run.oids.len();
+        let (left, right) = cursor.grow(t, radius, n, |b| run.buckets.partition_point(|&x| x < b));
+        for range in [left, right] {
+            for &oid in &run.oids[range] {
+                if !visit(oid) {
+                    return;
+                }
             }
         }
+    }
+
+    fn exhausted(&self, cursor: &BucketWindows) -> bool {
+        cursor.exhausted(self.data.len())
+    }
+
+    fn vector(&self, oid: u32) -> Option<&[f32]> {
+        Some(self.data.get(oid as usize))
     }
 }
 
@@ -304,11 +320,7 @@ mod tests {
     #[test]
     fn t2_budget_bounds_verification() {
         let data = clustered(3000, 16, 4);
-        let config = C2lshConfig::builder()
-            .bucket_width(1.0)
-            .seed(7)
-            .beta(Beta::Count(30))
-            .build();
+        let config = C2lshConfig::builder().bucket_width(1.0).seed(7).beta(Beta::Count(30)).build();
         let index = C2lshIndex::build(&data, &config);
         let (_, stats) = index.query(data.get(11), 10);
         // T2 caps verified candidates at k + beta_n.
@@ -383,19 +395,41 @@ mod tests {
         let data = clustered(1200, 12, 10);
         let index = C2lshIndex::build(&data, &cfg());
         let queries = data.slice_rows(0, 37);
-        let batch = index.query_batch(&queries, 5);
+        let (batch, agg) = index.query_batch(&queries, 5);
         assert_eq!(batch.len(), 37);
+        assert_eq!(agg.queries, 37);
+        let mut verified_total = 0u64;
         for (qi, (nn, stats)) in batch.iter().enumerate() {
             let (seq_nn, seq_stats) = index.query(queries.get(qi), 5);
             assert_eq!(nn, &seq_nn, "query {qi}");
             assert_eq!(stats.candidates_verified, seq_stats.candidates_verified);
+            verified_total += stats.candidates_verified as u64;
         }
+        assert_eq!(agg.verified, verified_total);
     }
 
     #[test]
     fn batch_query_empty_set() {
         let data = clustered(50, 8, 11);
         let index = C2lshIndex::build(&data, &cfg());
-        assert!(index.query_batch(&Dataset::empty(8), 3).is_empty());
+        let (batch, agg) = index.query_batch(&Dataset::empty(8), 3);
+        assert!(batch.is_empty());
+        assert_eq!(agg.queries, 0);
+    }
+
+    #[test]
+    fn per_round_observability_via_options() {
+        let data = clustered(600, 10, 12);
+        let index = C2lshIndex::build(&data, &cfg());
+        let opts = SearchOptions { per_round: true, timing: true, ..Default::default() };
+        let (_, stats) = index.query_with(data.get(9), 5, &opts);
+        assert_eq!(stats.per_round.len(), stats.rounds as usize);
+        let col: u64 = stats.per_round.iter().map(|r| r.collisions).sum();
+        assert_eq!(col, stats.collisions_counted);
+        assert!(stats.elapsed_nanos > 0);
+        // And with defaults the layer stays off.
+        let (_, plain) = index.query(data.get(9), 5);
+        assert!(plain.per_round.is_empty());
+        assert_eq!(plain.elapsed_nanos, 0);
     }
 }

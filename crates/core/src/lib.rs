@@ -30,39 +30,56 @@
 //!
 //! ## Crate layout
 //!
+//! The c-k-ANN search loop — virtual rehashing, dynamic collision
+//! counting, the T1/T2 terminating conditions — is implemented exactly
+//! once, in [`engine`]. Each backend (in-memory sorted runs, 4 KiB
+//! paged tables, updatable B-tree tables, and the query-aware trees of
+//! the downstream `qalsh` crate) implements [`engine::TableStore`] and
+//! gets `query`, `query_one` and a parallel `query_batch` from the
+//! engine, along with the [`stats`] observability layer.
+//!
 //! * [`config`] — tunables (`c`, `w`, `δ`, `β`, seed) with a builder,
 //! * [`params`] — per-dataset derived parameters (`m`, `l`, `α`),
 //! * [`hash`] — the p-stable hash family and hash-string computation,
-//! * [`index`] — the in-memory virtual-rehashing index,
-//! * [`disk`] — the same index over 4 KiB pages with I/O accounting,
-//! * [`rehash`] — virtual rehashing window arithmetic (shared by both),
-//! * [`counting`] — epoch-stamped collision counters,
-//! * [`query`] — the c-k-ANN search loop (terminating conditions T1/T2),
-//! * [`stats`] — per-query cost counters,
+//! * [`engine`] — the generic collision-counting search engine: the
+//!   [`engine::TableStore`] backend trait, the single c-k-ANN loop
+//!   ([`engine::run_query`]), the parallel batch executor
+//!   ([`engine::run_query_batch`]), window cursors
+//!   ([`engine::BucketWindows`], [`engine::KeyWindows`]) and the
+//!   epoch-stamped [`engine::counting::CollisionCounter`],
+//! * [`index`] — the in-memory backend over sorted runs,
+//! * [`disk`] — the paged backend with exact I/O accounting,
+//! * [`dynamic`] — the updatable backend over per-table B-trees,
+//! * [`rehash`] — virtual rehashing window arithmetic (shared),
+//! * [`stats`] — per-query, per-round and per-batch cost counters,
+//! * [`persist`] — index save/load,
 //! * [`error`] — configuration errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
-pub mod counting;
 pub mod disk;
 pub mod dynamic;
+pub mod engine;
 pub mod error;
 pub mod hash;
 pub mod index;
 pub mod params;
 pub mod persist;
-pub mod query;
 pub mod rehash;
 pub mod stats;
+
+/// Epoch-stamped collision counters (re-export of [`engine::counting`]).
+pub use engine::counting;
 
 pub use config::{Beta, C2lshConfig, ConfigBuilder};
 pub use disk::DiskIndex;
 pub use dynamic::DynamicIndex;
+pub use engine::{SearchOptions, SearchParams, TableStore};
 pub use error::C2lshError;
 pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;
 pub use params::FullParams;
 pub use persist::{load_index, save_index, PersistError};
-pub use stats::QueryStats;
+pub use stats::{BatchStats, QueryStats, RoundStats, Termination};

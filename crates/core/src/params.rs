@@ -142,10 +142,7 @@ mod tests {
         // Scaling (base_radius, w) together must leave every derived
         // parameter unchanged: p depends only on s/w.
         let unit = C2lshConfig::builder().bucket_width(2.184).build();
-        let scaled = C2lshConfig::builder()
-            .base_radius(0.15)
-            .bucket_width(2.184 * 0.15)
-            .build();
+        let scaled = C2lshConfig::builder().base_radius(0.15).bucket_width(2.184 * 0.15).build();
         let a = FullParams::derive(50_000, &unit);
         let b = FullParams::derive(50_000, &scaled);
         assert_eq!(a.m, b.m);

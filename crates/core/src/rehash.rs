@@ -55,7 +55,11 @@ impl Window {
     ///
     /// # Panics
     /// Panics when the new window does not contain the old one.
-    pub fn grow(&mut self, new_lo: usize, new_hi: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    pub fn grow(
+        &mut self,
+        new_lo: usize,
+        new_hi: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
         if self.lo == self.hi {
             // Previously empty: everything is new.
             *self = Window { lo: new_lo, hi: new_hi };

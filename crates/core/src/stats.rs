@@ -1,9 +1,12 @@
-//! Per-query cost counters.
+//! Per-query and per-batch cost counters.
 //!
 //! Every experiment in the paper reports some slice of these: verified
 //! candidates (distance computations), page I/O, rounds of virtual
 //! rehashing. They are returned alongside the neighbors by every query
-//! entry point.
+//! entry point. The optional observability layer — per-round
+//! [`RoundStats`] breakdowns and wall-clock timings — is off by default
+//! and enabled through [`crate::engine::SearchOptions`]; batch runs
+//! aggregate into [`BatchStats`].
 
 use cc_storage::pagefile::IoStats;
 
@@ -20,8 +23,29 @@ pub enum Termination {
     Exhausted,
 }
 
+/// One virtual-rehashing round's share of the work (recorded only when
+/// [`crate::engine::SearchOptions::per_round`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Level index (radius = c^level), starting at 0.
+    pub level: u32,
+    /// Search radius of this round.
+    pub radius: i64,
+    /// Collision-count increments performed this round (= entries newly
+    /// covered by the window growth of this round).
+    pub collisions: u64,
+    /// Candidates verified this round.
+    pub verified: usize,
+    /// Verified candidates (cumulative) within `c·R·base_radius` at the
+    /// end of this round — the T1 progress measure.
+    pub within_c_r: usize,
+    /// Wall-clock nanoseconds spent in this round; 0 unless
+    /// [`crate::engine::SearchOptions::timing`] is also set.
+    pub elapsed_nanos: u64,
+}
+
 /// Cost counters for one c-k-ANN query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryStats {
     /// Virtual-rehashing rounds executed (levels tried).
     pub rounds: u32,
@@ -35,6 +59,12 @@ pub struct QueryStats {
     pub io: IoStats,
     /// Which condition stopped the loop.
     pub terminated_by: Termination,
+    /// Per-round breakdown; empty unless
+    /// [`crate::engine::SearchOptions::per_round`] was set.
+    pub per_round: Vec<RoundStats>,
+    /// Wall-clock nanoseconds for the whole query; 0 unless
+    /// [`crate::engine::SearchOptions::timing`] was set.
+    pub elapsed_nanos: u64,
 }
 
 impl QueryStats {
@@ -47,6 +77,8 @@ impl QueryStats {
             candidates_verified: 0,
             io: IoStats::default(),
             terminated_by: Termination::Exhausted,
+            per_round: Vec::new(),
+            elapsed_nanos: 0,
         }
     }
 }
@@ -54,6 +86,82 @@ impl QueryStats {
 impl Default for QueryStats {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Aggregated cost counters over a set of queries, built by folding
+/// [`QueryStats`] via [`BatchStats::absorb`]. The batch executor
+/// ([`crate::engine::run_query_batch`]) returns one per batch; bench
+/// code consumes these instead of hand-folding counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Queries aggregated.
+    pub queries: usize,
+    /// Total rounds across all queries.
+    pub rounds: u64,
+    /// Total collision-count increments.
+    pub collisions: u64,
+    /// Total candidates verified.
+    pub verified: u64,
+    /// Total page I/O: per-query verification charges plus (for batch
+    /// runs) the store's table-read delta over the whole batch.
+    pub io: IoStats,
+    /// Queries that stopped via T1.
+    pub t1: usize,
+    /// Queries that stopped via T2.
+    pub t2: usize,
+    /// Queries that exhausted their windows.
+    pub exhausted: usize,
+    /// Wall-clock nanoseconds: sum of per-query times when absorbed
+    /// sequentially, or the whole-batch wall time from the parallel
+    /// executor (with [`crate::engine::SearchOptions::timing`]).
+    pub elapsed_nanos: u64,
+}
+
+impl BatchStats {
+    /// Fold one query's counters into the aggregate.
+    pub fn absorb(&mut self, s: &QueryStats) {
+        self.queries += 1;
+        self.rounds += s.rounds as u64;
+        self.collisions += s.collisions_counted;
+        self.verified += s.candidates_verified as u64;
+        self.io.reads += s.io.reads;
+        self.io.writes += s.io.writes;
+        match s.terminated_by {
+            Termination::T1AtRadius => self.t1 += 1,
+            Termination::T2CandidateBudget => self.t2 += 1,
+            Termination::Exhausted => self.exhausted += 1,
+        }
+        self.elapsed_nanos += s.elapsed_nanos;
+    }
+
+    /// Mean verified candidates per query (0 for an empty batch).
+    pub fn mean_verified(&self) -> f64 {
+        self.per_query(self.verified as f64)
+    }
+
+    /// Mean page reads per query (0 for an empty batch).
+    pub fn mean_io_reads(&self) -> f64 {
+        self.per_query(self.io.reads as f64)
+    }
+
+    /// Mean rounds per query (0 for an empty batch).
+    pub fn mean_rounds(&self) -> f64 {
+        self.per_query(self.rounds as f64)
+    }
+
+    /// Mean wall-clock milliseconds per query (0 for an empty batch or
+    /// when timing was disabled).
+    pub fn mean_time_ms(&self) -> f64 {
+        self.per_query(self.elapsed_nanos as f64 / 1e6)
+    }
+
+    fn per_query(&self, total: f64) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            total / self.queries as f64
+        }
     }
 }
 
@@ -69,5 +177,47 @@ mod tests {
         assert_eq!(s.candidates_verified, 0);
         assert_eq!(s.io.total(), 0);
         assert_eq!(s.terminated_by, Termination::Exhausted);
+        assert!(s.per_round.is_empty());
+        assert_eq!(s.elapsed_nanos, 0);
+    }
+
+    #[test]
+    fn batch_absorbs_and_averages() {
+        let mut q1 = QueryStats::new();
+        q1.rounds = 3;
+        q1.collisions_counted = 100;
+        q1.candidates_verified = 10;
+        q1.io.reads = 40;
+        q1.terminated_by = Termination::T1AtRadius;
+        q1.elapsed_nanos = 2_000_000;
+        let mut q2 = QueryStats::new();
+        q2.rounds = 5;
+        q2.collisions_counted = 300;
+        q2.candidates_verified = 30;
+        q2.io.reads = 80;
+        q2.terminated_by = Termination::T2CandidateBudget;
+        q2.elapsed_nanos = 4_000_000;
+
+        let mut b = BatchStats::default();
+        b.absorb(&q1);
+        b.absorb(&q2);
+        assert_eq!(b.queries, 2);
+        assert_eq!(b.rounds, 8);
+        assert_eq!(b.collisions, 400);
+        assert_eq!(b.verified, 40);
+        assert_eq!((b.t1, b.t2, b.exhausted), (1, 1, 0));
+        assert_eq!(b.mean_verified(), 20.0);
+        assert_eq!(b.mean_io_reads(), 60.0);
+        assert_eq!(b.mean_rounds(), 4.0);
+        assert_eq!(b.mean_time_ms(), 3.0);
+    }
+
+    #[test]
+    fn empty_batch_means_are_zero() {
+        let b = BatchStats::default();
+        assert_eq!(b.mean_verified(), 0.0);
+        assert_eq!(b.mean_io_reads(), 0.0);
+        assert_eq!(b.mean_rounds(), 0.0);
+        assert_eq!(b.mean_time_ms(), 0.0);
     }
 }

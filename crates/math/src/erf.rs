@@ -103,8 +103,8 @@ fn erfc_cf(x: f64) -> f64 {
     let mut d = 0.0_f64;
     for n in 1..MAX_ITER {
         let a = n as f64 / 2.0; // a_n in the equivalent CF with constant b = x
-        // The CF  x + (1/2)/(x + 1/(x + (3/2)/(x + 2/(x + ...))))
-        // has a_n = n/2 and b_n = x for all n; it equals the classic one.
+                                // The CF  x + (1/2)/(x + 1/(x + (3/2)/(x + 2/(x + ...))))
+                                // has a_n = n/2 and b_n = x for all n; it equals the classic one.
         let b = x;
         d = b + a * d;
         if d == 0.0 {
@@ -145,10 +145,7 @@ mod tests {
     fn erf_matches_reference() {
         for &(x, want) in REF {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-13,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-13, "erf({x}) = {got}, want {want}");
         }
     }
 
@@ -174,10 +171,7 @@ mod tests {
         // erfc(5) = 1.5374597944280348501883434853e-12 (mpmath)
         let got = erfc(5.0);
         let want = 1.537_459_794_428_035e-12;
-        assert!(
-            ((got - want) / want).abs() < 1e-10,
-            "erfc(5) = {got:e}, want {want:e}"
-        );
+        assert!(((got - want) / want).abs() < 1e-10, "erfc(5) = {got:e}, want {want:e}");
         // erfc(10) = 2.0884875837625447570007862949e-45
         let got = erfc(10.0);
         let want = 2.088_487_583_762_544_7e-45;

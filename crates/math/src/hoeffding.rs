@@ -62,10 +62,7 @@ impl DerivedParams {
 /// are structural requirements of the scheme, not data-dependent
 /// conditions, so violating them is a programming error.
 pub fn derive_params(p1: f64, p2: f64, delta: f64, beta: f64) -> DerivedParams {
-    assert!(
-        0.0 < p2 && p2 < p1 && p1 < 1.0,
-        "need 0 < p2 < p1 < 1, got p1={p1}, p2={p2}"
-    );
+    assert!(0.0 < p2 && p2 < p1 && p1 < 1.0, "need 0 < p2 < p1 < 1, got p1={p1}, p2={p2}");
     assert!(0.0 < delta && delta < 0.5, "need 0 < delta < 1/2, got {delta}");
     assert!(0.0 < beta && beta < 1.0, "need 0 < beta < 1, got {beta}");
 
@@ -88,7 +85,11 @@ pub fn derive_params(p1: f64, p2: f64, delta: f64, beta: f64) -> DerivedParams {
         let l_pref = (alpha * m as f64).ceil() as usize;
         // Prefer the threshold closest to α*·m, then search outward.
         let candidates = (0..=m).map(|off| {
-            if off % 2 == 0 { l_pref + off / 2 } else { l_pref.saturating_sub(off / 2 + 1) }
+            if off % 2 == 0 {
+                l_pref + off / 2
+            } else {
+                l_pref.saturating_sub(off / 2 + 1)
+            }
         });
         let mut found = None;
         for l in candidates {

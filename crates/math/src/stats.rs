@@ -101,7 +101,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut w = Welford::new();
         for &x in &sorted {
             w.push(x);

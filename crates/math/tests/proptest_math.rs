@@ -72,7 +72,7 @@ proptest! {
         mut xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
         p in 0.0f64..100.0,
     ) {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         let v = percentile_sorted(&xs, p);
         prop_assert!(v >= xs[0] - 1e-12 && v <= xs[xs.len() - 1] + 1e-12);
     }

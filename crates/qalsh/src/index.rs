@@ -1,21 +1,22 @@
-//! The QALSH index and query loop.
+//! The QALSH index.
 //!
 //! One B+-tree per hash function, keyed by the raw projection `a·o`.
-//! A query computes its own projections, positions one bidirectional
-//! cursor pair per tree, and performs C2LSH-style virtual rehashing: at
-//! radius `R = c^level` the collision window of tree `i` is
-//! `[a_i·q − w·R/2, a_i·q + w·R/2]`; rounds expand the windows, count
-//! newly covered objects, verify those reaching the collision threshold
-//! `l`, and stop on the same T1/T2 conditions as C2LSH.
+//! A query computes its own projections and positions one bidirectional
+//! cursor pair per tree; the search itself runs in the shared
+//! [`c2lsh::engine`] loop: at radius `R = c^level` the collision window
+//! of tree `i` is `[a_i·q − w·R/2, a_i·q + w·R/2]`, rounds expand the
+//! windows ([`TableStore::expand`]), the engine counts newly covered
+//! objects, verifies those reaching the collision threshold `l`, and
+//! stops on the same T1/T2 conditions as C2LSH.
 
 use crate::params::derive;
 use c2lsh::counting::CollisionCounter;
-use c2lsh::stats::{QueryStats, Termination};
+use c2lsh::engine::{self, SearchOptions, SearchParams, TableStore};
+use c2lsh::stats::{BatchStats, QueryStats};
 use cc_math::hoeffding::DerivedParams;
 use cc_storage::bptree::{BPlusTree, Cursor};
-use cc_storage::pagefile::IoStats;
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::{dot, euclidean};
+use cc_vector::dist::dot;
 use cc_vector::gt::Neighbor;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -110,17 +111,13 @@ impl<'d> Qalsh<'d> {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9a15_4aa1);
         let mut normal = cc_vector::gen::NormalSampler::new();
         let d = data.dim();
-        let proj: Vec<Vec<f32>> = (0..m)
-            .map(|_| (0..d).map(|_| normal.sample(&mut rng) as f32).collect())
-            .collect();
+        let proj: Vec<Vec<f32>> =
+            (0..m).map(|_| (0..d).map(|_| normal.sample(&mut rng) as f32).collect()).collect();
         let trees: Vec<BPlusTree<OrdF64, u32>> = proj
             .iter()
             .map(|a| {
-                let mut pairs: Vec<(OrdF64, u32)> = data
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| (OrdF64(dot(a, v)), i as u32))
-                    .collect();
+                let mut pairs: Vec<(OrdF64, u32)> =
+                    data.iter().enumerate().map(|(i, v)| (OrdF64(dot(a, v)), i as u32)).collect();
                 pairs.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
                 let t = BPlusTree::bulk_load(&pairs);
                 t.reset_io();
@@ -158,34 +155,97 @@ impl<'d> Qalsh<'d> {
         pages * 4096 + self.m * self.data.dim() * 4
     }
 
+    fn search_params(&self) -> SearchParams {
+        SearchParams {
+            c: self.config.c,
+            l: self.l,
+            beta_n: self.beta_n,
+            base_radius: self.config.base_radius,
+        }
+    }
+
     /// c-k-ANN query with B+-tree I/O accounting.
     pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
-        assert!(k > 0, "k must be positive");
-        assert_eq!(q.len(), self.data.dim(), "query dimensionality mismatch");
-        assert!(q.iter().all(|x| x.is_finite()), "query contains non-finite coordinates");
+        self.query_with(q, k, &SearchOptions::default())
+    }
+
+    /// [`Qalsh::query`] with explicit observability options.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
         let mut counter = self.counter.lock();
-        counter.begin_query();
-        let mut stats = QueryStats::new();
-        let io_before: u64 = self.trees.iter().map(|t| t.io_reads()).sum();
+        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+    }
 
-        let cap = k + self.beta_n;
-        let n = self.data.len();
+    /// Convenience c-ANN (k = 1).
+    pub fn query_one(&self, q: &[f32]) -> (Option<Neighbor>, QueryStats) {
+        let (mut nn, stats) = self.query(q, 1);
+        (nn.pop(), stats)
+    }
+
+    /// Answer a whole query set in parallel across scoped threads
+    /// (results in query order, identical to sequential queries).
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        self.query_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`Qalsh::query_batch`] with explicit observability options.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        engine::run_query_batch(self, &self.search_params(), queries, k, opts)
+    }
+}
+
+/// Per-tree bidirectional cursor pair straddling the query projection:
+/// `right` sits at the first key ≥ a·q, `left` just below it; the done
+/// flags latch once a direction runs off its tree.
+struct ProbePair {
+    left: Cursor,
+    right: Cursor,
+    left_done: bool,
+    right_done: bool,
+}
+
+/// Query expansion state over the `m` B+-trees: the query's projections
+/// plus one probe pair per tree.
+pub struct QalshCursor {
+    pq: Vec<f64>,
+    probes: Vec<ProbePair>,
+}
+
+impl TableStore for Qalsh<'_> {
+    type Cursor = QalshCursor;
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn num_tables(&self) -> usize {
+        self.m
+    }
+
+    fn begin(&self, q: &[f32]) -> QalshCursor {
         let pq: Vec<f64> = self.proj.iter().map(|a| dot(a, q)).collect();
-
-        // Per-tree cursor pair straddling the query projection: `right`
-        // sits at the first key ≥ a·q, `left` just below it. `lo/hi`
-        // track the window edge keys already consumed.
-        struct Probe {
-            left: Cursor,
-            right: Cursor,
-            left_done: bool,
-            right_done: bool,
-        }
-        let mut probes: Vec<Probe> = (0..self.m)
+        let probes: Vec<ProbePair> = (0..self.m)
             .map(|t| {
                 let right = self.trees[t].lower_bound(OrdF64(pq[t]));
                 let left = self.trees[t].retreat(right);
-                Probe {
+                ProbePair {
                     left,
                     right,
                     left_done: self.trees[t].get(left).is_none(),
@@ -193,93 +253,69 @@ impl<'d> Qalsh<'d> {
                 }
             })
             .collect();
+        QalshCursor { pq, probes }
+    }
 
-        let mut candidates: Vec<Neighbor> = Vec::with_capacity(cap.min(n));
-        let mut level: u32 = 0;
-        'outer: loop {
-            let radius = (self.config.c as i64).checked_pow(level).unwrap_or(i64::MAX);
-            stats.rounds += 1;
-            stats.final_radius = radius;
-            let half = self.config.w * radius as f64 / 2.0;
-
-            for t in 0..self.m {
-                let tree = &self.trees[t];
-                let (lo_key, hi_key) = (pq[t] - half, pq[t] + half);
-                // Expand rightward.
-                while !probes[t].right_done {
-                    match tree.get(probes[t].right) {
-                        Some((OrdF64(key), oid)) if key <= hi_key => {
-                            stats.collisions_counted += 1;
-                            let cnt = counter.increment(oid);
-                            if cnt == self.l && counter.mark_verified(oid) {
-                                let d = euclidean(self.data.get(oid as usize), q);
-                                stats.candidates_verified += 1;
-                                candidates.push(Neighbor::new(oid, d));
-                                if candidates.len() >= cap {
-                                    stats.terminated_by = Termination::T2CandidateBudget;
-                                    break 'outer;
-                                }
-                            }
-                            probes[t].right = tree.advance(probes[t].right);
-                        }
-                        Some(_) => break,
-                        None => {
-                            probes[t].right_done = true;
-                        }
+    fn expand(
+        &self,
+        cursor: &mut QalshCursor,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(u32) -> bool,
+    ) {
+        let tree = &self.trees[t];
+        let half = self.config.w * radius as f64 / 2.0;
+        let (lo_key, hi_key) = (cursor.pq[t] - half, cursor.pq[t] + half);
+        let probe = &mut cursor.probes[t];
+        // Expand rightward.
+        while !probe.right_done {
+            match tree.get(probe.right) {
+                Some((OrdF64(key), oid)) if key <= hi_key => {
+                    let keep_going = visit(oid);
+                    probe.right = tree.advance(probe.right);
+                    if !keep_going {
+                        return;
                     }
                 }
-                // Expand leftward.
-                while !probes[t].left_done {
-                    match tree.get(probes[t].left) {
-                        Some((OrdF64(key), oid)) if key >= lo_key => {
-                            stats.collisions_counted += 1;
-                            let cnt = counter.increment(oid);
-                            if cnt == self.l && counter.mark_verified(oid) {
-                                let d = euclidean(self.data.get(oid as usize), q);
-                                stats.candidates_verified += 1;
-                                candidates.push(Neighbor::new(oid, d));
-                                if candidates.len() >= cap {
-                                    stats.terminated_by = Termination::T2CandidateBudget;
-                                    break 'outer;
-                                }
-                            }
-                            let prev = tree.retreat(probes[t].left);
-                            if tree.get(prev).is_none() {
-                                probes[t].left_done = true;
-                            } else {
-                                probes[t].left = prev;
-                            }
-                        }
-                        Some(_) => break,
-                        None => {
-                            probes[t].left_done = true;
-                        }
-                    }
-                }
+                Some(_) => break,
+                None => probe.right_done = true,
             }
-
-            // T1: enough verified candidates within c·R·base_radius.
-            let c_r = self.config.c as f64 * radius as f64 * self.config.base_radius;
-            if candidates.iter().filter(|c| c.dist <= c_r).count() >= k {
-                stats.terminated_by = Termination::T1AtRadius;
-                break;
-            }
-            // Exhausted: every tree fully consumed.
-            if probes.iter().all(|p| p.left_done && p.right_done) {
-                stats.terminated_by = Termination::Exhausted;
-                break;
-            }
-            level += 1;
         }
+        // Expand leftward.
+        while !probe.left_done {
+            match tree.get(probe.left) {
+                Some((OrdF64(key), oid)) if key >= lo_key => {
+                    let keep_going = visit(oid);
+                    let prev = tree.retreat(probe.left);
+                    if tree.get(prev).is_none() {
+                        probe.left_done = true;
+                    } else {
+                        probe.left = prev;
+                    }
+                    if !keep_going {
+                        return;
+                    }
+                }
+                Some(_) => break,
+                None => probe.left_done = true,
+            }
+        }
+    }
 
-        let io_after: u64 = self.trees.iter().map(|t| t.io_reads()).sum();
-        stats.io = IoStats {
-            reads: io_after - io_before + stats.candidates_verified as u64 * self.verify_pages,
-            writes: 0,
-        };
-        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
-        candidates.truncate(k);
-        (candidates, stats)
+    fn exhausted(&self, cursor: &QalshCursor) -> bool {
+        cursor.probes.iter().all(|p| p.left_done && p.right_done)
+    }
+
+    fn vector(&self, oid: u32) -> Option<&[f32]> {
+        Some(self.data.get(oid as usize))
+    }
+
+    fn verify_pages(&self) -> u64 {
+        self.verify_pages
+    }
+
+    fn io_reads(&self) -> u64 {
+        self.trees.iter().map(|t| t.io_reads()).sum()
     }
 }
 

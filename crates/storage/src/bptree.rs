@@ -67,8 +67,7 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     /// An empty tree with node capacities derived from the 4 KiB page
     /// size and the entry width.
     pub fn new() -> Self {
-        let leaf_cap =
-            (PAGE_SIZE / (core::mem::size_of::<K>() + core::mem::size_of::<V>())).max(4);
+        let leaf_cap = (PAGE_SIZE / (core::mem::size_of::<K>() + core::mem::size_of::<V>())).max(4);
         let inner_cap = (PAGE_SIZE / (core::mem::size_of::<K>() + 8)).max(4);
         Self::with_capacities(leaf_cap, inner_cap)
     }
@@ -326,9 +325,7 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     pub fn get(&self, cur: Cursor) -> Option<(K, V)> {
         let leaf = cur.leaf?;
         match &self.nodes[leaf] {
-            Node::Leaf { keys, vals, .. } => {
-                keys.get(cur.slot).map(|k| (*k, vals[cur.slot]))
-            }
+            Node::Leaf { keys, vals, .. } => keys.get(cur.slot).map(|k| (*k, vals[cur.slot])),
             _ => unreachable!("cursor points at inner node"),
         }
     }

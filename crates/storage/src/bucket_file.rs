@@ -40,10 +40,7 @@ impl BucketFile {
     /// Panics when `entries` is not sorted — the layout's binary searches
     /// would silently return wrong windows otherwise.
     pub fn build(file: &mut PageFile, entries: &[(i64, u32)]) -> Self {
-        assert!(
-            entries.windows(2).all(|w| w[0] <= w[1]),
-            "bucket entries must be sorted"
-        );
+        assert!(entries.windows(2).all(|w| w[0] <= w[1]), "bucket entries must be sorted");
         let mut pages = Vec::new();
         let mut fences = Vec::new();
         for chunk in entries.chunks(ENTRIES_PER_PAGE) {

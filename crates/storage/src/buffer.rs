@@ -91,9 +91,7 @@ impl<'f> BufferPool<'f> {
         let page = self.file.read_page(id).clone();
         if inner.frames.len() >= self.capacity {
             // Evict the least-recently-used frame.
-            if let Some((&victim, _)) =
-                inner.frames.iter().min_by_key(|(_, f)| f.last_used)
-            {
+            if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.last_used) {
                 inner.frames.remove(&victim);
             }
         }

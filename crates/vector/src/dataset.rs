@@ -112,10 +112,7 @@ impl Dataset {
 
 impl fmt::Debug for Dataset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Dataset")
-            .field("n", &self.len())
-            .field("dim", &self.dim)
-            .finish()
+        f.debug_struct("Dataset").field("n", &self.len()).field("dim", &self.dim).finish()
     }
 }
 

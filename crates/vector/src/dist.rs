@@ -78,10 +78,7 @@ mod tests {
             let a: Vec<f32> = (0..d).map(|i| i as f32).collect();
             let b: Vec<f32> = (0..d).map(|i| (i + 1) as f32).collect();
             // every coordinate differs by exactly 1
-            assert!(
-                (euclidean_sq(&a, &b) - d as f64).abs() < 1e-6,
-                "dim {d} wrong"
-            );
+            assert!((euclidean_sq(&a, &b) - d as f64).abs() < 1e-6, "dim {d} wrong");
         }
     }
 

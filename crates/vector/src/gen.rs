@@ -122,7 +122,7 @@ pub fn generate(dist: Distribution, n: usize, d: usize, seed: u64) -> Dataset {
             let sigmas: Vec<f64> = (0..clusters)
                 .map(|_| {
                     let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
-                    // Pareto multiplier, capped to keep the box bounded.
+                                                         // Pareto multiplier, capped to keep the box bounded.
                     spread * scale * u.powf(-1.0 / tail).min(20.0)
                 })
                 .collect();
@@ -138,9 +138,7 @@ pub fn generate(dist: Distribution, n: usize, d: usize, seed: u64) -> Dataset {
 }
 
 fn cluster_centers(rng: &mut StdRng, clusters: usize, d: usize, scale: f64) -> Vec<Vec<f64>> {
-    (0..clusters)
-        .map(|_| (0..d).map(|_| rng.gen::<f64>() * scale).collect())
-        .collect()
+    (0..clusters).map(|_| (0..d).map(|_| rng.gen::<f64>() * scale).collect()).collect()
 }
 
 #[cfg(test)]
@@ -201,10 +199,7 @@ mod tests {
         // Points i and i+clusters share a cluster (round-robin assignment).
         let within = euclidean(ds.get(0), ds.get(clusters));
         let across = euclidean(ds.get(0), ds.get(1));
-        assert!(
-            within * 5.0 < across,
-            "within {within} not well below across {across}"
-        );
+        assert!(within * 5.0 < across, "within {within} not well below across {across}");
     }
 
     #[test]

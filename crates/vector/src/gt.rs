@@ -38,11 +38,7 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Total order: distances are finite by construction.
-        self.dist_sq
-            .partial_cmp(&other.dist_sq)
-            .expect("non-finite distance in ground truth")
-            .then_with(|| self.id.cmp(&other.id))
+        self.dist_sq.total_cmp(&other.dist_sq).then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -71,7 +67,7 @@ pub fn knn_linear(data: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
     }
     let mut out: Vec<Neighbor> =
         heap.into_iter().map(|e| Neighbor::new(e.id, e.dist_sq.sqrt())).collect();
-    out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     out
 }
 
@@ -110,12 +106,7 @@ mod tests {
     use crate::gen::{generate, Distribution};
 
     fn toy() -> Dataset {
-        Dataset::from_rows(&[
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![5.0, 5.0],
-        ])
+        Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![5.0, 5.0]])
     }
 
     #[test]

@@ -164,11 +164,8 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, IoError> {
 
 /// Write a dataset to disk in the format implied by the extension.
 pub fn write_dataset(path: &Path, ds: &Dataset) -> Result<(), IoError> {
-    let buf = if path.extension().is_some_and(|e| e == "fvecs") {
-        to_fvecs(ds)
-    } else {
-        to_ccv1(ds)
-    };
+    let buf =
+        if path.extension().is_some_and(|e| e == "fvecs") { to_fvecs(ds) } else { to_ccv1(ds) };
     fs::write(path, buf)?;
     Ok(())
 }

@@ -19,11 +19,8 @@ pub fn recall(result: &[Neighbor], truth: &[Neighbor]) -> f64 {
     if truth.is_empty() {
         return 1.0;
     }
-    let hits = result
-        .iter()
-        .take(truth.len())
-        .filter(|r| truth.iter().any(|t| t.id == r.id))
-        .count();
+    let hits =
+        result.iter().take(truth.len()).filter(|r| truth.iter().any(|t| t.id == r.id)).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -52,10 +49,7 @@ pub fn overall_ratio(result: &[Neighbor], truth: &[Neighbor]) -> f64 {
             ratios.push(None);
         }
     }
-    let worst = ratios
-        .iter()
-        .flatten()
-        .fold(1.0f64, |a, &b| a.max(b));
+    let worst = ratios.iter().flatten().fold(1.0f64, |a, &b| a.max(b));
     let filled: Vec<f64> = ratios.into_iter().map(|r| r.unwrap_or(worst.max(2.0))).collect();
     filled.iter().sum::<f64>() / filled.len() as f64
 }
@@ -75,8 +69,7 @@ pub fn mean_ratio(results: &[Vec<Neighbor>], truths: &[Vec<Neighbor>]) -> f64 {
     if results.is_empty() {
         return 1.0;
     }
-    results.iter().zip(truths).map(|(r, t)| overall_ratio(r, t)).sum::<f64>()
-        / results.len() as f64
+    results.iter().zip(truths).map(|(r, t)| overall_ratio(r, t)).sum::<f64>() / results.len() as f64
 }
 
 #[cfg(test)]

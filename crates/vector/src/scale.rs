@@ -75,12 +75,8 @@ mod tests {
 
     #[test]
     fn normalize_reaches_unit_scale() {
-        let d = crate::gen::generate(
-            crate::gen::Distribution::UniformCube { side: 500.0 },
-            300,
-            6,
-            1,
-        );
+        let d =
+            crate::gen::generate(crate::gen::Distribution::UniformCube { side: 500.0 }, 300, 6, 1);
         let (norm, factor) = normalize_to_unit_nn(&d, 40);
         assert!(factor > 0.0);
         let unit = mean_nn_distance(&norm, 40);

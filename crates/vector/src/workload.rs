@@ -26,7 +26,12 @@ pub struct Workload {
 
 impl Workload {
     /// Build a workload from explicit parts, computing ground truth.
-    pub fn from_parts(name: impl Into<String>, data: Dataset, queries: Dataset, gt_k: usize) -> Self {
+    pub fn from_parts(
+        name: impl Into<String>,
+        data: Dataset,
+        queries: Dataset,
+        gt_k: usize,
+    ) -> Self {
         let truth = ground_truth(&data, &queries, gt_k);
         Self { name: name.into(), data, queries, truth, gt_k }
     }
@@ -36,7 +41,13 @@ impl Workload {
     /// `scale` shrinks the paper-scale `n` (for quick runs); `n_queries`
     /// follows the paper's protocol of 100 held-out queries; `gt_k` is the
     /// deepest `k` any consumer will ask for.
-    pub fn from_profile(profile: Profile, scale: f64, n_queries: usize, gt_k: usize, seed: u64) -> Self {
+    pub fn from_profile(
+        profile: Profile,
+        scale: f64,
+        n_queries: usize,
+        gt_k: usize,
+        seed: u64,
+    ) -> Self {
         let (data, queries) = profile.generate_scaled(scale, n_queries, seed);
         Self::from_parts(profile.name(), data, queries, gt_k)
     }

@@ -62,12 +62,7 @@ fn main() {
         };
 
         let dup_c2 = c2.query_one(&clip).0.map(|n| n.dist <= c as f64 * r).unwrap_or(false);
-        let dup_qa = qa
-            .query(&clip, 1)
-            .0
-            .first()
-            .map(|n| n.dist <= c as f64 * r)
-            .unwrap_or(false);
+        let dup_qa = qa.query(&clip, 1).0.first().map(|n| n.dist <= c as f64 * r).unwrap_or(false);
         if is_dup {
             tp_c2 += dup_c2 as i32;
             tp_qa += dup_qa as i32;

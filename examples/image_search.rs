@@ -19,11 +19,7 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let (data, _) = Profile::Color.generate_scaled(0.2, 0, 1);
-    println!(
-        "color-histogram library: {} images, {}-bin histograms",
-        data.len(),
-        data.dim()
-    );
+    println!("color-histogram library: {} images, {}-bin histograms", data.len(), data.dim());
 
     // Tell the index the data's real distance scale: histograms live at
     // a tiny scale, so estimate the typical 1-NN distance and hand it to
@@ -31,11 +27,8 @@ fn main() {
     // the data itself with `cc_vector::scale::normalize_to_unit_nn`.)
     let nn_scale = cc_vector::scale::mean_nn_distance(&data, 50);
     println!("estimated 1-NN distance scale: {nn_scale:.4}");
-    let config = C2lshConfig::builder()
-        .base_radius(nn_scale)
-        .bucket_width(2.184 * nn_scale)
-        .seed(3)
-        .build();
+    let config =
+        C2lshConfig::builder().base_radius(nn_scale).bucket_width(2.184 * nn_scale).seed(3).build();
     let index = C2lshIndex::build(&data, &config);
     println!(
         "index: m = {} tables, {:.1} MiB\n",
@@ -70,8 +63,5 @@ fn main() {
 /// Add Gaussian jitter to every histogram bin of image `idx`.
 fn perturb(data: &Dataset, idx: usize, sigma: f64, rng: &mut StdRng) -> Vec<f32> {
     let mut normal = cc_vector::gen::NormalSampler::new();
-    data.get(idx)
-        .iter()
-        .map(|&x| (x as f64 + sigma * normal.sample(rng)) as f32)
-        .collect()
+    data.get(idx).iter().map(|&x| (x as f64 + sigma * normal.sample(rng)) as f32).collect()
 }

@@ -27,13 +27,7 @@ fn main() {
         let p = FullParams::derive(n, &cfg);
         // 12 bytes per (bucket, oid) entry per table.
         let bytes = p.m * n * 12;
-        println!(
-            "  {:>12} {:>6} {:>6} {:>9.1}M",
-            n,
-            p.m,
-            p.l,
-            bytes as f64 / (1024.0 * 1024.0)
-        );
+        println!("  {:>12} {:>6} {:>6} {:>9.1}M", n, p.m, p.l, bytes as f64 / (1024.0 * 1024.0));
     }
 
     println!("\neffect of beta at n = 100,000 (c = 2):");

@@ -33,9 +33,7 @@ fn main() {
     let p = index.params();
     println!(
         "derived parameters: m = {} hash tables, collision threshold l = {} (alpha* = {:.3})",
-        p.m,
-        p.l,
-        p.derived.alpha
+        p.m, p.l, p.derived.alpha
     );
     println!("index size: {:.1} MiB", index.size_bytes() as f64 / (1024.0 * 1024.0));
 

@@ -7,12 +7,7 @@ use cc_vector::gt::Neighbor;
 use std::sync::Arc;
 
 fn clustered(n: usize, d: usize, seed: u64) -> cc_vector::Dataset {
-    generate(
-        Distribution::GaussianMixture { clusters: 12, spread: 0.02, scale: 10.0 },
-        n,
-        d,
-        seed,
-    )
+    generate(Distribution::GaussianMixture { clusters: 12, spread: 0.02, scale: 10.0 }, n, d, seed)
 }
 
 #[test]
@@ -53,7 +48,9 @@ fn batch_query_equals_manual_threads() {
     let cfg = C2lshConfig::builder().bucket_width(1.0).seed(4).build();
     let index = C2lshIndex::build(&data, &cfg);
     let queries = data.slice_rows(0, 24);
-    let batch = index.query_batch(&queries, 7);
+    let (batch, agg) = index.query_batch(&queries, 7);
+    assert_eq!(agg.queries, 24);
+    assert_eq!(agg.t1 + agg.t2 + agg.exhausted, 24);
     for (qi, (nn, _)) in batch.iter().enumerate() {
         assert_eq!(nn, &index.query(queries.get(qi), 7).0, "query {qi}");
     }

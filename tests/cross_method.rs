@@ -105,3 +105,124 @@ fn linear_scan_is_the_quality_ceiling() {
         assert_eq!(nn, truth[qi], "query {qi}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Engine-unification guarantees: all in-repo backends drive the same
+// search loop, so they must agree bit-for-bit — on the neighbors AND on
+// which terminating condition fired.
+// ---------------------------------------------------------------------------
+
+mod engine_equivalence {
+    use c2lsh::{C2lshConfig, C2lshIndex, DiskIndex, DynamicIndex};
+    use cc_vector::dataset::Dataset;
+    use proptest::prelude::*;
+
+    fn coord() -> impl Strategy<Value = f32> {
+        -50.0f32..50.0
+    }
+
+    fn rows() -> impl Strategy<Value = Vec<Vec<f32>>> {
+        proptest::collection::vec(proptest::collection::vec(coord(), 6), 20..120)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn backends_agree_on_neighbors_and_termination(
+            rows in rows(),
+            qi in 0usize..1000,
+            k in 1usize..8,
+            seed in 0u64..64,
+        ) {
+            let data = Dataset::from_rows(&rows);
+            let qi = qi % data.len();
+            let cfg = C2lshConfig::builder().bucket_width(1.0).seed(seed).build();
+            let mem = C2lshIndex::build(&data, &cfg);
+            let disk = DiskIndex::build(&data, &cfg);
+            let dynm = DynamicIndex::from_dataset(&data, &cfg);
+            let q = data.get(qi).to_vec();
+
+            let (m_nn, m_s) = mem.query(&q, k);
+            let (d_nn, d_s) = disk.query(&q, k);
+            let (y_nn, y_s) = dynm.query(&q, k);
+
+            prop_assert_eq!(&m_nn, &d_nn, "mem vs disk neighbors");
+            prop_assert_eq!(&m_nn, &y_nn, "mem vs dynamic neighbors");
+            prop_assert_eq!(m_s.terminated_by, d_s.terminated_by, "mem vs disk termination");
+            prop_assert_eq!(m_s.terminated_by, y_s.terminated_by, "mem vs dynamic termination");
+            // Identical loop => identical counting work too.
+            prop_assert_eq!(m_s.rounds, d_s.rounds);
+            prop_assert_eq!(m_s.collisions_counted, d_s.collisions_counted);
+            prop_assert_eq!(m_s.candidates_verified, y_s.candidates_verified);
+        }
+    }
+}
+
+#[test]
+fn candidate_budget_larger_than_dataset_is_safe_everywhere() {
+    // Default β is an absolute count (100), so on a tiny dataset
+    // k + β·n exceeds n: the T2 budget can never fill, every backend
+    // must fall through to T1/exhaustion with at most n verifications.
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 3, spread: 0.05, scale: 5.0 },
+        30,
+        8,
+        123,
+    );
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(11).build();
+    let k = 12;
+    assert!(k + C2lshIndex::build(&data, &cfg).params().beta_n > data.len());
+
+    let mem = C2lshIndex::build(&data, &cfg);
+    let disk = DiskIndex::build(&data, &cfg);
+    let dynm = c2lsh::DynamicIndex::from_dataset(&data, &cfg);
+    let q = data.get(0).to_vec();
+    let (m_nn, m_s) = mem.query(&q, k);
+    let (d_nn, d_s) = disk.query(&q, k);
+    let (y_nn, y_s) = dynm.query(&q, k);
+    for s in [&m_s, &d_s, &y_s] {
+        assert!(s.candidates_verified <= data.len());
+        assert_ne!(
+            s.terminated_by,
+            c2lsh::Termination::T2CandidateBudget,
+            "budget exceeding n must be unreachable"
+        );
+    }
+    assert_eq!(m_nn, d_nn);
+    assert_eq!(m_nn, y_nn);
+    assert_eq!(m_nn.len(), k);
+}
+
+#[test]
+fn extreme_magnitude_coordinates_sort_totally() {
+    // Candidate ranking uses total_cmp: huge, tiny-subnormal and zero
+    // distances must order deterministically without panicking.
+    let rows: Vec<Vec<f32>> = vec![
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![1.0e15, 0.0, 0.0, 0.0],
+        vec![-1.0e15, 0.0, 0.0, 0.0],
+        vec![1.0e-40, 0.0, 0.0, 0.0], // subnormal f32
+        vec![-1.0e-40, 1.0e-40, 0.0, 0.0],
+        vec![3.0e14, -3.0e14, 3.0e14, -3.0e14],
+        vec![0.5, 0.5, 0.5, 0.5],
+        vec![-0.0, 0.0, -0.0, 0.0], // negative zero coordinates
+    ];
+    let data = cc_vector::Dataset::from_rows(&rows);
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(3).build();
+    let mem = C2lshIndex::build(&data, &cfg);
+    let dynm = c2lsh::DynamicIndex::from_dataset(&data, &cfg);
+    let q = vec![0.0f32; 4];
+    for nn in [mem.query(&q, rows.len()).0, dynm.query(&q, rows.len()).0] {
+        assert_eq!(nn.len(), rows.len(), "every object verified and returned");
+        for w in nn.windows(2) {
+            assert!(
+                w[0].dist < w[1].dist || (w[0].dist == w[1].dist && w[0].id < w[1].id),
+                "strict total order violated: {w:?}"
+            );
+        }
+        assert_eq!(nn[0].id, 0, "exact match first");
+        // Ground truth agrees under the same total order.
+        let gt = cc_vector::gt::knn_linear(&data, &q, rows.len());
+        assert_eq!(nn, gt);
+    }
+}

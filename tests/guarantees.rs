@@ -7,12 +7,7 @@ use cc_vector::gen::{generate, Distribution};
 use qalsh::{Qalsh, QalshConfig};
 
 fn clustered(n: usize, d: usize, seed: u64) -> cc_vector::Dataset {
-    generate(
-        Distribution::GaussianMixture { clusters: 20, spread: 0.015, scale: 10.0 },
-        n,
-        d,
-        seed,
-    )
+    generate(Distribution::GaussianMixture { clusters: 20, spread: 0.015, scale: 10.0 }, n, d, seed)
 }
 
 #[test]
@@ -43,13 +38,10 @@ fn success_probability_well_above_half_minus_one_over_e() {
 fn t2_budget_holds_for_both_counting_schemes() {
     let data = clustered(5_000, 16, 3);
     let k = 10;
-    let c_cfg = C2lshConfig::builder()
-        .bucket_width(1.0)
-        .beta(Beta::Count(50))
-        .seed(4)
-        .build();
+    let c_cfg = C2lshConfig::builder().bucket_width(1.0).beta(Beta::Count(50)).seed(4).build();
     let c2 = C2lshIndex::build(&data, &c_cfg);
-    let qa = Qalsh::build(&data, QalshConfig { w: 1.2, beta_count: 50, seed: 4, ..Default::default() });
+    let qa =
+        Qalsh::build(&data, QalshConfig { w: 1.2, beta_count: 50, seed: 4, ..Default::default() });
     for qi in [0usize, 123, 4567] {
         let q = data.get(qi);
         let (_, s_c2) = c2.query(q, k);
@@ -102,10 +94,7 @@ fn virtual_rehashing_collision_prob_matches_scaled_width() {
             .count() as f64
             / m as f64;
         let theory = collision_probability(2.0, w * r as f64);
-        assert!(
-            (emp - theory).abs() < 0.04,
-            "R={r}: empirical {emp} vs theory {theory}"
-        );
+        assert!((emp - theory).abs() < 0.04, "R={r}: empirical {emp} vs theory {theory}");
     }
 }
 

@@ -1,0 +1,166 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Implements the cursor-style [`Buf`] / [`BufMut`] traits for `&[u8]`,
+//! `&mut [u8]` and `Vec<u8>` — the three shapes this workspace reads and
+//! writes — with the little-endian accessors its serializers use.
+//! Like upstream, reading advances the slice in place and out-of-bounds
+//! access panics.
+
+#![forbid(unsafe_code)]
+
+macro_rules! buf_get_impl {
+    ($($name:ident -> $t:ty),* $(,)?) => {$(
+        /// Read a little-endian value and advance past it.
+        fn $name(&mut self) -> $t {
+            const N: usize = core::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            raw.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// A readable byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte and advance past it.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    buf_get_impl! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+macro_rules! buf_put_impl {
+    ($($name:ident($t:ty)),* $(,)?) => {$(
+        /// Append a value in little-endian byte order.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// A writable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    ///
+    /// # Panics
+    /// Panics when the sink has fixed capacity and `src` does not fit.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put_impl! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Fixed-capacity sink: writes consume the slice from the front.
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_write_slice_read_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_i64_le(-42);
+        buf.put_f32_le(3.5);
+        buf.put_f64_le(-0.25);
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 4 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f32_le(), 3.5);
+        assert_eq!(r.get_f64_le(), -0.25);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn fixed_slice_writes_consume_front() {
+        let mut backing = [0u8; 12];
+        {
+            let mut w: &mut [u8] = &mut backing;
+            w.put_u32_le(1);
+            w.put_u32_le(2);
+            w.put_u32_le(3);
+            assert!(w.is_empty());
+        }
+        let mut r: &[u8] = &backing;
+        assert_eq!((r.get_u32_le(), r.get_u32_le(), r.get_u32_le()), (1, 2, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}

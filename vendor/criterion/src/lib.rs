@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock timing harness with criterion's call shape:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed samples after a warm-up and prints mean/min/max
+//! per iteration — no statistics engine, HTML reports, or CLI filters.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-export of `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle with the builder knobs benches configure.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time across all samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, &mut f);
+        self
+    }
+
+    /// Start a named group; member benchmarks print as `group/member`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run `name` under this group's prefix.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark; `input` is passed to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Display label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Label showing only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_one_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(cfg: &Criterion, label: &str, f: &mut F) {
+    // Warm up while estimating per-iteration cost to size the samples.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 1;
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < cfg.warm_up_time {
+        let t = time_one_sample(f, iters);
+        per_iter = t.max(Duration::from_nanos(1)) / iters as u32;
+        if t < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    let per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..cfg.sample_size {
+        let t = time_one_sample(f, iters_per_sample) / iters_per_sample as u32;
+        min = min.min(t);
+        max = max.max(t);
+        total += t;
+    }
+    let mean = total / cfg.sample_size as u32;
+    println!(
+        "{label:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({} iters/sample)",
+        iters_per_sample
+    );
+}
+
+/// Declare a benchmark group. Supports both the `name/config/targets`
+/// form and the plain `group_name, target, ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = fast_cfg();
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_value() {
+        let mut c = fast_cfg();
+        let mut g = c.benchmark_group("grp");
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(128usize), &128usize, |b, &d| {
+            b.iter(|| seen = d)
+        });
+        g.finish();
+        assert_eq!(seen, 128);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 4).0, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the 0.8 call shape — the closure
+//! receives a scope handle, `spawn` passes the handle again to each
+//! worker closure, and the whole call returns `thread::Result` — built
+//! on `std::thread::scope`. One behavioral difference: a panicking child
+//! re-panics at scope exit (std semantics) instead of surfacing as
+//! `Err`, so the `Err` arm here is unreachable; callers' `.unwrap()` /
+//! `.expect()` still behave equivalently.
+
+#![forbid(unsafe_code)]
+
+/// Result of a scope or a joined scoped thread.
+pub type ThreadResult<T> = std::thread::Result<T>;
+
+/// Handle for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread and return its result.
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle
+    /// (crossbeam's signature; most callers ignore it with `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Run `f` with a scope handle; all threads spawned in it are joined
+/// before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_join_collect_results() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn borrows_from_enclosing_stack() {
+        let mut out = vec![0usize; 4];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * i);
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+}
