@@ -1,0 +1,178 @@
+//! **loadgen — closed-loop load generator for `cc-service`**.
+//!
+//! Drives a running (or self-hosted) query server with `CC_CLIENTS`
+//! concurrent closed-loop connections — each sends a query, waits for
+//! the answer, repeats — for `CC_SECONDS`, then reports throughput,
+//! latency percentiles (p50/p95/p99), the overload-rejection count,
+//! and the server's own coalescing evidence (batches, largest batch)
+//! pulled from the stats frame.
+//!
+//! ```text
+//! # self-hosted: spins up an in-process server on an ephemeral port
+//! cargo run -p cc-bench --release --bin loadgen
+//!
+//! # against an external server (see `cargo run -p cc-service`)
+//! CC_ADDR=127.0.0.1:7878 cargo run -p cc-bench --release --bin loadgen
+//! ```
+//!
+//! Environment overrides: `CC_ADDR` (default: self-host), `CC_CLIENTS`
+//! (32), `CC_SECONDS` (5), `CC_K` (10), `CC_N` (20000, self-host
+//! only), `CC_DIM` (16, self-host only).
+
+use c2lsh::{C2lshConfig, ShardedData, ShardedEngine};
+use cc_bench::env_usize;
+use cc_service::json::find_u64;
+use cc_service::{Client, Response, ServiceConfig};
+use cc_vector::gen::{generate, Distribution};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+struct ClientReport {
+    latencies_ns: Vec<u64>,
+    overloaded: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+/// The closed loop of one connection: query, wait, repeat. Overload
+/// rejections are counted and retried after a short backoff — the
+/// client-side half of the admission-control contract.
+fn run_client(
+    addr: std::net::SocketAddr,
+    queries: &cc_vector::dataset::Dataset,
+    k: u32,
+    stop: &AtomicBool,
+    t: usize,
+) -> ClientReport {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut report = ClientReport { latencies_ns: Vec::new(), overloaded: 0 };
+    let mut qi = t; // stagger the starting query per client
+    while !stop.load(Ordering::Relaxed) {
+        let q = queries.get(qi % queries.len());
+        qi += 1;
+        let sent = Instant::now();
+        match client.query(q, k, 0).expect("query") {
+            Response::TopK(nn) => {
+                assert!(!nn.is_empty(), "server returned an empty result set");
+                report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+            }
+            Response::Overloaded => {
+                report.overloaded += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    report
+}
+
+fn drive(addr: std::net::SocketAddr, queries: &cc_vector::dataset::Dataset) {
+    let clients = env_usize("CC_CLIENTS", 32);
+    let seconds = env_usize("CC_SECONDS", 5);
+    let k = env_usize("CC_K", 10) as u32;
+
+    let mut probe = Client::connect(addr).expect("connect");
+    probe.ping().expect("ping");
+    let before = probe.stats_json().expect("stats");
+
+    eprintln!("driving {clients} closed-loop clients for {seconds}s (k = {k})…");
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    let reports: Vec<ClientReport> = crossbeam::scope(move |s| {
+        let handles: Vec<_> =
+            (0..clients).map(|t| s.spawn(move |_| run_client(addr, queries, k, stop, t))).collect();
+        std::thread::sleep(Duration::from_secs(seconds as u64));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    let after = probe.stats_json().expect("stats");
+    let delta = |key: &str| {
+        find_u64(&after, key).unwrap_or(0).saturating_sub(find_u64(&before, key).unwrap_or(0))
+    };
+
+    let mut latencies: Vec<u64> =
+        reports.iter().flat_map(|r| r.latencies_ns.iter().copied()).collect();
+    latencies.sort_unstable();
+    let answered = latencies.len() as u64;
+    let overloaded: u64 = reports.iter().map(|r| r.overloaded).sum();
+    let qps = answered as f64 / seconds as f64;
+
+    println!("answered    {answered} queries ({overloaded} overload rejections)");
+    println!("throughput  {qps:.0} qps");
+    println!(
+        "latency     p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let batches = delta("batches");
+    let mean_batch = if batches > 0 { delta("queries") as f64 / batches as f64 } else { 0.0 };
+    println!(
+        "coalescing  {batches} engine flushes, mean batch {mean_batch:.1}, largest batch {} \
+         (whole server lifetime)",
+        find_u64(&after, "max_batch").unwrap_or(0),
+    );
+    if answered > 0 && find_u64(&after, "max_batch").unwrap_or(0) < 2 {
+        eprintln!("warning: no request coalescing observed — is the server idle-tuned?");
+    }
+}
+
+fn main() {
+    if let Ok(addr) = std::env::var("CC_ADDR") {
+        let addr = addr.parse().expect("CC_ADDR must be HOST:PORT");
+        let queries = generate(
+            Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+            256,
+            env_usize("CC_DIM", 16),
+            99,
+        );
+        drive(addr, &queries);
+        return;
+    }
+
+    // Self-hosted mode: build a 4-shard engine in-process, serve it on
+    // an ephemeral loopback port, drive it, then shut it down.
+    let n = env_usize("CC_N", 20_000);
+    let dim = env_usize("CC_DIM", 16);
+    eprintln!("self-hosting: building a 4-shard index over {n} vectors in R^{dim}…");
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+        n,
+        dim,
+        42,
+    );
+    let queries = generate(
+        Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+        256,
+        dim,
+        99,
+    );
+    let config = C2lshConfig::builder().bucket_width(1.0).seed(42).build();
+    let sharded = ShardedData::partition(&data, 4);
+    let engine = ShardedEngine::build(&sharded, &config);
+    let service = ServiceConfig::default();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let (engine, service, queries) = (&engine, &service, &queries);
+    crossbeam::scope(move |s| {
+        let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+        drive(addr, queries);
+        Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+        let stats = server.join().unwrap();
+        eprintln!(
+            "server drained: {} queries in {} batches (largest {})",
+            stats.queries, stats.batches, stats.max_batch
+        );
+    })
+    .unwrap();
+}

@@ -50,6 +50,9 @@
 //! * [`index`] — the in-memory backend over sorted runs,
 //! * [`disk`] — the paged backend with exact I/O accounting,
 //! * [`dynamic`] — the updatable backend over per-table B-trees,
+//! * [`sharded`] — one logical index over `S` disjoint data shards:
+//!   exact single-loop queries over concatenated shard tables, plus a
+//!   parallel per-shard fan-out with `total_cmp` top-k merging,
 //! * [`rehash`] — virtual rehashing window arithmetic (shared),
 //! * [`stats`] — per-query, per-round and per-batch cost counters,
 //! * [`persist`] — index save/load,
@@ -68,6 +71,7 @@ pub mod index;
 pub mod params;
 pub mod persist;
 pub mod rehash;
+pub mod sharded;
 pub mod stats;
 
 /// Epoch-stamped collision counters (re-export of [`engine::counting`]).
@@ -82,4 +86,5 @@ pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;
 pub use params::FullParams;
 pub use persist::{load_index, save_index, PersistError};
+pub use sharded::{ShardedData, ShardedEngine};
 pub use stats::{BatchStats, QueryStats, RoundStats, Termination};

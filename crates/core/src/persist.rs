@@ -17,20 +17,42 @@
 //! per table:    n×(i64 bucket, u32 oid) |
 //! xor-fold checksum
 //! ```
+//!
+//! The magic word doubles as the version stamp: the `"C2L"` prefix
+//! identifies the format family and the trailing byte (`'1'`) its
+//! version. A blob with the right prefix but a different version byte
+//! is rejected as [`PersistError::UnsupportedVersion`] *before* the
+//! checksum runs, so "written by a newer release" never masquerades as
+//! corruption. Loading is panic-free on arbitrary input: every read is
+//! bounds-checked and truncation at any byte boundary reports
+//! [`PersistError::Malformed`] (see `tests/proptest_persist.rs`).
 
 use crate::config::{Beta, C2lshConfig};
 use crate::index::C2lshIndex;
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 use cc_vector::dataset::Dataset;
 use std::fmt;
 
-const MAGIC: u32 = 0x4332_4C31; // "C2L1"
+const MAGIC: u32 = 0x4332_4C31; // "C2L1": "C2L" prefix + version byte '1'
+/// High three bytes of the magic word — the format family tag.
+const MAGIC_PREFIX: u32 = MAGIC & !0xFF;
+/// Low byte of the magic word — the format version this build writes
+/// and the only one it reads.
+const FORMAT_VERSION: u8 = (MAGIC & 0xFF) as u8;
 
 /// Why loading failed.
 #[derive(Debug, PartialEq)]
 pub enum PersistError {
     /// Wrong magic / truncated / checksum mismatch.
     Malformed(String),
+    /// The blob carries the right magic prefix but a format version
+    /// this build does not understand (e.g. a file written by a newer
+    /// release). Distinct from [`PersistError::Malformed`] so callers
+    /// can tell "upgrade the reader" apart from "the file is damaged".
+    UnsupportedVersion {
+        /// The version byte found in the blob.
+        found: u8,
+    },
     /// The provided dataset does not match the fingerprint recorded at
     /// save time.
     DatasetMismatch {
@@ -45,6 +67,11 @@ impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::Malformed(m) => write!(f, "malformed index blob: {m}"),
+            PersistError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported index format version {:?} (this build reads {:?} only)",
+                *found as char, FORMAT_VERSION as char
+            ),
             PersistError::DatasetMismatch { want_n, want_dim } => write!(
                 f,
                 "dataset mismatch: index was built over {want_n} vectors of dim {want_dim}"
@@ -98,37 +125,102 @@ pub fn save_index(index: &C2lshIndex<'_>) -> Vec<u8> {
     buf
 }
 
+/// Bounds-checked little-endian reader: every getter reports
+/// truncation as [`PersistError::Malformed`] instead of panicking, so
+/// arbitrary byte strings — including every truncation of a valid blob
+/// — are safe to feed through [`load_index`].
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.buf.len() < n {
+            return Err(PersistError::Malformed(format!(
+                "truncated: wanted {n} more bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_i64_le(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
 /// Reload an index over the same (caller-kept) dataset.
-pub fn load_index<'d>(data: &'d Dataset, mut buf: &[u8]) -> Result<C2lshIndex<'d>, PersistError> {
-    let full = buf;
-    if buf.remaining() < 4 + 8 + 4 {
+pub fn load_index<'d>(data: &'d Dataset, buf: &[u8]) -> Result<C2lshIndex<'d>, PersistError> {
+    if buf.len() < 4 + 8 + 4 {
         return Err(PersistError::Malformed("header too short".into()));
     }
-    if xor_fold(&full[..full.len() - 4]) != (&full[full.len() - 4..]).get_u32_le() {
-        return Err(PersistError::Malformed("checksum mismatch".into()));
-    }
-    let magic = buf.get_u32_le();
-    if magic != MAGIC {
+    // Identify the format before verifying the checksum: a well-formed
+    // blob from a newer format version must surface as
+    // `UnsupportedVersion`, not be folded into the corruption path
+    // (newer versions may checksum differently).
+    let magic = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if magic & !0xFF != MAGIC_PREFIX {
         return Err(PersistError::Malformed(format!("bad magic {magic:#010x}")));
     }
-    let n = buf.get_u64_le() as usize;
-    let dim = buf.get_u32_le() as usize;
+    let version = (magic & 0xFF) as u8;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let (payload, tail) = buf.split_at(buf.len() - 4);
+    if xor_fold(payload) != u32::from_le_bytes(tail.try_into().unwrap()) {
+        return Err(PersistError::Malformed("checksum mismatch".into()));
+    }
+
+    // Magic already consumed; the trailing checksum already verified.
+    let mut r = Reader::new(&payload[4..]);
+    let n = r.get_u64_le()? as usize;
+    let dim = r.get_u32_le()? as usize;
     if n != data.len() || dim != data.dim() {
         return Err(PersistError::DatasetMismatch { want_n: n, want_dim: dim });
     }
-    let c = buf.get_u32_le();
-    let w = buf.get_f64_le();
-    let delta = buf.get_f64_le();
-    let base_radius = buf.get_f64_le();
-    let beta = match buf.get_u8() {
-        0 => Beta::Count(buf.get_u64_le()),
-        1 => Beta::Fraction(buf.get_f64_le()),
+    let c = r.get_u32_le()?;
+    let w = r.get_f64_le()?;
+    let delta = r.get_f64_le()?;
+    let base_radius = r.get_f64_le()?;
+    let beta = match r.get_u8()? {
+        0 => Beta::Count(r.get_u64_le()?),
+        1 => Beta::Fraction(r.get_f64_le()?),
         x => return Err(PersistError::Malformed(format!("unknown beta tag {x}"))),
     };
-    let seed = buf.get_u64_le();
-    let m = buf.get_u32_le() as usize;
-    let l = buf.get_u32_le() as usize;
-    let beta_n = buf.get_u32_le() as usize;
+    let seed = r.get_u64_le()?;
+    let m = r.get_u32_le()? as usize;
+    let l = r.get_u32_le()? as usize;
+    let beta_n = r.get_u32_le()? as usize;
     if m == 0 || l == 0 || l > m {
         return Err(PersistError::Malformed(format!("bad (m, l) = ({m}, {l})")));
     }
@@ -145,21 +237,23 @@ pub fn load_index<'d>(data: &'d Dataset, mut buf: &[u8]) -> Result<C2lshIndex<'d
     };
     config.validate().map_err(|e| PersistError::Malformed(e.to_string()))?;
 
-    let need = m * (dim * 4 + 8) + m * n * 12;
-    if buf.remaining() != need + 4 {
+    // Size the payload up front (in u128: m and dim come from the wire
+    // and must not overflow the check itself) so a corrupt header can't
+    // trigger huge allocations below.
+    let need = m as u128 * (dim as u128 * 4 + 8) + m as u128 * n as u128 * 12;
+    if r.remaining() as u128 != need {
         return Err(PersistError::Malformed(format!(
-            "payload size {} != expected {}",
-            buf.remaining() - 4.min(buf.remaining()),
-            need
+            "payload size {} != expected {need}",
+            r.remaining()
         )));
     }
     let mut functions = Vec::with_capacity(m);
     for _ in 0..m {
         let mut a = Vec::with_capacity(dim);
         for _ in 0..dim {
-            a.push(buf.get_f32_le());
+            a.push(r.get_f32_le()?);
         }
-        let b = buf.get_f64_le();
+        let b = r.get_f64_le()?;
         functions.push(crate::hash::PstableHash::from_parts(a, b, w));
     }
     let mut tables = Vec::with_capacity(m);
@@ -167,8 +261,8 @@ pub fn load_index<'d>(data: &'d Dataset, mut buf: &[u8]) -> Result<C2lshIndex<'d
         let mut buckets = Vec::with_capacity(n);
         let mut oids = Vec::with_capacity(n);
         for _ in 0..n {
-            buckets.push(buf.get_i64_le());
-            oids.push(buf.get_u32_le());
+            buckets.push(r.get_i64_le()?);
+            oids.push(r.get_u32_le()?);
         }
         if !buckets.windows(2).all(|p| p[0] <= p[1]) {
             return Err(PersistError::Malformed("table not sorted".into()));
@@ -262,8 +356,44 @@ mod tests {
         let idx = C2lshIndex::build(&data, &cfg());
         let blob = save_index(&idx);
         assert!(load_index(&data, &blob[..10]).is_err());
+        // Corrupt the prefix (byte 1 holds 'L'), not the version byte.
         let mut bad = blob.clone();
-        bad[0] ^= 1;
-        assert!(load_index(&data, &bad).is_err());
+        bad[1] ^= 1;
+        assert!(matches!(load_index(&data, &bad), Err(PersistError::Malformed(_))));
+    }
+
+    /// Re-stamp a valid blob's version byte and fix up the trailing
+    /// checksum so only the version differs from a well-formed file.
+    fn with_version(blob: &[u8], version: u8) -> Vec<u8> {
+        let mut out = blob.to_vec();
+        out[0] = version; // little-endian magic: byte 0 is the low (version) byte
+        let end = out.len() - 4;
+        let sum = xor_fold(&out[..end]).to_le_bytes();
+        out[end..].copy_from_slice(&sum);
+        out
+    }
+
+    #[test]
+    fn future_version_rejected_explicitly() {
+        let data = clustered(60, 5, 6);
+        let idx = C2lshIndex::build(&data, &cfg());
+        let blob = save_index(&idx);
+        // A hypothetical "C2L2" file — valid checksum, newer version —
+        // must name the version, not claim corruption.
+        let future = with_version(&blob, b'2');
+        assert_eq!(
+            load_index(&data, &future).unwrap_err(),
+            PersistError::UnsupportedVersion { found: b'2' }
+        );
+        // Even without a fixed-up checksum the version verdict wins:
+        // version is checked before the checksum.
+        let mut unfixed = blob.clone();
+        unfixed[0] = b'3';
+        assert_eq!(
+            load_index(&data, &unfixed).unwrap_err(),
+            PersistError::UnsupportedVersion { found: b'3' }
+        );
+        // The version this build writes still loads.
+        assert!(load_index(&data, &with_version(&blob, b'1')).is_ok());
     }
 }

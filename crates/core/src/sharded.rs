@@ -1,0 +1,456 @@
+//! Horizontal sharding: one logical index over `S` disjoint data shards.
+//!
+//! Scaling an index past one allocation (or, eventually, one machine)
+//! means partitioning the dataset. Collision counting makes this
+//! unusually clean: when every shard uses the *same* hash family and
+//! collision threshold, an object's count at radius `R` depends only on
+//! its own buckets — never on other objects — so the counts computed
+//! shard-by-shard are exactly the counts the unsharded index would
+//! compute. [`ShardedEngine`] exploits this two ways:
+//!
+//! * **Exact path** — [`ShardedEngine::query`] /
+//!   [`ShardedEngine::query_batch`] run the *single* engine loop of
+//!   [`crate::engine::run_query`] over a [`TableStore`] that presents
+//!   the shard tables as one concatenated table per hash function
+//!   (object ids remapped to global). Rounds, terminating conditions
+//!   and (absent mid-round T2 truncation) results are identical to an
+//!   unsharded [`C2lshIndex`] over the same data — the property pinned
+//!   by `tests/proptest_sharded.rs`.
+//! * **Fan-out path** — [`ShardedEngine::query_fanout`] runs one
+//!   engine loop *per shard* in parallel (each shard terminating
+//!   independently) and merges the per-shard top-k by
+//!   `f64::total_cmp`, folding the per-shard [`QueryStats`] with
+//!   [`QueryStats::merge`]. Lower single-query latency; per-shard
+//!   termination means it may verify more (never fewer kinds of)
+//!   candidates than the exact path.
+//!
+//! The derived parameters `(m, l)` come from the **total** object
+//! count and are forced into every shard via the config overrides, so
+//! all shards share one hash family (same seed, same `m`, same `w`).
+
+use crate::config::C2lshConfig;
+use crate::engine::counting::CollisionCounter;
+use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
+use crate::index::C2lshIndex;
+use crate::params::FullParams;
+use crate::stats::{BatchStats, QueryStats};
+use cc_vector::dataset::Dataset;
+use cc_vector::gt::Neighbor;
+use parking_lot::Mutex;
+
+/// A dataset partitioned into contiguous shards. Owns the per-shard
+/// copies; [`ShardedEngine`] borrows them (the same borrow discipline
+/// as [`C2lshIndex`] over a [`Dataset`]).
+#[derive(Debug)]
+pub struct ShardedData {
+    shards: Vec<Dataset>,
+    /// `offsets[s]` = global id of shard `s`'s first object;
+    /// a trailing entry holds the total count.
+    offsets: Vec<u32>,
+}
+
+impl ShardedData {
+    /// Split `data` into `num_shards` contiguous chunks of near-equal
+    /// size (the first `n % num_shards` shards get one extra row).
+    /// Global object id `g` lands in the shard covering it, as local id
+    /// `g - offsets[s]` — so ids reported by a [`ShardedEngine`] match
+    /// the source dataset's row numbers.
+    ///
+    /// # Panics
+    /// Panics when `num_shards == 0` or `num_shards > data.len()`
+    /// (every shard must hold at least one object).
+    pub fn partition(data: &Dataset, num_shards: usize) -> Self {
+        let n = data.len();
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(num_shards <= n, "cannot spread {n} objects over {num_shards} shards");
+        let base = n / num_shards;
+        let extra = n % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offsets = Vec::with_capacity(num_shards + 1);
+        let mut lo = 0usize;
+        for s in 0..num_shards {
+            let len = base + usize::from(s < extra);
+            offsets.push(lo as u32);
+            shards.push(data.slice_rows(lo, lo + len));
+            lo += len;
+        }
+        offsets.push(n as u32);
+        Self { shards, offsets }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total objects across all shards.
+    pub fn len(&self) -> usize {
+        *self.offsets.last().unwrap() as usize
+    }
+
+    /// `true` when no shard holds any object (unreachable via
+    /// [`ShardedData::partition`], which requires non-empty shards).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the vectors.
+    pub fn dim(&self) -> usize {
+        self.shards[0].dim()
+    }
+
+    /// Borrow shard `s`'s dataset.
+    pub fn shard(&self, s: usize) -> &Dataset {
+        &self.shards[s]
+    }
+}
+
+/// One logical collision-counting index over partitioned data: a
+/// [`C2lshIndex`] per shard, all sharing one hash family and one set of
+/// derived parameters, driven by the generic engine. See the module
+/// docs for the exact-vs-fanout trade-off.
+#[derive(Debug)]
+pub struct ShardedEngine<'d> {
+    shards: Vec<C2lshIndex<'d>>,
+    offsets: &'d [u32],
+    params: FullParams,
+    search: SearchParams,
+    /// Scratch for the exact single-query path (sized to the total n).
+    counter: Mutex<CollisionCounter>,
+}
+
+impl<'d> ShardedEngine<'d> {
+    /// Build the per-shard indexes. Parameters `(m, l, β·n)` are
+    /// derived from the **total** object count, then forced into every
+    /// shard build so all shards draw the identical hash family.
+    ///
+    /// # Panics
+    /// Panics on an invalid config (same contract as
+    /// [`C2lshIndex::build`]).
+    pub fn build(data: &'d ShardedData, config: &C2lshConfig) -> Self {
+        let n = data.len();
+        let params = FullParams::derive(n, config);
+        let shard_config = C2lshConfig {
+            m_override: Some(params.m),
+            l_override: Some(params.l),
+            ..config.clone()
+        };
+        let shards: Vec<C2lshIndex<'d>> =
+            data.shards.iter().map(|d| C2lshIndex::build(d, &shard_config)).collect();
+        let search = SearchParams {
+            c: config.c,
+            l: params.l as u32,
+            beta_n: params.beta_n,
+            base_radius: config.base_radius,
+        };
+        Self {
+            shards,
+            offsets: &data.offsets,
+            params,
+            search,
+            counter: Mutex::new(CollisionCounter::new(n)),
+        }
+    }
+
+    /// The derived parameters in effect (shared by every shard).
+    pub fn params(&self) -> &FullParams {
+        &self.params
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Dataset dimensionality (inherent mirror of the [`TableStore`]
+    /// accessor, so callers don't need the trait in scope).
+    pub fn dim(&self) -> usize {
+        TableStore::dim(self)
+    }
+
+    /// Total objects across all shards.
+    pub fn len(&self) -> usize {
+        TableStore::len(self)
+    }
+
+    /// `true` when no shard holds any object (unreachable via
+    /// [`ShardedData::partition`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// c-k-ANN query with exact unsharded semantics: one engine loop
+    /// over the concatenated shard tables. Ids are global row numbers
+    /// of the source dataset.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.query_with(q, k, &SearchOptions::default())
+    }
+
+    /// [`ShardedEngine::query`] with explicit observability options.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let mut counter = self.counter.lock();
+        engine::run_query(self, &self.search, &mut counter, q, k, opts)
+    }
+
+    /// Answer a whole query set in parallel across scoped threads
+    /// (exact semantics, as [`ShardedEngine::query`]).
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        self.query_batch_with(queries, k, &SearchOptions::default())
+    }
+
+    /// [`ShardedEngine::query_batch`] with explicit observability
+    /// options.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        engine::run_query_batch(self, &self.search, queries, k, opts)
+    }
+
+    /// Low-latency fan-out: run the engine loop on every shard in
+    /// parallel (each shard terminates independently), remap ids to
+    /// global, merge the per-shard top-k by `f64::total_cmp` (ties by
+    /// id) and fold the per-shard stats with [`QueryStats::merge`].
+    ///
+    /// May return *closer* neighbors than [`ShardedEngine::query`] when
+    /// a small shard keeps expanding past the radius at which the
+    /// global loop would have stopped; both paths return valid c-k-ANN
+    /// answers.
+    pub fn query_fanout(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let mut per_shard: Vec<(Vec<Neighbor>, QueryStats)> =
+            vec![(Vec::new(), QueryStats::new()); self.shards.len()];
+        crossbeam::scope(|scope| {
+            for (s, slot) in per_shard.iter_mut().enumerate() {
+                let shard = &self.shards[s];
+                scope.spawn(move |_| {
+                    let mut counter = CollisionCounter::new(shard.len());
+                    *slot = engine::run_query(shard, &self.search, &mut counter, q, k, opts);
+                });
+            }
+        })
+        .expect("shard fan-out worker panicked");
+
+        let mut merged = Vec::with_capacity(k * self.shards.len());
+        let mut stats = QueryStats::new();
+        for (s, (nn, shard_stats)) in per_shard.into_iter().enumerate() {
+            let off = self.offsets[s];
+            merged.extend(nn.into_iter().map(|n| Neighbor::new(n.id + off, n.dist)));
+            stats.merge(&shard_stats);
+        }
+        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.truncate(k);
+        (merged, stats)
+    }
+
+    /// Map a global object id to `(shard, local id)`.
+    fn locate(&self, oid: u32) -> (usize, u32) {
+        let s = self.offsets.partition_point(|&o| o <= oid) - 1;
+        (s, oid - self.offsets[s])
+    }
+}
+
+/// Per-query cursor of the exact path: one positional window set per
+/// shard (all shards share the query's bucket ids, but window positions
+/// differ with each shard's table contents).
+pub struct ShardedCursor {
+    per_shard: Vec<BucketWindows>,
+}
+
+impl TableStore for ShardedEngine<'_> {
+    type Cursor = ShardedCursor;
+
+    fn dim(&self) -> usize {
+        self.shards[0].dim()
+    }
+
+    fn len(&self) -> usize {
+        *self.offsets.last().unwrap() as usize
+    }
+
+    fn num_tables(&self) -> usize {
+        self.params.m
+    }
+
+    fn begin(&self, q: &[f32]) -> ShardedCursor {
+        ShardedCursor { per_shard: self.shards.iter().map(|s| s.begin(q)).collect() }
+    }
+
+    fn expand(
+        &self,
+        cursor: &mut ShardedCursor,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(u32) -> bool,
+    ) {
+        // Logical table t = concatenation of the shard tables for t;
+        // ids remap by shard offset. Early-stop propagates across
+        // shards through the flag.
+        let mut stopped = false;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let off = self.offsets[s];
+            shard.expand(&mut cursor.per_shard[s], t, radius, &mut |local| {
+                let keep_going = visit(local + off);
+                stopped = !keep_going;
+                keep_going
+            });
+            if stopped {
+                return;
+            }
+        }
+    }
+
+    fn exhausted(&self, cursor: &ShardedCursor) -> bool {
+        self.shards.iter().zip(&cursor.per_shard).all(|(shard, windows)| shard.exhausted(windows))
+    }
+
+    fn vector(&self, oid: u32) -> Option<&[f32]> {
+        let (s, local) = self.locate(oid);
+        self.shards[s].vector(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Beta;
+    use cc_vector::gen::{generate, Distribution};
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 },
+            n,
+            d,
+            seed,
+        )
+    }
+
+    /// T2 disabled (budget ≥ n) so results are independent of
+    /// within-round visit order — the regime where sharded and
+    /// unsharded answers are bit-identical.
+    fn cfg_exact(n: usize) -> C2lshConfig {
+        C2lshConfig::builder().bucket_width(1.0).seed(11).beta(Beta::Count(n as u64)).build()
+    }
+
+    #[test]
+    fn partition_covers_all_rows_in_order() {
+        let data = clustered(103, 6, 1);
+        let sharded = ShardedData::partition(&data, 4);
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.len(), 103);
+        // 103 = 26 + 26 + 26 + 25.
+        let sizes: Vec<usize> = (0..4).map(|s| sharded.shard(s).len()).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+        let mut global = 0usize;
+        for s in 0..4 {
+            for i in 0..sharded.shard(s).len() {
+                assert_eq!(sharded.shard(s).get(i), data.get(global), "row {global}");
+                global += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn rejects_more_shards_than_rows() {
+        let data = clustered(3, 4, 2);
+        let _ = ShardedData::partition(&data, 4);
+    }
+
+    #[test]
+    fn shards_share_one_hash_family() {
+        let data = clustered(400, 8, 3);
+        let sharded = ShardedData::partition(&data, 4);
+        let engine = ShardedEngine::build(&sharded, &cfg_exact(400));
+        let q = data.get(7);
+        let reference: Vec<i64> = engine.shards[0].family().buckets(q);
+        for s in 1..4 {
+            assert_eq!(engine.shards[s].family().buckets(q), reference, "shard {s}");
+        }
+        assert_eq!(engine.params().m, engine.shards[2].params().m);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_exactly() {
+        let data = clustered(900, 10, 4);
+        let cfg = cfg_exact(900);
+        let single = C2lshIndex::build(&data, &cfg);
+        let sharded = ShardedData::partition(&data, 4);
+        let engine = ShardedEngine::build(&sharded, &cfg);
+        for qi in [0usize, 123, 456, 899] {
+            let q = data.get(qi);
+            let (want, want_stats) = single.query(q, 7);
+            let (got, got_stats) = engine.query(q, 7);
+            assert_eq!(got, want, "query {qi}");
+            assert_eq!(got_stats.rounds, want_stats.rounds, "query {qi}");
+            assert_eq!(got_stats.candidates_verified, want_stats.candidates_verified, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let data = clustered(600, 8, 5);
+        let cfg = cfg_exact(600);
+        let sharded = ShardedData::partition(&data, 3);
+        let engine = ShardedEngine::build(&sharded, &cfg);
+        let queries = data.slice_rows(100, 117);
+        let (batch, agg) = engine.query_batch(&queries, 5);
+        assert_eq!(batch.len(), 17);
+        assert_eq!(agg.queries, 17);
+        for (qi, (nn, _)) in batch.iter().enumerate() {
+            let (want, _) = engine.query(queries.get(qi), 5);
+            assert_eq!(nn, &want, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn fanout_returns_valid_global_ids_and_merged_stats() {
+        let data = clustered(500, 8, 6);
+        let cfg = cfg_exact(500);
+        let sharded = ShardedData::partition(&data, 4);
+        let engine = ShardedEngine::build(&sharded, &cfg);
+        let q = data.get(42);
+        let (nn, stats) = engine.query_fanout(q, 6, &SearchOptions::default());
+        assert_eq!(nn.len(), 6);
+        assert_eq!(nn[0].id, 42, "exact match must surface with its global id");
+        assert_eq!(nn[0].dist, 0.0);
+        for w in nn.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert!(stats.candidates_verified >= 6);
+        assert!(stats.rounds >= 1);
+        // Fan-out can only improve on (or match) the exact path's
+        // distances: each shard keeps expanding at least as far.
+        let (exact, _) = engine.query(q, 6);
+        for (f, e) in nn.iter().zip(&exact) {
+            assert!(f.dist <= e.dist + 1e-6, "fanout {f:?} worse than exact {e:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_index() {
+        let data = clustered(300, 8, 7);
+        let cfg = cfg_exact(300);
+        let single = C2lshIndex::build(&data, &cfg);
+        let sharded = ShardedData::partition(&data, 1);
+        let engine = ShardedEngine::build(&sharded, &cfg);
+        let q = data.get(200);
+        assert_eq!(engine.query(q, 9).0, single.query(q, 9).0);
+        assert_eq!(engine.query_fanout(q, 9, &SearchOptions::default()).0, single.query(q, 9).0);
+    }
+}

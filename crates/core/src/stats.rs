@@ -81,6 +81,59 @@ impl QueryStats {
             elapsed_nanos: 0,
         }
     }
+
+    /// Fold another sub-query's counters into this one, under
+    /// *parallel-composition* semantics: the two stats blocks describe
+    /// the same logical query executed against disjoint shards of the
+    /// data, so work counters (collisions, verifications, I/O) add
+    /// while depth/time counters (rounds, final radius, wall clock)
+    /// take the maximum and terminations combine by severity
+    /// (`T2 > T1 > Exhausted`). Per-round breakdowns merge level by
+    /// level.
+    ///
+    /// The operation is associative and commutative on the counter
+    /// fields, with a fresh `QueryStats` whose `rounds == 0` acting as
+    /// the identity (any real query reaches `final_radius ≥ 1`), so
+    /// shard- and batch-level aggregations compose in any grouping.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.final_radius = self.final_radius.max(other.final_radius);
+        self.collisions_counted += other.collisions_counted;
+        self.candidates_verified += other.candidates_verified;
+        self.io.reads += other.io.reads;
+        self.io.writes += other.io.writes;
+        self.terminated_by = severest(self.terminated_by, other.terminated_by);
+        for (level, r) in other.per_round.iter().enumerate() {
+            if let Some(mine) = self.per_round.get_mut(level) {
+                mine.collisions += r.collisions;
+                mine.verified += r.verified;
+                mine.within_c_r += r.within_c_r;
+                mine.elapsed_nanos = mine.elapsed_nanos.max(r.elapsed_nanos);
+            } else {
+                self.per_round.push(*r);
+            }
+        }
+        self.elapsed_nanos = self.elapsed_nanos.max(other.elapsed_nanos);
+    }
+}
+
+/// Combine terminations of parallel sub-queries: a budget hit anywhere
+/// dominates, a radius stop beats running out of data. The ordering is
+/// total, so the combine is associative; `Exhausted` (the fresh-stats
+/// default) is its identity.
+fn severest(a: Termination, b: Termination) -> Termination {
+    fn rank(t: Termination) -> u8 {
+        match t {
+            Termination::Exhausted => 0,
+            Termination::T1AtRadius => 1,
+            Termination::T2CandidateBudget => 2,
+        }
+    }
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
 }
 
 impl Default for QueryStats {
@@ -133,6 +186,27 @@ impl BatchStats {
             Termination::Exhausted => self.exhausted += 1,
         }
         self.elapsed_nanos += s.elapsed_nanos;
+    }
+
+    /// Fold another batch's counters into this one. The two batches
+    /// must cover *disjoint* query sets (successive flushes of a
+    /// serving queue, independent benchmark runs): every field —
+    /// including `queries` and wall clock — adds. The operation is
+    /// associative and commutative with `BatchStats::default()` as the
+    /// identity, so aggregates compose in any grouping. (Combining the
+    /// *same* queries run against different shards is the job of
+    /// [`QueryStats::merge`], not this.)
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.queries += other.queries;
+        self.rounds += other.rounds;
+        self.collisions += other.collisions;
+        self.verified += other.verified;
+        self.io.reads += other.io.reads;
+        self.io.writes += other.io.writes;
+        self.t1 += other.t1;
+        self.t2 += other.t2;
+        self.exhausted += other.exhausted;
+        self.elapsed_nanos += other.elapsed_nanos;
     }
 
     /// Mean verified candidates per query (0 for an empty batch).
@@ -210,6 +284,114 @@ mod tests {
         assert_eq!(b.mean_io_reads(), 60.0);
         assert_eq!(b.mean_rounds(), 4.0);
         assert_eq!(b.mean_time_ms(), 3.0);
+    }
+
+    fn sample_query_stats(seed: u64) -> QueryStats {
+        let mut s = QueryStats::new();
+        s.rounds = 1 + (seed % 5) as u32;
+        s.final_radius = 1 << (seed % 7);
+        s.collisions_counted = 13 * seed + 7;
+        s.candidates_verified = (3 * seed + 1) as usize;
+        s.io.reads = 11 * seed;
+        s.io.writes = seed / 2;
+        s.terminated_by = match seed % 3 {
+            0 => Termination::T1AtRadius,
+            1 => Termination::T2CandidateBudget,
+            _ => Termination::Exhausted,
+        };
+        for level in 0..s.rounds {
+            s.per_round.push(RoundStats {
+                level,
+                radius: 1 << level,
+                collisions: seed + level as u64,
+                verified: (seed % 4) as usize,
+                within_c_r: level as usize,
+                elapsed_nanos: 100 * seed,
+            });
+        }
+        s.elapsed_nanos = 1_000 * seed + 5;
+        s
+    }
+
+    #[test]
+    fn query_merge_identity() {
+        // A fresh block is the identity on both sides.
+        for seed in 0..12 {
+            let s = sample_query_stats(seed);
+            let mut left = QueryStats::new();
+            left.merge(&s);
+            assert_eq!(left, s, "fresh.merge(s) != s (seed {seed})");
+            let mut right = s.clone();
+            right.merge(&QueryStats::new());
+            assert_eq!(right, s, "s.merge(fresh) != s (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn query_merge_associative_and_commutative() {
+        for seeds in [[1u64, 2, 3], [4, 9, 2], [7, 7, 0], [12, 5, 31]] {
+            let [a, b, c] = seeds.map(sample_query_stats);
+            // (a ⊕ b) ⊕ c
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "associativity failed for seeds {seeds:?}");
+            // b ⊕ a
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "commutativity failed for seeds {seeds:?}");
+        }
+    }
+
+    #[test]
+    fn query_merge_parallel_semantics() {
+        let mut a = sample_query_stats(3); // T1, 4 rounds
+        let b = sample_query_stats(4); // T2, 5 rounds
+        let (col_a, col_b) = (a.collisions_counted, b.collisions_counted);
+        a.merge(&b);
+        assert_eq!(a.collisions_counted, col_a + col_b, "work adds");
+        assert_eq!(a.rounds, 5, "depth is the max across shards");
+        assert_eq!(a.terminated_by, Termination::T2CandidateBudget, "budget hit dominates");
+        assert_eq!(a.per_round.len(), 5, "per-round merges level by level");
+    }
+
+    #[test]
+    fn batch_merge_identity_and_associativity() {
+        let qs: Vec<QueryStats> = (0..9).map(sample_query_stats).collect();
+        let batch_of = |r: std::ops::Range<usize>| {
+            let mut b = BatchStats::default();
+            for q in &qs[r] {
+                b.absorb(q);
+            }
+            b
+        };
+        let (a, b, c) = (batch_of(0..3), batch_of(3..5), batch_of(5..9));
+
+        // Identity.
+        let mut id = BatchStats::default();
+        id.merge(&a);
+        assert_eq!(id, a);
+        let mut id2 = a.clone();
+        id2.merge(&BatchStats::default());
+        assert_eq!(id2, a);
+
+        // Associativity: ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)) == absorb-all.
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, batch_of(0..9), "merge of partial batches equals one big batch");
+        assert_eq!(ab_c.queries, 9);
     }
 
     #[test]

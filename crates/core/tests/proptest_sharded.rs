@@ -1,0 +1,90 @@
+//! Property test for the sharded merge path: a 4-shard
+//! [`ShardedEngine`] must return exactly the top-k of a single
+//! unsharded [`C2lshIndex`] over the same data — same ids, same
+//! distances under `f64::total_cmp`.
+//!
+//! The equality regime: shards share the unsharded index's hash family
+//! and `(m, l)` (forced from the total n inside `ShardedEngine::build`)
+//! and T2 is disabled (`β·n ≥ n`), so per-object collision counts —
+//! and with them every round's verified set and the T1/exhaustion
+//! decisions — are independent of the order in which the shard tables
+//! are scanned.
+
+use c2lsh::{Beta, C2lshConfig, C2lshIndex, ShardedData, ShardedEngine};
+use cc_vector::dataset::Dataset;
+use proptest::prelude::*;
+
+fn clustered_dataset() -> impl Strategy<Value = Dataset> {
+    (8usize..120, 2usize..12, 0u64..1000).prop_map(|(n, d, seed)| {
+        cc_vector::gen::generate(
+            cc_vector::gen::Distribution::GaussianMixture {
+                clusters: 4,
+                spread: 0.05,
+                scale: 10.0,
+            },
+            n,
+            d,
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn four_shards_match_single_index(
+        data in clustered_dataset(),
+        k in 1usize..8,
+        qi in 0usize..120,
+        seed in 0u64..100,
+    ) {
+        let n = data.len();
+        let cfg = C2lshConfig::builder()
+            .bucket_width(1.0)
+            .seed(seed)
+            .beta(Beta::Count(n as u64)) // T2 off: cap k+n can't truncate a scan
+            .build();
+        let single = C2lshIndex::build(&data, &cfg);
+        let sharded = ShardedData::partition(&data, 4);
+        let engine = ShardedEngine::build(&sharded, &cfg);
+
+        let q = data.get(qi % n);
+        let (want, want_stats) = single.query(q, k);
+        let (got, got_stats) = engine.query(q, k);
+
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.id, w.id);
+            prop_assert!(
+                g.dist.total_cmp(&w.dist).is_eq(),
+                "distance mismatch for id {}: {} vs {}", g.id, g.dist, w.dist
+            );
+        }
+        // The loop itself must agree, not just the ranking.
+        prop_assert_eq!(got_stats.rounds, want_stats.rounds);
+        prop_assert_eq!(got_stats.collisions_counted, want_stats.collisions_counted);
+        prop_assert_eq!(got_stats.candidates_verified, want_stats.candidates_verified);
+    }
+
+    #[test]
+    fn shard_count_never_changes_answers(
+        data in clustered_dataset(),
+        shards in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let n = data.len();
+        prop_assume!(n >= 8);
+        let shards = shards.min(n);
+        let cfg = C2lshConfig::builder()
+            .bucket_width(1.0)
+            .seed(seed)
+            .beta(Beta::Count(n as u64))
+            .build();
+        let single = C2lshIndex::build(&data, &cfg);
+        let sharded = ShardedData::partition(&data, shards);
+        let engine = ShardedEngine::build(&sharded, &cfg);
+        let q = data.get(n / 2);
+        prop_assert_eq!(engine.query(q, 3).0, single.query(q, 3).0);
+    }
+}

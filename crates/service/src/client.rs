@@ -1,0 +1,85 @@
+//! Minimal blocking client for the cc-service wire protocol.
+//!
+//! One request in flight per connection (the protocol has no request
+//! ids); open several [`Client`]s for concurrency — that is exactly
+//! what gives the server batches to coalesce.
+
+use crate::protocol::{self, ProtoError, Request, Response};
+use cc_vector::gt::Neighbor;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected service client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        protocol::write_request(&mut self.stream, req)?;
+        protocol::read_response(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One query, returning the raw server response so the caller can
+    /// react to [`Response::Overloaded`] / [`Response::DeadlineExceeded`]
+    /// (`deadline_ms == 0` disables the deadline).
+    pub fn query(
+        &mut self,
+        vector: &[f32],
+        k: u32,
+        deadline_ms: u32,
+    ) -> Result<Response, ProtoError> {
+        self.call(&Request::Query { k, deadline_ms, vector: vector.to_vec() })
+    }
+
+    /// Convenience query that must come back as a result set; any
+    /// other response is an error.
+    pub fn top_k(&mut self, vector: &[f32], k: u32) -> Result<Vec<Neighbor>, ProtoError> {
+        match self.query(vector, k, 0)? {
+            Response::TopK(nn) => Ok(nn),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the aggregated service statistics as a JSON document
+    /// (field extraction via [`crate::json::find_u64`]).
+    pub fn stats_json(&mut self) -> Result<String, ProtoError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsJson(json) => Ok(json),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to drain and exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ProtoError {
+    ProtoError::Malformed(format!("unexpected response {resp:?}"))
+}

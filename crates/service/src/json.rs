@@ -1,0 +1,176 @@
+//! A deliberately tiny JSON emitter (and a matching field extractor
+//! for tooling) — the workspace is offline, so no serde.
+//!
+//! [`JsonObject`] covers exactly what the stats frame needs: flat-ish
+//! objects of numbers, strings and nested objects, emitted in
+//! insertion order. Numbers are formatted so they parse back exactly
+//! (`u64`/`usize` verbatim, `f64` via `{:?}` which round-trips).
+//! The extractors ([`find_u64`], [`find_f64`]) do *not* implement a
+//! JSON parser; they scan for a quoted key at any nesting depth and
+//! read the number after the colon — sufficient for the load
+//! generator and the integration tests to pick counters out of the
+//! stats document this module itself produced.
+
+use std::fmt::Write as _;
+
+/// Incremental JSON object builder.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(mut self, key: &str, v: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field (`{:?}` formatting round-trips f64 exactly;
+    /// non-finite values become `null` since JSON has no NaN).
+    pub fn field_f64(mut self, key: &str, v: f64) -> Self {
+        self.key(key);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:?}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn field_str(mut self, key: &str, v: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Add a nested object field from an already-finished document.
+    pub fn field_obj(mut self, key: &str, v: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Locate `"key":` in `json` and return the byte range of the value's
+/// leading number token. Shared scanner for the typed extractors.
+fn number_after_key<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// Extract an unsigned-integer field by key (first occurrence, any
+/// nesting level).
+pub fn find_u64(json: &str, key: &str) -> Option<u64> {
+    number_after_key(json, key)?.parse().ok()
+}
+
+/// Extract a float field by key (first occurrence, any nesting level).
+pub fn find_f64(json: &str, key: &str) -> Option<f64> {
+    number_after_key(json, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents() {
+        let inner = JsonObject::new().field_u64("reads", 12).field_u64("writes", 0).finish();
+        let doc = JsonObject::new()
+            .field_u64("queries", 42)
+            .field_f64("mean_batch", 3.5)
+            .field_str("state", "serving")
+            .field_obj("io", &inner)
+            .finish();
+        assert_eq!(
+            doc,
+            "{\"queries\":42,\"mean_batch\":3.5,\"state\":\"serving\",\
+             \"io\":{\"reads\":12,\"writes\":0}}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = JsonObject::new().field_str("msg", "a \"b\"\n\\c").finish();
+        assert_eq!(doc, "{\"msg\":\"a \\\"b\\\"\\n\\\\c\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let doc = JsonObject::new().field_f64("x", f64::NAN).finish();
+        assert_eq!(doc, "{\"x\":null}");
+    }
+
+    #[test]
+    fn extractors_read_back_fields() {
+        let inner = JsonObject::new().field_u64("reads", 7).finish();
+        let doc = JsonObject::new()
+            .field_u64("queries", 1234)
+            .field_f64("p99_ms", 1.75)
+            .field_obj("io", &inner)
+            .finish();
+        assert_eq!(find_u64(&doc, "queries"), Some(1234));
+        assert_eq!(find_f64(&doc, "p99_ms"), Some(1.75));
+        assert_eq!(find_u64(&doc, "reads"), Some(7), "nested fields are reachable");
+        assert_eq!(find_u64(&doc, "missing"), None);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

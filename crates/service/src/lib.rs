@@ -1,0 +1,56 @@
+//! # cc-service — serving the collision-counting engine over TCP
+//!
+//! A sharded, batching query service over [`c2lsh::ShardedEngine`]:
+//! clients speak a length-prefixed binary protocol ([`protocol`]) to a
+//! thread-per-connection server ([`server`]) whose single batching
+//! worker coalesces concurrent queries into engine batches. Built on
+//! `std::net` only — no async runtime.
+//!
+//! * [`protocol`] — the wire format: framing, opcodes, encode/decode,
+//! * [`server`] — [`server::serve`]: accept loop, admission control,
+//!   request coalescing, per-request deadlines, graceful drain,
+//! * [`client`] — a minimal blocking [`Client`],
+//! * [`json`] — the hand-rolled serializer behind the stats frame.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use c2lsh::{C2lshConfig, ShardedData, ShardedEngine};
+//! use cc_service::{Client, ServiceConfig};
+//! use cc_vector::gen::{generate, Distribution};
+//! use std::net::TcpListener;
+//!
+//! let data = generate(
+//!     Distribution::GaussianMixture { clusters: 4, spread: 0.02, scale: 10.0 },
+//!     400, 8, 42,
+//! );
+//! let sharded = ShardedData::partition(&data, 4);
+//! let engine = ShardedEngine::build(&sharded, &C2lshConfig::default());
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addr = listener.local_addr().unwrap();
+//! crossbeam::scope(|s| {
+//!     let server = s.spawn(|_| {
+//!         cc_service::serve(&engine, listener, &ServiceConfig::default()).unwrap()
+//!     });
+//!     let mut client = Client::connect(addr).unwrap();
+//!     let neighbors = client.top_k(data.get(7), 3).unwrap();
+//!     assert_eq!(neighbors[0].id, 7); // the query itself is in the data
+//!     client.shutdown().unwrap();
+//!     let stats = server.join().unwrap();
+//!     assert_eq!(stats.queries, 1);
+//! })
+//! .unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ProtoError, Request, Response};
+pub use server::{serve, ServiceConfig, ServiceStats};

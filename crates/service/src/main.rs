@@ -1,0 +1,156 @@
+//! `cc-service` — stand up a sharded collision-counting query server.
+//!
+//! Generates a synthetic clustered dataset, partitions it across
+//! shards, builds one [`ShardedEngine`] and serves it until a client
+//! sends the shutdown frame:
+//!
+//! ```text
+//! cargo run -p cc-service --release -- --shards 4
+//! ```
+//!
+//! Flags (all optional): `--addr HOST:PORT` (default `127.0.0.1:7878`),
+//! `--shards S` (4), `--n N` (20000), `--dim D` (16), `--seed SEED`
+//! (42), `--bucket-width W` (1.0), `--queue-cap Q` (1024),
+//! `--max-batch B` (32), `--max-delay-us US` (2000), `--k-max K`
+//! (1024).
+
+use c2lsh::{C2lshConfig, ShardedData, ShardedEngine};
+use cc_service::ServiceConfig;
+use cc_vector::gen::{generate, Distribution};
+use std::net::TcpListener;
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    n: usize,
+    dim: usize,
+    seed: u64,
+    bucket_width: f64,
+    queue_cap: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+    k_max: usize,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            addr: "127.0.0.1:7878".into(),
+            shards: 4,
+            n: 20_000,
+            dim: 16,
+            seed: 42,
+            bucket_width: 1.0,
+            queue_cap: 1024,
+            max_batch: 32,
+            max_delay_us: 2000,
+            k_max: 1024,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--addr" => args.addr = value("--addr"),
+                "--shards" => args.shards = parse(&value("--shards"), "--shards"),
+                "--n" => args.n = parse(&value("--n"), "--n"),
+                "--dim" => args.dim = parse(&value("--dim"), "--dim"),
+                "--seed" => args.seed = parse(&value("--seed"), "--seed"),
+                "--bucket-width" => {
+                    args.bucket_width = parse(&value("--bucket-width"), "--bucket-width")
+                }
+                "--queue-cap" => args.queue_cap = parse(&value("--queue-cap"), "--queue-cap"),
+                "--max-batch" => args.max_batch = parse(&value("--max-batch"), "--max-batch"),
+                "--max-delay-us" => {
+                    args.max_delay_us = parse(&value("--max-delay-us"), "--max-delay-us")
+                }
+                "--k-max" => args.k_max = parse(&value("--k-max"), "--k-max"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: cc-service [--addr HOST:PORT] [--shards S] [--n N] [--dim D] \
+                         [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
+                         [--max-delay-us US] [--k-max K]"
+                    );
+                    exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other} (try --help)");
+                    exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.shards == 0 || args.n == 0 || args.dim == 0 {
+        eprintln!("--shards, --n and --dim must all be at least 1");
+        exit(2);
+    }
+    eprintln!("generating {} clustered vectors in R^{}…", args.n, args.dim);
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+        args.n,
+        args.dim,
+        args.seed,
+    );
+    let config = C2lshConfig::builder().bucket_width(args.bucket_width).seed(args.seed).build();
+    let sharded = ShardedData::partition(&data, args.shards);
+    eprintln!("building {} shards…", args.shards);
+    let engine = ShardedEngine::build(&sharded, &config);
+    let params = engine.params();
+    let service = ServiceConfig {
+        max_batch: args.max_batch,
+        max_delay: Duration::from_micros(args.max_delay_us),
+        queue_capacity: args.queue_cap,
+        k_max: args.k_max,
+        ..ServiceConfig::default()
+    };
+
+    let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.addr);
+        exit(1);
+    });
+    eprintln!(
+        "cc-service listening on {} — n = {}, d = {}, shards = {}, m = {}, l = {}",
+        listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr.clone()),
+        args.n,
+        args.dim,
+        args.shards,
+        params.m,
+        params.l,
+    );
+    match cc_service::serve(&engine, listener, &service) {
+        Ok(stats) => {
+            eprintln!(
+                "drained: {} queries in {} batches (largest {}), \
+                 {} overloaded, {} expired, {} errors",
+                stats.queries,
+                stats.batches,
+                stats.max_batch,
+                stats.overloaded,
+                stats.deadline_expired,
+                stats.errors,
+            );
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            exit(1);
+        }
+    }
+}

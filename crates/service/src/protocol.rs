@@ -1,0 +1,406 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `u32` payload length (little-endian, excluding the
+//! length word itself) followed by the payload; the payload's first
+//! byte is the opcode. Requests use opcodes `0x01..=0x04`, responses
+//! set the high bit. All multi-byte integers and floats are
+//! little-endian, matching the persistence format of the core crate.
+//!
+//! ```text
+//! request  0x01 Ping
+//!          0x02 Query     u32 k | u32 deadline_ms (0 = none) |
+//!                         u32 dim | dim × f32
+//!          0x03 Stats
+//!          0x04 Shutdown
+//!
+//! response 0x81 Pong
+//!          0x82 TopK      u32 count | count × (u32 id, f64 dist)
+//!          0x83 Overloaded          (admission queue full)
+//!          0x84 DeadlineExceeded    (expired while queued)
+//!          0x85 StatsJson utf-8 JSON document
+//!          0x86 ShutdownAck
+//!          0x8F Error     utf-8 message
+//! ```
+//!
+//! Distances travel as `f64` so a served answer is bit-identical to a
+//! local [`cc_vector::gt::Neighbor`] — the integration tests compare
+//! them with `total_cmp` equality, no tolerance.
+
+use cc_vector::gt::Neighbor;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (guards the length word against
+/// garbage: 16 MiB comfortably holds a 1M-dimensional query).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// One c-k-ANN query.
+    Query {
+        /// Number of neighbors wanted.
+        k: u32,
+        /// Milliseconds the request may wait in the server's queue
+        /// before the server gives up on it; 0 disables the deadline.
+        deadline_ms: u32,
+        /// The query vector.
+        vector: Vec<f32>,
+    },
+    /// Ask for the aggregated service statistics as JSON.
+    Stats,
+    /// Begin graceful shutdown: the server stops admitting work,
+    /// drains its queue, answers everything in flight, then exits.
+    Shutdown,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The k nearest verified candidates, ascending by distance.
+    TopK(Vec<Neighbor>),
+    /// The admission queue was full; retry later.
+    Overloaded,
+    /// The request's deadline expired before the engine ran it.
+    DeadlineExceeded,
+    /// Aggregated service statistics, serialized by [`crate::json`].
+    StatsJson(String),
+    /// Shutdown acknowledged; the connection will close after the
+    /// drain completes.
+    ShutdownAck,
+    /// The request was rejected (bad dimensionality, k out of range,
+    /// server draining, …).
+    Error(String),
+}
+
+/// Why decoding a frame failed.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// The bytes don't parse as a frame of the expected direction.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+const OP_PING: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+const OP_PONG: u8 = 0x81;
+const OP_TOPK: u8 = 0x82;
+const OP_OVERLOADED: u8 = 0x83;
+const OP_DEADLINE: u8 = 0x84;
+const OP_STATS_JSON: u8 = 0x85;
+const OP_SHUTDOWN_ACK: u8 = 0x86;
+const OP_ERROR: u8 = 0x8F;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one request payload (without the length prefix).
+fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Ping => vec![OP_PING],
+        Request::Query { k, deadline_ms, vector } => {
+            let mut buf = Vec::with_capacity(13 + vector.len() * 4);
+            buf.push(OP_QUERY);
+            put_u32(&mut buf, *k);
+            put_u32(&mut buf, *deadline_ms);
+            put_u32(&mut buf, vector.len() as u32);
+            for x in vector {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            buf
+        }
+        Request::Stats => vec![OP_STATS],
+        Request::Shutdown => vec![OP_SHUTDOWN],
+    }
+}
+
+/// Encode one response payload (without the length prefix).
+fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Pong => vec![OP_PONG],
+        Response::TopK(nn) => {
+            let mut buf = Vec::with_capacity(5 + nn.len() * 12);
+            buf.push(OP_TOPK);
+            put_u32(&mut buf, nn.len() as u32);
+            for n in nn {
+                put_u32(&mut buf, n.id);
+                buf.extend_from_slice(&n.dist.to_le_bytes());
+            }
+            buf
+        }
+        Response::Overloaded => vec![OP_OVERLOADED],
+        Response::DeadlineExceeded => vec![OP_DEADLINE],
+        Response::StatsJson(json) => {
+            let mut buf = Vec::with_capacity(1 + json.len());
+            buf.push(OP_STATS_JSON);
+            buf.extend_from_slice(json.as_bytes());
+            buf
+        }
+        Response::ShutdownAck => vec![OP_SHUTDOWN_ACK],
+        Response::Error(msg) => {
+            let mut buf = Vec::with_capacity(1 + msg.len());
+            buf.push(OP_ERROR);
+            buf.extend_from_slice(msg.as_bytes());
+            buf
+        }
+    }
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Send one request.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Send one response.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Read one whole frame payload. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed between frames).
+fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err(ProtoError::Malformed("empty payload".into()));
+    }
+    if len > MAX_FRAME {
+        return Err(ProtoError::Malformed(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Bounds-checked cursor over a frame payload.
+struct Cur<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() < n {
+            return Err(ProtoError::Malformed(format!(
+                "truncated payload: wanted {n} more bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn utf8_rest(&mut self) -> Result<String, ProtoError> {
+        let bytes = std::mem::take(&mut self.buf);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::Malformed("invalid UTF-8 text".into()))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!("{} trailing bytes", self.buf.len())))
+        }
+    }
+}
+
+/// Read one request; `Ok(None)` on clean EOF between frames.
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
+    let Some(payload) = read_frame(r)? else { return Ok(None) };
+    let mut cur = Cur { buf: &payload[1..] };
+    let req = match payload[0] {
+        OP_PING => Request::Ping,
+        OP_QUERY => {
+            let k = cur.u32()?;
+            let deadline_ms = cur.u32()?;
+            let dim = cur.u32()? as usize;
+            if dim == 0 || dim > MAX_FRAME / 4 {
+                return Err(ProtoError::Malformed(format!("bad query dimensionality {dim}")));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vector.push(cur.f32()?);
+            }
+            Request::Query { k, deadline_ms, vector }
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
+    };
+    cur.finish()?;
+    Ok(Some(req))
+}
+
+/// Read one response; `Ok(None)` on clean EOF between frames.
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ProtoError> {
+    let Some(payload) = read_frame(r)? else { return Ok(None) };
+    let mut cur = Cur { buf: &payload[1..] };
+    let resp = match payload[0] {
+        OP_PONG => Response::Pong,
+        OP_TOPK => {
+            let count = cur.u32()? as usize;
+            if count > MAX_FRAME / 12 {
+                return Err(ProtoError::Malformed(format!("bad result count {count}")));
+            }
+            let mut nn = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = cur.u32()?;
+                let dist = cur.f64()?;
+                nn.push(Neighbor::new(id, dist));
+            }
+            Response::TopK(nn)
+        }
+        OP_OVERLOADED => Response::Overloaded,
+        OP_DEADLINE => Response::DeadlineExceeded,
+        OP_STATS_JSON => Response::StatsJson(cur.utf8_rest()?),
+        OP_SHUTDOWN_ACK => Response::ShutdownAck,
+        OP_ERROR => Response::Error(cur.utf8_rest()?),
+        op => return Err(ProtoError::Malformed(format!("unknown response opcode {op:#04x}"))),
+    };
+    cur.finish()?;
+    Ok(Some(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip_request(req: Request) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        read_request(&mut Cursor::new(wire)).unwrap().unwrap()
+    }
+
+    fn round_trip_response(resp: Response) -> Response {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        read_response(&mut Cursor::new(wire)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Query { k: 7, deadline_ms: 250, vector: vec![1.5, -2.25, 0.0, f32::MIN] },
+        ] {
+            assert_eq!(round_trip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Pong,
+            Response::Overloaded,
+            Response::DeadlineExceeded,
+            Response::ShutdownAck,
+            Response::StatsJson("{\"queries\":3}".into()),
+            Response::Error("dim mismatch".into()),
+            Response::TopK(vec![Neighbor::new(3, 0.25), Neighbor::new(9, 1e300)]),
+        ] {
+            assert_eq!(round_trip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_request(&mut Cursor::new(Vec::new())).unwrap().is_none());
+        assert!(read_response(&mut Cursor::new(Vec::new())).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frame_is_io_error() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::Ping).unwrap();
+        wire.pop(); // lose the opcode byte
+        wire[0] = 1; // length still claims one byte
+        let err = read_request(&mut Cursor::new(&wire[..4])).unwrap_err();
+        assert!(matches!(err, ProtoError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Every truncation of a valid query frame either errors or
+        // reports clean EOF — no panics, no bogus successes.
+        let mut wire = Vec::new();
+        let req = Request::Query { k: 3, deadline_ms: 0, vector: vec![0.5; 6] };
+        write_request(&mut wire, &req).unwrap();
+        for len in 0..wire.len() {
+            match read_request(&mut Cursor::new(&wire[..len])) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(got)) => panic!("truncation to {len} bytes parsed as {got:?}"),
+            }
+        }
+        // Unknown opcodes are malformed.
+        let bogus = [1u8, 0, 0, 0, 0x7F];
+        assert!(matches!(
+            read_request(&mut Cursor::new(&bogus[..])),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Oversized length words are rejected without allocating.
+        let huge = [0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert!(matches!(read_request(&mut Cursor::new(&huge[..])), Err(ProtoError::Malformed(_))));
+        // Trailing bytes after a well-formed body are rejected.
+        let mut padded = Vec::new();
+        write_request(&mut padded, &Request::Ping).unwrap();
+        padded[0] = 2; // grow the declared length
+        padded.push(0xAB);
+        assert!(matches!(
+            read_request(&mut Cursor::new(&padded[..])),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+}

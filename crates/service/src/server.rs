@@ -1,0 +1,401 @@
+//! The serving core: accept loop, per-connection handlers, and the
+//! batching worker that coalesces queued queries into engine batches.
+//!
+//! ```text
+//!             ┌────────────┐   bounded queue    ┌─────────────┐
+//!  conn 1 ──▶ │ handler 1  │ ──┐                │   batcher   │
+//!  conn 2 ──▶ │ handler 2  │ ──┼──▶ VecDeque ──▶│ (coalesces, │──▶ ShardedEngine
+//!   ...       │    ...     │ ──┘   + Condvar    │  flushes)   │    ::query_batch
+//!  conn C ──▶ │ handler C  │ ◀──── mpsc reply ──┴─────────────┘
+//!             └────────────┘
+//! ```
+//!
+//! Every connection gets a thread (scoped — [`serve`] returns only
+//! after all of them joined). A handler never touches the engine
+//! directly: it validates the request, pushes a [`Pending`] onto the
+//! shared queue and blocks on a private reply channel. The single
+//! batcher thread drains the queue — waiting up to
+//! [`ServiceConfig::max_delay`] for the batch to fill to
+//! [`ServiceConfig::max_batch`] — and answers a whole batch with one
+//! [`ShardedEngine::query_batch_with`] call, so concurrent clients
+//! share the engine's scoped-parallel executor instead of contending
+//! for it.
+//!
+//! **Admission control** is a hard bound: when the queue already holds
+//! [`ServiceConfig::queue_capacity`] requests, new queries are refused
+//! with [`Response::Overloaded`] *immediately* (the handler never
+//! blocks on a full queue — the client decides whether to retry).
+//! **Deadlines** are per-request: a query carrying `deadline_ms` that
+//! is still queued when the deadline passes is answered with
+//! [`Response::DeadlineExceeded`] instead of occupying engine time.
+//! **Shutdown** is graceful: the drain flag flips under the queue lock
+//! (so no request can slip in behind the batcher's final sweep), the
+//! queue is flushed, every waiting client gets its answer, and idle
+//! connections are force-closed after [`ServiceConfig::drain_grace`].
+
+use crate::json::JsonObject;
+use crate::protocol::{self, ProtoError, Request, Response};
+use c2lsh::engine::SearchOptions;
+use c2lsh::stats::BatchStats;
+use c2lsh::ShardedEngine;
+use cc_vector::dataset::Dataset;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of the serving layer (the engine has its own config).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Most queries answered by one engine batch; a flush triggers as
+    /// soon as this many are queued.
+    pub max_batch: usize,
+    /// How long the batcher lingers for more work before flushing a
+    /// partial batch (the latency cost of coalescing).
+    pub max_delay: Duration,
+    /// Admission bound: queries arriving while this many are already
+    /// queued are refused with [`Response::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest accepted `k` (guards the per-request memory bound).
+    pub k_max: usize,
+    /// After the drain, how long to wait for idle connections to hang
+    /// up on their own before force-closing them.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 1024,
+            k_max: 1024,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Aggregated service counters, served as JSON by the stats frame and
+/// returned by [`serve`] as the final snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Queries answered with a [`Response::TopK`].
+    pub queries: u64,
+    /// Engine flushes performed.
+    pub batches: u64,
+    /// Largest number of queries coalesced into one flush.
+    pub max_batch: usize,
+    /// Queries refused at admission (queue full).
+    pub overloaded: u64,
+    /// Queries whose deadline expired while queued.
+    pub deadline_expired: u64,
+    /// Requests answered with [`Response::Error`].
+    pub errors: u64,
+    /// Engine-side work, folded across all flushes with
+    /// [`BatchStats::merge`].
+    pub engine: BatchStats,
+}
+
+/// One admitted query waiting for the batcher.
+struct Pending {
+    vector: Vec<f32>,
+    k: usize,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<Response>,
+}
+
+/// Queue state guarded by one mutex: the drain flag lives *inside* so
+/// admission and the batcher's exit decision serialize — once a
+/// handler admits a query under the lock, the batcher cannot already
+/// have made its final sweep.
+struct Queue {
+    items: VecDeque<Pending>,
+    draining: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    stopping: AtomicBool,
+    stats: Mutex<ServiceStats>,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    local_addr: SocketAddr,
+}
+
+/// Run the service until a [`Request::Shutdown`] arrives: accept
+/// connections on `listener`, answer queries from `engine`, then drain
+/// and return the final [`ServiceStats`] snapshot. All worker threads
+/// are scoped — when this returns, none survive.
+pub fn serve(
+    engine: &ShardedEngine<'_>,
+    listener: TcpListener,
+    config: &ServiceConfig,
+) -> io::Result<ServiceStats> {
+    let local_addr = listener.local_addr()?;
+    let shared = Shared {
+        queue: Mutex::new(Queue { items: VecDeque::new(), draining: false }),
+        not_empty: Condvar::new(),
+        stopping: AtomicBool::new(false),
+        stats: Mutex::new(ServiceStats::default()),
+        conns: Mutex::new(Vec::new()),
+        local_addr,
+    };
+    let shared = &shared;
+    let stats = crossbeam::scope(move |s| {
+        let batcher = s.spawn(move |_| batcher_loop(engine, shared, config));
+        let mut next_id = 0u64;
+        for stream in listener.incoming() {
+            if shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let id = next_id;
+            next_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                shared.conns.lock().unwrap().push((id, clone));
+            }
+            s.spawn(move |_| handle_connection(engine, shared, config, stream, id));
+        }
+        drop(listener); // stop accepting before the drain
+        batcher.join().expect("batch worker panicked");
+        // Handlers deregister on exit; give stragglers (clients that
+        // keep idle connections open across the shutdown) a grace
+        // period, then sever them so the scope can join.
+        let grace_end = Instant::now() + config.drain_grace;
+        loop {
+            if shared.conns.lock().unwrap().is_empty() {
+                break;
+            }
+            if Instant::now() >= grace_end {
+                for (_, conn) in shared.conns.lock().unwrap().iter() {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        shared.stats.lock().unwrap().clone()
+    })
+    .expect("service worker panicked");
+    Ok(stats)
+}
+
+fn handle_connection(
+    engine: &ShardedEngine<'_>,
+    shared: &Shared,
+    config: &ServiceConfig,
+    mut stream: TcpStream,
+    id: u64,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = serve_connection(engine, shared, config, &mut stream);
+    shared.conns.lock().unwrap().retain(|(cid, _)| *cid != id);
+}
+
+fn serve_connection(
+    engine: &ShardedEngine<'_>,
+    shared: &Shared,
+    config: &ServiceConfig,
+    stream: &mut TcpStream,
+) -> Result<(), ProtoError> {
+    loop {
+        let req = match protocol::read_request(stream) {
+            Ok(None) => return Ok(()), // clean hang-up between frames
+            Ok(Some(req)) => req,
+            Err(ProtoError::Malformed(msg)) => {
+                // Tell the peer why, then close: after a framing
+                // violation the stream position is unreliable.
+                shared.stats.lock().unwrap().errors += 1;
+                let resp = Response::Error(format!("malformed request: {msg}"));
+                let _ = protocol::write_response(stream, &resp);
+                return Err(ProtoError::Malformed(msg));
+            }
+            Err(e) => return Err(e),
+        };
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::StatsJson(render_stats(engine, shared)),
+            Request::Shutdown => {
+                protocol::write_response(stream, &Response::ShutdownAck)?;
+                begin_shutdown(shared);
+                return Ok(());
+            }
+            Request::Query { k, deadline_ms, vector } => {
+                answer_query(engine, shared, config, k, deadline_ms, vector)
+            }
+        };
+        if matches!(resp, Response::Error(_)) {
+            shared.stats.lock().unwrap().errors += 1;
+        }
+        protocol::write_response(stream, &resp)?;
+    }
+}
+
+/// Validate, admit and wait out one query. Never touches the engine —
+/// the batcher answers through the reply channel.
+fn answer_query(
+    engine: &ShardedEngine<'_>,
+    shared: &Shared,
+    config: &ServiceConfig,
+    k: u32,
+    deadline_ms: u32,
+    vector: Vec<f32>,
+) -> Response {
+    if vector.len() != engine.dim() {
+        return Response::Error(format!(
+            "query dimensionality {} does not match the index ({})",
+            vector.len(),
+            engine.dim()
+        ));
+    }
+    if k == 0 || k as usize > config.k_max {
+        return Response::Error(format!("k = {k} out of range 1..={}", config.k_max));
+    }
+    // The engine asserts finiteness; a NaN/inf coordinate reaching the
+    // batcher would kill it and wedge every later query, so refuse here.
+    if !vector.iter().all(|x| x.is_finite()) {
+        return Response::Error("query contains non-finite coordinates".into());
+    }
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms.into()));
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap();
+        if q.draining {
+            return Response::Error("server is draining".into());
+        }
+        if q.items.len() >= config.queue_capacity {
+            shared.stats.lock().unwrap().overloaded += 1;
+            return Response::Overloaded;
+        }
+        q.items.push_back(Pending { vector, k: k as usize, deadline, tx });
+        shared.not_empty.notify_one();
+    }
+    // The batcher answers every admitted request, including during the
+    // drain; a dead channel means it panicked.
+    rx.recv().unwrap_or_else(|_| Response::Error("server shut down before answering".into()))
+}
+
+/// The single batching worker: wait for work, linger for coalescing,
+/// flush through the engine. Exits once draining *and* empty — both
+/// checked under the queue lock, so no admitted request is stranded.
+fn batcher_loop(engine: &ShardedEngine<'_>, shared: &Shared, config: &ServiceConfig) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if q.items.is_empty() {
+                    if q.draining {
+                        return;
+                    }
+                    q = shared.not_empty.wait(q).unwrap();
+                    continue;
+                }
+                if q.items.len() >= config.max_batch || q.draining {
+                    break;
+                }
+                // Linger: hold the pending work (it keeps counting
+                // against the admission bound) while waiting for the
+                // batch to fill.
+                let linger_end = Instant::now() + config.max_delay;
+                loop {
+                    let now = Instant::now();
+                    if now >= linger_end || q.items.len() >= config.max_batch || q.draining {
+                        break;
+                    }
+                    let (guard, _) = shared.not_empty.wait_timeout(q, linger_end - now).unwrap();
+                    q = guard;
+                }
+                break;
+            }
+            let take = q.items.len().min(config.max_batch);
+            q.items.drain(..take).collect()
+        };
+        flush(engine, shared, batch);
+    }
+}
+
+/// Answer one drained batch: expire stale deadlines, run the rest as
+/// one engine batch at the largest requested `k`, reply per request.
+fn flush(engine: &ShardedEngine<'_>, shared: &Shared, batch: Vec<Pending>) {
+    let now = Instant::now();
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    let mut expired: Vec<Pending> = Vec::new();
+    for p in batch {
+        match p.deadline {
+            Some(d) if d <= now => expired.push(p),
+            _ => live.push(p),
+        }
+    }
+    let batch_len = live.len();
+    let results = if batch_len > 0 {
+        let k_max = live.iter().map(|p| p.k).max().unwrap();
+        let rows: Vec<Vec<f32>> = live.iter_mut().map(|p| std::mem::take(&mut p.vector)).collect();
+        let queries = Dataset::from_rows(&rows);
+        let opts = SearchOptions { timing: true, ..SearchOptions::default() };
+        let (results, agg) = engine.query_batch_with(&queries, k_max, &opts);
+        let mut st = shared.stats.lock().unwrap();
+        st.queries += batch_len as u64;
+        st.batches += 1;
+        st.max_batch = st.max_batch.max(batch_len);
+        st.engine.merge(&agg);
+        results
+    } else {
+        Vec::new()
+    };
+    shared.stats.lock().unwrap().deadline_expired += expired.len() as u64;
+    // Reply only after every counter is recorded: a client holding its
+    // answer must find it reflected in an immediate stats read.
+    for p in expired {
+        let _ = p.tx.send(Response::DeadlineExceeded);
+    }
+    for (p, (mut nn, _)) in live.into_iter().zip(results) {
+        nn.truncate(p.k);
+        let _ = p.tx.send(Response::TopK(nn));
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    shared.queue.lock().unwrap().draining = true;
+    shared.stopping.store(true, Ordering::SeqCst);
+    shared.not_empty.notify_all();
+    // Unblock the accept loop: it re-checks `stopping` per connection,
+    // so one throwaway local connection gets it past `accept`.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+/// Serialize the current counters (plus static index facts) for the
+/// stats frame.
+fn render_stats(engine: &ShardedEngine<'_>, shared: &Shared) -> String {
+    let st = shared.stats.lock().unwrap().clone();
+    let draining = shared.queue.lock().unwrap().draining;
+    let e = &st.engine;
+    let engine_obj = JsonObject::new()
+        .field_u64("rounds", e.rounds)
+        .field_u64("collisions", e.collisions)
+        .field_u64("verified", e.verified)
+        .field_u64("t1", e.t1 as u64)
+        .field_u64("t2", e.t2 as u64)
+        .field_u64("exhausted", e.exhausted as u64)
+        .field_u64("io_reads", e.io.reads)
+        .field_u64("elapsed_nanos", e.elapsed_nanos)
+        .finish();
+    JsonObject::new()
+        .field_str("state", if draining { "draining" } else { "serving" })
+        .field_u64("shards", engine.num_shards() as u64)
+        .field_u64("objects", engine.len() as u64)
+        .field_u64("dim", engine.dim() as u64)
+        .field_u64("queries", st.queries)
+        .field_u64("batches", st.batches)
+        .field_u64("max_batch", st.max_batch as u64)
+        .field_u64("overloaded", st.overloaded)
+        .field_u64("deadline_expired", st.deadline_expired)
+        .field_u64("errors", st.errors)
+        .field_obj("engine", &engine_obj)
+        .finish()
+}

@@ -1,0 +1,246 @@
+//! End-to-end service tests against a live 4-shard server on loopback:
+//! correctness under concurrency (32 client threads, answers compared
+//! bit-exactly with a single unsharded index), request coalescing
+//! evidence, admission control, deadline expiry, protocol-violation
+//! handling, and graceful drain with a leaked-thread watchdog.
+
+use c2lsh::config::Beta;
+use c2lsh::{C2lshConfig, C2lshIndex, ShardedData, ShardedEngine};
+use cc_service::json::find_u64;
+use cc_service::{Client, Response, ServiceConfig};
+use cc_vector::dataset::Dataset;
+use cc_vector::gen::{generate, Distribution};
+use cc_vector::gt::Neighbor;
+use std::net::TcpListener;
+use std::sync::{mpsc, Barrier};
+use std::time::Duration;
+
+fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
+    generate(Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 }, n, d, seed)
+}
+
+/// T2 disabled (budget ≥ n): the regime where sharded answers are
+/// bit-identical to the unsharded index, so the test can demand exact
+/// equality of served results (ids *and* f64 distances).
+fn cfg_exact(n: usize) -> C2lshConfig {
+    C2lshConfig::builder().bucket_width(1.0).seed(13).beta(Beta::Count(n as u64)).build()
+}
+
+/// Abort the whole test process if `f` does not finish in time — a
+/// hung drain or leaked handler thread must fail CI, not stall it.
+fn with_watchdog(label: &'static str, limit: Duration, f: impl FnOnce()) {
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        if done_rx.recv_timeout(limit).is_err() {
+            eprintln!("[{label}] did not finish within {limit:?} — leaked threads or hung drain");
+            std::process::abort();
+        }
+    });
+    f();
+    let _ = done_tx.send(());
+}
+
+/// 32 concurrent connections against a 4-shard server: every served
+/// answer must equal the single unsharded index's answer exactly;
+/// coalescing must show up in the stats; shutdown must drain cleanly
+/// (the server thread joins, proving no worker survived).
+#[test]
+fn concurrent_clients_match_single_index_ground_truth() {
+    const N: usize = 2000;
+    const D: usize = 16;
+    const K: u32 = 5;
+    const CLIENTS: usize = 32;
+    const ROUNDS: usize = 8;
+
+    let data = clustered(N, D, 3);
+    let queries = clustered(64, D, 4);
+    let cfg = cfg_exact(N);
+
+    // Ground truth from the unsharded index over the same data.
+    let single = C2lshIndex::build(&data, &cfg);
+    let expected: Vec<Vec<Neighbor>> =
+        (0..queries.len()).map(|qi| single.query(queries.get(qi), K as usize).0).collect();
+
+    let sharded = ShardedData::partition(&data, 4);
+    let engine = ShardedEngine::build(&sharded, &cfg);
+    let service = ServiceConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(50),
+        queue_capacity: 1024,
+        k_max: 64,
+        drain_grace: Duration::from_secs(5),
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    with_watchdog("concurrent_clients", Duration::from_secs(120), || {
+        let barrier = Barrier::new(CLIENTS);
+        let (engine, service, queries, expected, barrier) =
+            (&engine, &service, &queries, &expected, &barrier);
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+
+            let mut control = Client::connect(addr).unwrap();
+            control.ping().unwrap();
+
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|t| {
+                    s.spawn(move |_| {
+                        let mut client = Client::connect(addr).unwrap();
+                        for i in 0..ROUNDS {
+                            // All clients fire together each round so the
+                            // batcher has something to coalesce.
+                            barrier.wait();
+                            let qi = (t * ROUNDS + i) % queries.len();
+                            let got = client.top_k(queries.get(qi), K).unwrap();
+                            assert_eq!(got, expected[qi], "client {t} round {i} query {qi}");
+                        }
+                    })
+                })
+                .collect();
+            for handle in clients {
+                handle.join().unwrap();
+            }
+
+            let json = control.stats_json().unwrap();
+            let answered = (CLIENTS * ROUNDS) as u64;
+            assert_eq!(find_u64(&json, "queries"), Some(answered), "{json}");
+            assert_eq!(find_u64(&json, "errors"), Some(0), "{json}");
+            assert_eq!(find_u64(&json, "shards"), Some(4), "{json}");
+            let max_batch = find_u64(&json, "max_batch").unwrap();
+            assert!(max_batch >= 2, "no coalescing observed (max_batch = {max_batch}): {json}");
+            let batches = find_u64(&json, "batches").unwrap();
+            assert!(batches < answered, "every query got its own batch: {json}");
+
+            // Graceful drain: serve() returns only after every worker
+            // thread joined, so a successful join IS the leak check.
+            control.shutdown().unwrap();
+            let stats = server.join().unwrap();
+            assert_eq!(stats.queries, answered);
+            assert_eq!(stats.max_batch as u64, max_batch);
+        })
+        .unwrap();
+    });
+}
+
+/// Admission control and deadlines, pinned deterministically by a long
+/// linger: a queued request occupies the (capacity-1) queue for the
+/// full linger window, so a second concurrent query must be refused
+/// with `Overloaded`, and the first one's 50 ms deadline expires
+/// before the 400 ms flush → `DeadlineExceeded`.
+#[test]
+fn admission_control_and_deadlines() {
+    const N: usize = 300;
+    const D: usize = 8;
+
+    let data = clustered(N, D, 5);
+    let cfg = cfg_exact(N);
+    let sharded = ShardedData::partition(&data, 2);
+    let engine = ShardedEngine::build(&sharded, &cfg);
+    let service = ServiceConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(400),
+        queue_capacity: 1,
+        k_max: 16,
+        drain_grace: Duration::from_secs(2),
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    with_watchdog("admission_and_deadlines", Duration::from_secs(60), || {
+        let (engine, service, data) = (&engine, &service, &data);
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+
+            // A: admitted, then sits out the 400 ms linger with a 50 ms
+            // deadline → expires while queued.
+            let slow = s.spawn(move |_| {
+                let mut client = Client::connect(addr).unwrap();
+                client.query(data.get(0), 3, 50).unwrap()
+            });
+
+            // B: arrives mid-linger while A occupies the whole queue.
+            std::thread::sleep(Duration::from_millis(150));
+            let mut client = Client::connect(addr).unwrap();
+            let refused = client.query(data.get(1), 3, 0).unwrap();
+            assert_eq!(refused, Response::Overloaded);
+
+            let expired = slow.join().unwrap();
+            assert_eq!(expired, Response::DeadlineExceeded);
+
+            // The queue is free again: a plain query succeeds end-to-end.
+            let neighbors = client.top_k(data.get(2), 3).unwrap();
+            assert_eq!(neighbors[0].id, 2, "the query vector is row 2 of the data");
+            assert_eq!(neighbors[0].dist, 0.0);
+
+            // Bad requests are answered, not dropped.
+            let wrong_dim = client.query(&[0.0f32; D + 1], 3, 0).unwrap();
+            assert!(matches!(wrong_dim, Response::Error(_)), "{wrong_dim:?}");
+            let bad_k = client.query(data.get(0), 0, 0).unwrap();
+            assert!(matches!(bad_k, Response::Error(_)), "{bad_k:?}");
+            // Non-finite coordinates must be refused at admission — the
+            // engine asserts finiteness, and a NaN reaching the batcher
+            // thread would kill it and wedge the whole service.
+            let nan = client.query(&[f32::NAN; D], 3, 0).unwrap();
+            assert!(matches!(nan, Response::Error(_)), "{nan:?}");
+            let survived = client.top_k(data.get(2), 3).unwrap();
+            assert_eq!(survived[0].id, 2);
+
+            let json = client.stats_json().unwrap();
+            assert_eq!(find_u64(&json, "overloaded"), Some(1), "{json}");
+            assert_eq!(find_u64(&json, "deadline_expired"), Some(1), "{json}");
+            assert_eq!(find_u64(&json, "errors"), Some(3), "{json}");
+            assert_eq!(find_u64(&json, "queries"), Some(2), "{json}");
+
+            client.shutdown().unwrap();
+            let stats = server.join().unwrap();
+            assert_eq!(stats.overloaded, 1);
+            assert_eq!(stats.deadline_expired, 1);
+        })
+        .unwrap();
+    });
+}
+
+/// Protocol violations get an explicit `Error` frame and a closed
+/// connection — never a hang, never a crash of the server.
+#[test]
+fn malformed_frames_are_rejected_and_connection_closed() {
+    use std::io::{Read, Write};
+
+    const N: usize = 200;
+    let data = clustered(N, 8, 6);
+    let cfg = cfg_exact(N);
+    let sharded = ShardedData::partition(&data, 2);
+    let engine = ShardedEngine::build(&sharded, &cfg);
+    let service = ServiceConfig::default();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    with_watchdog("malformed_frames", Duration::from_secs(60), || {
+        let (engine, service) = (&engine, &service);
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+
+            // Raw socket: a frame with an unknown opcode.
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            raw.write_all(&[1, 0, 0, 0, 0x7F]).unwrap();
+            let mut reply = Vec::new();
+            raw.read_to_end(&mut reply).unwrap(); // server replies then closes
+            let resp = cc_service::protocol::read_response(&mut &reply[..]).unwrap().unwrap();
+            assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+
+            // The server survived: a well-formed session still works.
+            let mut client = Client::connect(addr).unwrap();
+            client.ping().unwrap();
+            let json = client.stats_json().unwrap();
+            assert_eq!(find_u64(&json, "errors"), Some(1), "{json}");
+
+            client.shutdown().unwrap();
+            server.join().unwrap();
+        })
+        .unwrap();
+    });
+}

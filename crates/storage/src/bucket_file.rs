@@ -246,7 +246,9 @@ mod tests {
     #[test]
     fn empty_scan_costs_nothing() {
         let (file, bf, _) = build_run(100);
-        bf.scan(&file, 50, 50, |_, _| panic!("must not be called"));
+        let mut calls = 0usize;
+        bf.scan(&file, 50, 50, |_, _| calls += 1);
+        assert_eq!(calls, 0, "empty-range scan visited {calls} entries; expected none");
         assert_eq!(file.stats().reads, 0);
     }
 
