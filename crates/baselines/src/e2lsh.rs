@@ -16,8 +16,9 @@
 use crate::BaselineStats;
 use cc_storage::pagefile::IoStats;
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::{dot, euclidean};
+use cc_vector::dist::{dot, euclidean_sq_bounded};
 use cc_vector::gt::Neighbor;
+use cc_vector::topk::TopK;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
@@ -116,7 +117,11 @@ impl<'d> E2lsh<'d> {
         assert!(k > 0, "k must be positive");
         let mut stats = BaselineStats::default();
         let mut seen = vec![false; self.data.len()];
+        // Retained candidates for final (dist, id) ranking; the top-k
+        // accumulator's root feeds the early-abandon bound (its slack
+        // keeps the final ranking identical to full verification).
         let mut candidates: Vec<Neighbor> = Vec::new();
+        let mut topk = TopK::new(k);
         let mut key_buf = Vec::with_capacity(self.config.k_funcs);
         for t in 0..self.config.l_tables {
             key_buf.clear();
@@ -134,9 +139,15 @@ impl<'d> E2lsh<'d> {
                 for &oid in bucket {
                     if !seen[oid as usize] {
                         seen[oid as usize] = true;
-                        let d = euclidean(self.data.get(oid as usize), q);
                         stats.candidates_verified += 1;
-                        candidates.push(Neighbor::new(oid, d));
+                        let v = self.data.get(oid as usize);
+                        match euclidean_sq_bounded(v, q, topk.bound_sq()) {
+                            Some(d_sq) => {
+                                topk.insert(d_sq, oid);
+                                candidates.push(Neighbor::new(oid, d_sq.sqrt()));
+                            }
+                            None => stats.candidates_abandoned += 1,
+                        }
                     }
                 }
             }

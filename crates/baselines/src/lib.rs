@@ -31,6 +31,11 @@ use cc_storage::pagefile::IoStats;
 pub struct BaselineStats {
     /// Objects whose true distance was computed.
     pub candidates_verified: usize,
+    /// Of the verified candidates, how many the early-abandon kernel cut
+    /// short (partial distance already beyond the running k-th best).
+    /// They still count in `candidates_verified` and in the I/O model —
+    /// the page fetch happens before the distance loop.
+    pub candidates_abandoned: usize,
     /// Hash-table buckets / tree positions probed.
     pub probes: usize,
     /// Modeled page I/O (4 KiB granularity; see each module's cost model).

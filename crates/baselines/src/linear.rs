@@ -29,6 +29,7 @@ impl<'d> LinearScan<'d> {
             candidates_verified: self.data.len(),
             probes: 1,
             io: IoStats { reads: (bytes as u64).div_ceil(4096), writes: 0 },
+            ..BaselineStats::default()
         };
         (nn, stats)
     }

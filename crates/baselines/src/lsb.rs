@@ -29,8 +29,9 @@
 use crate::BaselineStats;
 use cc_storage::pagefile::IoStats;
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::{dot, euclidean};
+use cc_vector::dist::{dot, euclidean_sq_bounded};
 use cc_vector::gt::Neighbor;
+use cc_vector::topk::TopK;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -196,15 +197,22 @@ impl<'d> LsbForest<'d> {
         }
 
         let mut candidates: Vec<Neighbor> = Vec::new();
+        let mut topk = TopK::new(k);
         while let Some(f) = heap.pop() {
             let tree = &self.trees[f.tree];
             let (_, oid) = tree.entries[f.pos];
             visited_per_tree[f.tree] += 1;
             if !seen[oid as usize] {
                 seen[oid as usize] = true;
-                let d = euclidean(self.data.get(oid as usize), q);
                 stats.candidates_verified += 1;
-                candidates.push(Neighbor::new(oid, d));
+                let v = self.data.get(oid as usize);
+                match euclidean_sq_bounded(v, q, topk.bound_sq()) {
+                    Some(d_sq) => {
+                        topk.insert(d_sq, oid);
+                        candidates.push(Neighbor::new(oid, d_sq.sqrt()));
+                    }
+                    None => stats.candidates_abandoned += 1,
+                }
             }
             // T-budget.
             if stats.candidates_verified >= self.config.budget {
@@ -216,11 +224,13 @@ impl<'d> LsbForest<'d> {
             // of side `w·2^(u−level)` per hash dimension; once the k-th
             // candidate distance is within `c×` the *half* cell side of
             // the best remaining frontier, deeper entries cannot improve
-            // the c-approximation and the sweep stops.
-            if self.config.quality_stop && candidates.len() >= k {
-                let mut kth: Vec<f64> = candidates.iter().map(|n| n.dist).collect();
-                kth.sort_by(|a, b| a.total_cmp(b));
-                let dk = kth[k - 1];
+            // the c-approximation and the sweep stops. The k-th distance
+            // comes from the incrementally maintained top-k heap root
+            // (abandoned candidates are provably farther than it, so
+            // this equals the k-th over all verified candidates) —
+            // previously this re-sorted every candidate per iteration.
+            if self.config.quality_stop && topk.is_full() {
+                let dk = topk.worst_dist();
                 let level = (f.llcp / self.config.k_funcs as u32).min(self.config.u_bits - 1);
                 let half_cell = self.config.w * 2f64.powi((self.config.u_bits - 1 - level) as i32);
                 if dk <= self.config.c as f64 * half_cell {

@@ -19,8 +19,9 @@
 use crate::BaselineStats;
 use cc_storage::pagefile::IoStats;
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::{dot, euclidean};
+use cc_vector::dist::{dot, euclidean_sq_bounded};
 use cc_vector::gt::Neighbor;
+use cc_vector::topk::TopK;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -190,6 +191,7 @@ impl<'d> MultiProbeLsh<'d> {
         let mut stats = BaselineStats::default();
         let mut seen = vec![false; self.data.len()];
         let mut candidates: Vec<Neighbor> = Vec::new();
+        let mut topk = TopK::new(k);
         for t in 0..self.config.l_tables {
             for probe in self.probe_sequence(t, q) {
                 stats.probes += 1;
@@ -199,9 +201,15 @@ impl<'d> MultiProbeLsh<'d> {
                     for &oid in bucket {
                         if !seen[oid as usize] {
                             seen[oid as usize] = true;
-                            let d = euclidean(self.data.get(oid as usize), q);
                             stats.candidates_verified += 1;
-                            candidates.push(Neighbor::new(oid, d));
+                            let v = self.data.get(oid as usize);
+                            match euclidean_sq_bounded(v, q, topk.bound_sq()) {
+                                Some(d_sq) => {
+                                    topk.insert(d_sq, oid);
+                                    candidates.push(Neighbor::new(oid, d_sq.sqrt()));
+                                }
+                                None => stats.candidates_abandoned += 1,
+                            }
                         }
                     }
                 }
@@ -211,7 +219,7 @@ impl<'d> MultiProbeLsh<'d> {
             reads: stats.io.reads + stats.candidates_verified as u64 * self.verify_pages,
             writes: 0,
         };
-        candidates.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         candidates.truncate(k);
         (candidates, stats)
     }

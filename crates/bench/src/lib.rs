@@ -12,6 +12,8 @@
 //! * [`prep`] — workload preparation with nearest-neighbor-scale
 //!   normalization (the paper's datasets are normalized so the theory's
 //!   `R = 1` base radius is meaningful),
+//! * [`report`] — the machine-readable `BENCH_<tag>.json` schema the
+//!   unified `bench run` binary emits, plus the CI regression gate,
 //! * [`table`] — aligned console tables plus CSV output under
 //!   `results/`.
 
@@ -21,6 +23,7 @@
 pub mod eval;
 pub mod methods;
 pub mod prep;
+pub mod report;
 pub mod table;
 
 /// Default experiment scale (fraction of the paper-scale dataset sizes).

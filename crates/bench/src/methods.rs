@@ -24,7 +24,12 @@ fn timed() -> SearchOptions {
 /// (no rehashing rounds or termination reason to report; the harness
 /// stamps wall-clock time itself for these).
 fn lift(s: &BaselineStats) -> QueryStats {
-    QueryStats { candidates_verified: s.candidates_verified, io: s.io, ..QueryStats::new() }
+    QueryStats {
+        candidates_verified: s.candidates_verified,
+        candidates_abandoned: s.candidates_abandoned,
+        io: s.io,
+        ..QueryStats::new()
+    }
 }
 
 /// Uniform query interface.

@@ -1,0 +1,750 @@
+//! Machine-readable benchmark reports: the `BENCH_<tag>.json` artifact.
+//!
+//! `bench run` emits one [`BenchReport`] per invocation — dataset shape,
+//! parameters, the verification-kernel microbenchmark, and one
+//! [`MethodReport`] row per method (qps, latency percentiles, recall,
+//! overall ratio, verification/I-O cost, index size). CI's `bench-smoke`
+//! job re-reads the checked-in `results/bench_baseline.json` and fails
+//! the build when quality regresses or throughput collapses
+//! ([`check_regression`]).
+//!
+//! The workspace is offline (no serde), so this module carries its own
+//! minimal JSON value type with a writer and a recursive-descent parser
+//! — enough for the flat schema here, not a general-purpose library.
+
+use std::fmt::Write as _;
+
+/// Schema version stamped into every report; bump on breaking changes
+/// so the gate can reject incomparable baselines.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Recall may drop by at most this much against the baseline.
+pub const RECALL_TOLERANCE: f64 = 0.02;
+/// Overall ratio may rise by at most this much against the baseline.
+pub const RATIO_TOLERANCE: f64 = 0.02;
+/// Smoke qps must stay above this fraction of the baseline (the CI gate
+/// is deliberately loose — runners vary — and catches collapses, not
+/// jitter).
+pub const QPS_FLOOR_FRACTION: f64 = 0.70;
+/// The early-abandon kernel must beat the plain kernel by at least this
+/// factor on the smoke dataset (the tentpole's acceptance bar).
+pub const MIN_VERIFY_SPEEDUP: f64 = 1.3;
+
+// ---------------------------------------------------------------------
+// JSON value
+// ---------------------------------------------------------------------
+
+/// A JSON value. Objects keep insertion order so emitted files diff
+/// cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; integers survive to 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered field list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (`None` elsewhere / when absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Shorthand: `self.get(key)` then [`Json::as_f64`].
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Json::as_f64)
+    }
+
+    /// Parse a JSON document (must consume the whole input).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Serialize with 2-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_number(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no Infinity/NaN; null keeps the document valid and
+        // the gate treats it as "absent".
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Surrogate pairs are not needed for this schema;
+                        // map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always well-formed).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("bad number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------
+
+/// Shape of the dataset a report was measured on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Profile name (e.g. `custom-4000x128`).
+    pub name: String,
+    /// Base objects.
+    pub n: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Held-out queries evaluated.
+    pub queries: usize,
+}
+
+/// The verification-phase microbenchmark: the pre-optimization pipeline
+/// (the seed's 4-lane kernel, a fresh candidate buffer per query, a full
+/// sort at the end) vs the current one (8-lane early-abandon kernel
+/// feeding a live top-k bound, reused scratch) over the same candidate
+/// stream — the tentpole's headline number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyKernelReport {
+    /// Nanoseconds per candidate, old verification pipeline.
+    pub old_ns_per_cand: f64,
+    /// Nanoseconds per candidate, new early-abandon pipeline.
+    pub new_ns_per_cand: f64,
+    /// `old / new` — the verification-phase speedup.
+    pub speedup: f64,
+    /// Fraction of candidates the bounded kernel cut short.
+    pub abandon_rate: f64,
+}
+
+/// One method's row of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodReport {
+    /// Method display name ([`crate::methods::AnnIndex::name`]).
+    pub name: String,
+    /// Sequential queries per second (wall clock).
+    pub qps: f64,
+    /// Median query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile query latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean recall against exact ground truth.
+    pub recall: f64,
+    /// Mean overall ratio (≥ 1; 1 = exact).
+    pub ratio: f64,
+    /// Mean candidates verified per query.
+    pub verified_per_query: f64,
+    /// Mean candidates early-abandoned per query (subset of verified).
+    pub abandoned_per_query: f64,
+    /// Mean modeled page reads per query.
+    pub io_per_query: f64,
+    /// Index size in bytes.
+    pub index_bytes: f64,
+}
+
+/// A full `BENCH_<tag>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Report tag (`smoke`, a dataset name, …) — names the output file.
+    pub tag: String,
+    /// Dataset shape.
+    pub dataset: DatasetInfo,
+    /// Neighbors requested per query.
+    pub k: usize,
+    /// RNG seed every method was built with.
+    pub seed: u64,
+    /// Kernel microbenchmark (present when the run included it).
+    pub verify: Option<VerifyKernelReport>,
+    /// Per-method measurements.
+    pub methods: Vec<MethodReport>,
+}
+
+impl BenchReport {
+    /// Serialize to the canonical pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let dataset = Json::Obj(vec![
+            ("name".into(), Json::Str(self.dataset.name.clone())),
+            ("n".into(), Json::Num(self.dataset.n as f64)),
+            ("d".into(), Json::Num(self.dataset.d as f64)),
+            ("queries".into(), Json::Num(self.dataset.queries as f64)),
+        ]);
+        let params = Json::Obj(vec![
+            ("k".into(), Json::Num(self.k as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+        ]);
+        let verify = match &self.verify {
+            None => Json::Null,
+            Some(v) => Json::Obj(vec![
+                ("old_ns_per_cand".into(), Json::Num(v.old_ns_per_cand)),
+                ("new_ns_per_cand".into(), Json::Num(v.new_ns_per_cand)),
+                ("speedup".into(), Json::Num(v.speedup)),
+                ("abandon_rate".into(), Json::Num(v.abandon_rate)),
+            ]),
+        };
+        let methods = Json::Arr(
+            self.methods
+                .iter()
+                .map(|m| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(m.name.clone())),
+                        ("qps".into(), Json::Num(m.qps)),
+                        ("p50_ms".into(), Json::Num(m.p50_ms)),
+                        ("p95_ms".into(), Json::Num(m.p95_ms)),
+                        ("p99_ms".into(), Json::Num(m.p99_ms)),
+                        ("recall".into(), Json::Num(m.recall)),
+                        ("ratio".into(), Json::Num(m.ratio)),
+                        ("verified_per_query".into(), Json::Num(m.verified_per_query)),
+                        ("abandoned_per_query".into(), Json::Num(m.abandoned_per_query)),
+                        ("io_per_query".into(), Json::Num(m.io_per_query)),
+                        ("index_bytes".into(), Json::Num(m.index_bytes)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(self.schema_version as f64)),
+            ("tag".into(), Json::Str(self.tag.clone())),
+            ("dataset".into(), dataset),
+            ("params".into(), params),
+            ("verify_kernel".into(), verify),
+            ("methods".into(), methods),
+        ])
+        .to_pretty()
+    }
+
+    /// Parse a report back from JSON (the inverse of
+    /// [`BenchReport::to_json`]; also accepts hand-edited baselines as
+    /// long as the required fields are present).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let root = Json::parse(text)?;
+        let schema_version = root.num("schema_version").ok_or("missing schema_version")? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!("schema_version {schema_version} != supported {SCHEMA_VERSION}"));
+        }
+        let tag = root.get("tag").and_then(Json::as_str).ok_or("missing tag")?.to_string();
+        let ds = root.get("dataset").ok_or("missing dataset")?;
+        let dataset = DatasetInfo {
+            name: ds.get("name").and_then(Json::as_str).ok_or("missing dataset.name")?.into(),
+            n: ds.num("n").ok_or("missing dataset.n")? as usize,
+            d: ds.num("d").ok_or("missing dataset.d")? as usize,
+            queries: ds.num("queries").ok_or("missing dataset.queries")? as usize,
+        };
+        let params = root.get("params").ok_or("missing params")?;
+        let k = params.num("k").ok_or("missing params.k")? as usize;
+        let seed = params.num("seed").ok_or("missing params.seed")? as u64;
+        let verify = match root.get("verify_kernel") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(VerifyKernelReport {
+                old_ns_per_cand: v.num("old_ns_per_cand").unwrap_or(0.0),
+                new_ns_per_cand: v.num("new_ns_per_cand").unwrap_or(0.0),
+                speedup: v.num("speedup").unwrap_or(0.0),
+                abandon_rate: v.num("abandon_rate").unwrap_or(0.0),
+            }),
+        };
+        let methods = root
+            .get("methods")
+            .and_then(Json::as_arr)
+            .ok_or("missing methods")?
+            .iter()
+            .map(|m| -> Result<MethodReport, String> {
+                Ok(MethodReport {
+                    name: m.get("name").and_then(Json::as_str).ok_or("method missing name")?.into(),
+                    qps: m.num("qps").ok_or("method missing qps")?,
+                    p50_ms: m.num("p50_ms").unwrap_or(0.0),
+                    p95_ms: m.num("p95_ms").unwrap_or(0.0),
+                    p99_ms: m.num("p99_ms").unwrap_or(0.0),
+                    recall: m.num("recall").ok_or("method missing recall")?,
+                    ratio: m.num("ratio").ok_or("method missing ratio")?,
+                    verified_per_query: m.num("verified_per_query").unwrap_or(0.0),
+                    abandoned_per_query: m.num("abandoned_per_query").unwrap_or(0.0),
+                    io_per_query: m.num("io_per_query").unwrap_or(0.0),
+                    index_bytes: m.num("index_bytes").unwrap_or(0.0),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport { schema_version, tag, dataset, k, seed, verify, methods })
+    }
+
+    /// Look up a method row by name.
+    pub fn method(&self, name: &str) -> Option<&MethodReport> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// The CI gate: compare `current` against the checked-in `baseline` and
+/// return one human-readable line per violation (empty = pass).
+///
+/// Checked, per baseline method:
+/// * the method still exists in `current`,
+/// * recall has not dropped by more than [`RECALL_TOLERANCE`],
+/// * overall ratio has not risen by more than [`RATIO_TOLERANCE`],
+/// * qps has not fallen below [`QPS_FLOOR_FRACTION`] × baseline
+///   (loose on purpose: CI runners differ from the machine that wrote
+///   the baseline, so only collapses — not jitter — should fail).
+///
+/// Plus, when both reports carry the kernel microbenchmark: the current
+/// early-abandon speedup is at least [`MIN_VERIFY_SPEEDUP`].
+pub fn check_regression(baseline: &BenchReport, current: &BenchReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.dataset != current.dataset || baseline.k != current.k {
+        violations.push(format!(
+            "incomparable runs: baseline {}/n={}/k={} vs current {}/n={}/k={} \
+             (refresh the baseline with --write-baseline)",
+            baseline.dataset.name,
+            baseline.dataset.n,
+            baseline.k,
+            current.dataset.name,
+            current.dataset.n,
+            current.k,
+        ));
+        return violations;
+    }
+    for base in &baseline.methods {
+        let Some(cur) = current.method(&base.name) else {
+            violations.push(format!("method {} disappeared from the run", base.name));
+            continue;
+        };
+        if cur.recall < base.recall - RECALL_TOLERANCE {
+            violations.push(format!(
+                "{}: recall {:.4} fell below baseline {:.4} - {RECALL_TOLERANCE}",
+                base.name, cur.recall, base.recall
+            ));
+        }
+        if cur.ratio > base.ratio + RATIO_TOLERANCE {
+            violations.push(format!(
+                "{}: ratio {:.4} rose above baseline {:.4} + {RATIO_TOLERANCE}",
+                base.name, cur.ratio, base.ratio
+            ));
+        }
+        if cur.qps < base.qps * QPS_FLOOR_FRACTION {
+            violations.push(format!(
+                "{}: qps {:.1} fell below {:.0}% of baseline {:.1}",
+                base.name,
+                cur.qps,
+                QPS_FLOOR_FRACTION * 100.0,
+                base.qps
+            ));
+        }
+    }
+    if let (Some(_), Some(cur)) = (&baseline.verify, &current.verify) {
+        if cur.speedup < MIN_VERIFY_SPEEDUP {
+            violations.push(format!(
+                "verify kernel speedup {:.2}x fell below the {MIN_VERIFY_SPEEDUP}x floor",
+                cur.speedup
+            ));
+        }
+    }
+    violations
+}
+
+/// Latency percentile over raw per-query nanosecond samples
+/// (nearest-rank definition; `p` in `[0, 100]`).
+pub fn percentile_ms(samples_ns: &[u64], p: f64) -> f64 {
+    if samples_ns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            tag: "smoke".into(),
+            dataset: DatasetInfo { name: "custom-4000x128".into(), n: 4000, d: 128, queries: 40 },
+            k: 10,
+            seed: 42,
+            verify: Some(VerifyKernelReport {
+                old_ns_per_cand: 100.0,
+                new_ns_per_cand: 40.0,
+                speedup: 2.5,
+                abandon_rate: 0.8,
+            }),
+            methods: vec![
+                MethodReport {
+                    name: "C2LSH".into(),
+                    qps: 1000.0,
+                    p50_ms: 0.9,
+                    p95_ms: 1.5,
+                    p99_ms: 2.0,
+                    recall: 0.95,
+                    ratio: 1.01,
+                    verified_per_query: 150.0,
+                    abandoned_per_query: 90.0,
+                    io_per_query: 30.0,
+                    index_bytes: 1.5e6,
+                },
+                MethodReport {
+                    name: "LinearScan".into(),
+                    qps: 200.0,
+                    p50_ms: 5.0,
+                    p95_ms: 5.5,
+                    p99_ms: 6.0,
+                    recall: 1.0,
+                    ratio: 1.0,
+                    verified_per_query: 4000.0,
+                    abandoned_per_query: 0.0,
+                    io_per_query: 500.0,
+                    index_bytes: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = sample_report();
+        let text = r.to_json();
+        let back = BenchReport::from_json(&text).expect("parse back");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parser_handles_whitespace_escapes_and_nesting() {
+        let v =
+            Json::parse(r#" { "a\n\"x\"" : [ 1, -2.5e3, true, null, {"inner": "A"} ] } "#).unwrap();
+        let arr = v.get("a\n\"x\"").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-2500.0));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].get("inner"), Some(&Json::Str("A".into())));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn gate_passes_on_identical_runs() {
+        let r = sample_report();
+        assert!(check_regression(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_recall_ratio_qps_and_missing_method() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.methods[0].recall = base.methods[0].recall - RECALL_TOLERANCE - 0.01;
+        cur.methods[0].ratio = base.methods[0].ratio + RATIO_TOLERANCE + 0.01;
+        cur.methods[0].qps = base.methods[0].qps * (QPS_FLOOR_FRACTION - 0.05);
+        cur.methods.pop(); // LinearScan disappears
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 4, "violations: {v:?}");
+        assert!(v.iter().any(|m| m.contains("recall")));
+        assert!(v.iter().any(|m| m.contains("ratio")));
+        assert!(v.iter().any(|m| m.contains("qps")));
+        assert!(v.iter().any(|m| m.contains("disappeared")));
+    }
+
+    #[test]
+    fn gate_tolerates_jitter() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.methods[0].recall -= RECALL_TOLERANCE / 2.0;
+        cur.methods[0].ratio += RATIO_TOLERANCE / 2.0;
+        cur.methods[0].qps *= 0.8; // above the 0.7 floor
+        assert!(check_regression(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_kernel_speedup_collapse() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.verify.as_mut().unwrap().speedup = 1.0;
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("speedup"));
+    }
+
+    #[test]
+    fn gate_rejects_incomparable_datasets() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.dataset.n = 9999;
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("incomparable"));
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_an_error() {
+        let mut text = sample_report().to_json();
+        text = text.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(BenchReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect(); // 1..=100 ms
+        assert_eq!(percentile_ms(&ns, 50.0), 50.0);
+        assert_eq!(percentile_ms(&ns, 95.0), 95.0);
+        assert_eq!(percentile_ms(&ns, 99.0), 99.0);
+        assert_eq!(percentile_ms(&ns, 100.0), 100.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(percentile_ms(&[7_000_000], 99.0), 7.0);
+    }
+}

@@ -11,7 +11,7 @@
 //! the embedded [`PageFile`]'s counters.
 
 use crate::config::C2lshConfig;
-use crate::engine::counting::CollisionCounter;
+use crate::engine::QueryScratch;
 use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
 use crate::params::FullParams;
@@ -30,7 +30,7 @@ pub struct DiskIndex<'d> {
     family: HashFamily,
     file: PageFile,
     tables: Vec<BucketFile>,
-    counter: Mutex<CollisionCounter>,
+    scratch: Mutex<QueryScratch>,
     /// Pages a candidate verification costs: reading one data vector.
     /// `⌈d·4 / 4096⌉`, at least 1 — the paper charges one page per
     /// candidate unless vectors exceed a page.
@@ -65,7 +65,7 @@ impl<'d> DiskIndex<'d> {
             family,
             file,
             tables,
-            counter: Mutex::new(CollisionCounter::new(data.len())),
+            scratch: Mutex::new(QueryScratch::new(data.len())),
             verify_pages,
         }
     }
@@ -101,8 +101,8 @@ impl<'d> DiskIndex<'d> {
         k: usize,
         opts: &SearchOptions,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut counter = self.counter.lock();
-        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+        let mut scratch = self.scratch.lock();
+        engine::run_query(self, &self.search_params(), &mut scratch, q, k, opts)
     }
 
     /// Convenience c-ANN (k = 1).

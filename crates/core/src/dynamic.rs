@@ -15,7 +15,7 @@
 //! positions, with deleted ids tombstoned via [`TableStore::vector`].
 
 use crate::config::C2lshConfig;
-use crate::engine::counting::CollisionCounter;
+use crate::engine::QueryScratch;
 use crate::engine::{self, KeyWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
 use crate::params::FullParams;
@@ -36,7 +36,7 @@ pub struct DynamicIndex {
     live: usize,
     tables: Vec<BTreeMap<i64, Vec<u32>>>,
     /// Reusable query scratch behind a lock, so queries take `&self`.
-    counter: Mutex<CollisionCounter>,
+    scratch: Mutex<QueryScratch>,
 }
 
 impl DynamicIndex {
@@ -60,7 +60,7 @@ impl DynamicIndex {
             vectors: Vec::new(),
             live: 0,
             tables,
-            counter: Mutex::new(CollisionCounter::new(0)),
+            scratch: Mutex::new(QueryScratch::new(0)),
         }
     }
 
@@ -156,8 +156,8 @@ impl DynamicIndex {
         k: usize,
         opts: &SearchOptions,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut counter = self.counter.lock();
-        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+        let mut scratch = self.scratch.lock();
+        engine::run_query(self, &self.search_params(), &mut scratch, q, k, opts)
     }
 
     /// Convenience c-ANN (k = 1).

@@ -42,8 +42,9 @@ pub mod counting;
 use crate::rehash::{radius_at, window, Window};
 use crate::stats::{BatchStats, QueryStats, RoundStats, Termination};
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::euclidean;
+use cc_vector::dist::euclidean_sq_bounded;
 use cc_vector::gt::Neighbor;
+use cc_vector::topk::TopK;
 use counting::CollisionCounter;
 use std::ops::Range;
 use std::time::Instant;
@@ -80,11 +81,18 @@ pub struct SearchOptions {
     /// the store's I/O counters and a per-query delta would be noise;
     /// the batch-level delta is reported in [`BatchStats::io`] instead.
     pub charge_table_io: bool,
+    /// Early-abandon candidate verification against the running k-th
+    /// best distance ([`cc_vector::dist::euclidean_sq_bounded`]). The
+    /// returned neighbors, the per-round progress, and the terminating
+    /// condition are bit-identical either way (pinned by proptest); only
+    /// the verification cost and [`QueryStats::candidates_abandoned`]
+    /// change. On by default; turn off to measure the plain kernel.
+    pub early_abandon: bool,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { per_round: false, timing: false, charge_table_io: true }
+        Self { per_round: false, timing: false, charge_table_io: true, early_abandon: true }
     }
 }
 
@@ -239,16 +247,50 @@ impl KeyWindows {
     }
 }
 
+/// Caller-owned per-query scratch: the collision counter's O(n) arrays,
+/// the retained-candidate buffer, and the top-k accumulator that feeds
+/// the early-abandon bound. One `QueryScratch` per concurrent query
+/// stream (the backends keep one behind a `Mutex`; the batch executor
+/// gives each worker its own) kills all per-candidate and most per-query
+/// allocation — only the k-sized result vector is allocated per query.
+#[derive(Debug)]
+pub struct QueryScratch {
+    counter: CollisionCounter,
+    /// Every verified (non-abandoned) candidate, in verification order.
+    candidates: Vec<Neighbor>,
+    /// Running k nearest by squared distance; its root bounds the
+    /// early-abandon kernel.
+    topk: TopK,
+}
+
+impl QueryScratch {
+    /// Scratch sized for object ids below `id_bound`. The counter grows
+    /// on demand if the store outgrows it ([`run_query`] resizes).
+    pub fn new(id_bound: usize) -> Self {
+        QueryScratch {
+            counter: CollisionCounter::new(id_bound),
+            candidates: Vec::new(),
+            topk: TopK::new(1),
+        }
+    }
+
+    /// Capacity of the underlying collision counter.
+    pub fn capacity(&self) -> usize {
+        self.counter.capacity()
+    }
+}
+
 /// Run one c-k-ANN query against `store`. Returns the k nearest
 /// verified candidates (ascending distance, ties by id) plus cost
 /// counters.
 ///
-/// `counter` is caller-owned scratch so batches and repeated queries
-/// reuse its O(n) arrays; it is (re)sized and epoch-cleared here.
+/// `scratch` is caller-owned so batches and repeated queries reuse its
+/// O(n) counter arrays and candidate buffers; it is (re)sized and
+/// epoch-cleared here.
 pub fn run_query<S: TableStore>(
     store: &S,
     params: &SearchParams,
-    counter: &mut CollisionCounter,
+    scratch: &mut QueryScratch,
     q: &[f32],
     k: usize,
     opts: &SearchOptions,
@@ -261,19 +303,24 @@ pub fn run_query<S: TableStore>(
     let n = store.len();
     let l = params.l;
     let cap = k + params.beta_n; // T2 budget
-    if counter.capacity() < store.id_bound() {
-        *counter = CollisionCounter::new(store.id_bound());
+    if scratch.counter.capacity() < store.id_bound() {
+        scratch.counter = CollisionCounter::new(store.id_bound());
     }
-    counter.begin_query();
+    scratch.counter.begin_query();
+    let counter = &mut scratch.counter;
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
+    // The budget threshold stays `k + β·n`, but no query can verify more
+    // than the live objects — clamp the allocation, not the condition.
+    candidates.reserve(cap.min(n));
+    let topk = &mut scratch.topk;
+    topk.reset(k);
 
     let mut stats = QueryStats::new();
     let query_start = opts.timing.then(Instant::now);
     let io_before = opts.charge_table_io.then(|| store.io_reads());
 
     let mut cursor = store.begin(q);
-    // The budget threshold stays `k + β·n`, but no query can verify more
-    // than the live objects — clamp the allocation, not the condition.
-    let mut candidates: Vec<Neighbor> = Vec::with_capacity(cap.min(n));
 
     let mut level: u32 = 0;
     loop {
@@ -291,9 +338,24 @@ pub fn run_query<S: TableStore>(
                 if counter.increment(oid) == l && counter.mark_verified(oid) {
                     // Frequent: verify unless tombstoned.
                     if let Some(v) = store.vector(oid) {
+                        // The budget counts *verifications* (distance
+                        // computations paid for), abandoned or not —
+                        // identical to the pre-abandon candidate count.
                         stats.candidates_verified += 1;
-                        candidates.push(Neighbor::new(oid, euclidean(v, q)));
-                        if candidates.len() >= cap {
+                        let bound =
+                            if opts.early_abandon { topk.bound_sq() } else { f64::INFINITY };
+                        match euclidean_sq_bounded(v, q, bound) {
+                            Some(d_sq) => {
+                                topk.insert(d_sq, oid);
+                                candidates.push(Neighbor::new(oid, d_sq.sqrt()));
+                            }
+                            // Abandoned: provably farther than the final
+                            // k-th best (the bound carries slack for the
+                            // sqrt rounding used in ranking), so it can
+                            // affect neither the result nor T1.
+                            None => stats.candidates_abandoned += 1,
+                        }
+                        if stats.candidates_verified >= cap {
                             budget_hit = true;
                             return false; // T2: stop scanning
                         }
@@ -307,7 +369,10 @@ pub fn run_query<S: TableStore>(
         }
 
         // T1 progress: verified candidates within the geometric radius
-        // c·R·base_radius.
+        // c·R·base_radius. Abandoned candidates are not counted, which
+        // cannot change the `≥ k` decision: the k nearest candidates are
+        // never abandoned, so whenever the full count would reach k the
+        // retained count does too.
         let c_r = params.c as f64 * radius as f64 * params.base_radius;
         let within_c_r = candidates.iter().filter(|cand| cand.dist <= c_r).count();
 
@@ -341,18 +406,23 @@ pub fn run_query<S: TableStore>(
     if let Some(before) = io_before {
         stats.io.reads += store.io_reads() - before;
     }
+    // Rank exactly as before the early-abandon change: sort *all*
+    // retained candidates by (dist, id) and take k. (The top-k heap
+    // selects by squared distance, whose ties can differ from post-sqrt
+    // ties at the boundary, so it serves only as the abandon bound.)
     candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
     candidates.truncate(k);
+    let result = candidates.clone();
     if let Some(start) = query_start {
         stats.elapsed_nanos = start.elapsed().as_nanos() as u64;
     }
-    (candidates, stats)
+    (result, stats)
 }
 
 /// Answer a whole query set in parallel across scoped threads.
 ///
 /// Results are in query order and identical to sequential [`run_query`]
-/// calls — each worker owns its own [`CollisionCounter`] scratch.
+/// calls — each worker owns its own [`QueryScratch`].
 /// Thread count defaults to the machine's parallelism. Per-query
 /// [`QueryStats::io`] carries only the deterministic verification
 /// charge; the store's table I/O over the whole batch is reported once
@@ -382,12 +452,12 @@ pub fn run_query_batch<S: TableStore + Sync>(
         for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let lo = t * chunk;
             scope.spawn(move |_| {
-                let mut counter = CollisionCounter::new(store.id_bound());
+                let mut scratch = QueryScratch::new(store.id_bound());
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
                     *slot = run_query(
                         store,
                         params,
-                        &mut counter,
+                        &mut scratch,
                         queries.get(lo + off),
                         k,
                         &worker_opts,
@@ -500,10 +570,10 @@ mod tests {
     #[test]
     fn mock_store_agrees_with_real_index() {
         let (store, params) = mock_store(200, 3);
-        let mut counter = CollisionCounter::new(store.len());
+        let mut scratch = QueryScratch::new(store.len());
         let q = store.data.get(17).to_vec();
         let (nn, stats) =
-            run_query(&store, &params, &mut counter, &q, 3, &SearchOptions::default());
+            run_query(&store, &params, &mut scratch, &q, 3, &SearchOptions::default());
         assert_eq!(nn.len(), 3);
         assert_eq!(nn[0].id, 17, "query point itself must be the 1-NN");
         assert_eq!(nn[0].dist, 0.0);
@@ -519,10 +589,10 @@ mod tests {
     #[test]
     fn per_round_breakdown_sums_to_totals() {
         let (store, params) = mock_store(300, 4);
-        let mut counter = CollisionCounter::new(store.len());
+        let mut scratch = QueryScratch::new(store.len());
         let q = store.data.get(5).to_vec();
         let opts = SearchOptions { per_round: true, timing: true, ..Default::default() };
-        let (_, stats) = run_query(&store, &params, &mut counter, &q, 5, &opts);
+        let (_, stats) = run_query(&store, &params, &mut scratch, &q, 5, &opts);
         assert_eq!(stats.per_round.len(), stats.rounds as usize);
         let col: u64 = stats.per_round.iter().map(|r| r.collisions).sum();
         let ver: usize = stats.per_round.iter().map(|r| r.verified).sum();
@@ -539,11 +609,11 @@ mod tests {
     #[test]
     fn undersized_counter_is_resized() {
         let (store, params) = mock_store(120, 5);
-        let mut counter = CollisionCounter::new(1);
+        let mut scratch = QueryScratch::new(1);
         let q = store.data.get(0).to_vec();
-        let (nn, _) = run_query(&store, &params, &mut counter, &q, 2, &SearchOptions::default());
+        let (nn, _) = run_query(&store, &params, &mut scratch, &q, 2, &SearchOptions::default());
         assert_eq!(nn.len(), 2);
-        assert!(counter.capacity() >= store.len());
+        assert!(scratch.capacity() >= store.len());
     }
 
     #[test]
@@ -554,13 +624,13 @@ mod tests {
         let (batch, agg) = run_query_batch(&store, &params, &queries, 4, &opts);
         assert_eq!(batch.len(), 23);
         assert_eq!(agg.queries, 23);
-        let mut counter = CollisionCounter::new(store.len());
+        let mut scratch = QueryScratch::new(store.len());
         let mut verified_total = 0u64;
         for (qi, (nn, stats)) in batch.iter().enumerate() {
             let (seq_nn, seq_stats) = run_query(
                 &store,
                 &params,
-                &mut counter,
+                &mut scratch,
                 queries.get(qi),
                 4,
                 &SearchOptions::default(),
@@ -578,8 +648,8 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let (store, params) = mock_store(50, 7);
-        let mut counter = CollisionCounter::new(store.len());
+        let mut scratch = QueryScratch::new(store.len());
         let q = store.data.get(0).to_vec();
-        let _ = run_query(&store, &params, &mut counter, &q, 0, &SearchOptions::default());
+        let _ = run_query(&store, &params, &mut scratch, &q, 0, &SearchOptions::default());
     }
 }

@@ -10,7 +10,7 @@
 //! maps delta-range requests onto its sorted runs.
 
 use crate::config::C2lshConfig;
-use crate::engine::counting::CollisionCounter;
+use crate::engine::QueryScratch;
 use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
 use crate::params::FullParams;
@@ -35,7 +35,7 @@ pub struct C2lshIndex<'d> {
     family: HashFamily,
     tables: Vec<SortedRun>,
     /// Reusable query scratch (epoch counter), lazily rebuilt per query.
-    counter: Mutex<CollisionCounter>,
+    scratch: Mutex<QueryScratch>,
 }
 
 impl<'d> C2lshIndex<'d> {
@@ -55,7 +55,7 @@ impl<'d> C2lshIndex<'d> {
             params,
             family,
             tables,
-            counter: Mutex::new(CollisionCounter::new(data.len())),
+            scratch: Mutex::new(QueryScratch::new(data.len())),
         }
     }
 
@@ -96,8 +96,8 @@ impl<'d> C2lshIndex<'d> {
         k: usize,
         opts: &SearchOptions,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut counter = self.counter.lock();
-        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+        let mut scratch = self.scratch.lock();
+        engine::run_query(self, &self.search_params(), &mut scratch, q, k, opts)
     }
 
     /// Convenience c-ANN (k = 1).
@@ -175,7 +175,7 @@ impl<'d> C2lshIndex<'d> {
             params,
             family,
             tables,
-            counter: Mutex::new(CollisionCounter::new(data.len())),
+            scratch: Mutex::new(QueryScratch::new(data.len())),
         }
     }
 }

@@ -80,7 +80,7 @@ pub use engine::counting;
 pub use config::{Beta, C2lshConfig, ConfigBuilder};
 pub use disk::DiskIndex;
 pub use dynamic::DynamicIndex;
-pub use engine::{SearchOptions, SearchParams, TableStore};
+pub use engine::{QueryScratch, SearchOptions, SearchParams, TableStore};
 pub use error::C2lshError;
 pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;

@@ -29,7 +29,7 @@
 //! all shards share one hash family (same seed, same `m`, same `w`).
 
 use crate::config::C2lshConfig;
-use crate::engine::counting::CollisionCounter;
+use crate::engine::QueryScratch;
 use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::index::C2lshIndex;
 use crate::params::FullParams;
@@ -116,7 +116,7 @@ pub struct ShardedEngine<'d> {
     params: FullParams,
     search: SearchParams,
     /// Scratch for the exact single-query path (sized to the total n).
-    counter: Mutex<CollisionCounter>,
+    scratch: Mutex<QueryScratch>,
 }
 
 impl<'d> ShardedEngine<'d> {
@@ -148,7 +148,7 @@ impl<'d> ShardedEngine<'d> {
             offsets: &data.offsets,
             params,
             search,
-            counter: Mutex::new(CollisionCounter::new(n)),
+            scratch: Mutex::new(QueryScratch::new(n)),
         }
     }
 
@@ -193,8 +193,8 @@ impl<'d> ShardedEngine<'d> {
         k: usize,
         opts: &SearchOptions,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut counter = self.counter.lock();
-        engine::run_query(self, &self.search, &mut counter, q, k, opts)
+        let mut scratch = self.scratch.lock();
+        engine::run_query(self, &self.search, &mut scratch, q, k, opts)
     }
 
     /// Answer a whole query set in parallel across scoped threads
@@ -239,8 +239,8 @@ impl<'d> ShardedEngine<'d> {
             for (s, slot) in per_shard.iter_mut().enumerate() {
                 let shard = &self.shards[s];
                 scope.spawn(move |_| {
-                    let mut counter = CollisionCounter::new(shard.len());
-                    *slot = engine::run_query(shard, &self.search, &mut counter, q, k, opts);
+                    let mut scratch = QueryScratch::new(shard.len());
+                    *slot = engine::run_query(shard, &self.search, &mut scratch, q, k, opts);
                 });
             }
         })

@@ -55,6 +55,12 @@ pub struct QueryStats {
     pub collisions_counted: u64,
     /// Objects whose true distance was computed (= frequent objects).
     pub candidates_verified: usize,
+    /// Of the verified candidates, how many the early-abandon kernel cut
+    /// short (their partial distance exceeded the running k-th best, so
+    /// the full distance was never finished). Always ≤
+    /// `candidates_verified`; 0 when
+    /// [`crate::engine::SearchOptions::early_abandon`] is off.
+    pub candidates_abandoned: usize,
     /// Page I/O (zero in memory mode).
     pub io: IoStats,
     /// Which condition stopped the loop.
@@ -75,6 +81,7 @@ impl QueryStats {
             final_radius: 1,
             collisions_counted: 0,
             candidates_verified: 0,
+            candidates_abandoned: 0,
             io: IoStats::default(),
             terminated_by: Termination::Exhausted,
             per_round: Vec::new(),
@@ -100,6 +107,7 @@ impl QueryStats {
         self.final_radius = self.final_radius.max(other.final_radius);
         self.collisions_counted += other.collisions_counted;
         self.candidates_verified += other.candidates_verified;
+        self.candidates_abandoned += other.candidates_abandoned;
         self.io.reads += other.io.reads;
         self.io.writes += other.io.writes;
         self.terminated_by = severest(self.terminated_by, other.terminated_by);
@@ -156,6 +164,9 @@ pub struct BatchStats {
     pub collisions: u64,
     /// Total candidates verified.
     pub verified: u64,
+    /// Total candidates cut short by the early-abandon kernel (subset of
+    /// `verified`).
+    pub abandoned: u64,
     /// Total page I/O: per-query verification charges plus (for batch
     /// runs) the store's table-read delta over the whole batch.
     pub io: IoStats,
@@ -178,6 +189,7 @@ impl BatchStats {
         self.rounds += s.rounds as u64;
         self.collisions += s.collisions_counted;
         self.verified += s.candidates_verified as u64;
+        self.abandoned += s.candidates_abandoned as u64;
         self.io.reads += s.io.reads;
         self.io.writes += s.io.writes;
         match s.terminated_by {
@@ -201,6 +213,7 @@ impl BatchStats {
         self.rounds += other.rounds;
         self.collisions += other.collisions;
         self.verified += other.verified;
+        self.abandoned += other.abandoned;
         self.io.reads += other.io.reads;
         self.io.writes += other.io.writes;
         self.t1 += other.t1;
@@ -292,6 +305,7 @@ mod tests {
         s.final_radius = 1 << (seed % 7);
         s.collisions_counted = 13 * seed + 7;
         s.candidates_verified = (3 * seed + 1) as usize;
+        s.candidates_abandoned = (seed % 3) as usize;
         s.io.reads = 11 * seed;
         s.io.writes = seed / 2;
         s.terminated_by = match seed % 3 {

@@ -10,7 +10,7 @@
 //! stops on the same T1/T2 conditions as C2LSH.
 
 use crate::params::derive;
-use c2lsh::counting::CollisionCounter;
+use c2lsh::engine::QueryScratch;
 use c2lsh::engine::{self, SearchOptions, SearchParams, TableStore};
 use c2lsh::stats::{BatchStats, QueryStats};
 use cc_math::hoeffding::DerivedParams;
@@ -84,7 +84,7 @@ pub struct Qalsh<'d> {
     proj: Vec<Vec<f32>>,
     /// One B+-tree per projection, keyed by `a·o`.
     trees: Vec<BPlusTree<OrdF64, u32>>,
-    counter: Mutex<CollisionCounter>,
+    scratch: Mutex<QueryScratch>,
     verify_pages: u64,
 }
 
@@ -134,7 +134,7 @@ impl<'d> Qalsh<'d> {
             beta_n,
             proj,
             trees,
-            counter: Mutex::new(CollisionCounter::new(n)),
+            scratch: Mutex::new(QueryScratch::new(n)),
             verify_pages,
         }
     }
@@ -176,8 +176,8 @@ impl<'d> Qalsh<'d> {
         k: usize,
         opts: &SearchOptions,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut counter = self.counter.lock();
-        engine::run_query(self, &self.search_params(), &mut counter, q, k, opts)
+        let mut scratch = self.scratch.lock();
+        engine::run_query(self, &self.search_params(), &mut scratch, q, k, opts)
     }
 
     /// Convenience c-ANN (k = 1).

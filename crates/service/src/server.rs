@@ -12,7 +12,7 @@
 //!
 //! Every connection gets a thread (scoped — [`serve`] returns only
 //! after all of them joined). A handler never touches the engine
-//! directly: it validates the request, pushes a [`Pending`] onto the
+//! directly: it validates the request, pushes a `Pending` onto the
 //! shared queue and blocks on a private reply channel. The single
 //! batcher thread drains the queue — waiting up to
 //! [`ServiceConfig::max_delay`] for the batch to fill to
@@ -379,6 +379,7 @@ fn render_stats(engine: &ShardedEngine<'_>, shared: &Shared) -> String {
         .field_u64("rounds", e.rounds)
         .field_u64("collisions", e.collisions)
         .field_u64("verified", e.verified)
+        .field_u64("abandoned", e.abandoned)
         .field_u64("t1", e.t1 as u64)
         .field_u64("t2", e.t2 as u64)
         .field_u64("exhausted", e.exhausted as u64)

@@ -7,7 +7,7 @@
 //! `crossbeam` threads.
 
 use crate::dataset::Dataset;
-use crate::dist::euclidean_sq;
+use crate::dist::euclidean_sq_bounded;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -55,7 +55,18 @@ pub fn knn_linear(data: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
     let k = k.min(data.len());
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (i, v) in data.iter().enumerate() {
-        let d = euclidean_sq(query, v);
+        // The heap root is the exact k-th best squared distance, so the
+        // early-abandon bound is exact here (no ranking by sqrt happens
+        // until after selection): a candidate abandoned at this bound
+        // exceeds the root and would have been rejected below anyway.
+        let bound = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap.peek().map_or(f64::INFINITY, |top| top.dist_sq)
+        };
+        let Some(d) = euclidean_sq_bounded(query, v, bound) else {
+            continue;
+        };
         if heap.len() < k {
             heap.push(HeapEntry { dist_sq: d, id: i as u32 });
         } else if let Some(top) = heap.peek() {

@@ -9,6 +9,8 @@
 //! * [`synth`] — named profiles reproducing the *(n, d)* shapes of the
 //!   paper's four real datasets (Audio, Mnist, Color, LabelMe),
 //! * [`gt`] — exact k-NN ground truth by (parallel) linear scan,
+//! * [`topk`] — reusable top-k accumulator driving early-abandon
+//!   verification,
 //! * [`io`] — `fvecs`/`ivecs` and a native binary format,
 //! * [`workload`] — dataset + queries + ground truth bundles,
 //! * [`metrics`] — recall and the paper's *overall ratio* quality metric.
@@ -24,10 +26,12 @@ pub mod io;
 pub mod metrics;
 pub mod scale;
 pub mod synth;
+pub mod topk;
 pub mod workload;
 
 pub use dataset::Dataset;
-pub use dist::{euclidean, euclidean_sq};
+pub use dist::{euclidean, euclidean_sq, euclidean_sq_bounded};
 pub use gt::{ground_truth, Neighbor};
 pub use scale::{mean_nn_distance, normalize_to_unit_nn, rescale};
+pub use topk::TopK;
 pub use workload::Workload;

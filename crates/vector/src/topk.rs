@@ -1,0 +1,268 @@
+//! Reusable top-k accumulator for the verification phase.
+//!
+//! Every method in this repo ends its query the same way: stream exact
+//! distances of candidate objects and keep the `k` nearest. Doing that
+//! with a `Vec` + final sort allocates per query and — worse — gives the
+//! early-abandon kernel ([`crate::dist::euclidean_sq_bounded`]) no bound
+//! to abandon against. [`TopK`] is a small binary max-heap over
+//! `(dist_sq, id)` that callers reuse across queries ([`TopK::reset`]
+//! keeps the allocation) and that exposes the current k-th best squared
+//! distance as an abandonment bound ([`TopK::bound_sq`]).
+//!
+//! Ordering matches the engine's result ranking: ascending distance with
+//! ids breaking ties, compared with `total_cmp` so NaN (which the
+//! kernels never produce) would still order deterministically.
+
+use crate::gt::Neighbor;
+
+/// Multiplicative slack applied to the abandonment bound.
+///
+/// Results are ranked by `dist = dist_sq.sqrt()`, and two *distinct*
+/// squared distances can round to the *same* `f64` after `sqrt`. If we
+/// abandoned at exactly the k-th best squared distance, a candidate that
+/// ties the k-th best after the square root — and would win the tie on
+/// id — could be dropped, breaking bit-identity with the non-abandoning
+/// path. Inflating the bound by one part in 10⁹ (≫ one ulp, ≪ any
+/// meaningful distance gap) keeps every potential tie alive while still
+/// abandoning essentially everything the exact bound would.
+pub const ABANDON_SLACK: f64 = 1.0 + 1e-9;
+
+/// A bounded max-heap keeping the `k` nearest `(dist_sq, id)` pairs.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// Binary max-heap ordered by `(dist_sq, id)` lexicographically:
+    /// the root is the current *worst* retained candidate.
+    heap: Vec<(f64, u32)>,
+}
+
+/// Lexicographic "worse than" on `(dist_sq, id)`: larger distance, or
+/// equal distance with larger id.
+#[inline(always)]
+fn worse(a: (f64, u32), b: (f64, u32)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1 > b.1,
+    }
+}
+
+impl TopK {
+    /// Create an accumulator for the `k` nearest candidates.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` — a zero-capacity top-k has no meaningful
+    /// bound and every caller treats `k ≥ 1` as an invariant.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "TopK requires k >= 1");
+        TopK { k, heap: Vec::with_capacity(k) }
+    }
+
+    /// Clear retained candidates and set a (possibly different) `k`,
+    /// keeping the heap allocation for reuse across queries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "TopK requires k >= 1");
+        self.k = k;
+        self.heap.clear();
+        self.heap.reserve(k);
+    }
+
+    /// Number of candidates currently retained (`≤ k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidates are retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `k` candidates are retained, i.e. the bound is active.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// Early-abandonment bound for [`crate::dist::euclidean_sq_bounded`]:
+    /// the k-th best squared distance inflated by [`ABANDON_SLACK`], or
+    /// `+∞` until `k` candidates have been seen. A candidate abandoned
+    /// at this bound is *strictly* farther than the final k-th best even
+    /// after the `sqrt` rounding used for ranking, so dropping it cannot
+    /// change the result.
+    pub fn bound_sq(&self) -> f64 {
+        if self.is_full() {
+            self.heap[0].0 * ABANDON_SLACK
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The current worst retained distance (`sqrt` of the heap root), or
+    /// `+∞` when fewer than `k` candidates are retained. This is the
+    /// "k-th best so far" that quality-based stopping conditions (e.g.
+    /// LSB-tree's) compare against — maintained incrementally instead of
+    /// re-sorting the candidate set.
+    pub fn worst_dist(&self) -> f64 {
+        if self.is_full() {
+            self.heap[0].0.sqrt()
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offer a candidate. Returns `true` when it was retained (it is
+    /// currently among the `k` nearest), `false` when it lost to the
+    /// existing root. Equal distances break toward the smaller id,
+    /// matching the engine's final ranking.
+    pub fn insert(&mut self, dist_sq: f64, id: u32) -> bool {
+        let cand = (dist_sq, id);
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            self.sift_up(self.heap.len() - 1);
+            return true;
+        }
+        if !worse(cand, self.heap[0]) {
+            self.heap[0] = cand;
+            self.sift_down(0);
+            return true;
+        }
+        false
+    }
+
+    /// Drain into a `Vec<Neighbor>` sorted ascending by `(dist, id)`,
+    /// taking the square root for the reported distance. Leaves the
+    /// accumulator empty (allocation retained).
+    pub fn drain_sorted(&mut self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> =
+            self.heap.drain(..).map(|(d_sq, id)| Neighbor::new(id, d_sq.sqrt())).collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if worse(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut worst = i;
+            if l < n && worse(self.heap[l], self.heap[worst]) {
+                worst = l;
+            }
+            if r < n && worse(self.heap[r], self.heap[worst]) {
+                worst = r;
+            }
+            if worst == i {
+                break;
+            }
+            self.heap.swap(i, worst);
+            i = worst;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_nearest_with_id_tiebreak() {
+        let mut tk = TopK::new(3);
+        for (d, id) in [(4.0, 1), (1.0, 2), (9.0, 3), (1.0, 0), (4.0, 4)] {
+            tk.insert(d, id);
+        }
+        let got = tk.drain_sorted();
+        let ids: Vec<u32> = got.iter().map(|n| n.id).collect();
+        // dist_sq 1.0 (ids 0,2) then 4.0 (id 1 beats id 4).
+        assert_eq!(ids, vec![0, 2, 1]);
+        assert!((got[0].dist - 1.0).abs() < 1e-12);
+        assert!((got[2].dist - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_infinite_until_full_then_tracks_root() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.bound_sq(), f64::INFINITY);
+        tk.insert(5.0, 0);
+        assert_eq!(tk.bound_sq(), f64::INFINITY);
+        tk.insert(2.0, 1);
+        assert!(tk.is_full());
+        assert!((tk.bound_sq() - 5.0 * ABANDON_SLACK).abs() < 1e-9);
+        assert!((tk.worst_dist() - 5.0f64.sqrt()).abs() < 1e-12);
+        // Better candidate evicts the root and tightens the bound.
+        assert!(tk.insert(1.0, 2));
+        assert!((tk.bound_sq() - 2.0 * ABANDON_SLACK).abs() < 1e-9);
+        // Worse candidate is rejected.
+        assert!(!tk.insert(99.0, 3));
+    }
+
+    #[test]
+    fn equal_distance_prefers_smaller_id_at_capacity() {
+        let mut tk = TopK::new(1);
+        tk.insert(3.0, 7);
+        // Same distance, smaller id: must replace.
+        assert!(tk.insert(3.0, 2));
+        // Same distance, larger id: must lose.
+        assert!(!tk.insert(3.0, 9));
+        assert_eq!(tk.drain_sorted()[0].id, 2);
+    }
+
+    #[test]
+    fn reset_reuses_and_resizes() {
+        let mut tk = TopK::new(2);
+        tk.insert(1.0, 0);
+        tk.insert(2.0, 1);
+        tk.reset(4);
+        assert!(tk.is_empty());
+        for id in 0..6 {
+            tk.insert(f64::from(id), id);
+        }
+        assert_eq!(tk.len(), 4);
+        let ids: Vec<u32> = tk.drain_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_sort_based_selection_on_many_inputs() {
+        // Deterministic xorshift stream.
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f64 / (1u64 << 24) as f64
+        };
+        for k in [1usize, 3, 10] {
+            let mut tk = TopK::new(k);
+            let mut all: Vec<(f64, u32)> = Vec::new();
+            for id in 0..200u32 {
+                // Quantize so duplicate distances actually occur.
+                let d = (next() * 32.0).floor();
+                tk.insert(d, id);
+                all.push((d, id));
+            }
+            all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let want: Vec<u32> = all[..k].iter().map(|&(_, id)| id).collect();
+            let got: Vec<u32> = tk.drain_sorted().iter().map(|n| n.id).collect();
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        TopK::new(0);
+    }
+}

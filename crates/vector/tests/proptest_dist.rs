@@ -1,0 +1,103 @@
+//! Property tests for the distance kernels and the top-k accumulator:
+//! the early-abandon kernel must agree with the plain kernel bit-for-bit
+//! whenever it does not abandon, abandon only above the bound, and the
+//! bounded `knn_linear` must stay identical to a naive oracle.
+
+use cc_vector::dataset::Dataset;
+use cc_vector::dist::{euclidean_sq, euclidean_sq_bounded};
+use cc_vector::gt::knn_linear;
+use cc_vector::topk::TopK;
+use proptest::prelude::*;
+
+fn vec_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..300).prop_flat_map(|d| {
+        (
+            proptest::collection::vec(-100.0f32..100.0, d),
+            proptest::collection::vec(-100.0f32..100.0, d),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever the bounded kernel returns a value, it is bit-identical
+    /// to the unbounded kernel — regardless of the bound.
+    #[test]
+    fn bounded_some_is_bit_identical((a, b) in vec_pair(), frac in 0.0f64..2.0) {
+        let exact = euclidean_sq(&a, &b);
+        let bound = exact * frac;
+        if let Some(v) = euclidean_sq_bounded(&a, &b, bound) {
+            prop_assert_eq!(v.to_bits(), exact.to_bits());
+        }
+    }
+
+    /// The kernel never abandons when the true value is within the
+    /// bound (partial sums are monotone, so they can't overshoot a
+    /// bound the total respects).
+    #[test]
+    fn bounded_never_abandons_under_bound((a, b) in vec_pair(), slack in 0.0f64..10.0) {
+        let exact = euclidean_sq(&a, &b);
+        let v = euclidean_sq_bounded(&a, &b, exact + slack);
+        prop_assert_eq!(v.map(f64::to_bits), Some(exact.to_bits()));
+    }
+
+    /// `None` is a proof the true value exceeds the bound.
+    #[test]
+    fn abandonment_implies_over_bound((a, b) in vec_pair(), frac in 0.0f64..1.5) {
+        let exact = euclidean_sq(&a, &b);
+        let bound = exact * frac;
+        if euclidean_sq_bounded(&a, &b, bound).is_none() {
+            prop_assert!(exact > bound, "abandoned at bound {bound} but exact = {exact}");
+        }
+    }
+
+    /// TopK selects exactly what a full sort by (dist_sq, id) selects.
+    #[test]
+    fn topk_matches_full_sort(
+        dists in proptest::collection::vec(0.0f64..64.0, 1..200),
+        k in 1usize..12,
+    ) {
+        // Quantize so ties are common and the id tiebreak is exercised.
+        let mut all: Vec<(f64, u32)> = dists
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d.floor(), i as u32))
+            .collect();
+        let mut tk = TopK::new(k);
+        for &(d, id) in &all {
+            tk.insert(d, id);
+        }
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let want: Vec<u32> = all.iter().take(k).map(|&(_, id)| id).collect();
+        let got: Vec<u32> = tk.drain_sorted().iter().map(|n| n.id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `knn_linear` (which now early-abandons against its heap root)
+    /// returns exactly what a naive full-sort scan returns.
+    #[test]
+    fn knn_linear_matches_naive_oracle(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-50.0f32..50.0, 6), 1..60),
+        k in 1usize..10,
+    ) {
+        let ds = Dataset::from_rows(&rows);
+        let q = rows[0].iter().map(|x| x + 0.25).collect::<Vec<f32>>();
+        let got = knn_linear(&ds, &q, k);
+
+        let mut naive: Vec<(f64, u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (euclidean_sq(&q, r), i as u32))
+            .collect();
+        naive.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        naive.truncate(k);
+
+        prop_assert_eq!(got.len(), naive.len());
+        for (g, (d_sq, id)) in got.iter().zip(&naive) {
+            prop_assert_eq!(g.id, *id);
+            prop_assert_eq!(g.dist.to_bits(), d_sq.sqrt().to_bits());
+        }
+    }
+}

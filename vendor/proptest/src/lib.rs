@@ -3,8 +3,9 @@
 //! Runs each property over `ProptestConfig::cases` pseudo-random inputs
 //! drawn from [`strategy::Strategy`] implementations. Supported surface:
 //! numeric `Range` strategies, tuples up to arity 6, `Just`,
-//! `prop_map`, `collection::vec`, the `proptest!` test macro, and the
-//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//! `prop_map`, `prop_flat_map`, `collection::vec`, the `proptest!` test
+//! macro, and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros.
 //!
 //! Differences from upstream: no shrinking (a failure reports the raw
 //! case), no persistence of regression seeds (the checked-in
@@ -79,6 +80,17 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Derive a second strategy from each generated value (e.g. draw
+        /// a dimension, then draw vectors of that dimension).
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -93,6 +105,21 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 
@@ -197,7 +224,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
