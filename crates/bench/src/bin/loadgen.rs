@@ -1,15 +1,26 @@
 //! **loadgen — closed-loop load generator for `cc-service`**.
 //!
 //! Drives a running (or self-hosted) query server with `CC_CLIENTS`
-//! concurrent closed-loop connections — each sends a query, waits for
+//! concurrent closed-loop connections — each sends a request, waits for
 //! the answer, repeats — for `CC_SECONDS`, then reports throughput,
-//! latency percentiles (p50/p95/p99), the overload-rejection count,
-//! and the server's own coalescing evidence (batches, largest batch)
-//! pulled from the stats frame.
+//! latency percentiles (p50/p95/p99) split by reads and writes, the
+//! overload-rejection count, and the server's own coalescing evidence
+//! (batches, largest batch) pulled from the stats frame.
+//!
+//! With `CC_MODE=dynamic` the self-hosted server is a WAL-backed
+//! [`MutableIndex`] and `CC_WRITE_PCT` percent of each client's
+//! operations become inserts/deletes. Every acknowledged mutation is
+//! tracked, and after the drain the WAL directory is reopened
+//! cold — exactly what a crash recovery would do — and checked against
+//! the acknowledged ground truth: every acked insert answerable at
+//! distance zero, every acked delete gone.
 //!
 //! ```text
-//! # self-hosted: spins up an in-process server on an ephemeral port
+//! # self-hosted read-only: 4-shard engine on an ephemeral port
 //! cargo run -p cc-bench --release --bin loadgen
+//!
+//! # self-hosted mixed read/write with durability verification
+//! CC_MODE=dynamic CC_WRITE_PCT=10 cargo run -p cc-bench --release --bin loadgen
 //!
 //! # against an external server (see `cargo run -p cc-service`)
 //! CC_ADDR=127.0.0.1:7878 cargo run -p cc-bench --release --bin loadgen
@@ -17,9 +28,11 @@
 //!
 //! Environment overrides: `CC_ADDR` (default: self-host), `CC_CLIENTS`
 //! (32), `CC_SECONDS` (5), `CC_K` (10), `CC_N` (20000, self-host
-//! only), `CC_DIM` (16, self-host only).
+//! only), `CC_DIM` (16, self-host only), `CC_MODE`
+//! (`sharded`|`dynamic`, self-host only), `CC_WRITE_PCT` (0; needs a
+//! mutable server), `CC_WAL_DIR` (scratch directory by default).
 
-use c2lsh::{C2lshConfig, ShardedData, ShardedEngine};
+use c2lsh::{C2lshConfig, MutableIndex, MutationOp, ShardedData, ShardedEngine};
 use cc_bench::env_usize;
 use cc_service::json::find_u64;
 use cc_service::{Client, Response, ServiceConfig};
@@ -28,9 +41,19 @@ use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+/// One client's acknowledged write, kept for post-run verification.
+struct AckedWrite {
+    oid: u32,
+    vector: Vec<f32>,
+    deleted: bool,
+}
+
+#[derive(Default)]
 struct ClientReport {
-    latencies_ns: Vec<u64>,
+    read_latencies_ns: Vec<u64>,
+    write_latencies_ns: Vec<u64>,
     overloaded: u64,
+    acked: Vec<AckedWrite>,
 }
 
 fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
@@ -41,27 +64,58 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank] as f64 / 1e6
 }
 
-/// The closed loop of one connection: query, wait, repeat. Overload
+/// The closed loop of one connection: send, wait, repeat. Overload
 /// rejections are counted and retried after a short backoff — the
-/// client-side half of the admission-control contract.
+/// client-side half of the admission-control contract. A `write_pct`
+/// slice of operations mutate: inserts of vectors unique to this
+/// client, and deletes of the client's own earlier inserts (so every
+/// delete targets a live object and clients never interfere).
 fn run_client(
     addr: std::net::SocketAddr,
     queries: &cc_vector::dataset::Dataset,
     k: u32,
+    write_pct: usize,
     stop: &AtomicBool,
     t: usize,
 ) -> ClientReport {
+    let dim = queries.dim();
     let mut client = Client::connect(addr).expect("connect");
-    let mut report = ClientReport { latencies_ns: Vec::new(), overloaded: 0 };
+    let mut report = ClientReport::default();
     let mut qi = t; // stagger the starting query per client
+    let mut inserted = 0usize;
+    let mut next_victim = 0usize; // index into report.acked, oldest first
     while !stop.load(Ordering::Relaxed) {
-        let q = queries.get(qi % queries.len());
         qi += 1;
+        // Cheap multiplicative hash → deterministic op mix per client.
+        let roll = (qi.wrapping_mul(2654435761)) % 100;
+        if roll < write_pct {
+            let sent = Instant::now();
+            // Alternate: odd writes delete the oldest own live object
+            // (when one exists), even writes insert.
+            if roll % 2 == 1 && next_victim < report.acked.len() {
+                let victim = report.acked[next_victim].oid;
+                let (found, _seq) = client.delete(victim).expect("delete");
+                assert!(found, "client {t} deleting its own live oid {victim}");
+                report.acked[next_victim].deleted = true;
+                next_victim += 1;
+            } else {
+                // Unique per (client, counter) and far from the seeded
+                // clusters; exact in f32 well past any realistic rate.
+                let val = (t * 100_000 + inserted) as f32 + 100_000.0;
+                let vector = vec![val; dim];
+                let (oid, _seq) = client.insert(&vector).expect("insert");
+                report.acked.push(AckedWrite { oid, vector, deleted: false });
+                inserted += 1;
+            }
+            report.write_latencies_ns.push(sent.elapsed().as_nanos() as u64);
+            continue;
+        }
+        let q = queries.get(qi % queries.len());
         let sent = Instant::now();
         match client.query(q, k, 0).expect("query") {
             Response::TopK(nn) => {
                 assert!(!nn.is_empty(), "server returned an empty result set");
-                report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                report.read_latencies_ns.push(sent.elapsed().as_nanos() as u64);
             }
             Response::Overloaded => {
                 report.overloaded += 1;
@@ -73,7 +127,11 @@ fn run_client(
     report
 }
 
-fn drive(addr: std::net::SocketAddr, queries: &cc_vector::dataset::Dataset) {
+fn drive(
+    addr: std::net::SocketAddr,
+    queries: &cc_vector::dataset::Dataset,
+    write_pct: usize,
+) -> Vec<ClientReport> {
     let clients = env_usize("CC_CLIENTS", 32);
     let seconds = env_usize("CC_SECONDS", 5);
     let k = env_usize("CC_K", 10) as u32;
@@ -82,12 +140,15 @@ fn drive(addr: std::net::SocketAddr, queries: &cc_vector::dataset::Dataset) {
     probe.ping().expect("ping");
     let before = probe.stats_json().expect("stats");
 
-    eprintln!("driving {clients} closed-loop clients for {seconds}s (k = {k})…");
+    eprintln!(
+        "driving {clients} closed-loop clients for {seconds}s (k = {k}, writes {write_pct}%)…"
+    );
     let stop = AtomicBool::new(false);
     let stop = &stop;
     let reports: Vec<ClientReport> = crossbeam::scope(move |s| {
-        let handles: Vec<_> =
-            (0..clients).map(|t| s.spawn(move |_| run_client(addr, queries, k, stop, t))).collect();
+        let handles: Vec<_> = (0..clients)
+            .map(|t| s.spawn(move |_| run_client(addr, queries, k, write_pct, stop, t)))
+            .collect();
         std::thread::sleep(Duration::from_secs(seconds as u64));
         stop.store(true, Ordering::Relaxed);
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -99,21 +160,41 @@ fn drive(addr: std::net::SocketAddr, queries: &cc_vector::dataset::Dataset) {
         find_u64(&after, key).unwrap_or(0).saturating_sub(find_u64(&before, key).unwrap_or(0))
     };
 
-    let mut latencies: Vec<u64> =
-        reports.iter().flat_map(|r| r.latencies_ns.iter().copied()).collect();
-    latencies.sort_unstable();
-    let answered = latencies.len() as u64;
+    let mut reads: Vec<u64> =
+        reports.iter().flat_map(|r| r.read_latencies_ns.iter().copied()).collect();
+    reads.sort_unstable();
+    let mut writes: Vec<u64> =
+        reports.iter().flat_map(|r| r.write_latencies_ns.iter().copied()).collect();
+    writes.sort_unstable();
+    let answered = reads.len() as u64;
     let overloaded: u64 = reports.iter().map(|r| r.overloaded).sum();
-    let qps = answered as f64 / seconds as f64;
+    let ops = answered + writes.len() as u64;
 
-    println!("answered    {answered} queries ({overloaded} overload rejections)");
-    println!("throughput  {qps:.0} qps");
     println!(
-        "latency     p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
+        "answered    {answered} queries + {} writes ({overloaded} overload rejections)",
+        writes.len()
     );
+    println!("throughput  {:.0} ops/s", ops as f64 / seconds as f64);
+    println!(
+        "read  lat.  p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms",
+        percentile(&reads, 0.50),
+        percentile(&reads, 0.95),
+        percentile(&reads, 0.99),
+    );
+    if !writes.is_empty() {
+        println!(
+            "write lat.  p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms (durable: acked after fsync)",
+            percentile(&writes, 0.50),
+            percentile(&writes, 0.95),
+            percentile(&writes, 0.99),
+        );
+        println!(
+            "write path  {} inserts, {} deletes, {} mutation flushes",
+            delta("inserts"),
+            delta("deletes"),
+            delta("mutation_batches"),
+        );
+    }
     let batches = delta("batches");
     let mean_batch = if batches > 0 { delta("queries") as f64 / batches as f64 } else { 0.0 };
     println!(
@@ -124,9 +205,43 @@ fn drive(addr: std::net::SocketAddr, queries: &cc_vector::dataset::Dataset) {
     if answered > 0 && find_u64(&after, "max_batch").unwrap_or(0) < 2 {
         eprintln!("warning: no request coalescing observed — is the server idle-tuned?");
     }
+    reports
+}
+
+/// Reopen the WAL directory cold — the same code path crash recovery
+/// takes — and check every acknowledged write against it.
+fn verify_durability(
+    dir: &std::path::Path,
+    dim: usize,
+    expected_n: usize,
+    config: &C2lshConfig,
+    reports: &[ClientReport],
+) {
+    let recovered = MutableIndex::open(dir, dim, expected_n, config).expect("reopen WAL dir");
+    let mut verified = 0usize;
+    for report in reports {
+        for w in &report.acked {
+            let slot = recovered.snapshot().0.slots().get(w.oid as usize).cloned().flatten();
+            if w.deleted {
+                assert!(slot.is_none(), "acked delete of oid {} did not survive reopen", w.oid);
+            } else {
+                assert_eq!(
+                    slot.as_deref(),
+                    Some(&w.vector[..]),
+                    "acked insert of oid {} did not survive reopen",
+                    w.oid
+                );
+                let (nn, _) = recovered.query(&w.vector, 1);
+                assert_eq!((nn[0].id, nn[0].dist), (w.oid, 0.0), "oid {} unanswerable", w.oid);
+            }
+            verified += 1;
+        }
+    }
+    println!("durability  verified {verified} acknowledged writes against a cold reopen ✓");
 }
 
 fn main() {
+    let write_pct = env_usize("CC_WRITE_PCT", 0).min(100);
     if let Ok(addr) = std::env::var("CC_ADDR") {
         let addr = addr.parse().expect("CC_ADDR must be HOST:PORT");
         let queries = generate(
@@ -135,15 +250,15 @@ fn main() {
             env_usize("CC_DIM", 16),
             99,
         );
-        drive(addr, &queries);
+        // External server: mutations are driven if requested, but
+        // durability can only be verified when we own the WAL dir.
+        drive(addr, &queries, write_pct);
         return;
     }
 
-    // Self-hosted mode: build a 4-shard engine in-process, serve it on
-    // an ephemeral loopback port, drive it, then shut it down.
     let n = env_usize("CC_N", 20_000);
     let dim = env_usize("CC_DIM", 16);
-    eprintln!("self-hosting: building a 4-shard index over {n} vectors in R^{dim}…");
+    let mode = std::env::var("CC_MODE").unwrap_or_else(|_| "sharded".into());
     let data = generate(
         Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
         n,
@@ -157,22 +272,70 @@ fn main() {
         99,
     );
     let config = C2lshConfig::builder().bucket_width(1.0).seed(42).build();
-    let sharded = ShardedData::partition(&data, 4);
-    let engine = ShardedEngine::build(&sharded, &config);
     let service = ServiceConfig::default();
-
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("local addr");
-    let (engine, service, queries) = (&engine, &service, &queries);
-    crossbeam::scope(move |s| {
-        let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
-        drive(addr, queries);
-        Client::connect(addr).expect("connect").shutdown().expect("shutdown");
-        let stats = server.join().unwrap();
-        eprintln!(
-            "server drained: {} queries in {} batches (largest {})",
-            stats.queries, stats.batches, stats.max_batch
-        );
-    })
-    .unwrap();
+
+    match mode.as_str() {
+        "sharded" => {
+            assert_eq!(write_pct, 0, "CC_WRITE_PCT needs CC_MODE=dynamic (read-only engine)");
+            eprintln!("self-hosting: building a 4-shard index over {n} vectors in R^{dim}…");
+            let sharded = ShardedData::partition(&data, 4);
+            let engine = ShardedEngine::build(&sharded, &config);
+            let (engine, service, queries) = (&engine, &service, &queries);
+            crossbeam::scope(move |s| {
+                let server =
+                    s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+                drive(addr, queries, 0);
+                Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+                let stats = server.join().unwrap();
+                eprintln!(
+                    "server drained: {} queries in {} batches (largest {})",
+                    stats.queries, stats.batches, stats.max_batch
+                );
+            })
+            .unwrap();
+        }
+        "dynamic" => {
+            let dir = std::env::var("CC_WAL_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|_| cc_storage::wal::scratch_dir("loadgen"));
+            std::fs::create_dir_all(&dir).expect("create WAL dir");
+            eprintln!(
+                "self-hosting: WAL-backed dynamic index over {n} vectors in R^{dim} \
+                 (log in {})…",
+                dir.display()
+            );
+            let engine = MutableIndex::open(&dir, dim, n, &config).expect("open WAL dir");
+            if engine.is_empty() && engine.last_seq() == 0 {
+                let rows: Vec<MutationOp> =
+                    data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+                for chunk in rows.chunks(4096) {
+                    engine.apply_batch(chunk).expect("bulk load");
+                }
+            }
+            let reports = {
+                let (engine, service, queries) = (&engine, &service, &queries);
+                crossbeam::scope(move |s| {
+                    let server =
+                        s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+                    let reports = drive(addr, queries, write_pct);
+                    Client::connect(addr).expect("connect").shutdown().expect("shutdown");
+                    let stats = server.join().unwrap();
+                    eprintln!(
+                        "server drained: {} queries, {} inserts, {} deletes in {} batches",
+                        stats.queries, stats.inserts, stats.deletes, stats.batches
+                    );
+                    reports
+                })
+                .unwrap()
+            };
+            drop(engine); // release the WAL before the cold reopen
+            verify_durability(&dir, dim, n, &config, &reports);
+            if std::env::var("CC_WAL_DIR").is_err() {
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+        other => panic!("unknown CC_MODE {other:?} (expected sharded or dynamic)"),
+    }
 }

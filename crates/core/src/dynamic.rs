@@ -28,6 +28,9 @@ use std::collections::BTreeMap;
 /// An updatable C2LSH index owning its vectors.
 pub struct DynamicIndex {
     dim: usize,
+    /// The dataset size the `(m, l)` derivation was calibrated for
+    /// (recorded so checkpoints can rebuild an identical index).
+    expected_n: usize,
     config: C2lshConfig,
     params: FullParams,
     family: HashFamily,
@@ -37,6 +40,38 @@ pub struct DynamicIndex {
     tables: Vec<BTreeMap<i64, Vec<u32>>>,
     /// Reusable query scratch behind a lock, so queries take `&self`.
     scratch: Mutex<QueryScratch>,
+}
+
+impl std::fmt::Debug for DynamicIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicIndex")
+            .field("dim", &self.dim)
+            .field("expected_n", &self.expected_n)
+            .field("live", &self.live)
+            .field("id_bound", &self.vectors.len())
+            .field("m", &self.params.m)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for DynamicIndex {
+    /// Deep copy with a fresh (empty) query scratch — the basis of the
+    /// snapshot read path: a writer clones the current index, mutates
+    /// the clone and publishes it, while readers keep querying the
+    /// original. O(total vector data + table entries).
+    fn clone(&self) -> Self {
+        Self {
+            dim: self.dim,
+            expected_n: self.expected_n,
+            config: self.config.clone(),
+            params: self.params,
+            family: self.family.clone(),
+            vectors: self.vectors.clone(),
+            live: self.live,
+            tables: self.tables.clone(),
+            scratch: Mutex::new(QueryScratch::new(0)),
+        }
+    }
 }
 
 impl DynamicIndex {
@@ -54,6 +89,7 @@ impl DynamicIndex {
         let tables = vec![BTreeMap::new(); params.m];
         Self {
             dim,
+            expected_n,
             config: config.clone(),
             params,
             family,
@@ -62,6 +98,31 @@ impl DynamicIndex {
             tables,
             scratch: Mutex::new(QueryScratch::new(0)),
         }
+    }
+
+    /// Rebuild an index from a checkpoint's slot array (object id →
+    /// vector or tombstone), preserving ids exactly. The hash family is
+    /// re-generated from `(dim, expected_n, config)` — the same
+    /// derivation as [`DynamicIndex::new`] — so an index restored this
+    /// way answers queries identically to the one that was saved.
+    pub(crate) fn from_slots(
+        dim: usize,
+        expected_n: usize,
+        config: &C2lshConfig,
+        slots: Vec<Option<Vec<f32>>>,
+    ) -> Self {
+        let mut idx = Self::new(dim, expected_n, config);
+        for (oid, slot) in slots.iter().enumerate() {
+            let Some(v) = slot else { continue };
+            assert_eq!(v.len(), dim, "checkpoint slot dimension mismatch");
+            for (t, h) in idx.family.iter().enumerate() {
+                let b = h.bucket(v);
+                idx.tables[t].entry(b).or_default().push(oid as u32);
+            }
+            idx.live += 1;
+        }
+        idx.vectors = slots;
+        idx
     }
 
     /// Build from an existing dataset (bulk path used by tests and by
@@ -126,6 +187,29 @@ impl DynamicIndex {
     /// The derived parameters in effect.
     pub fn params(&self) -> &FullParams {
         &self.params
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &C2lshConfig {
+        &self.config
+    }
+
+    /// The expected dataset size the `(m, l)` derivation used.
+    pub fn expected_n(&self) -> usize {
+        self.expected_n
+    }
+
+    /// Dataset dimensionality (also available through
+    /// [`TableStore::dim`]; inherent so callers need no trait import).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The full slot array (object id → vector, `None` for
+    /// tombstones), used by checkpointing. Its length is
+    /// [`TableStore::id_bound`].
+    pub fn slots(&self) -> &[Option<Vec<f32>>] {
+        &self.vectors
     }
 
     /// Access a live vector by id.
@@ -244,6 +328,18 @@ impl TableStore for DynamicIndex {
 
     fn vector(&self, oid: u32) -> Option<&[f32]> {
         self.vectors.get(oid as usize).and_then(|v| v.as_deref())
+    }
+
+    fn supports_mutations(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, vector: Vec<f32>) -> Option<u32> {
+        Some(DynamicIndex::insert(self, vector))
+    }
+
+    fn delete(&mut self, oid: u32) -> bool {
+        DynamicIndex::delete(self, oid)
     }
 }
 
@@ -390,5 +486,59 @@ mod tests {
     fn rejects_wrong_dimension() {
         let mut idx = DynamicIndex::new(4, 100, &cfg());
         idx.insert(vec![0.0; 3]);
+    }
+
+    #[test]
+    fn clone_isolates_writer_from_reader() {
+        let data = clustered(120, 6, 7);
+        let base = DynamicIndex::from_dataset(&data, &cfg());
+        let q = data.get(10).to_vec();
+        let before = base.query(&q, 3).0;
+        let mut fork = base.clone();
+        fork.delete(10);
+        fork.insert(vec![42.0; 6]);
+        // The original is untouched and still answers identically.
+        assert_eq!(base.query(&q, 3).0, before);
+        assert_eq!(base.len(), 120);
+        assert_eq!(fork.len(), 120); // -1 +1
+        assert_ne!(fork.query(&q, 1).0[0].id, 10);
+    }
+
+    #[test]
+    fn from_slots_restores_ids_and_answers() {
+        let data = clustered(150, 8, 8);
+        let mut idx = DynamicIndex::from_dataset(&data, &cfg());
+        for oid in [3u32, 77, 149] {
+            assert!(idx.delete(oid));
+        }
+        let restored =
+            DynamicIndex::from_slots(idx.dim, idx.expected_n(), idx.config(), idx.slots().to_vec());
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(TableStore::id_bound(&restored), TableStore::id_bound(&idx));
+        for qi in [0usize, 50, 120] {
+            let q = data.get(qi).to_vec();
+            assert_eq!(restored.query(&q, 5).0, idx.query(&q, 5).0, "query {qi}");
+        }
+        // Ids keep growing from the preserved bound, exactly like the
+        // original would.
+        let mut a = idx;
+        let mut b = restored;
+        assert_eq!(a.insert(vec![1.0; 8]), b.insert(vec![1.0; 8]));
+    }
+
+    #[test]
+    fn trait_mutations_delegate_to_inherent() {
+        let mut idx = DynamicIndex::new(4, 100, &cfg());
+        assert!(TableStore::supports_mutations(&idx));
+        let oid = TableStore::insert(&mut idx, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(oid, 0);
+        assert!(TableStore::delete(&mut idx, oid));
+        assert!(!TableStore::delete(&mut idx, oid));
+        // And the static defaults really are inert.
+        let data = clustered(60, 4, 9);
+        let mut static_idx = C2lshIndex::build(&data, &cfg());
+        assert!(!TableStore::supports_mutations(&static_idx));
+        assert_eq!(TableStore::insert(&mut static_idx, vec![0.0; 4]), None);
+        assert!(!TableStore::delete(&mut static_idx, 0));
     }
 }

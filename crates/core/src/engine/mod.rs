@@ -162,6 +162,29 @@ pub trait TableStore {
     fn io_reads(&self) -> u64 {
         0
     }
+
+    /// `true` when this store supports online [`TableStore::insert`] /
+    /// [`TableStore::delete`]. The static backends (sorted runs, paged
+    /// files, B+-trees frozen at build time) say `false`; only the
+    /// dynamic backend — the paper's update story — says `true`.
+    fn supports_mutations(&self) -> bool {
+        false
+    }
+
+    /// Insert a vector, returning its assigned object id, or `None`
+    /// when the store is immutable (the default). Mutable stores must
+    /// assign ids deterministically from their current state so WAL
+    /// replay reproduces the same ids.
+    fn insert(&mut self, _vector: Vec<f32>) -> Option<u32> {
+        None
+    }
+
+    /// Delete an object by id; `true` when it existed and was removed,
+    /// `false` for unknown/tombstoned ids or immutable stores (the
+    /// default).
+    fn delete(&mut self, _oid: u32) -> bool {
+        false
+    }
 }
 
 /// Positional window state for stores whose tables are runs of

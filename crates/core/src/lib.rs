@@ -53,9 +53,13 @@
 //! * [`sharded`] — one logical index over `S` disjoint data shards:
 //!   exact single-loop queries over concatenated shard tables, plus a
 //!   parallel per-shard fan-out with `total_cmp` top-k merging,
+//! * [`mutable`] — crash-safe online mutations: snapshot-consistent
+//!   reads over the dynamic backend plus WAL-backed durability
+//!   (acknowledged inserts/deletes survive a kill at any byte offset),
 //! * [`rehash`] — virtual rehashing window arithmetic (shared),
 //! * [`stats`] — per-query, per-round and per-batch cost counters,
-//! * [`persist`] — index save/load,
+//! * [`persist`] — index save/load (static `C2L1` blobs and dynamic
+//!   `C2D1` checkpoints),
 //! * [`error`] — configuration errors.
 
 #![forbid(unsafe_code)]
@@ -68,6 +72,7 @@ pub mod engine;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod mutable;
 pub mod params;
 pub mod persist;
 pub mod rehash;
@@ -84,7 +89,8 @@ pub use engine::{QueryScratch, SearchOptions, SearchParams, TableStore};
 pub use error::C2lshError;
 pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;
+pub use mutable::{MutableIndex, MutationAck, MutationOp};
 pub use params::FullParams;
-pub use persist::{load_index, save_index, PersistError};
+pub use persist::{load_dynamic, load_index, save_dynamic, save_index, PersistError};
 pub use sharded::{ShardedData, ShardedEngine};
-pub use stats::{BatchStats, QueryStats, RoundStats, Termination};
+pub use stats::{BatchStats, MutationStats, QueryStats, RoundStats, Termination};

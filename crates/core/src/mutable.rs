@@ -1,0 +1,600 @@
+//! Crash-safe online mutations over the dynamic index.
+//!
+//! [`MutableIndex`] wraps a [`DynamicIndex`] behind two guarantees the
+//! serving layer needs and the raw index does not give:
+//!
+//! * **Snapshot-consistent reads.** Readers obtain an `Arc` to an
+//!   immutable published index and query it without any lock held;
+//!   a writer clones the current index, applies a whole batch to the
+//!   clone and publishes it in one pointer swap. A concurrent query
+//!   therefore sees the pre-batch or the post-batch index — never a
+//!   half-applied one (pinned by `tests/concurrency.rs`).
+//! * **Durability of acknowledged writes.** With a backing directory,
+//!   every applied mutation is appended to a write-ahead log
+//!   ([`cc_storage::wal`]) and fsynced *before* the new snapshot is
+//!   published or any acknowledgement returned — one group-commit sync
+//!   per batch. After a kill at any byte offset, [`MutableIndex::open`]
+//!   restores the last checkpoint and replays the WAL back to the last
+//!   acknowledged mutation (pinned by the fault-injection proptests in
+//!   `tests/proptest_persist.rs` and the kill/restart test in
+//!   `cc-service`).
+//!
+//! The ordering — apply to the private clone, then WAL-append, then
+//! fsync, then publish, then ack — means a crash can lose only
+//! *unacknowledged* work, and replay (which re-runs the same
+//! deterministic oid assignment) can only *re-create* state that was
+//! already acknowledged.
+
+use crate::config::C2lshConfig;
+use crate::dynamic::DynamicIndex;
+use crate::engine::SearchOptions;
+use crate::persist::{load_dynamic, save_dynamic};
+use crate::stats::{BatchStats, MutationStats, QueryStats};
+use cc_storage::wal::{Wal, WalOp};
+use cc_vector::dataset::Dataset;
+use cc_vector::gt::Neighbor;
+use parking_lot::{Mutex, RwLock};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One requested mutation, as carried by the service protocol and the
+/// batching worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationOp {
+    /// Insert a vector (the index assigns the object id).
+    Insert {
+        /// The vector to insert; must match the index dimension and be
+        /// finite in every coordinate.
+        vector: Vec<f32>,
+    },
+    /// Delete an object by id.
+    Delete {
+        /// The object id to remove.
+        oid: u32,
+    },
+}
+
+/// Per-request acknowledgement for one [`MutationOp`]. Returned only
+/// after the batch's WAL records are fsynced, so holding an ack means
+/// the mutation survives any subsequent crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationAck {
+    /// The insert was applied and logged.
+    Inserted {
+        /// Object id the index assigned.
+        oid: u32,
+        /// WAL sequence number of the logged record.
+        seq: u64,
+    },
+    /// The delete was processed.
+    Deleted {
+        /// The requested object id.
+        oid: u32,
+        /// `true` when the object existed and was removed (and logged);
+        /// `false` for unknown/already-deleted ids, which are
+        /// acknowledged without a WAL record.
+        found: bool,
+        /// WAL sequence number of the logged record; for a miss, the
+        /// current high-water mark (nothing new was logged).
+        seq: u64,
+    },
+}
+
+impl MutationAck {
+    /// The sequence number this ack certifies as durable.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            MutationAck::Inserted { seq, .. } | MutationAck::Deleted { seq, .. } => seq,
+        }
+    }
+}
+
+/// The published read state: an immutable index plus the sequence
+/// number of the last mutation it contains.
+struct Snapshot {
+    seq: u64,
+    index: Arc<DynamicIndex>,
+}
+
+/// Writer-side state, serialized by a mutex: at most one batch is in
+/// flight at a time.
+struct Writer {
+    wal: Option<Wal>,
+    dir: Option<PathBuf>,
+    /// Next sequence number in ephemeral mode (WAL-backed mode asks the
+    /// log).
+    next_seq: u64,
+    /// Cumulative write-path counters since open.
+    stats: MutationStats,
+}
+
+/// A [`DynamicIndex`] made safe for concurrent serving: lock-free-read
+/// snapshots plus (optionally) a WAL-backed crash-recovery story. See
+/// the module docs for the contract.
+pub struct MutableIndex {
+    snapshot: RwLock<Snapshot>,
+    writer: Mutex<Writer>,
+}
+
+impl std::fmt::Debug for MutableIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot.read();
+        f.debug_struct("MutableIndex")
+            .field("seq", &snap.seq)
+            .field("index", &snap.index)
+            .finish_non_exhaustive()
+    }
+}
+
+/// File name of the checkpoint inside a [`MutableIndex::open`] directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.c2d";
+/// File name of the write-ahead log inside a [`MutableIndex::open`]
+/// directory.
+pub const WAL_FILE: &str = "wal.log";
+
+impl MutableIndex {
+    /// Wrap an existing index with snapshot semantics but **no
+    /// durability** (no WAL): acknowledged mutations die with the
+    /// process. For tests and self-contained benchmarks.
+    pub fn ephemeral(index: DynamicIndex) -> Self {
+        Self {
+            snapshot: RwLock::new(Snapshot { seq: 0, index: Arc::new(index) }),
+            writer: Mutex::new(Writer {
+                wal: None,
+                dir: None,
+                next_seq: 1,
+                stats: MutationStats::default(),
+            }),
+        }
+    }
+
+    /// Open (or create) a durable index backed by directory `dir`,
+    /// holding `dir/checkpoint.c2d` and `dir/wal.log`. Restores the
+    /// checkpoint if present — it must agree with `(dim, expected_n,
+    /// config)` — then replays the WAL's valid prefix on top. A torn
+    /// WAL tail (a kill mid-write) is truncated away; it can never
+    /// contain an acknowledged mutation, because acks happen only after
+    /// fsync.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        dim: usize,
+        expected_n: usize,
+        config: &C2lshConfig,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let (mut index, ckpt_seq) = if ckpt_path.exists() {
+            let blob = std::fs::read(&ckpt_path)?;
+            let (index, seq) = load_dynamic(&blob)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if index.dim() != dim || index.expected_n() != expected_n || index.config() != config {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "checkpoint does not match the requested (dim, expected_n, config)",
+                ));
+            }
+            (index, seq)
+        } else {
+            (DynamicIndex::new(dim, expected_n, config), 0)
+        };
+
+        let (wal, records, _report) = Wal::open(dir.join(WAL_FILE), ckpt_seq)?;
+        let mut last_seq = ckpt_seq;
+        for rec in records {
+            if rec.seq <= ckpt_seq {
+                // Already reflected by the checkpoint (log written
+                // before the checkpoint's reset, e.g. a kill between
+                // checkpoint rename and WAL reset).
+                continue;
+            }
+            match rec.op {
+                WalOp::Insert { oid, vector } => {
+                    let got = index.insert(vector);
+                    if got != oid {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "WAL replay divergence at seq {}: insert produced oid {got}, log says {oid}",
+                                rec.seq
+                            ),
+                        ));
+                    }
+                }
+                WalOp::Delete { oid } => {
+                    if !index.delete(oid) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "WAL replay divergence at seq {}: delete of unknown oid {oid}",
+                                rec.seq
+                            ),
+                        ));
+                    }
+                }
+            }
+            last_seq = rec.seq;
+        }
+
+        Ok(Self {
+            snapshot: RwLock::new(Snapshot { seq: last_seq, index: Arc::new(index) }),
+            writer: Mutex::new(Writer {
+                next_seq: wal.next_seq(),
+                wal: Some(wal),
+                dir: Some(dir),
+                stats: MutationStats { last_seq, ..MutationStats::default() },
+            }),
+        })
+    }
+
+    /// Apply a batch of mutations atomically with respect to readers:
+    /// WAL-append + one fsync (durable mode), then publish the
+    /// post-batch snapshot, then return per-op acks and this batch's
+    /// [`MutationStats`] delta. Concurrent callers serialize on the
+    /// writer lock; readers are never blocked for longer than the final
+    /// pointer swap.
+    ///
+    /// Every op is validated up front — wrong dimension, non-finite
+    /// coordinates — and an invalid op fails the whole batch with
+    /// [`io::ErrorKind::InvalidInput`] *before* anything is applied or
+    /// logged (the service validates per-request at decode time, so a
+    /// mixed batch of independent clients never dies on one bad op).
+    pub fn apply_batch(&self, ops: &[MutationOp]) -> io::Result<(Vec<MutationAck>, MutationStats)> {
+        let mut writer = self.writer.lock();
+
+        let dim = self.snapshot.read().index.dim();
+        for (i, op) in ops.iter().enumerate() {
+            if let MutationOp::Insert { vector } = op {
+                if vector.len() != dim {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("op {i}: vector has dim {}, index has {dim}", vector.len()),
+                    ));
+                }
+                if !vector.iter().all(|x| x.is_finite()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("op {i}: vector has non-finite coordinates"),
+                    ));
+                }
+            }
+        }
+
+        // Clone-and-mutate: the published index stays untouched (and
+        // readable) while the batch lands on the private clone.
+        let mut next = DynamicIndex::clone(&self.snapshot.read().index);
+        let mut delta = MutationStats { batches: 1, ..MutationStats::default() };
+        let mut acks = Vec::with_capacity(ops.len());
+        let mut logged: Vec<WalOp> = Vec::with_capacity(ops.len());
+        // (ack index, assigned later once the WAL hands out seqs)
+        let mut last_seq = writer.stats.last_seq.max(self.snapshot.read().seq);
+        let wal_bytes_before = writer.wal.as_ref().map_or(0, Wal::size_bytes);
+
+        for op in ops {
+            match op {
+                MutationOp::Insert { vector } => {
+                    let oid = next.insert(vector.clone());
+                    logged.push(WalOp::Insert { oid, vector: vector.clone() });
+                    delta.inserts += 1;
+                    acks.push(MutationAck::Inserted { oid, seq: 0 });
+                }
+                MutationOp::Delete { oid } => {
+                    if next.delete(*oid) {
+                        logged.push(WalOp::Delete { oid: *oid });
+                        delta.deletes += 1;
+                        acks.push(MutationAck::Deleted { oid: *oid, found: true, seq: 0 });
+                    } else {
+                        delta.delete_misses += 1;
+                        acks.push(MutationAck::Deleted { oid: *oid, found: false, seq: 0 });
+                    }
+                }
+            }
+        }
+
+        // Durability point: append all records, one fsync for the whole
+        // batch (group commit). Sequence numbers flow back into acks.
+        let mut seqs = Vec::with_capacity(logged.len());
+        match writer.wal.as_mut() {
+            Some(wal) => {
+                for rec in &logged {
+                    seqs.push(wal.append(rec)?);
+                }
+                if !logged.is_empty() {
+                    wal.sync()?;
+                    delta.wal_syncs = 1;
+                }
+                delta.wal_records = logged.len() as u64;
+                delta.wal_bytes = wal.size_bytes() - wal_bytes_before;
+            }
+            None => {
+                for _ in &logged {
+                    let s = writer.next_seq;
+                    writer.next_seq += 1;
+                    seqs.push(s);
+                }
+            }
+        }
+        let mut seq_iter = seqs.iter();
+        for ack in acks.iter_mut() {
+            match ack {
+                MutationAck::Inserted { seq, .. } => {
+                    *seq = *seq_iter.next().expect("seq per logged op")
+                }
+                MutationAck::Deleted { found: true, seq, .. } => {
+                    *seq = *seq_iter.next().expect("seq per logged op");
+                }
+                MutationAck::Deleted { found: false, seq, .. } => *seq = last_seq,
+            }
+            last_seq = last_seq.max(ack.seq());
+        }
+        delta.last_seq = last_seq;
+
+        // Publish: one pointer swap; readers holding the old Arc finish
+        // on the pre-batch snapshot.
+        *self.snapshot.write() = Snapshot { seq: last_seq, index: Arc::new(next) };
+        writer.stats.merge(&delta);
+        Ok((acks, delta))
+    }
+
+    /// Write a checkpoint (`checkpoint.c2d`, via tmp-file + rename) of
+    /// the current snapshot and truncate the WAL, bounding recovery
+    /// time. No-op in ephemeral mode. Readers are unaffected; writers
+    /// wait on the writer lock for the file I/O.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let writer = self.writer.lock();
+        let Some(dir) = writer.dir.clone() else { return Ok(()) };
+        // With the writer lock held no batch can publish, so the
+        // current snapshot is the latest durable state.
+        let (index, seq) = {
+            let snap = self.snapshot.read();
+            (Arc::clone(&snap.index), snap.seq)
+        };
+        let blob = save_dynamic(&index, seq);
+        let tmp = dir.join("checkpoint.c2d.tmp");
+        let final_path = dir.join(CHECKPOINT_FILE);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, &blob)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &final_path)?;
+        // Make the rename itself durable before dropping the log.
+        std::fs::File::open(&dir)?.sync_all()?;
+        drop(index);
+        let mut writer = writer;
+        if let Some(wal) = writer.wal.as_mut() {
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// The current read snapshot: an immutable index plus the sequence
+    /// number of the last mutation it reflects. Hold the `Arc` as long
+    /// as needed — it never mutates.
+    pub fn snapshot(&self) -> (Arc<DynamicIndex>, u64) {
+        let snap = self.snapshot.read();
+        (Arc::clone(&snap.index), snap.seq)
+    }
+
+    /// c-k-ANN query against the current snapshot, with
+    /// [`QueryStats::snapshot_seq`] stamped.
+    pub fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.query_with(q, k, &SearchOptions::default())
+    }
+
+    /// [`MutableIndex::query`] with explicit observability options.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let (index, seq) = self.snapshot();
+        let (nn, mut stats) = index.query_with(q, k, opts);
+        stats.snapshot_seq = seq;
+        (nn, stats)
+    }
+
+    /// Batch query against one coherent snapshot (every query in the
+    /// batch sees the same index), with per-query
+    /// [`QueryStats::snapshot_seq`] stamped.
+    pub fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        let (index, seq) = self.snapshot();
+        let (mut per_query, batch) = index.query_batch_with(queries, k, opts);
+        for (_, stats) in per_query.iter_mut() {
+            stats.snapshot_seq = seq;
+        }
+        (per_query, batch)
+    }
+
+    /// Number of live objects in the current snapshot.
+    pub fn len(&self) -> usize {
+        self.snapshot.read().index.len()
+    }
+
+    /// `true` when the current snapshot holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dataset dimensionality.
+    pub fn dim(&self) -> usize {
+        self.snapshot.read().index.dim()
+    }
+
+    /// Sequence number of the last acknowledged mutation (0 when none).
+    pub fn last_seq(&self) -> u64 {
+        self.snapshot.read().seq
+    }
+
+    /// Cumulative write-path counters since open.
+    pub fn mutation_stats(&self) -> MutationStats {
+        self.writer.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_storage::wal::scratch_dir;
+    use cc_vector::gen::{generate, Distribution};
+
+    fn cfg() -> C2lshConfig {
+        C2lshConfig::builder().bucket_width(1.0).seed(42).build()
+    }
+
+    fn points(n: usize, d: usize, seed: u64) -> Dataset {
+        generate(
+            Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 },
+            n,
+            d,
+            seed,
+        )
+    }
+
+    fn insert(v: &[f32]) -> MutationOp {
+        MutationOp::Insert { vector: v.to_vec() }
+    }
+
+    #[test]
+    fn ephemeral_apply_and_query() {
+        let data = points(50, 6, 1);
+        let m = MutableIndex::ephemeral(DynamicIndex::new(6, 200, &cfg()));
+        let ops: Vec<MutationOp> = data.iter().map(insert).collect();
+        let (acks, delta) = m.apply_batch(&ops).unwrap();
+        assert_eq!(acks.len(), 50);
+        assert_eq!(delta.inserts, 50);
+        assert_eq!(delta.last_seq, 50);
+        assert_eq!(m.len(), 50);
+        let (nn, stats) = m.query(data.get(7), 1);
+        assert_eq!(nn[0].id, 7);
+        assert_eq!(stats.snapshot_seq, 50, "queries carry the snapshot seq");
+        // Deletes: one hit, one miss.
+        let (acks, delta) = m
+            .apply_batch(&[MutationOp::Delete { oid: 7 }, MutationOp::Delete { oid: 999 }])
+            .unwrap();
+        assert_eq!(acks[0], MutationAck::Deleted { oid: 7, found: true, seq: 51 });
+        assert_eq!(acks[1], MutationAck::Deleted { oid: 999, found: false, seq: 51 });
+        assert_eq!((delta.deletes, delta.delete_misses), (1, 1));
+        assert_ne!(m.query(data.get(7), 1).0[0].id, 7);
+        let total = m.mutation_stats();
+        assert_eq!((total.inserts, total.deletes, total.batches), (50, 1, 2));
+    }
+
+    #[test]
+    fn invalid_ops_fail_the_batch_before_any_effect() {
+        let m = MutableIndex::ephemeral(DynamicIndex::new(4, 100, &cfg()));
+        let bad_dim = m.apply_batch(&[insert(&[1.0; 4]), insert(&[1.0; 3])]).unwrap_err();
+        assert_eq!(bad_dim.kind(), io::ErrorKind::InvalidInput);
+        let nan = m.apply_batch(&[insert(&[f32::NAN; 4])]).unwrap_err();
+        assert_eq!(nan.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(m.len(), 0, "failed batches must not partially apply");
+        assert_eq!(m.last_seq(), 0);
+    }
+
+    #[test]
+    fn durable_open_apply_reopen_recovers() {
+        let dir = scratch_dir("mutable-reopen");
+        let data = points(40, 5, 2);
+        let q = data.get(3).to_vec();
+        {
+            let m = MutableIndex::open(&dir, 5, 100, &cfg()).unwrap();
+            let ops: Vec<MutationOp> = data.iter().map(insert).collect();
+            m.apply_batch(&ops).unwrap();
+            m.apply_batch(&[MutationOp::Delete { oid: 3 }]).unwrap();
+            assert_eq!(m.last_seq(), 41);
+        } // dropped without checkpoint: recovery is pure WAL replay
+        let m = MutableIndex::open(&dir, 5, 100, &cfg()).unwrap();
+        assert_eq!(m.last_seq(), 41);
+        assert_eq!(m.len(), 39);
+        assert_ne!(m.query(&q, 1).0[0].id, 3, "deleted object stays deleted across reopen");
+        // New mutations continue the sequence.
+        let (acks, _) = m.apply_batch(&[insert(&[0.5; 5])]).unwrap();
+        assert_eq!(acks[0], MutationAck::Inserted { oid: 40, seq: 42 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopen_agrees() {
+        let dir = scratch_dir("mutable-ckpt");
+        let data = points(30, 4, 3);
+        {
+            let m = MutableIndex::open(&dir, 4, 100, &cfg()).unwrap();
+            let ops: Vec<MutationOp> = data.iter().map(insert).collect();
+            m.apply_batch(&ops).unwrap();
+            m.checkpoint().unwrap();
+            // Post-checkpoint mutations land in the (reset) WAL.
+            m.apply_batch(&[MutationOp::Delete { oid: 0 }]).unwrap();
+            assert_eq!(m.last_seq(), 31);
+        }
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert!(
+            wal_len < 100,
+            "WAL should hold only the post-checkpoint delete, got {wal_len} bytes"
+        );
+        let m = MutableIndex::open(&dir, 4, 100, &cfg()).unwrap();
+        assert_eq!(m.last_seq(), 31);
+        assert_eq!(m.len(), 29);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_mismatched_config() {
+        let dir = scratch_dir("mutable-cfg");
+        {
+            let m = MutableIndex::open(&dir, 4, 100, &cfg()).unwrap();
+            m.apply_batch(&[insert(&[1.0; 4])]).unwrap();
+            m.checkpoint().unwrap();
+        }
+        let other = C2lshConfig::builder().bucket_width(2.0).seed(42).build();
+        let err = MutableIndex::open(&dir, 4, 100, &other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readers_see_pre_or_post_batch_never_torn() {
+        let data = points(200, 6, 4);
+        let m = MutableIndex::ephemeral(DynamicIndex::new(6, 400, &cfg()));
+        let ops: Vec<MutationOp> = data.iter().map(insert).collect();
+        m.apply_batch(&ops).unwrap();
+        let q = data.get(11).to_vec();
+        let pre = m.query(&q, 3).0;
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        crossbeam::scope(|s| {
+            let stop = &stop;
+            let m = &m;
+            let q = &q;
+            let pre = &pre;
+            for _ in 0..4 {
+                s.spawn(move |_| {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let (nn, stats) = m.query(q, 3);
+                        // Exactly one of the two published states.
+                        if stats.snapshot_seq <= 200 {
+                            assert_eq!(&nn, pre, "torn view at seq {}", stats.snapshot_seq);
+                        } else {
+                            assert_ne!(nn[0].id, 11, "post-batch view must not contain oid 11");
+                        }
+                    }
+                });
+            }
+            // One mutation batch racing the readers: delete the top
+            // answer plus neighbors-of-neighbors, insert replacements.
+            let mut batch = vec![MutationOp::Delete { oid: 11 }];
+            for v in data.iter().take(20) {
+                batch.push(insert(v));
+            }
+            m.apply_batch(&batch).unwrap();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+}

@@ -28,6 +28,7 @@
 //! [`PersistError::Malformed`] (see `tests/proptest_persist.rs`).
 
 use crate::config::{Beta, C2lshConfig};
+use crate::dynamic::DynamicIndex;
 use crate::index::C2lshIndex;
 use bytes::BufMut;
 use cc_vector::dataset::Dataset;
@@ -39,6 +40,15 @@ const MAGIC_PREFIX: u32 = MAGIC & !0xFF;
 /// Low byte of the magic word — the format version this build writes
 /// and the only one it reads.
 const FORMAT_VERSION: u8 = (MAGIC & 0xFF) as u8;
+
+/// Magic of the dynamic-index checkpoint format: `"C2D"` family prefix
+/// plus version byte `'1'`. A separate family from `"C2L"` because the
+/// two formats persist different things: `C2L1` is a borrow-the-dataset
+/// static index, `C2D1` owns its vectors (the full slot array,
+/// tombstones included) plus the WAL high-water mark.
+const DYN_MAGIC: u32 = 0x4332_4431; // "C2D1"
+const DYN_MAGIC_PREFIX: u32 = DYN_MAGIC & !0xFF;
+const DYN_FORMAT_VERSION: u8 = (DYN_MAGIC & 0xFF) as u8;
 
 /// Why loading failed.
 #[derive(Debug, PartialEq)]
@@ -283,6 +293,192 @@ pub fn load_index<'d>(data: &'d Dataset, buf: &[u8]) -> Result<C2lshIndex<'d>, P
     Ok(idx)
 }
 
+/// Serialize a [`DynamicIndex`] checkpoint (`C2D1` format), including
+/// every vector slot (tombstones preserved so object ids survive) and
+/// `last_seq`, the WAL sequence number of the last mutation the
+/// checkpoint reflects: replay resumes from `last_seq + 1`.
+///
+/// Layout (all little-endian):
+///
+/// ```text
+/// magic "C2D1" | dim | expected_n | c | w | delta | base_radius |
+/// beta tag+value | seed | m_override tag(+val) | l_override tag(+val) |
+/// m | l | beta_n | last_seq |
+/// slot_count | per slot: u8 tag (0 = tombstone, 1 = live + dim×f32) |
+/// xor-fold checksum
+/// ```
+///
+/// The hash family is *not* stored: it re-generates deterministically
+/// from `(m, dim, config)` at load time, exactly as the original was
+/// built, keeping checkpoints proportional to the data rather than the
+/// data plus `m × dim` projections.
+pub fn save_dynamic(index: &DynamicIndex, last_seq: u64) -> Vec<u8> {
+    let cfg = index.config();
+    let slots = index.slots();
+    let mut buf = Vec::with_capacity(64 + slots.len() * (1 + 4 * index.params().m.min(1)));
+    buf.put_u32_le(DYN_MAGIC);
+    buf.put_u32_le(index.dim() as u32);
+    buf.put_u64_le(index.expected_n() as u64);
+    buf.put_u32_le(cfg.c);
+    buf.put_f64_le(cfg.w);
+    buf.put_f64_le(cfg.delta);
+    buf.put_f64_le(cfg.base_radius);
+    match cfg.beta {
+        Beta::Count(c) => {
+            buf.put_u8(0);
+            buf.put_u64_le(c);
+        }
+        Beta::Fraction(f) => {
+            buf.put_u8(1);
+            buf.put_f64_le(f);
+        }
+    }
+    buf.put_u64_le(cfg.seed);
+    for over in [cfg.m_override, cfg.l_override] {
+        match over {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                buf.put_u32_le(v as u32);
+            }
+        }
+    }
+    let p = index.params();
+    buf.put_u32_le(p.m as u32);
+    buf.put_u32_le(p.l as u32);
+    buf.put_u32_le(p.beta_n as u32);
+    buf.put_u64_le(last_seq);
+    buf.put_u64_le(slots.len() as u64);
+    for slot in slots {
+        match slot {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                for &x in v {
+                    buf.put_f32_le(x);
+                }
+            }
+        }
+    }
+    let checksum = xor_fold(&buf);
+    buf.put_u32_le(checksum);
+    buf
+}
+
+/// Reload a [`DynamicIndex`] checkpoint; returns the index and the WAL
+/// sequence number it reflects ([`save_dynamic`]'s `last_seq`).
+/// Panic-free on arbitrary input, like [`load_index`]: truncation,
+/// corruption and impossible values all surface as
+/// [`PersistError::Malformed`], a right-family/newer-version blob as
+/// [`PersistError::UnsupportedVersion`].
+pub fn load_dynamic(buf: &[u8]) -> Result<(DynamicIndex, u64), PersistError> {
+    if buf.len() < 4 + 4 {
+        return Err(PersistError::Malformed("header too short".into()));
+    }
+    let magic = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if magic & !0xFF != DYN_MAGIC_PREFIX {
+        return Err(PersistError::Malformed(format!("bad magic {magic:#010x}")));
+    }
+    let version = (magic & 0xFF) as u8;
+    if version != DYN_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let (payload, tail) = buf.split_at(buf.len() - 4);
+    if xor_fold(payload) != u32::from_le_bytes(tail.try_into().unwrap()) {
+        return Err(PersistError::Malformed("checksum mismatch".into()));
+    }
+
+    let mut r = Reader::new(&payload[4..]);
+    let dim = r.get_u32_le()? as usize;
+    let expected_n = r.get_u64_le()? as usize;
+    if dim == 0 || expected_n == 0 {
+        return Err(PersistError::Malformed(format!("bad shape ({expected_n}, {dim})")));
+    }
+    let c = r.get_u32_le()?;
+    let w = r.get_f64_le()?;
+    let delta = r.get_f64_le()?;
+    let base_radius = r.get_f64_le()?;
+    let beta = match r.get_u8()? {
+        0 => Beta::Count(r.get_u64_le()?),
+        1 => Beta::Fraction(r.get_f64_le()?),
+        x => return Err(PersistError::Malformed(format!("unknown beta tag {x}"))),
+    };
+    let seed = r.get_u64_le()?;
+    let mut overrides = [None, None];
+    for slot in overrides.iter_mut() {
+        *slot = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32_le()? as usize),
+            x => return Err(PersistError::Malformed(format!("unknown override tag {x}"))),
+        };
+    }
+    let m = r.get_u32_le()? as usize;
+    let l = r.get_u32_le()? as usize;
+    let beta_n = r.get_u32_le()? as usize;
+    if m == 0 || l == 0 || l > m {
+        return Err(PersistError::Malformed(format!("bad (m, l) = ({m}, {l})")));
+    }
+    let last_seq = r.get_u64_le()?;
+
+    let config = C2lshConfig {
+        c,
+        w,
+        delta,
+        base_radius,
+        beta,
+        seed,
+        m_override: overrides[0],
+        l_override: overrides[1],
+    };
+    config.validate().map_err(|e| PersistError::Malformed(e.to_string()))?;
+
+    let slot_count = r.get_u64_le()? as usize;
+    // Every slot costs at least its tag byte; a fabricated count that
+    // exceeds the remaining bytes must not drive the allocation below.
+    if slot_count > r.remaining() {
+        return Err(PersistError::Malformed(format!(
+            "slot count {slot_count} exceeds remaining {} bytes",
+            r.remaining()
+        )));
+    }
+    let mut slots: Vec<Option<Vec<f32>>> = Vec::with_capacity(slot_count);
+    for i in 0..slot_count {
+        match r.get_u8()? {
+            0 => slots.push(None),
+            1 => {
+                let mut v = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    let x = r.get_f32_le()?;
+                    if !x.is_finite() {
+                        return Err(PersistError::Malformed(format!(
+                            "non-finite coordinate in slot {i}"
+                        )));
+                    }
+                    v.push(x);
+                }
+                slots.push(Some(v));
+            }
+            x => return Err(PersistError::Malformed(format!("unknown slot tag {x}"))),
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(PersistError::Malformed(format!("{} trailing bytes", r.remaining())));
+    }
+
+    let index = DynamicIndex::from_slots(dim, expected_n, &config, slots);
+    // (m, l, beta_n) re-derive from (expected_n, config); a mismatch
+    // means the checkpoint and this build disagree on the derivation
+    // and the restored index would not answer like the saved one.
+    let p = index.params();
+    if (p.m, p.l, p.beta_n) != (m, l, beta_n) {
+        return Err(PersistError::Malformed(format!(
+            "derived params ({}, {}, {}) != stored ({m}, {l}, {beta_n})",
+            p.m, p.l, p.beta_n
+        )));
+    }
+    Ok((index, last_seq))
+}
+
 fn xor_fold(bytes: &[u8]) -> u32 {
     let mut acc = 0u32;
     for chunk in bytes.chunks(4) {
@@ -395,5 +591,65 @@ mod tests {
         );
         // The version this build writes still loads.
         assert!(load_index(&data, &with_version(&blob, b'1')).is_ok());
+    }
+
+    fn mutated_dynamic() -> (DynamicIndex, Dataset) {
+        let data = clustered(300, 8, 11);
+        let mut idx = DynamicIndex::from_dataset(&data, &cfg());
+        for oid in [5u32, 100, 299] {
+            assert!(idx.delete(oid));
+        }
+        idx.insert(vec![3.0; 8]);
+        (idx, data)
+    }
+
+    #[test]
+    fn dynamic_roundtrip_preserves_queries_ids_and_seq() {
+        let (idx, data) = mutated_dynamic();
+        let blob = save_dynamic(&idx, 417);
+        let (loaded, last_seq) = load_dynamic(&blob).unwrap();
+        assert_eq!(last_seq, 417);
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.slots().len(), idx.slots().len(), "tombstones preserved");
+        for qi in [0usize, 42, 250] {
+            let q = data.get(qi);
+            assert_eq!(idx.query(q, 6).0, loaded.query(q, 6).0, "query {qi}");
+        }
+        // Post-restore inserts keep assigning the same ids.
+        let mut a = idx;
+        let mut b = loaded;
+        assert_eq!(a.insert(vec![1.0; 8]), b.insert(vec![1.0; 8]));
+    }
+
+    #[test]
+    fn dynamic_rejects_corruption_everywhere() {
+        let (idx, _) = mutated_dynamic();
+        let blob = save_dynamic(&idx, 1);
+        for at in [0usize, 3, 10, blob.len() / 2, blob.len() - 5] {
+            let mut bad = blob.clone();
+            bad[at] ^= 0x40;
+            let r = load_dynamic(&bad);
+            assert!(r.is_err(), "flip at {at} accepted");
+        }
+        for cut in [0usize, 4, 20, blob.len() / 3, blob.len() - 1] {
+            assert!(load_dynamic(&blob[..cut]).is_err(), "truncation to {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn dynamic_future_version_and_wrong_family() {
+        let (idx, _) = mutated_dynamic();
+        let blob = save_dynamic(&idx, 0);
+        // "C2D2": right family, newer version, checksum fixed up.
+        let future = with_version(&blob, b'2');
+        assert_eq!(
+            load_dynamic(&future).unwrap_err(),
+            PersistError::UnsupportedVersion { found: b'2' }
+        );
+        // A C2L1 blob is a different family, not a version skew.
+        let data = clustered(50, 4, 12);
+        let static_blob = save_index(&C2lshIndex::build(&data, &cfg()));
+        assert!(matches!(load_dynamic(&static_blob), Err(PersistError::Malformed(_))));
+        assert!(load_dynamic(&with_version(&blob, b'1')).is_ok());
     }
 }

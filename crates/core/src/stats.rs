@@ -71,6 +71,12 @@ pub struct QueryStats {
     /// Wall-clock nanoseconds for the whole query; 0 unless
     /// [`crate::engine::SearchOptions::timing`] was set.
     pub elapsed_nanos: u64,
+    /// Sequence number of the index snapshot this query ran against
+    /// (the last mutation visible to it). 0 for immutable backends;
+    /// stamped by [`crate::mutable::MutableIndex`] query paths, and a
+    /// client's proof of read-your-writes: once an ack for seq `s`
+    /// arrived, every later query reports `snapshot_seq >= s`.
+    pub snapshot_seq: u64,
 }
 
 impl QueryStats {
@@ -86,6 +92,7 @@ impl QueryStats {
             terminated_by: Termination::Exhausted,
             per_round: Vec::new(),
             elapsed_nanos: 0,
+            snapshot_seq: 0,
         }
     }
 
@@ -122,6 +129,9 @@ impl QueryStats {
             }
         }
         self.elapsed_nanos = self.elapsed_nanos.max(other.elapsed_nanos);
+        // Shards of one logical query see the same snapshot; max keeps
+        // the merge total and makes 0 (immutable backend) the identity.
+        self.snapshot_seq = self.snapshot_seq.max(other.snapshot_seq);
     }
 }
 
@@ -147,6 +157,55 @@ fn severest(a: Termination, b: Termination) -> Termination {
 impl Default for QueryStats {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Counters for the write path: mutations applied and the WAL work
+/// they cost. Produced per batch by
+/// [`crate::mutable::MutableIndex::apply_batch`] and accumulated into
+/// [`BatchStats::mutations`] by the serving layer, mirroring how query
+/// counters flow into the same aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Vectors inserted.
+    pub inserts: u64,
+    /// Objects deleted (the id existed and was live).
+    pub deletes: u64,
+    /// Delete requests whose id was unknown or already deleted
+    /// (acknowledged as not-found, never logged to the WAL).
+    pub delete_misses: u64,
+    /// Mutation batches applied (= snapshot publications).
+    pub batches: u64,
+    /// WAL records appended.
+    pub wal_records: u64,
+    /// WAL fsyncs issued (group commit: one per batch, so
+    /// `wal_records / wal_syncs` is the mean commit group size).
+    pub wal_syncs: u64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Highest sequence number acknowledged so far (0 when none).
+    pub last_seq: u64,
+}
+
+impl MutationStats {
+    /// Fold another window's counters into this one: every count adds,
+    /// `last_seq` takes the maximum. Associative and commutative with
+    /// `MutationStats::default()` as the identity, matching the other
+    /// stats merges.
+    pub fn merge(&mut self, other: &MutationStats) {
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.delete_misses += other.delete_misses;
+        self.batches += other.batches;
+        self.wal_records += other.wal_records;
+        self.wal_syncs += other.wal_syncs;
+        self.wal_bytes += other.wal_bytes;
+        self.last_seq = self.last_seq.max(other.last_seq);
+    }
+
+    /// Mutations applied (inserts + deletes, excluding misses).
+    pub fn applied(&self) -> u64 {
+        self.inserts + self.deletes
     }
 }
 
@@ -180,6 +239,11 @@ pub struct BatchStats {
     /// sequentially, or the whole-batch wall time from the parallel
     /// executor (with [`crate::engine::SearchOptions::timing`]).
     pub elapsed_nanos: u64,
+    /// Write-path counters for workloads that interleave mutations with
+    /// queries (untouched by [`BatchStats::absorb`], which folds a
+    /// read-only query; filled by the serving layer via
+    /// [`MutationStats::merge`]).
+    pub mutations: MutationStats,
 }
 
 impl BatchStats {
@@ -220,6 +284,7 @@ impl BatchStats {
         self.t2 += other.t2;
         self.exhausted += other.exhausted;
         self.elapsed_nanos += other.elapsed_nanos;
+        self.mutations.merge(&other.mutations);
     }
 
     /// Mean verified candidates per query (0 for an empty batch).
@@ -324,7 +389,21 @@ mod tests {
             });
         }
         s.elapsed_nanos = 1_000 * seed + 5;
+        s.snapshot_seq = (seed * 17) % 23;
         s
+    }
+
+    fn sample_mutation_stats(seed: u64) -> MutationStats {
+        MutationStats {
+            inserts: 5 * seed + 1,
+            deletes: 2 * seed,
+            delete_misses: seed % 3,
+            batches: seed % 4 + 1,
+            wal_records: 7 * seed + 2,
+            wal_syncs: seed % 4 + 1,
+            wal_bytes: 100 * seed + 31,
+            last_seq: (seed * 13) % 29,
+        }
     }
 
     #[test]
@@ -406,6 +485,64 @@ mod tests {
         assert_eq!(ab_c, a_bc);
         assert_eq!(ab_c, batch_of(0..9), "merge of partial batches equals one big batch");
         assert_eq!(ab_c.queries, 9);
+    }
+
+    #[test]
+    fn mutation_merge_identity_associative_commutative() {
+        for seeds in [[1u64, 2, 3], [0, 9, 5], [6, 6, 2]] {
+            let [a, b, c] = seeds.map(sample_mutation_stats);
+            let mut id = MutationStats::default();
+            id.merge(&a);
+            assert_eq!(id, a, "identity failed for seeds {seeds:?}");
+            let mut ab_c = a;
+            ab_c.merge(&b);
+            ab_c.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut a_bc = a;
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "associativity failed for seeds {seeds:?}");
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert_eq!(ab, ba, "commutativity failed for seeds {seeds:?}");
+        }
+    }
+
+    #[test]
+    fn mutation_merge_adds_counts_and_maxes_seq() {
+        let mut a = sample_mutation_stats(2);
+        let b = sample_mutation_stats(5);
+        let (ins_a, ins_b) = (a.inserts, b.inserts);
+        let want_seq = a.last_seq.max(b.last_seq);
+        a.merge(&b);
+        assert_eq!(a.inserts, ins_a + ins_b);
+        assert_eq!(a.last_seq, want_seq, "last_seq is a high-water mark, not a sum");
+        assert_eq!(a.applied(), a.inserts + a.deletes);
+    }
+
+    #[test]
+    fn batch_merge_carries_mutations_but_absorb_does_not() {
+        let mut a = BatchStats { mutations: sample_mutation_stats(3), ..Default::default() };
+        let before = a.mutations;
+        a.absorb(&sample_query_stats(4));
+        assert_eq!(a.mutations, before, "absorbing a query must not touch write counters");
+        let b = BatchStats { mutations: sample_mutation_stats(8), ..Default::default() };
+        let mut want = before;
+        want.merge(&b.mutations);
+        a.merge(&b);
+        assert_eq!(a.mutations, want);
+    }
+
+    #[test]
+    fn query_merge_snapshot_seq_is_max() {
+        let mut a = QueryStats::new();
+        a.snapshot_seq = 7;
+        let mut b = QueryStats::new();
+        b.snapshot_seq = 3;
+        a.merge(&b);
+        assert_eq!(a.snapshot_seq, 7);
     }
 
     #[test]

@@ -71,6 +71,34 @@ impl Client {
         }
     }
 
+    /// Insert a vector; returns `(oid, seq)` — the object id the index
+    /// assigned and the WAL sequence number. When this returns, the
+    /// insert is durable (the server acks after its group-commit
+    /// fsync).
+    pub fn insert(&mut self, vector: &[f32]) -> Result<(u32, u64), ProtoError> {
+        match self.call(&Request::Insert { vector: vector.to_vec() })? {
+            Response::InsertAck { oid, seq } => Ok((oid, seq)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Delete an object by id; returns `(found, seq)`. `found == false`
+    /// means the id was unknown or already deleted (still a successful,
+    /// idempotent call).
+    pub fn delete(&mut self, oid: u32) -> Result<(bool, u64), ProtoError> {
+        match self.call(&Request::Delete { oid })? {
+            Response::DeleteAck { oid: got, found, seq } => {
+                if got != oid {
+                    return Err(ProtoError::Malformed(format!(
+                        "delete ack for oid {got}, requested {oid}"
+                    )));
+                }
+                Ok((found, seq))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Ask the server to drain and exit; returns once acknowledged.
     pub fn shutdown(&mut self) -> Result<(), ProtoError> {
         match self.call(&Request::Shutdown)? {

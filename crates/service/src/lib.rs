@@ -1,14 +1,19 @@
 //! # cc-service — serving the collision-counting engine over TCP
 //!
-//! A sharded, batching query service over [`c2lsh::ShardedEngine`]:
-//! clients speak a length-prefixed binary protocol ([`protocol`]) to a
+//! A batching query (and mutation) service over any
+//! [`server::ServeEngine`] — the read-only [`c2lsh::ShardedEngine`] or
+//! the crash-safe [`c2lsh::MutableIndex`]: clients speak a
+//! length-prefixed binary protocol ([`protocol`]) to a
 //! thread-per-connection server ([`server`]) whose single batching
-//! worker coalesces concurrent queries into engine batches. Built on
-//! `std::net` only — no async runtime.
+//! worker coalesces concurrent queries into engine batches and
+//! mutations into group-committed WAL batches. Built on `std::net`
+//! only — no async runtime.
 //!
-//! * [`protocol`] — the wire format: framing, opcodes, encode/decode,
+//! * [`protocol`] — the wire format: framing, opcodes, encode/decode
+//!   (including the insert/delete/ack mutation frames),
 //! * [`server`] — [`server::serve`]: accept loop, admission control,
-//!   request coalescing, per-request deadlines, graceful drain,
+//!   request coalescing, durable mutation acks, per-request deadlines,
+//!   graceful drain,
 //! * [`client`] — a minimal blocking [`Client`],
 //! * [`json`] — the hand-rolled serializer behind the stats frame.
 //!
@@ -53,4 +58,4 @@ pub mod server;
 
 pub use client::Client;
 pub use protocol::{ProtoError, Request, Response};
-pub use server::{serve, ServiceConfig, ServiceStats};
+pub use server::{serve, ServeEngine, ServiceConfig, ServiceStats};

@@ -1,20 +1,30 @@
-//! `cc-service` — stand up a sharded collision-counting query server.
+//! `cc-service` — stand up a collision-counting query server.
 //!
-//! Generates a synthetic clustered dataset, partitions it across
-//! shards, builds one [`ShardedEngine`] and serves it until a client
-//! sends the shutdown frame:
+//! Two modes:
+//!
+//! * `--mode sharded` (default): generate a synthetic clustered
+//!   dataset, partition it across shards, build one read-only
+//!   [`ShardedEngine`] and serve queries.
+//! * `--mode dynamic`: serve a mutable [`MutableIndex`] that accepts
+//!   insert/delete frames. With `--wal DIR` the index is durable —
+//!   mutations are WAL-logged under `DIR` and recovered on restart; the
+//!   synthetic dataset seeds the index only when `DIR` is empty.
+//!   Without `--wal` the index is in-memory (acks do not survive a
+//!   restart).
 //!
 //! ```text
 //! cargo run -p cc-service --release -- --shards 4
+//! cargo run -p cc-service --release -- --mode dynamic --wal /tmp/cc-wal
 //! ```
 //!
 //! Flags (all optional): `--addr HOST:PORT` (default `127.0.0.1:7878`),
+//! `--mode sharded|dynamic` (sharded), `--wal DIR` (dynamic only),
 //! `--shards S` (4), `--n N` (20000), `--dim D` (16), `--seed SEED`
 //! (42), `--bucket-width W` (1.0), `--queue-cap Q` (1024),
 //! `--max-batch B` (32), `--max-delay-us US` (2000), `--k-max K`
 //! (1024).
 
-use c2lsh::{C2lshConfig, ShardedData, ShardedEngine};
+use c2lsh::{C2lshConfig, DynamicIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
 use cc_service::ServiceConfig;
 use cc_vector::gen::{generate, Distribution};
 use std::net::TcpListener;
@@ -23,6 +33,8 @@ use std::time::Duration;
 
 struct Args {
     addr: String,
+    mode: String,
+    wal: Option<String>,
     shards: usize,
     n: usize,
     dim: usize,
@@ -38,6 +50,8 @@ impl Args {
     fn parse() -> Args {
         let mut args = Args {
             addr: "127.0.0.1:7878".into(),
+            mode: "sharded".into(),
+            wal: None,
             shards: 4,
             n: 20_000,
             dim: 16,
@@ -58,6 +72,8 @@ impl Args {
             };
             match flag.as_str() {
                 "--addr" => args.addr = value("--addr"),
+                "--mode" => args.mode = value("--mode"),
+                "--wal" => args.wal = Some(value("--wal")),
                 "--shards" => args.shards = parse(&value("--shards"), "--shards"),
                 "--n" => args.n = parse(&value("--n"), "--n"),
                 "--dim" => args.dim = parse(&value("--dim"), "--dim"),
@@ -73,7 +89,8 @@ impl Args {
                 "--k-max" => args.k_max = parse(&value("--k-max"), "--k-max"),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: cc-service [--addr HOST:PORT] [--shards S] [--n N] [--dim D] \
+                        "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic] \
+                         [--wal DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
                          [--max-delay-us US] [--k-max K]"
                     );
@@ -102,18 +119,7 @@ fn main() {
         eprintln!("--shards, --n and --dim must all be at least 1");
         exit(2);
     }
-    eprintln!("generating {} clustered vectors in R^{}…", args.n, args.dim);
-    let data = generate(
-        Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
-        args.n,
-        args.dim,
-        args.seed,
-    );
     let config = C2lshConfig::builder().bucket_width(args.bucket_width).seed(args.seed).build();
-    let sharded = ShardedData::partition(&data, args.shards);
-    eprintln!("building {} shards…", args.shards);
-    let engine = ShardedEngine::build(&sharded, &config);
-    let params = engine.params();
     let service = ServiceConfig {
         max_batch: args.max_batch,
         max_delay: Duration::from_micros(args.max_delay_us),
@@ -121,28 +127,89 @@ fn main() {
         k_max: args.k_max,
         ..ServiceConfig::default()
     };
-
     let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {}: {e}", args.addr);
         exit(1);
     });
-    eprintln!(
-        "cc-service listening on {} — n = {}, d = {}, shards = {}, m = {}, l = {}",
-        listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr.clone()),
-        args.n,
-        args.dim,
-        args.shards,
-        params.m,
-        params.l,
-    );
-    match cc_service::serve(&engine, listener, &service) {
+    let shown_addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr.clone());
+
+    let stats = match args.mode.as_str() {
+        "sharded" => {
+            eprintln!("generating {} clustered vectors in R^{}…", args.n, args.dim);
+            let data = generate(
+                Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+                args.n,
+                args.dim,
+                args.seed,
+            );
+            let sharded = ShardedData::partition(&data, args.shards);
+            eprintln!("building {} shards…", args.shards);
+            let engine = ShardedEngine::build(&sharded, &config);
+            let params = engine.params();
+            eprintln!(
+                "cc-service listening on {shown_addr} — read-only, n = {}, d = {}, \
+                 shards = {}, m = {}, l = {}",
+                args.n, args.dim, args.shards, params.m, params.l,
+            );
+            cc_service::serve(&engine, listener, &service)
+        }
+        "dynamic" => {
+            let engine = match &args.wal {
+                Some(dir) => {
+                    MutableIndex::open(dir, args.dim, args.n, &config).unwrap_or_else(|e| {
+                        eprintln!("cannot open WAL directory {dir}: {e}");
+                        exit(1);
+                    })
+                }
+                None => MutableIndex::ephemeral(DynamicIndex::new(args.dim, args.n, &config)),
+            };
+            if engine.is_empty() && engine.last_seq() == 0 {
+                // Fresh store: seed it with the synthetic dataset so
+                // the server has something to answer about. A recovered
+                // store keeps its own data untouched.
+                eprintln!("seeding {} clustered vectors in R^{}…", args.n, args.dim);
+                let data = generate(
+                    Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+                    args.n,
+                    args.dim,
+                    args.seed,
+                );
+                // Chunked batches keep the WAL group commits (and the
+                // clone-per-batch cost) bounded during the bulk load.
+                let rows: Vec<MutationOp> =
+                    data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+                for chunk in rows.chunks(4096) {
+                    if let Err(e) = engine.apply_batch(chunk) {
+                        eprintln!("bulk load failed: {e}");
+                        exit(1);
+                    }
+                }
+            }
+            eprintln!(
+                "cc-service listening on {shown_addr} — dynamic{}, n = {}, d = {}, seq = {}",
+                if args.wal.is_some() { " (WAL-backed)" } else { " (ephemeral)" },
+                engine.len(),
+                args.dim,
+                engine.last_seq(),
+            );
+            cc_service::serve(&engine, listener, &service)
+        }
+        other => {
+            eprintln!("unknown --mode {other} (expected sharded or dynamic)");
+            exit(2);
+        }
+    };
+
+    match stats {
         Ok(stats) => {
             eprintln!(
                 "drained: {} queries in {} batches (largest {}), \
-                 {} overloaded, {} expired, {} errors",
+                 {} inserts, {} deletes, {} overloaded, {} expired, {} errors",
                 stats.queries,
                 stats.batches,
                 stats.max_batch,
+                stats.inserts,
+                stats.deletes,
                 stats.overloaded,
                 stats.deadline_expired,
                 stats.errors,

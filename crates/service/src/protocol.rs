@@ -12,6 +12,8 @@
 //!                         u32 dim | dim × f32
 //!          0x03 Stats
 //!          0x04 Shutdown
+//!          0x05 Insert    u32 dim | dim × f32
+//!          0x06 Delete    u32 oid
 //!
 //! response 0x81 Pong
 //!          0x82 TopK      u32 count | count × (u32 id, f64 dist)
@@ -19,8 +21,15 @@
 //!          0x84 DeadlineExceeded    (expired while queued)
 //!          0x85 StatsJson utf-8 JSON document
 //!          0x86 ShutdownAck
+//!          0x87 InsertAck u32 oid | u64 seq
+//!          0x88 DeleteAck u8 found (0/1) | u32 oid | u64 seq
 //!          0x8F Error     utf-8 message
 //! ```
+//!
+//! An `InsertAck`/`DeleteAck` is sent only after the mutation's WAL
+//! record is fsynced, so receiving one certifies durability; `seq` is
+//! the WAL sequence number (for a delete miss, `found = 0` and `seq`
+//! is the server's current high-water mark).
 //!
 //! Distances travel as `f64` so a served answer is bit-identical to a
 //! local [`cc_vector::gt::Neighbor`] — the integration tests compare
@@ -54,6 +63,18 @@ pub enum Request {
     /// Begin graceful shutdown: the server stops admitting work,
     /// drains its queue, answers everything in flight, then exits.
     Shutdown,
+    /// Insert a vector; answered with [`Response::InsertAck`] once the
+    /// mutation is durable (or [`Response::Error`] if the engine is
+    /// immutable or the vector invalid).
+    Insert {
+        /// The vector to insert.
+        vector: Vec<f32>,
+    },
+    /// Delete an object by id; answered with [`Response::DeleteAck`].
+    Delete {
+        /// The object id to remove.
+        oid: u32,
+    },
 }
 
 /// A server-to-client frame.
@@ -72,6 +93,22 @@ pub enum Response {
     /// Shutdown acknowledged; the connection will close after the
     /// drain completes.
     ShutdownAck,
+    /// The insert was applied and is durable.
+    InsertAck {
+        /// Object id the index assigned.
+        oid: u32,
+        /// WAL sequence number of the mutation.
+        seq: u64,
+    },
+    /// The delete was processed and (when `found`) is durable.
+    DeleteAck {
+        /// The requested object id.
+        oid: u32,
+        /// `true` when the object existed and was removed.
+        found: bool,
+        /// WAL sequence number (high-water mark for a miss).
+        seq: u64,
+    },
     /// The request was rejected (bad dimensionality, k out of range,
     /// server draining, …).
     Error(String),
@@ -107,12 +144,16 @@ const OP_PING: u8 = 0x01;
 const OP_QUERY: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_INSERT: u8 = 0x05;
+const OP_DELETE: u8 = 0x06;
 const OP_PONG: u8 = 0x81;
 const OP_TOPK: u8 = 0x82;
 const OP_OVERLOADED: u8 = 0x83;
 const OP_DEADLINE: u8 = 0x84;
 const OP_STATS_JSON: u8 = 0x85;
 const OP_SHUTDOWN_ACK: u8 = 0x86;
+const OP_INSERT_ACK: u8 = 0x87;
+const OP_DELETE_ACK: u8 = 0x88;
 const OP_ERROR: u8 = 0x8F;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -136,6 +177,21 @@ fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => vec![OP_STATS],
         Request::Shutdown => vec![OP_SHUTDOWN],
+        Request::Insert { vector } => {
+            let mut buf = Vec::with_capacity(5 + vector.len() * 4);
+            buf.push(OP_INSERT);
+            put_u32(&mut buf, vector.len() as u32);
+            for x in vector {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            buf
+        }
+        Request::Delete { oid } => {
+            let mut buf = Vec::with_capacity(5);
+            buf.push(OP_DELETE);
+            put_u32(&mut buf, *oid);
+            buf
+        }
     }
 }
 
@@ -162,6 +218,21 @@ fn encode_response(resp: &Response) -> Vec<u8> {
             buf
         }
         Response::ShutdownAck => vec![OP_SHUTDOWN_ACK],
+        Response::InsertAck { oid, seq } => {
+            let mut buf = Vec::with_capacity(13);
+            buf.push(OP_INSERT_ACK);
+            put_u32(&mut buf, *oid);
+            buf.extend_from_slice(&seq.to_le_bytes());
+            buf
+        }
+        Response::DeleteAck { oid, found, seq } => {
+            let mut buf = Vec::with_capacity(14);
+            buf.push(OP_DELETE_ACK);
+            buf.push(u8::from(*found));
+            put_u32(&mut buf, *oid);
+            buf.extend_from_slice(&seq.to_le_bytes());
+            buf
+        }
         Response::Error(msg) => {
             let mut buf = Vec::with_capacity(1 + msg.len());
             buf.push(OP_ERROR);
@@ -227,8 +298,16 @@ impl<'a> Cur<'a> {
         Ok(head)
     }
 
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
     fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     fn f32(&mut self) -> Result<f32, ProtoError> {
@@ -275,6 +354,18 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
         }
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_INSERT => {
+            let dim = cur.u32()? as usize;
+            if dim == 0 || dim > MAX_FRAME / 4 {
+                return Err(ProtoError::Malformed(format!("bad insert dimensionality {dim}")));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vector.push(cur.f32()?);
+            }
+            Request::Insert { vector }
+        }
+        OP_DELETE => Request::Delete { oid: cur.u32()? },
         op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
     };
     cur.finish()?;
@@ -304,6 +395,21 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ProtoError> 
         OP_DEADLINE => Response::DeadlineExceeded,
         OP_STATS_JSON => Response::StatsJson(cur.utf8_rest()?),
         OP_SHUTDOWN_ACK => Response::ShutdownAck,
+        OP_INSERT_ACK => {
+            let oid = cur.u32()?;
+            let seq = cur.u64()?;
+            Response::InsertAck { oid, seq }
+        }
+        OP_DELETE_ACK => {
+            let found = match cur.u8()? {
+                0 => false,
+                1 => true,
+                x => return Err(ProtoError::Malformed(format!("bad found flag {x}"))),
+            };
+            let oid = cur.u32()?;
+            let seq = cur.u64()?;
+            Response::DeleteAck { oid, found, seq }
+        }
         OP_ERROR => Response::Error(cur.utf8_rest()?),
         op => return Err(ProtoError::Malformed(format!("unknown response opcode {op:#04x}"))),
     };
@@ -335,6 +441,8 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Query { k: 7, deadline_ms: 250, vector: vec![1.5, -2.25, 0.0, f32::MIN] },
+            Request::Insert { vector: vec![0.25, -9.5, f32::MAX] },
+            Request::Delete { oid: u32::MAX },
         ] {
             assert_eq!(round_trip_request(req.clone()), req);
         }
@@ -350,9 +458,23 @@ mod tests {
             Response::StatsJson("{\"queries\":3}".into()),
             Response::Error("dim mismatch".into()),
             Response::TopK(vec![Neighbor::new(3, 0.25), Neighbor::new(9, 1e300)]),
+            Response::InsertAck { oid: 12, seq: u64::MAX },
+            Response::DeleteAck { oid: 4, found: true, seq: 99 },
+            Response::DeleteAck { oid: 5, found: false, seq: 0 },
         ] {
             assert_eq!(round_trip_response(resp.clone()), resp);
         }
+    }
+
+    #[test]
+    fn delete_ack_found_flag_must_be_boolean() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::DeleteAck { oid: 1, found: true, seq: 2 }).unwrap();
+        wire[5] = 2; // the `found` byte, right after len(4) + opcode(1)
+        assert!(matches!(
+            read_response(&mut Cursor::new(&wire[..])),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

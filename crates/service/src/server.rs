@@ -12,14 +12,23 @@
 //!
 //! Every connection gets a thread (scoped — [`serve`] returns only
 //! after all of them joined). A handler never touches the engine
-//! directly: it validates the request, pushes a `Pending` onto the
-//! shared queue and blocks on a private reply channel. The single
-//! batcher thread drains the queue — waiting up to
-//! [`ServiceConfig::max_delay`] for the batch to fill to
-//! [`ServiceConfig::max_batch`] — and answers a whole batch with one
-//! [`ShardedEngine::query_batch_with`] call, so concurrent clients
-//! share the engine's scoped-parallel executor instead of contending
-//! for it.
+//! directly: it validates the request, pushes work onto the shared
+//! queue and blocks on a private reply channel. The single batcher
+//! thread drains the queue — waiting up to [`ServiceConfig::max_delay`]
+//! for the batch to fill to [`ServiceConfig::max_batch`] — and answers
+//! a whole batch with one [`ServeEngine::query_batch_with`] call, so
+//! concurrent clients share the engine's scoped-parallel executor
+//! instead of contending for it.
+//!
+//! The engine behind the queue is anything implementing
+//! [`ServeEngine`]: the read-only [`ShardedEngine`] or the mutable,
+//! WAL-backed [`c2lsh::MutableIndex`]. When a flush contains both
+//! mutations and queries, the mutations are applied first — as one
+//! group-committed [`c2lsh::MutableIndex::apply_batch`] — and the
+//! queries then run against the post-batch snapshot. Acknowledgements
+//! go out only after the batch's WAL fsync, so a client that received
+//! an ack and then queries always sees its own write
+//! (read-your-writes), and the write survives a crash.
 //!
 //! **Admission control** is a hard bound: when the queue already holds
 //! [`ServiceConfig::queue_capacity`] requests, new queries are refused
@@ -36,15 +45,125 @@
 use crate::json::JsonObject;
 use crate::protocol::{self, ProtoError, Request, Response};
 use c2lsh::engine::SearchOptions;
-use c2lsh::stats::BatchStats;
-use c2lsh::ShardedEngine;
+use c2lsh::stats::{BatchStats, MutationStats, QueryStats};
+use c2lsh::{MutableIndex, MutationAck, MutationOp, ShardedEngine};
 use cc_vector::dataset::Dataset;
+use cc_vector::gt::Neighbor;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// What the serving layer needs from an engine. Implemented by the
+/// read-only [`ShardedEngine`] (mutations rejected at admission) and by
+/// [`MutableIndex`] (snapshot reads + WAL-backed mutations).
+pub trait ServeEngine: Sync {
+    /// Dataset dimensionality (used to validate requests).
+    fn dim(&self) -> usize;
+
+    /// Live objects served.
+    fn len(&self) -> usize;
+
+    /// Whether the engine currently serves no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shards behind this engine (1 for unsharded engines); reported in
+    /// the stats document.
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    /// Answer a whole batch of queries; semantics of
+    /// [`ShardedEngine::query_batch_with`].
+    fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats);
+
+    /// `true` when [`ServeEngine::apply_mutations`] is supported; when
+    /// `false`, insert/delete requests are refused at admission.
+    fn supports_mutations(&self) -> bool {
+        false
+    }
+
+    /// Apply one batch of mutations durably (WAL append + fsync before
+    /// returning) and return per-op acknowledgements plus the batch's
+    /// [`MutationStats`] delta.
+    fn apply_mutations(
+        &self,
+        _ops: Vec<MutationOp>,
+    ) -> io::Result<(Vec<MutationAck>, MutationStats)> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "engine is immutable"))
+    }
+
+    /// Cumulative write-path counters, `None` for immutable engines.
+    fn mutation_stats(&self) -> Option<MutationStats> {
+        None
+    }
+}
+
+impl ServeEngine for ShardedEngine<'_> {
+    fn dim(&self) -> usize {
+        ShardedEngine::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedEngine::len(self)
+    }
+
+    fn num_shards(&self) -> usize {
+        ShardedEngine::num_shards(self)
+    }
+
+    fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        ShardedEngine::query_batch_with(self, queries, k, opts)
+    }
+}
+
+impl ServeEngine for MutableIndex {
+    fn dim(&self) -> usize {
+        MutableIndex::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        MutableIndex::len(self)
+    }
+
+    fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        MutableIndex::query_batch_with(self, queries, k, opts)
+    }
+
+    fn supports_mutations(&self) -> bool {
+        true
+    }
+
+    fn apply_mutations(
+        &self,
+        ops: Vec<MutationOp>,
+    ) -> io::Result<(Vec<MutationAck>, MutationStats)> {
+        self.apply_batch(&ops)
+    }
+
+    fn mutation_stats(&self) -> Option<MutationStats> {
+        Some(MutableIndex::mutation_stats(self))
+    }
+}
 
 /// Tunables of the serving layer (the engine has its own config).
 #[derive(Debug, Clone)]
@@ -93,8 +212,15 @@ pub struct ServiceStats {
     pub deadline_expired: u64,
     /// Requests answered with [`Response::Error`].
     pub errors: u64,
+    /// Inserts acknowledged.
+    pub inserts: u64,
+    /// Deletes acknowledged (found or not).
+    pub deletes: u64,
+    /// Flushes that applied at least one mutation.
+    pub mutation_batches: u64,
     /// Engine-side work, folded across all flushes with
-    /// [`BatchStats::merge`].
+    /// [`BatchStats::merge`]; includes the write path in
+    /// [`BatchStats::mutations`].
     pub engine: BatchStats,
 }
 
@@ -106,12 +232,23 @@ struct Pending {
     tx: mpsc::Sender<Response>,
 }
 
+/// One unit of admitted work.
+enum Work {
+    Query(Pending),
+    /// An insert or delete plus its reply channel; acknowledged only
+    /// after the flush's WAL fsync.
+    Mutation {
+        op: MutationOp,
+        tx: mpsc::Sender<Response>,
+    },
+}
+
 /// Queue state guarded by one mutex: the drain flag lives *inside* so
 /// admission and the batcher's exit decision serialize — once a
 /// handler admits a query under the lock, the batcher cannot already
 /// have made its final sweep.
 struct Queue {
-    items: VecDeque<Pending>,
+    items: VecDeque<Work>,
     draining: bool,
 }
 
@@ -128,8 +265,8 @@ struct Shared {
 /// connections on `listener`, answer queries from `engine`, then drain
 /// and return the final [`ServiceStats`] snapshot. All worker threads
 /// are scoped — when this returns, none survive.
-pub fn serve(
-    engine: &ShardedEngine<'_>,
+pub fn serve<E: ServeEngine>(
+    engine: &E,
     listener: TcpListener,
     config: &ServiceConfig,
 ) -> io::Result<ServiceStats> {
@@ -185,8 +322,8 @@ pub fn serve(
     Ok(stats)
 }
 
-fn handle_connection(
-    engine: &ShardedEngine<'_>,
+fn handle_connection<E: ServeEngine>(
+    engine: &E,
     shared: &Shared,
     config: &ServiceConfig,
     mut stream: TcpStream,
@@ -197,8 +334,8 @@ fn handle_connection(
     shared.conns.lock().unwrap().retain(|(cid, _)| *cid != id);
 }
 
-fn serve_connection(
-    engine: &ShardedEngine<'_>,
+fn serve_connection<E: ServeEngine>(
+    engine: &E,
     shared: &Shared,
     config: &ServiceConfig,
     stream: &mut TcpStream,
@@ -228,6 +365,12 @@ fn serve_connection(
             Request::Query { k, deadline_ms, vector } => {
                 answer_query(engine, shared, config, k, deadline_ms, vector)
             }
+            Request::Insert { vector } => {
+                answer_mutation(engine, shared, config, MutationOp::Insert { vector })
+            }
+            Request::Delete { oid } => {
+                answer_mutation(engine, shared, config, MutationOp::Delete { oid })
+            }
         };
         if matches!(resp, Response::Error(_)) {
             shared.stats.lock().unwrap().errors += 1;
@@ -238,8 +381,8 @@ fn serve_connection(
 
 /// Validate, admit and wait out one query. Never touches the engine —
 /// the batcher answers through the reply channel.
-fn answer_query(
-    engine: &ShardedEngine<'_>,
+fn answer_query<E: ServeEngine>(
+    engine: &E,
     shared: &Shared,
     config: &ServiceConfig,
     k: u32,
@@ -273,7 +416,7 @@ fn answer_query(
             shared.stats.lock().unwrap().overloaded += 1;
             return Response::Overloaded;
         }
-        q.items.push_back(Pending { vector, k: k as usize, deadline, tx });
+        q.items.push_back(Work::Query(Pending { vector, k: k as usize, deadline, tx }));
         shared.not_empty.notify_one();
     }
     // The batcher answers every admitted request, including during the
@@ -281,12 +424,53 @@ fn answer_query(
     rx.recv().unwrap_or_else(|_| Response::Error("server shut down before answering".into()))
 }
 
+/// Validate, admit and wait out one mutation. Rejected up front when
+/// the engine is immutable or the payload invalid; otherwise the
+/// batcher replies after the flush's group-commit fsync, so the
+/// returned ack certifies durability.
+fn answer_mutation<E: ServeEngine>(
+    engine: &E,
+    shared: &Shared,
+    config: &ServiceConfig,
+    op: MutationOp,
+) -> Response {
+    if !engine.supports_mutations() {
+        return Response::Error("engine is immutable: mutations are not supported".into());
+    }
+    if let MutationOp::Insert { vector } = &op {
+        if vector.len() != engine.dim() {
+            return Response::Error(format!(
+                "insert dimensionality {} does not match the index ({})",
+                vector.len(),
+                engine.dim()
+            ));
+        }
+        if !vector.iter().all(|x| x.is_finite()) {
+            return Response::Error("insert contains non-finite coordinates".into());
+        }
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap();
+        if q.draining {
+            return Response::Error("server is draining".into());
+        }
+        if q.items.len() >= config.queue_capacity {
+            shared.stats.lock().unwrap().overloaded += 1;
+            return Response::Overloaded;
+        }
+        q.items.push_back(Work::Mutation { op, tx });
+        shared.not_empty.notify_one();
+    }
+    rx.recv().unwrap_or_else(|_| Response::Error("server shut down before answering".into()))
+}
+
 /// The single batching worker: wait for work, linger for coalescing,
 /// flush through the engine. Exits once draining *and* empty — both
 /// checked under the queue lock, so no admitted request is stranded.
-fn batcher_loop(engine: &ShardedEngine<'_>, shared: &Shared, config: &ServiceConfig) {
+fn batcher_loop<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceConfig) {
     loop {
-        let batch: Vec<Pending> = {
+        let batch: Vec<Work> = {
             let mut q = shared.queue.lock().unwrap();
             loop {
                 if q.items.is_empty() {
@@ -320,16 +504,61 @@ fn batcher_loop(engine: &ShardedEngine<'_>, shared: &Shared, config: &ServiceCon
     }
 }
 
-/// Answer one drained batch: expire stale deadlines, run the rest as
-/// one engine batch at the largest requested `k`, reply per request.
-fn flush(engine: &ShardedEngine<'_>, shared: &Shared, batch: Vec<Pending>) {
+/// Answer one drained batch: apply its mutations first (one durable
+/// [`ServeEngine::apply_mutations`] call — group commit), acknowledge
+/// them, then expire stale deadlines and run the remaining queries as
+/// one engine batch at the largest requested `k`. Ordering mutations
+/// before queries keeps a flush monotone: no query in the batch can
+/// miss a mutation that was acknowledged before the query was sent.
+fn flush<E: ServeEngine>(engine: &E, shared: &Shared, batch: Vec<Work>) {
     let now = Instant::now();
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
     let mut expired: Vec<Pending> = Vec::new();
-    for p in batch {
-        match p.deadline {
-            Some(d) if d <= now => expired.push(p),
-            _ => live.push(p),
+    let mut ops: Vec<MutationOp> = Vec::new();
+    let mut op_txs: Vec<mpsc::Sender<Response>> = Vec::new();
+    for w in batch {
+        match w {
+            Work::Mutation { op, tx } => {
+                ops.push(op);
+                op_txs.push(tx);
+            }
+            Work::Query(p) => match p.deadline {
+                Some(d) if d <= now => expired.push(p),
+                _ => live.push(p),
+            },
+        }
+    }
+
+    if !ops.is_empty() {
+        match engine.apply_mutations(ops) {
+            Ok((acks, delta)) => {
+                {
+                    let mut st = shared.stats.lock().unwrap();
+                    st.inserts += delta.inserts;
+                    st.deletes += delta.deletes + delta.delete_misses;
+                    st.mutation_batches += 1;
+                    st.engine.mutations.merge(&delta);
+                }
+                // Replies only after the stats are recorded (and, more
+                // importantly, after apply_mutations' fsync returned).
+                for (tx, ack) in op_txs.iter().zip(acks) {
+                    let resp = match ack {
+                        MutationAck::Inserted { oid, seq } => Response::InsertAck { oid, seq },
+                        MutationAck::Deleted { oid, found, seq } => {
+                            Response::DeleteAck { oid, found, seq }
+                        }
+                    };
+                    let _ = tx.send(resp);
+                }
+            }
+            Err(e) => {
+                let mut st = shared.stats.lock().unwrap();
+                st.errors += op_txs.len() as u64;
+                drop(st);
+                for tx in &op_txs {
+                    let _ = tx.send(Response::Error(format!("mutation failed: {e}")));
+                }
+            }
         }
     }
     let batch_len = live.len();
@@ -371,7 +600,7 @@ fn begin_shutdown(shared: &Shared) {
 
 /// Serialize the current counters (plus static index facts) for the
 /// stats frame.
-fn render_stats(engine: &ShardedEngine<'_>, shared: &Shared) -> String {
+fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
     let st = shared.stats.lock().unwrap().clone();
     let draining = shared.queue.lock().unwrap().draining;
     let e = &st.engine;
@@ -386,7 +615,7 @@ fn render_stats(engine: &ShardedEngine<'_>, shared: &Shared) -> String {
         .field_u64("io_reads", e.io.reads)
         .field_u64("elapsed_nanos", e.elapsed_nanos)
         .finish();
-    JsonObject::new()
+    let mut doc = JsonObject::new()
         .field_str("state", if draining { "draining" } else { "serving" })
         .field_u64("shards", engine.num_shards() as u64)
         .field_u64("objects", engine.len() as u64)
@@ -397,6 +626,25 @@ fn render_stats(engine: &ShardedEngine<'_>, shared: &Shared) -> String {
         .field_u64("overloaded", st.overloaded)
         .field_u64("deadline_expired", st.deadline_expired)
         .field_u64("errors", st.errors)
-        .field_obj("engine", &engine_obj)
-        .finish()
+        .field_u64("inserts", st.inserts)
+        .field_u64("deletes", st.deletes)
+        .field_u64("mutation_batches", st.mutation_batches)
+        .field_obj("engine", &engine_obj);
+    // Cumulative write-path counters straight from the engine (these
+    // include recovery state — `last_seq` survives restarts — where the
+    // ServiceStats counters above start at zero per process).
+    if let Some(m) = engine.mutation_stats() {
+        let mutations = JsonObject::new()
+            .field_u64("inserts", m.inserts)
+            .field_u64("deletes", m.deletes)
+            .field_u64("delete_misses", m.delete_misses)
+            .field_u64("batches", m.batches)
+            .field_u64("wal_records", m.wal_records)
+            .field_u64("wal_syncs", m.wal_syncs)
+            .field_u64("wal_bytes", m.wal_bytes)
+            .field_u64("last_seq", m.last_seq)
+            .finish();
+        doc = doc.field_obj("mutations", &mutations);
+    }
+    doc.finish()
 }

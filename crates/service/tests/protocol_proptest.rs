@@ -1,0 +1,128 @@
+//! Property tests for the wire protocol, centred on the mutation
+//! frames: insert/delete requests and their acks round-trip for
+//! arbitrary payloads, every truncation of a valid frame is rejected
+//! (or reported as clean EOF) rather than mis-parsed, unknown opcodes
+//! are refused in both directions, and arbitrary garbage never panics
+//! the decoder.
+
+use cc_service::protocol::{read_request, read_response, write_request, write_response};
+use cc_service::{ProtoError, Request, Response};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn coord() -> impl Strategy<Value = f32> {
+    -1.0e6f32..1.0e6
+}
+
+fn request_wire(req: &Request) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_request(&mut wire, req).unwrap();
+    wire
+}
+
+fn response_wire(resp: &Response) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_response(&mut wire, resp).unwrap();
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insert_request_round_trips(vector in proptest::collection::vec(coord(), 1..32)) {
+        let req = Request::Insert { vector };
+        let got = read_request(&mut Cursor::new(request_wire(&req))).unwrap().unwrap();
+        prop_assert_eq!(got, req);
+    }
+
+    #[test]
+    fn delete_request_round_trips(oid in 0u32..u32::MAX) {
+        let req = Request::Delete { oid };
+        let got = read_request(&mut Cursor::new(request_wire(&req))).unwrap().unwrap();
+        prop_assert_eq!(got, req);
+    }
+
+    #[test]
+    fn ack_responses_round_trip(oid in 0u32..u32::MAX, seq in 0u64..u64::MAX, found in 0u8..2) {
+        for resp in [
+            Response::InsertAck { oid, seq },
+            Response::DeleteAck { oid, found: found == 1, seq },
+        ] {
+            let got = read_response(&mut Cursor::new(response_wire(&resp))).unwrap().unwrap();
+            prop_assert_eq!(got, resp);
+        }
+    }
+
+    /// Every strict truncation of a valid mutation frame must surface
+    /// as an error or a clean EOF — decoding a different value from a
+    /// torn frame would let a half-written ack certify a mutation that
+    /// never became durable.
+    #[test]
+    fn truncated_mutation_frames_never_misparse(
+        vector in proptest::collection::vec(coord(), 1..16),
+        oid in 0u32..u32::MAX,
+        seq in 0u64..u64::MAX,
+    ) {
+        for wire in [
+            request_wire(&Request::Insert { vector: vector.clone() }),
+            request_wire(&Request::Delete { oid }),
+        ] {
+            for len in 0..wire.len() {
+                match read_request(&mut Cursor::new(&wire[..len])) {
+                    Ok(None) | Err(_) => {}
+                    Ok(Some(got)) => panic!(
+                        "request truncated to {len}/{} bytes parsed as {got:?}",
+                        wire.len()
+                    ),
+                }
+            }
+        }
+        for wire in [
+            response_wire(&Response::InsertAck { oid, seq }),
+            response_wire(&Response::DeleteAck { oid, found: true, seq }),
+        ] {
+            for len in 0..wire.len() {
+                match read_response(&mut Cursor::new(&wire[..len])) {
+                    Ok(None) | Err(_) => {}
+                    Ok(Some(got)) => panic!(
+                        "response truncated to {len}/{} bytes parsed as {got:?}",
+                        wire.len()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Opcodes `0x07..=0x7E` name no request and `0x89..=0x8E` name no
+    /// response: both directions must refuse them as malformed no
+    /// matter what body follows.
+    #[test]
+    fn unknown_opcodes_are_rejected(
+        req_op in 0x07u8..0x7F,
+        resp_op in 0x89u8..0x8F,
+        body in proptest::collection::vec(0u8..255, 0..32),
+    ) {
+        let mut wire = ((body.len() + 1) as u32).to_le_bytes().to_vec();
+        wire.push(req_op);
+        wire.extend_from_slice(&body);
+        prop_assert!(matches!(
+            read_request(&mut Cursor::new(&wire[..])),
+            Err(ProtoError::Malformed(_))
+        ), "request opcode {req_op:#04x} must be unknown");
+
+        wire[4] = resp_op;
+        prop_assert!(matches!(
+            read_response(&mut Cursor::new(&wire[..])),
+            Err(ProtoError::Malformed(_))
+        ), "response opcode {resp_op:#04x} must be unknown");
+    }
+
+    /// Arbitrary bytes through either decoder: error or clean EOF only,
+    /// never a panic.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(0u8..255, 0..64)) {
+        let _ = read_request(&mut Cursor::new(&bytes[..]));
+        let _ = read_response(&mut Cursor::new(&bytes[..]));
+    }
+}

@@ -3,9 +3,15 @@
 //! bit-exactly with a single unsharded index), request coalescing
 //! evidence, admission control, deadline expiry, protocol-violation
 //! handling, and graceful drain with a leaked-thread watchdog.
+//!
+//! The second half drives the mutable engine over the same wire:
+//! durable insert/delete acks with racing readers, mutation rejection
+//! on a read-only engine, and — against the real `cc-service` binary —
+//! SIGKILL mid-service followed by a restart that must recover every
+//! acknowledged mutation from the WAL.
 
 use c2lsh::config::Beta;
-use c2lsh::{C2lshConfig, C2lshIndex, ShardedData, ShardedEngine};
+use c2lsh::{C2lshConfig, C2lshIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
 use cc_service::json::find_u64;
 use cc_service::{Client, Response, ServiceConfig};
 use cc_vector::dataset::Dataset;
@@ -243,4 +249,289 @@ fn malformed_frames_are_rejected_and_connection_closed() {
         })
         .unwrap();
     });
+}
+
+/// A read-only (sharded) engine must refuse mutation frames at
+/// admission with an `Error` response — and keep serving queries.
+#[test]
+fn sharded_engine_rejects_mutations() {
+    const N: usize = 200;
+    const D: usize = 8;
+    let data = clustered(N, D, 9);
+    let cfg = cfg_exact(N);
+    let sharded = ShardedData::partition(&data, 2);
+    let engine = ShardedEngine::build(&sharded, &cfg);
+    let service = ServiceConfig::default();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    with_watchdog("sharded_rejects_mutations", Duration::from_secs(60), || {
+        let (engine, service) = (&engine, &service);
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+
+            let mut client = Client::connect(addr).unwrap();
+            assert!(client.insert(&[0.5f32; D]).is_err(), "insert must be refused");
+            assert!(client.delete(3).is_err(), "delete must be refused");
+
+            // Still alive and still read-correct.
+            let nn = client.top_k(data.get(4), 1).unwrap();
+            assert_eq!(nn[0].id, 4);
+            let json = client.stats_json().unwrap();
+            assert_eq!(find_u64(&json, "errors"), Some(2), "{json}");
+            assert_eq!(find_u64(&json, "inserts"), Some(0), "{json}");
+
+            client.shutdown().unwrap();
+            server.join().unwrap();
+        })
+        .unwrap();
+    });
+}
+
+/// The mutable engine over the wire: writers insert distinctive
+/// vectors and delete seeded objects while readers hammer queries.
+/// Every ack must prove read-your-writes on the next query,
+/// the stats frame must expose the write path, and after a graceful
+/// drain the WAL directory must reopen to exactly the acknowledged
+/// state (durability without even needing a crash).
+#[test]
+fn mutable_server_applies_durable_mutations_under_racing_readers() {
+    const SEED_N: usize = 300;
+    const D: usize = 8;
+    const WRITERS: usize = 4;
+    const READERS: usize = 2;
+    const READS: usize = 20;
+
+    let dir = cc_storage::wal::scratch_dir("svc-mutable");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = cfg_exact(SEED_N);
+    let data = clustered(SEED_N, D, 7);
+
+    let engine = MutableIndex::open(&dir, D, SEED_N, &cfg).unwrap();
+    let seed_ops: Vec<MutationOp> =
+        data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+    engine.apply_batch(&seed_ops).unwrap();
+    assert_eq!(engine.last_seq(), SEED_N as u64);
+
+    let service = ServiceConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(5),
+        queue_capacity: 256,
+        k_max: 64,
+        drain_grace: Duration::from_secs(5),
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let acked = std::sync::Mutex::new(Vec::<(u32, Vec<f32>)>::new());
+    with_watchdog("mutable_server", Duration::from_secs(120), || {
+        let (engine, service, data, acked) = (&engine, &service, &data, &acked);
+        let (ack_tx, ack_rx) = mpsc::channel::<(u32, Vec<f32>)>();
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+            let mut control = Client::connect(addr).unwrap();
+            control.ping().unwrap();
+
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|t| {
+                    let ack_tx = ack_tx.clone();
+                    s.spawn(move |_| {
+                        let mut client = Client::connect(addr).unwrap();
+                        // A vector far outside the seeded clusters,
+                        // unique per writer.
+                        let novel: Vec<f32> = (0..D).map(|j| 2000.0 + (t * D + j) as f32).collect();
+                        let (oid, seq) = client.insert(&novel).unwrap();
+                        assert!(seq > SEED_N as u64, "acked seq must follow the seed history");
+                        // Read-your-writes: the ack precedes this query,
+                        // and the batcher applies mutations before the
+                        // queries of any later flush.
+                        let nn = client.top_k(&novel, 1).unwrap();
+                        assert_eq!(nn[0].id, oid, "writer {t} cannot see its own insert");
+                        assert_eq!(nn[0].dist, 0.0);
+                        ack_tx.send((oid, novel)).unwrap();
+
+                        // Delete a distinct seeded object and prove it gone:
+                        // no exact duplicate exists, so top-1 distance to the
+                        // deleted vector must become nonzero.
+                        let victim = (t * 2) as u32;
+                        let (found, _) = client.delete(victim).unwrap();
+                        assert!(found, "seeded oid {victim} must exist");
+                        let nn = client.top_k(data.get(victim as usize), 1).unwrap();
+                        assert!(
+                            nn[0].id != victim && nn[0].dist > 0.0,
+                            "deleted object {victim} still served: {nn:?}"
+                        );
+                    })
+                })
+                .collect();
+            let readers: Vec<_> = (0..READERS)
+                .map(|r| {
+                    s.spawn(move |_| {
+                        let mut client = Client::connect(addr).unwrap();
+                        for i in 0..READS {
+                            let qi = (r * READS + i) % SEED_N;
+                            // Concurrent with deletes, so only sanity is
+                            // checkable: a well-formed, ordered answer.
+                            let nn = client.top_k(data.get(qi), 3).unwrap();
+                            assert!(!nn.is_empty());
+                            assert!(nn.windows(2).all(|w| w[0].dist <= w[1].dist));
+                        }
+                    })
+                })
+                .collect();
+            for h in writers.into_iter().chain(readers) {
+                h.join().unwrap();
+            }
+
+            let json = control.stats_json().unwrap();
+            assert_eq!(find_u64(&json, "inserts"), Some(WRITERS as u64), "{json}");
+            assert_eq!(find_u64(&json, "deletes"), Some(WRITERS as u64), "{json}");
+            assert_eq!(
+                find_u64(&json, "wal_records"),
+                Some((SEED_N + 2 * WRITERS) as u64),
+                "{json}"
+            );
+            assert_eq!(find_u64(&json, "last_seq"), Some((SEED_N + 2 * WRITERS) as u64), "{json}");
+            assert_eq!(find_u64(&json, "delete_misses"), Some(0), "{json}");
+            let batches = find_u64(&json, "mutation_batches").unwrap();
+            assert!(batches >= 1 && batches <= 2 * WRITERS as u64, "{json}");
+
+            control.shutdown().unwrap();
+            let stats = server.join().unwrap();
+            assert_eq!(stats.inserts, WRITERS as u64);
+            assert_eq!(stats.deletes, WRITERS as u64);
+            drop(ack_tx);
+            acked.lock().unwrap().extend(ack_rx);
+        })
+        .unwrap();
+    });
+
+    // Durability, the gentle way: a fresh process-equivalent reopen of
+    // the directory must reconstruct exactly the acknowledged state.
+    drop(engine);
+    let reopened = MutableIndex::open(&dir, D, SEED_N, &cfg).unwrap();
+    assert_eq!(reopened.last_seq(), (SEED_N + 2 * WRITERS) as u64);
+    assert_eq!(reopened.len(), SEED_N, "each writer added one and removed one");
+    let acked = acked.into_inner().unwrap();
+    for (oid, novel) in &acked {
+        let (nn, _) = reopened.query(novel, 1);
+        assert_eq!(nn[0].id, *oid, "acked insert lost across reopen");
+        assert_eq!(nn[0].dist, 0.0);
+    }
+    for t in 0..WRITERS {
+        let victim = (t * 2) as u32;
+        let (nn, _) = reopened.query(data.get(victim as usize), 1);
+        assert!(nn[0].id != victim, "acked delete resurrected across reopen");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full crash story against the real binary: seed a WAL-backed
+/// server, acknowledge mutations over TCP, SIGKILL the process with no
+/// warning, restart it on the same directory, and demand every
+/// acknowledged mutation back. This is the live-server variant of the
+/// kill-at-any-offset proptest — the offset here is wherever the OS
+/// happened to be when the KILL landed.
+#[test]
+fn killed_server_recovers_every_acknowledged_mutation() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Command, Stdio};
+
+    const N: usize = 400;
+    const D: usize = 8;
+    const SEED: u64 = 42;
+
+    let dir = cc_storage::wal::scratch_dir("svc-kill");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Must match the binary's --mode dynamic seeding parameters.
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+        N,
+        D,
+        SEED,
+    );
+
+    let spawn_server = |dir: &std::path::Path| -> (Child, std::net::SocketAddr) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cc-service"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--mode",
+                "dynamic",
+                "--wal",
+                dir.to_str().unwrap(),
+                "--n",
+                &N.to_string(),
+                "--dim",
+                &D.to_string(),
+                "--seed",
+                &SEED.to_string(),
+                "--max-delay-us",
+                "500",
+            ])
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn cc-service");
+        let stderr = child.stderr.take().unwrap();
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before announcing its address")
+                .expect("read server stderr");
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                let addr = rest.split_whitespace().next().unwrap();
+                break addr.parse().expect("parse announced address");
+            }
+        };
+        // Keep draining stderr so the child never blocks on the pipe.
+        std::thread::spawn(move || for _ in lines {});
+        (child, addr)
+    };
+
+    with_watchdog("kill_and_restart", Duration::from_secs(120), || {
+        let (mut child, addr) = spawn_server(&dir);
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+
+        // Two acknowledged inserts and one acknowledged delete.
+        let novel_a: Vec<f32> = (0..D).map(|j| 3000.0 + j as f32).collect();
+        let novel_b: Vec<f32> = (0..D).map(|j| -3000.0 - j as f32).collect();
+        let (oid_a, seq_a) = client.insert(&novel_a).unwrap();
+        let (oid_b, seq_b) = client.insert(&novel_b).unwrap();
+        assert_eq!(oid_a as usize, N, "first insert follows the seeded rows");
+        assert_eq!(oid_b, oid_a + 1);
+        assert!(seq_b > seq_a);
+        let (found, seq_del) = client.delete(0).unwrap();
+        assert!(found, "seeded oid 0 must exist");
+        assert_eq!(seq_del, (N + 3) as u64, "dense sequence: seed + 2 inserts + 1 delete");
+
+        // SIGKILL: no drain, no flush beyond what the acks certified.
+        child.kill().expect("kill server");
+        child.wait().expect("reap server");
+
+        let (mut child, addr) = spawn_server(&dir);
+        let mut client = Client::connect(addr).unwrap();
+
+        // Every ack must have survived.
+        let nn = client.top_k(&novel_a, 1).unwrap();
+        assert_eq!((nn[0].id, nn[0].dist), (oid_a, 0.0), "insert A lost in the crash");
+        let nn = client.top_k(&novel_b, 1).unwrap();
+        assert_eq!((nn[0].id, nn[0].dist), (oid_b, 0.0), "insert B lost in the crash");
+        let nn = client.top_k(data.get(0), 1).unwrap();
+        assert!(nn[0].id != 0 && nn[0].dist > 0.0, "delete of oid 0 resurrected: {nn:?}");
+
+        // The recovered engine reports the pre-crash high-water mark,
+        // and a post-restart mutation continues the sequence densely.
+        let json = client.stats_json().unwrap();
+        assert_eq!(find_u64(&json, "last_seq"), Some((N + 3) as u64), "{json}");
+        let (_, seq) = client.insert(&[9000.0; D]).unwrap();
+        assert_eq!(seq, (N + 4) as u64, "sequence must resume after recovery");
+
+        client.shutdown().unwrap();
+        child.wait().expect("server drains after shutdown");
+    });
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -15,7 +15,11 @@
 //! * [`bucket_file`] — packed sorted runs of `(bucket, object)` entries
 //!   with in-memory fence keys; the on-disk layout of a C2LSH hash table,
 //! * [`bptree`] — a B+-tree (bulk-load, insert, point and range search)
-//!   with per-node I/O accounting; the index structure behind QALSH.
+//!   with per-node I/O accounting; the index structure behind QALSH,
+//! * [`wal`] — a checksummed write-ahead log for online index mutations
+//!   (append + fsync + replay with torn-tail truncation), plus the
+//!   [`wal::FailpointFile`] fault injector used by the crash-recovery
+//!   test suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +29,11 @@ pub mod bucket_file;
 pub mod buffer;
 pub mod page;
 pub mod pagefile;
+pub mod wal;
 
 pub use bptree::BPlusTree;
 pub use bucket_file::BucketFile;
 pub use buffer::BufferPool;
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagefile::{IoStats, PageFile};
+pub use wal::{FailpointFile, ReplayReport, Wal, WalOp, WalRecord};

@@ -1,0 +1,617 @@
+//! Write-ahead log for online index mutations.
+//!
+//! The dynamic collision-counting index accepts inserts and deletes at
+//! run time; a service acknowledging such a write must not lose it to a
+//! crash. This module supplies the durability half of that contract: an
+//! append-only log of checksummed mutation records where an operation
+//! counts as *acknowledged* only once [`Wal::sync`] returned after its
+//! [`Wal::append`]. Replay after a kill at **any** byte offset recovers
+//! exactly the prefix of records that made it to disk whole — which is
+//! always a superset of the acknowledged prefix — and never panics on a
+//! torn or bit-flipped file (pinned by the fault-injection proptests in
+//! `crates/core/tests/proptest_persist.rs`).
+//!
+//! ## On-disk layout (all little-endian)
+//!
+//! ```text
+//! header  8 bytes: magic "CWL1" (u32) | u32 reserved (0)
+//! record  u32 len | payload (len bytes) | u32 crc32(payload)
+//! payload u64 seq | u8 op | body
+//!         op 1 = insert: u32 oid | u32 dim | dim × f32
+//!         op 2 = delete: u32 oid
+//! ```
+//!
+//! The `"CWL"` prefix of the magic identifies the format family and the
+//! trailing byte its version, mirroring the persistence formats of the
+//! core crate. Sequence numbers are assigned by the log, start after
+//! the caller-provided base (a checkpoint's high-water mark) and
+//! increase by exactly one per record; a gap is treated as corruption
+//! and ends replay there.
+//!
+//! ## Replay semantics
+//!
+//! [`Wal::open`] scans the file front to back. The first record that is
+//! truncated, fails its CRC, declares an impossible length, carries an
+//! unknown opcode or breaks the sequence chain ends the scan: everything
+//! before it is returned, everything from it on is discarded and the
+//! file is physically truncated back to the valid prefix so subsequent
+//! appends extend a clean log. A record can only be *acknowledged* after
+//! an fsync that covered it, so the discarded tail never contains an
+//! acknowledged write.
+//!
+//! [`FailpointFile`] is the matching test harness: it truncates,
+//! bit-flips or extends a file at a chosen byte offset, simulating a
+//! kill (or a corrupting disk) at that exact point.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic word of the WAL format: `"CWL"` family prefix + version byte
+/// `'1'`, written little-endian so the file starts with the ASCII bytes
+/// `1LWC` reversed into `"CWL1"` when read as a big-endian word.
+pub const WAL_MAGIC: u32 = 0x4357_4C31; // "CWL1"
+const WAL_MAGIC_PREFIX: u32 = WAL_MAGIC & !0xFF;
+/// Size of the file header preceding the first record.
+pub const WAL_HEADER_BYTES: u64 = 8;
+/// Upper bound on one record's payload (a 1M-dimensional vector fits
+/// comfortably); a length word above this is corruption, not data.
+pub const MAX_RECORD: usize = 16 << 20;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A vector was inserted and assigned `oid`. Replay re-inserts and
+    /// verifies the store assigns the same id (oid assignment is
+    /// deterministic, so a mismatch means the log and store diverged).
+    Insert {
+        /// Object id the store assigned at append time.
+        oid: u32,
+        /// The inserted vector.
+        vector: Vec<f32>,
+    },
+    /// The object with this id was deleted.
+    Delete {
+        /// Object id that was removed.
+        oid: u32,
+    },
+}
+
+/// A replayed record: the operation plus its log sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotone sequence number assigned at append time.
+    pub seq: u64,
+    /// The logged operation.
+    pub op: WalOp,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records replayed from the valid prefix.
+    pub records: usize,
+    /// File offset one past the last valid record (= the length the
+    /// file was truncated to).
+    pub valid_bytes: u64,
+    /// Bytes discarded past the valid prefix (torn tail / corruption).
+    pub torn_bytes: u64,
+    /// Sequence number of the last valid record (0 when none).
+    pub last_seq: u64,
+}
+
+/// An open write-ahead log positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    len: u64,
+    appended_since_sync: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`, replay its valid
+    /// prefix and truncate any torn tail. `base_seq` is the sequence
+    /// number already covered by a checkpoint: an empty log starts
+    /// numbering at `base_seq + 1`, and a non-empty log resumes after
+    /// its own last valid record.
+    ///
+    /// A file whose header is damaged (wrong magic) is refused with
+    /// [`io::ErrorKind::InvalidData`] rather than silently treated as
+    /// empty — wiping a real log over a one-bit header flip would turn
+    /// recoverable corruption into data loss.
+    pub fn open(
+        path: impl AsRef<Path>,
+        base_seq: u64,
+    ) -> io::Result<(Self, Vec<WalRecord>, ReplayReport)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let file_len = file.metadata()?.len();
+
+        if file_len < WAL_HEADER_BYTES {
+            // Brand new (or the header itself was torn mid-creation,
+            // before any record could have been acknowledged): start
+            // fresh.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = Vec::with_capacity(WAL_HEADER_BYTES as usize);
+            header.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+            header.extend_from_slice(&0u32.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_data()?;
+            let wal = Wal {
+                file,
+                path,
+                next_seq: base_seq + 1,
+                len: WAL_HEADER_BYTES,
+                appended_since_sync: 0,
+            };
+            return Ok((wal, Vec::new(), ReplayReport::default()));
+        }
+
+        let mut bytes = Vec::with_capacity(file_len as usize);
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        if magic & !0xFF != WAL_MAGIC_PREFIX {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: bad WAL magic {magic:#010x}", path.display()),
+            ));
+        }
+        if magic != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: unsupported WAL version {:?} (this build reads '1')",
+                    path.display(),
+                    (magic & 0xFF) as u8 as char
+                ),
+            ));
+        }
+
+        let (records, valid_bytes) = scan(&bytes);
+        let report = ReplayReport {
+            records: records.len(),
+            valid_bytes,
+            torn_bytes: file_len - valid_bytes,
+            last_seq: records.last().map_or(0, |r| r.seq),
+        };
+        if valid_bytes < file_len {
+            file.set_len(valid_bytes)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        let next_seq = records.last().map_or(base_seq, |r| r.seq.max(base_seq)) + 1;
+        let wal = Wal { file, path, next_seq, len: valid_bytes, appended_since_sync: 0 };
+        Ok((wal, records, report))
+    }
+
+    /// Append one operation; returns its assigned sequence number. The
+    /// record is *not* durable (and must not be acknowledged) until the
+    /// next [`Wal::sync`] returns.
+    pub fn append(&mut self, op: &WalOp) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(32);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        match op {
+            WalOp::Insert { oid, vector } => {
+                payload.push(OP_INSERT);
+                payload.extend_from_slice(&oid.to_le_bytes());
+                payload.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+                for x in vector {
+                    payload.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            WalOp::Delete { oid } => {
+                payload.push(OP_DELETE);
+                payload.extend_from_slice(&oid.to_le_bytes());
+            }
+        }
+        debug_assert!(payload.len() <= MAX_RECORD);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.file.write_all(&record)?;
+        self.len += record.len() as u64;
+        self.next_seq += 1;
+        self.appended_since_sync += 1;
+        Ok(seq)
+    }
+
+    /// Make every appended record durable (fsync). Returns the number
+    /// of records this sync covered — the group-commit size.
+    pub fn sync(&mut self) -> io::Result<u64> {
+        self.file.sync_data()?;
+        Ok(std::mem::take(&mut self.appended_since_sync))
+    }
+
+    /// Truncate the log back to an empty (header-only) state after a
+    /// checkpoint made its contents redundant. Sequence numbering
+    /// continues — the checkpoint records the high-water mark.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_HEADER_BYTES)?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_BYTES))?;
+        self.len = WAL_HEADER_BYTES;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Sequence number the next [`Wal::append`] will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current file size in bytes (header plus appended records,
+    /// whether or not they are synced yet).
+    pub fn size_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scan `bytes` (starting after the header) for valid records; returns
+/// them plus the offset one past the last valid record.
+fn scan(bytes: &[u8]) -> (Vec<WalRecord>, u64) {
+    let mut records = Vec::new();
+    let mut at = WAL_HEADER_BYTES as usize;
+    let mut expect_seq: Option<u64> = None;
+    while let Some(len_bytes) = bytes.get(at..at + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        if !(9..=MAX_RECORD).contains(&len) {
+            break; // impossible payload: torn or corrupt length word
+        }
+        let Some(payload) = bytes.get(at + 4..at + 4 + len) else { break };
+        let Some(crc_bytes) = bytes.get(at + 4 + len..at + 8 + len) else { break };
+        if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+            break;
+        }
+        let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        if let Some(want) = expect_seq {
+            if seq != want {
+                break; // sequence gap: the chain is broken here
+            }
+        }
+        let Some(op) = decode_op(&payload[8..]) else { break };
+        records.push(WalRecord { seq, op });
+        expect_seq = Some(seq + 1);
+        at += 8 + len;
+    }
+    (records, at as u64)
+}
+
+fn decode_op(body: &[u8]) -> Option<WalOp> {
+    match *body.first()? {
+        OP_INSERT => {
+            let oid = u32::from_le_bytes(body.get(1..5)?.try_into().unwrap());
+            let dim = u32::from_le_bytes(body.get(5..9)?.try_into().unwrap()) as usize;
+            let raw = body.get(9..)?;
+            if raw.len() != dim * 4 {
+                return None;
+            }
+            let vector =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+            Some(WalOp::Insert { oid, vector })
+        }
+        OP_DELETE => {
+            if body.len() != 5 {
+                return None;
+            }
+            let oid = u32::from_le_bytes(body[1..5].try_into().unwrap());
+            Some(WalOp::Delete { oid })
+        }
+        _ => None,
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+/// checksum guarding each record's payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection test support
+// ---------------------------------------------------------------------------
+
+/// Fault injector over a file path: simulate a kill or a corrupting
+/// disk at an exact byte offset. Test support for the WAL recovery
+/// suites (kept in the library, not behind `cfg(test)`, so downstream
+/// crates' integration tests can drive it too).
+#[derive(Debug, Clone)]
+pub struct FailpointFile {
+    path: PathBuf,
+}
+
+impl FailpointFile {
+    /// Wrap the file at `path` (which must already exist for the fault
+    /// methods to succeed).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// Current file size in bytes.
+    pub fn size_bytes(&self) -> io::Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    /// Cut the file to exactly `offset` bytes — the state a kill
+    /// mid-write leaves behind.
+    pub fn truncate_at(&self, offset: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(offset)?;
+        file.sync_data()
+    }
+
+    /// Flip bit `bit` (0–7) of the byte at `offset` — silent media
+    /// corruption under a checksum's nose.
+    pub fn flip_bit(&self, offset: u64, bit: u8) -> io::Result<()> {
+        assert!(bit < 8, "bit index out of range");
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        if offset >= file.metadata()?.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "flip offset past end of file",
+            ));
+        }
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut byte)?;
+        byte[0] ^= 1 << bit;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&byte)?;
+        file.sync_data()
+    }
+
+    /// Append raw bytes past the current end — the torn half-record a
+    /// kill between `write` and `fsync` can leave.
+    pub fn append_garbage(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut file = OpenOptions::new().append(true).open(&self.path)?;
+        file.write_all(bytes)?;
+        file.sync_data()
+    }
+}
+
+/// A fresh scratch directory for fault-injection artifacts: under
+/// `$CC_FAULT_DIR` when set (CI points this at a path it uploads on
+/// failure, so surviving WAL dumps become debuggable artifacts), else
+/// under the system temp dir. Unique per call; the caller owns cleanup
+/// (tests remove it on success and leave it behind on failure).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base =
+        std::env::var_os("CC_FAULT_DIR").map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let unique =
+        format!("cc-wal-{tag}-{}-{}", std::process::id(), COUNTER.fetch_add(1, Ordering::Relaxed));
+    let dir = base.join(unique);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops(n: usize) -> Vec<WalOp> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    WalOp::Delete { oid: (i / 3) as u32 }
+                } else {
+                    WalOp::Insert {
+                        oid: i as u32,
+                        vector: (0..4).map(|d| (i * 4 + d) as f32 * 0.5).collect(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("wal.log");
+        let ops = sample_ops(9);
+        {
+            let (mut wal, replayed, report) = Wal::open(&path, 0).unwrap();
+            assert!(replayed.is_empty());
+            assert_eq!(report, ReplayReport::default());
+            for (i, op) in ops.iter().enumerate() {
+                assert_eq!(wal.append(op).unwrap(), i as u64 + 1);
+            }
+            assert_eq!(wal.sync().unwrap(), 9, "group commit covered all appends");
+        }
+        let (wal, replayed, report) = Wal::open(&path, 0).unwrap();
+        assert_eq!(replayed.len(), 9);
+        assert_eq!(report.records, 9);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.last_seq, 9);
+        for (i, rec) in replayed.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(&rec.op, &ops[i]);
+        }
+        assert_eq!(wal.next_seq(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_offset_recovers_a_prefix() {
+        let dir = scratch_dir("cut");
+        let path = dir.join("wal.log");
+        let ops = sample_ops(6);
+        // Record the file size after each synced append: the boundaries
+        // at which a record becomes durable.
+        let mut boundaries = vec![WAL_HEADER_BYTES];
+        {
+            let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+                wal.sync().unwrap();
+                boundaries.push(wal.size_bytes());
+            }
+        }
+        let full = *boundaries.last().unwrap();
+        for cut in 0..=full {
+            std::fs::copy(&path, dir.join("cut.log")).unwrap();
+            let fp = FailpointFile::new(dir.join("cut.log"));
+            fp.truncate_at(cut).unwrap();
+            let expect = boundaries.iter().filter(|&&b| b > WAL_HEADER_BYTES && b <= cut).count();
+            if cut < WAL_HEADER_BYTES {
+                // Header torn: open() starts a fresh log.
+                let (_, replayed, _) = Wal::open(dir.join("cut.log"), 0).unwrap();
+                assert!(replayed.is_empty(), "cut at {cut}");
+            } else {
+                let (_, replayed, report) = Wal::open(dir.join("cut.log"), 0).unwrap();
+                assert_eq!(replayed.len(), expect, "cut at {cut}");
+                assert_eq!(report.torn_bytes, cut - report.valid_bytes, "cut at {cut}");
+                for (i, rec) in replayed.iter().enumerate() {
+                    assert_eq!(&rec.op, &ops[i], "cut at {cut}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_ends_replay_before_the_damaged_record() {
+        let dir = scratch_dir("flip");
+        let path = dir.join("wal.log");
+        let ops = sample_ops(5);
+        let mut boundaries = vec![WAL_HEADER_BYTES];
+        {
+            let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+                wal.sync().unwrap();
+                boundaries.push(wal.size_bytes());
+            }
+        }
+        let full = *boundaries.last().unwrap();
+        for offset in WAL_HEADER_BYTES..full {
+            std::fs::copy(&path, dir.join("flip.log")).unwrap();
+            let fp = FailpointFile::new(dir.join("flip.log"));
+            fp.flip_bit(offset, (offset % 8) as u8).unwrap();
+            // The record containing the flipped byte (and everything
+            // after it) must vanish; everything before survives intact.
+            let damaged = boundaries.iter().filter(|&&b| b <= offset).count() - 1;
+            let (_, replayed, _) = Wal::open(dir.join("flip.log"), 0).unwrap();
+            assert_eq!(replayed.len(), damaged, "flip at {offset}");
+            for (i, rec) in replayed.iter().enumerate() {
+                assert_eq!(&rec.op, &ops[i], "flip at {offset}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_bit_flip_is_an_explicit_error() {
+        let dir = scratch_dir("header");
+        let path = dir.join("wal.log");
+        {
+            let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+            wal.append(&WalOp::Delete { oid: 1 }).unwrap();
+            wal.sync().unwrap();
+        }
+        FailpointFile::new(&path).flip_bit(1, 3).unwrap();
+        let err = Wal::open(&path, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_garbage_tail_is_discarded_and_log_stays_appendable() {
+        let dir = scratch_dir("tail");
+        let path = dir.join("wal.log");
+        {
+            let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+            for op in sample_ops(3).iter() {
+                wal.append(op).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        FailpointFile::new(&path).append_garbage(&[0xAB; 13]).unwrap();
+        let (mut wal, replayed, report) = Wal::open(&path, 0).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(report.torn_bytes, 13);
+        // The log is clean again: append + reopen sees 4 records.
+        assert_eq!(wal.append(&WalOp::Delete { oid: 9 }).unwrap(), 4);
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replayed, _) = Wal::open(&path, 0).unwrap();
+        assert_eq!(replayed.len(), 4);
+        assert_eq!(replayed[3].op, WalOp::Delete { oid: 9 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_keeps_sequence_numbering() {
+        let dir = scratch_dir("reset");
+        let path = dir.join("wal.log");
+        let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+        for op in sample_ops(4).iter() {
+            wal.append(op).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.size_bytes(), WAL_HEADER_BYTES);
+        assert_eq!(wal.append(&WalOp::Delete { oid: 0 }).unwrap(), 5);
+        wal.sync().unwrap();
+        drop(wal);
+        // A checkpoint at seq 4 plus the reset log replays just seq 5.
+        let (wal, replayed, _) = Wal::open(&path, 4).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].seq, 5);
+        assert_eq!(wal.next_seq(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn base_seq_numbers_an_empty_log() {
+        let dir = scratch_dir("base");
+        let (mut wal, _, _) = Wal::open(dir.join("wal.log"), 41).unwrap();
+        assert_eq!(wal.next_seq(), 42);
+        assert_eq!(wal.append(&WalOp::Delete { oid: 7 }).unwrap(), 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -1,9 +1,12 @@
 //! Concurrency behaviour: shared indexes must be safe to query from many
-//! threads and produce exactly the sequential results.
+//! threads and produce exactly the sequential results — and for the
+//! mutable index, racing readers must only ever observe batch-boundary
+//! states, never a half-applied mutation batch.
 
-use c2lsh::{C2lshConfig, C2lshIndex, DiskIndex};
+use c2lsh::{C2lshConfig, C2lshIndex, DiskIndex, DynamicIndex, MutableIndex, MutationOp};
 use cc_vector::gen::{generate, Distribution};
 use cc_vector::gt::Neighbor;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn clustered(n: usize, d: usize, seed: u64) -> cc_vector::Dataset {
@@ -87,4 +90,60 @@ fn disk_index_io_accounting_is_exact_under_concurrency() {
         30 * per_query_tables,
         "lost or duplicated I/O counts under concurrency"
     );
+}
+
+#[test]
+fn queries_racing_mutation_batches_never_see_a_torn_view() {
+    // Every batch is exactly {delete oid i, insert a replacement}: two
+    // logged ops, so every published snapshot has an even sequence
+    // number, a slot count of base_n + batches_applied, and exactly
+    // batches_applied tombstones in the base range. A reader observing
+    // any other combination caught a half-applied batch — the bug the
+    // clone-and-swap snapshot design exists to make impossible.
+    const BASE_N: usize = 400;
+    const BATCHES: usize = 120;
+    let data = clustered(BASE_N, 8, 21);
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(22).build();
+    let index = MutableIndex::ephemeral(DynamicIndex::from_dataset(&data, &cfg));
+    let stop = AtomicBool::new(false);
+
+    crossbeam::scope(|s| {
+        let index = &index;
+        let stop = &stop;
+        let data = &data;
+        for _ in 0..4 {
+            s.spawn(move |_| {
+                let mut last_seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (snap, seq) = index.snapshot();
+                    assert_eq!(seq % 2, 0, "snapshot published mid-batch at seq {seq}");
+                    let applied = (seq / 2) as usize;
+                    let slots = snap.slots();
+                    assert_eq!(slots.len(), BASE_N + applied, "insert visible without its seq");
+                    let dead = slots[..BASE_N].iter().filter(|slot| slot.is_none()).count();
+                    assert_eq!(
+                        dead, applied,
+                        "torn view: {dead} deletes visible after {applied} whole batches"
+                    );
+                    assert!(seq >= last_seen, "snapshots went backwards");
+                    last_seen = seq;
+                    // The query path must stamp the same invariant.
+                    let (_, stats) = index.query(data.get(BASE_N - 1), 3);
+                    assert_eq!(stats.snapshot_seq % 2, 0, "query served mid-batch");
+                }
+            });
+        }
+        for i in 0..BATCHES {
+            let replacement: Vec<f32> = (0..8).map(|j| 1000.0 + (i * 8 + j) as f32).collect();
+            let ops =
+                [MutationOp::Delete { oid: i as u32 }, MutationOp::Insert { vector: replacement }];
+            let (acks, _) = index.apply_batch(&ops).unwrap();
+            assert_eq!(acks.len(), 2);
+        }
+        stop.store(true, Ordering::Release);
+    })
+    .unwrap();
+
+    assert_eq!(index.last_seq(), (BATCHES * 2) as u64);
+    assert_eq!(index.len(), BASE_N, "each batch swapped one object for one");
 }

@@ -194,6 +194,72 @@ fn candidate_budget_larger_than_dataset_is_safe_everywhere() {
 }
 
 #[test]
+fn mutated_dynamic_index_matches_fresh_build_over_final_point_set() {
+    // The paper's update story, end to end: an index that lived through
+    // an arbitrary insert/delete history must answer exactly like one
+    // built from scratch over the surviving points. Ids differ (the
+    // mutated index keeps its original oids, the fresh one assigns
+    // compact ranks), but because deletion preserves per-bucket order,
+    // the rank map is order-preserving and everything else — distances,
+    // per-rank correspondence, termination condition — is bit-identical.
+    use c2lsh::DynamicIndex;
+
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 12, spread: 0.02, scale: 10.0 },
+        600,
+        8,
+        31,
+    );
+    let extra = generate(
+        Distribution::GaussianMixture { clusters: 12, spread: 0.02, scale: 10.0 },
+        150,
+        8,
+        32,
+    );
+    let cfg = C2lshConfig::builder().bucket_width(1.0).seed(31).build();
+    let mut live = DynamicIndex::from_dataset(&data, &cfg);
+    for (i, v) in extra.iter().enumerate() {
+        live.insert(v.to_vec());
+        // Interleave deletes; `i * 7 % 600` revisits ids, so some are
+        // misses — they must be harmless no-ops.
+        if i % 2 == 0 {
+            live.delete((i * 7 % 600) as u32);
+        }
+    }
+
+    let survivors: Vec<(u32, Vec<f32>)> = live
+        .slots()
+        .iter()
+        .enumerate()
+        .filter_map(|(oid, slot)| slot.as_ref().map(|v| (oid as u32, v.clone())))
+        .collect();
+    let mut fresh = DynamicIndex::new(live.dim(), live.expected_n(), &cfg);
+    for (_, v) in &survivors {
+        fresh.insert(v.clone());
+    }
+    assert_eq!(fresh.len(), live.len());
+
+    for qi in [0usize, 100, 299, 599] {
+        let q = data.get(qi);
+        for k in [1usize, 5, 10] {
+            let (live_nn, live_stats) = live.query(q, k);
+            let (fresh_nn, fresh_stats) = fresh.query(q, k);
+            assert_eq!(live_nn.len(), fresh_nn.len(), "query {qi} k {k}");
+            for (l, f) in live_nn.iter().zip(&fresh_nn) {
+                assert_eq!(l.dist, f.dist, "query {qi} k {k}");
+                let rank = survivors
+                    .iter()
+                    .position(|(oid, _)| *oid == l.id)
+                    .expect("result id must be a survivor");
+                assert_eq!(f.id as usize, rank, "order-preserving id map, query {qi}");
+            }
+            assert_eq!(live_stats.terminated_by, fresh_stats.terminated_by);
+            assert_eq!(live_stats.candidates_verified, fresh_stats.candidates_verified);
+        }
+    }
+}
+
+#[test]
 fn extreme_magnitude_coordinates_sort_totally() {
     // Candidate ranking uses total_cmp: huge, tiny-subnormal and zero
     // distances must order deterministically without panicking.
