@@ -107,6 +107,13 @@ struct Writer {
     next_seq: u64,
     /// Cumulative write-path counters since open.
     stats: MutationStats,
+    /// Set when a WAL failure could not be rolled back: the on-disk log
+    /// may hold garbage between acknowledged records, so accepting (and
+    /// fsync-acking) further batches on top of it would let replay
+    /// silently drop them. While poisoned every mutation is refused;
+    /// reads keep serving the last published snapshot. Reopening the
+    /// directory recovers (open truncates the torn bytes away).
+    poisoned: Option<String>,
 }
 
 /// A [`DynamicIndex`] made safe for concurrent serving: lock-free-read
@@ -145,6 +152,7 @@ impl MutableIndex {
                 dir: None,
                 next_seq: 1,
                 stats: MutationStats::default(),
+                poisoned: None,
             }),
         }
     }
@@ -224,6 +232,7 @@ impl MutableIndex {
                 wal: Some(wal),
                 dir: Some(dir),
                 stats: MutationStats { last_seq, ..MutationStats::default() },
+                poisoned: None,
             }),
         })
     }
@@ -240,8 +249,26 @@ impl MutableIndex {
     /// [`io::ErrorKind::InvalidInput`] *before* anything is applied or
     /// logged (the service validates per-request at decode time, so a
     /// mixed batch of independent clients never dies on one bad op).
+    ///
+    /// # Failure handling
+    ///
+    /// A WAL append or sync that fails mid-batch (ENOSPC, an I/O error)
+    /// discards the in-memory clone *and* rolls the on-disk log back to
+    /// the pre-batch boundary, so partially-written record bytes never
+    /// sit between acknowledged records (replay truncates at the first
+    /// torn record — garbage mid-log would silently swallow everything
+    /// after it). If even the rollback fails, the writer is **poisoned**:
+    /// every further mutation is refused with the original error until
+    /// the index is reopened, while reads keep serving the last published
+    /// snapshot. Either way no snapshot is published and no ack returned,
+    /// so the durability contract holds.
     pub fn apply_batch(&self, ops: &[MutationOp]) -> io::Result<(Vec<MutationAck>, MutationStats)> {
         let mut writer = self.writer.lock();
+        if let Some(why) = &writer.poisoned {
+            return Err(io::Error::other(format!(
+                "mutation refused, write path poisoned ({why}); reopen to recover"
+            )));
+        }
 
         let dim = self.snapshot.read().index.dim();
         for (i, op) in ops.iter().enumerate() {
@@ -262,7 +289,11 @@ impl MutableIndex {
         }
 
         // Clone-and-mutate: the published index stays untouched (and
-        // readable) while the batch lands on the private clone.
+        // readable) while the batch lands on the private clone. The
+        // clone is O(index size) per batch — acceptable while group
+        // commit amortizes it over the flush, but a larger deployment
+        // wants persistent (Arc-shared, copy-on-write) hash tables so a
+        // one-op batch stops paying for the whole index.
         let mut next = DynamicIndex::clone(&self.snapshot.read().index);
         let mut delta = MutationStats { batches: 1, ..MutationStats::default() };
         let mut acks = Vec::with_capacity(ops.len());
@@ -297,12 +328,31 @@ impl MutableIndex {
         let mut seqs = Vec::with_capacity(logged.len());
         match writer.wal.as_mut() {
             Some(wal) => {
-                for rec in &logged {
-                    seqs.push(wal.append(rec)?);
-                }
-                if !logged.is_empty() {
-                    wal.sync()?;
-                    delta.wal_syncs = 1;
+                let pos = wal.position();
+                let appended = (|| -> io::Result<()> {
+                    for rec in &logged {
+                        seqs.push(wal.append(rec)?);
+                    }
+                    if !logged.is_empty() {
+                        wal.sync()?;
+                        delta.wal_syncs = 1;
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = appended {
+                    // Restore the log to the pre-batch boundary before
+                    // surfacing the error: partial record bytes (or
+                    // whole-but-unsynced records) must not stay behind,
+                    // or the next batch would append after garbage and
+                    // be silently dropped by the next replay. When the
+                    // rollback itself fails the on-disk state is
+                    // unknowable — poison the write path.
+                    let poisoned = match wal.rollback(pos) {
+                        Ok(()) => None,
+                        Err(rb) => Some(format!("{e}; WAL rollback also failed: {rb}")),
+                    };
+                    writer.poisoned = poisoned;
+                    return Err(e);
                 }
                 delta.wal_records = logged.len() as u64;
                 delta.wal_bytes = wal.size_bytes() - wal_bytes_before;
@@ -331,8 +381,12 @@ impl MutableIndex {
         delta.last_seq = last_seq;
 
         // Publish: one pointer swap; readers holding the old Arc finish
-        // on the pre-batch snapshot.
-        *self.snapshot.write() = Snapshot { seq: last_seq, index: Arc::new(next) };
+        // on the pre-batch snapshot. A batch of pure delete misses
+        // changed nothing — keep the old snapshot (and its readers'
+        // cache residency) instead of swapping in an identical clone.
+        if !logged.is_empty() {
+            *self.snapshot.write() = Snapshot { seq: last_seq, index: Arc::new(next) };
+        }
         writer.stats.merge(&delta);
         Ok((acks, delta))
     }
@@ -343,6 +397,11 @@ impl MutableIndex {
     /// wait on the writer lock for the file I/O.
     pub fn checkpoint(&self) -> io::Result<()> {
         let writer = self.writer.lock();
+        if let Some(why) = &writer.poisoned {
+            return Err(io::Error::other(format!(
+                "checkpoint refused, write path poisoned ({why}); reopen to recover"
+            )));
+        }
         let Some(dir) = writer.dir.clone() else { return Ok(()) };
         // With the writer lock held no batch can publish, so the
         // current snapshot is the latest durable state.
@@ -367,6 +426,43 @@ impl MutableIndex {
             wal.reset()?;
         }
         Ok(())
+    }
+
+    /// [`MutableIndex::checkpoint`], but only once the WAL has grown
+    /// past `wal_bytes` — the trigger a serving layer calls after every
+    /// mutation flush so recovery time stays bounded instead of the log
+    /// growing forever (a bulk seed alone can be tens of MB). Returns
+    /// whether a checkpoint ran; always `Ok(false)` in ephemeral mode.
+    /// Pass 0 to force one (any real log is at least its header).
+    pub fn checkpoint_if_wal_exceeds(&self, wal_bytes: u64) -> io::Result<bool> {
+        // Racing a concurrent batch between the size probe and the
+        // checkpoint is benign: the checkpoint takes the writer lock
+        // and snapshots whatever is published at that point.
+        if self.wal_size_bytes().is_none_or(|b| b <= wal_bytes) {
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        Ok(true)
+    }
+
+    /// Current WAL size in bytes (header included); `None` in ephemeral
+    /// mode.
+    pub fn wal_size_bytes(&self) -> Option<u64> {
+        self.writer.lock().wal.as_ref().map(Wal::size_bytes)
+    }
+
+    /// `true` once a WAL failure could not be rolled back and the write
+    /// path refuses all further mutations (reads stay available).
+    /// Recovery is a reopen of the backing directory.
+    pub fn is_poisoned(&self) -> bool {
+        self.writer.lock().poisoned.is_some()
+    }
+
+    /// Test support (fault injection): run `f` against the underlying
+    /// WAL. `None` in ephemeral mode.
+    #[doc(hidden)]
+    pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> Option<R> {
+        self.writer.lock().wal.as_mut().map(f)
     }
 
     /// The current read snapshot: an immutable index plus the sequence
@@ -542,6 +638,131 @@ mod tests {
         let m = MutableIndex::open(&dir, 4, 100, &cfg()).unwrap();
         assert_eq!(m.last_seq(), 31);
         assert_eq!(m.len(), 29);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The review-found poison scenario: a WAL append dying mid-record
+    /// (ENOSPC) must not leave garbage that swallows later acknowledged
+    /// batches at replay. The failed batch rolls the log back to the
+    /// pre-batch boundary, a subsequent batch is acknowledged on a
+    /// clean log, and recovery after a kill serves exactly the
+    /// acknowledged history.
+    #[test]
+    fn failed_append_mid_batch_rolls_back_and_later_acks_survive_reopen() {
+        let dir = scratch_dir("mutable-enospc");
+        let data = points(12, 4, 9);
+        let config = cfg();
+        {
+            let m = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+            let a: Vec<MutationOp> = data.iter().take(4).map(insert).collect();
+            m.apply_batch(&a).unwrap();
+
+            // Batch B: the second of three records tears after 7 bytes.
+            m.with_wal(|w| w.inject_append_failure(1, 7)).unwrap();
+            let b: Vec<MutationOp> = data.iter().skip(4).take(3).map(insert).collect();
+            let err = m.apply_batch(&b).unwrap_err();
+            assert_eq!(err.to_string(), "injected append failure");
+            assert!(!m.is_poisoned(), "a successful rollback keeps the writer usable");
+            assert_eq!(m.len(), 4, "the failed batch must not partially apply");
+            assert_eq!(m.last_seq(), 4);
+
+            // Batch C lands on the rolled-back log and is acknowledged.
+            let c: Vec<MutationOp> = data.iter().skip(8).take(3).map(insert).collect();
+            let (acks, _) = m.apply_batch(&c).unwrap();
+            assert_eq!(acks[0], MutationAck::Inserted { oid: 4, seq: 5 });
+            assert_eq!(m.last_seq(), 7);
+        } // kill
+        let r = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+        assert_eq!(r.last_seq(), 7, "every acknowledged mutation recovered");
+        assert_eq!(r.len(), 7);
+        let mut reference = DynamicIndex::new(4, 100, &config);
+        for v in data.iter().take(4).chain(data.iter().skip(8).take(3)) {
+            reference.insert(v.to_vec());
+        }
+        assert_eq!(r.snapshot().0.slots(), reference.slots(), "recovered state is A ++ C");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_rolls_back_fully_written_records_too() {
+        let dir = scratch_dir("mutable-syncfail");
+        let data = points(8, 4, 10);
+        let config = cfg();
+        {
+            let m = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+            let a: Vec<MutationOp> = data.iter().take(3).map(insert).collect();
+            m.apply_batch(&a).unwrap();
+            // Whole batch written, group-commit fsync fails: the
+            // records are unacknowledged and must be truncated away,
+            // not left to reappear at replay.
+            m.with_wal(|w| w.inject_sync_failures(1)).unwrap();
+            let err = m.apply_batch(&[insert(data.get(3))]).unwrap_err();
+            assert_eq!(err.to_string(), "injected sync failure");
+            assert!(!m.is_poisoned());
+            assert_eq!(m.len(), 3);
+            m.apply_batch(&[insert(data.get(4))]).unwrap();
+        } // kill
+        let r = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+        assert_eq!(r.last_seq(), 4);
+        let mut reference = DynamicIndex::new(4, 100, &config);
+        for v in data.iter().take(3).chain(std::iter::once(data.get(4))) {
+            reference.insert(v.to_vec());
+        }
+        assert_eq!(r.snapshot().0.slots(), reference.slots());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrollbackable_failure_poisons_writes_until_reopen() {
+        let dir = scratch_dir("mutable-poison");
+        let data = points(6, 4, 11);
+        let config = cfg();
+        {
+            let m = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+            let a: Vec<MutationOp> = data.iter().take(3).map(insert).collect();
+            m.apply_batch(&a).unwrap();
+            // First injected failure kills the batch's group commit,
+            // the second kills the rollback's truncation fsync: the
+            // on-disk state is now unknowable.
+            m.with_wal(|w| w.inject_sync_failures(2)).unwrap();
+            m.apply_batch(&[insert(data.get(3))]).unwrap_err();
+            assert!(m.is_poisoned());
+            // Mutations and checkpoints are refused; reads still serve.
+            let err = m.apply_batch(&[insert(data.get(4))]).unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "{err}");
+            let err = m.checkpoint().unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "{err}");
+            assert_eq!(m.checkpoint_if_wal_exceeds(0).unwrap_err().kind(), err.kind());
+            assert_eq!(m.len(), 3);
+            assert_eq!(m.query(data.get(0), 1).0[0].id, 0);
+        } // kill
+
+        // Reopen truncates whatever the torn log holds past the last
+        // acknowledged prefix and the write path works again.
+        let r = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+        assert!(!r.is_poisoned());
+        assert_eq!(r.last_seq(), 3, "only acknowledged batches recovered");
+        r.apply_batch(&[insert(data.get(5))]).unwrap();
+        assert_eq!(r.last_seq(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_if_wal_exceeds_respects_the_threshold() {
+        let dir = scratch_dir("mutable-ckpt-threshold");
+        let data = points(10, 4, 12);
+        let m = MutableIndex::open(&dir, 4, 100, &cfg()).unwrap();
+        let ops: Vec<MutationOp> = data.iter().map(insert).collect();
+        m.apply_batch(&ops).unwrap();
+        let size = m.wal_size_bytes().unwrap();
+        assert!(!m.checkpoint_if_wal_exceeds(size).unwrap(), "at-threshold is not over it");
+        assert!(m.checkpoint_if_wal_exceeds(size - 1).unwrap());
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        assert!(m.wal_size_bytes().unwrap() < size, "checkpoint truncated the log");
+        // Ephemeral indexes never checkpoint.
+        let e = MutableIndex::ephemeral(DynamicIndex::new(4, 100, &cfg()));
+        assert_eq!(e.wal_size_bytes(), None);
+        assert!(!e.checkpoint_if_wal_exceeds(0).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

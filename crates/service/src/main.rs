@@ -22,7 +22,8 @@
 //! `--shards S` (4), `--n N` (20000), `--dim D` (16), `--seed SEED`
 //! (42), `--bucket-width W` (1.0), `--queue-cap Q` (1024),
 //! `--max-batch B` (32), `--max-delay-us US` (2000), `--k-max K`
-//! (1024).
+//! (1024), `--checkpoint-wal-bytes BYTES` (16 MiB; the batcher
+//! checkpoints and truncates the WAL whenever it exceeds this).
 
 use c2lsh::{C2lshConfig, DynamicIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
 use cc_service::ServiceConfig;
@@ -44,6 +45,7 @@ struct Args {
     max_batch: usize,
     max_delay_us: u64,
     k_max: usize,
+    checkpoint_wal_bytes: u64,
 }
 
 impl Args {
@@ -61,6 +63,7 @@ impl Args {
             max_batch: 32,
             max_delay_us: 2000,
             k_max: 1024,
+            checkpoint_wal_bytes: 16 << 20,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -87,12 +90,16 @@ impl Args {
                     args.max_delay_us = parse(&value("--max-delay-us"), "--max-delay-us")
                 }
                 "--k-max" => args.k_max = parse(&value("--k-max"), "--k-max"),
+                "--checkpoint-wal-bytes" => {
+                    args.checkpoint_wal_bytes =
+                        parse(&value("--checkpoint-wal-bytes"), "--checkpoint-wal-bytes")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic] \
                          [--wal DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
-                         [--max-delay-us US] [--k-max K]"
+                         [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES]"
                     );
                     exit(0);
                 }
@@ -125,6 +132,7 @@ fn main() {
         max_delay: Duration::from_micros(args.max_delay_us),
         queue_capacity: args.queue_cap,
         k_max: args.k_max,
+        checkpoint_wal_bytes: args.checkpoint_wal_bytes,
         ..ServiceConfig::default()
     };
     let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
@@ -183,6 +191,13 @@ fn main() {
                         eprintln!("bulk load failed: {e}");
                         exit(1);
                     }
+                }
+                // Fold the seed into a checkpoint immediately: without
+                // this every restart replays the whole bulk load from
+                // the WAL (no-op in ephemeral mode).
+                if let Err(e) = engine.checkpoint() {
+                    eprintln!("post-seed checkpoint failed: {e}");
+                    exit(1);
                 }
             }
             eprintln!(

@@ -106,6 +106,14 @@ pub trait ServeEngine: Sync {
     fn mutation_stats(&self) -> Option<MutationStats> {
         None
     }
+
+    /// Write a durable checkpoint and truncate the WAL once it has
+    /// grown past `wal_bytes` (0 forces one), bounding recovery time.
+    /// Returns whether a checkpoint ran; `Ok(false)` for engines
+    /// without a WAL.
+    fn checkpoint_if_wal_exceeds(&self, _wal_bytes: u64) -> io::Result<bool> {
+        Ok(false)
+    }
 }
 
 impl ServeEngine for ShardedEngine<'_> {
@@ -163,6 +171,10 @@ impl ServeEngine for MutableIndex {
     fn mutation_stats(&self) -> Option<MutationStats> {
         Some(MutableIndex::mutation_stats(self))
     }
+
+    fn checkpoint_if_wal_exceeds(&self, wal_bytes: u64) -> io::Result<bool> {
+        MutableIndex::checkpoint_if_wal_exceeds(self, wal_bytes)
+    }
 }
 
 /// Tunables of the serving layer (the engine has its own config).
@@ -182,6 +194,13 @@ pub struct ServiceConfig {
     /// After the drain, how long to wait for idle connections to hang
     /// up on their own before force-closing them.
     pub drain_grace: Duration,
+    /// Checkpoint policy: after a flush that applied mutations, the
+    /// batcher writes a checkpoint and truncates the WAL once it
+    /// exceeds this many bytes (so recovery time stays bounded instead
+    /// of the log replaying the whole history — including any bulk
+    /// seed — forever). A graceful drain always writes a final
+    /// checkpoint regardless. `u64::MAX` disables the size trigger.
+    pub checkpoint_wal_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -192,6 +211,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             k_max: 1024,
             drain_grace: Duration::from_secs(5),
+            checkpoint_wal_bytes: 16 << 20,
         }
     }
 }
@@ -218,6 +238,9 @@ pub struct ServiceStats {
     pub deletes: u64,
     /// Flushes that applied at least one mutation.
     pub mutation_batches: u64,
+    /// WAL-truncating checkpoints written (size-triggered plus the
+    /// final one on a graceful drain).
+    pub checkpoints: u64,
     /// Engine-side work, folded across all flushes with
     /// [`BatchStats::merge`]; includes the write path in
     /// [`BatchStats::mutations`].
@@ -300,6 +323,15 @@ pub fn serve<E: ServeEngine>(
         }
         drop(listener); // stop accepting before the drain
         batcher.join().expect("batch worker panicked");
+        // Final checkpoint: a graceful drain leaves an empty WAL, so
+        // the next start replays nothing. Acked writes are already
+        // durable via the WAL, so a failure here only costs restart
+        // time — report it, don't fail the drain.
+        match engine.checkpoint_if_wal_exceeds(0) {
+            Ok(true) => shared.stats.lock().unwrap().checkpoints += 1,
+            Ok(false) => {}
+            Err(e) => eprintln!("final checkpoint failed: {e}"),
+        }
         // Handlers deregister on exit; give stragglers (clients that
         // keep idle connections open across the shutdown) a grace
         // period, then sever them so the scope can join.
@@ -500,7 +532,7 @@ fn batcher_loop<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceCon
             let take = q.items.len().min(config.max_batch);
             q.items.drain(..take).collect()
         };
-        flush(engine, shared, batch);
+        flush(engine, shared, config, batch);
     }
 }
 
@@ -510,7 +542,7 @@ fn batcher_loop<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceCon
 /// one engine batch at the largest requested `k`. Ordering mutations
 /// before queries keeps a flush monotone: no query in the batch can
 /// miss a mutation that was acknowledged before the query was sent.
-fn flush<E: ServeEngine>(engine: &E, shared: &Shared, batch: Vec<Work>) {
+fn flush<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceConfig, batch: Vec<Work>) {
     let now = Instant::now();
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
     let mut expired: Vec<Pending> = Vec::new();
@@ -549,6 +581,15 @@ fn flush<E: ServeEngine>(engine: &E, shared: &Shared, batch: Vec<Work>) {
                         }
                     };
                     let _ = tx.send(resp);
+                }
+                // Size-triggered checkpoint, after the acks went out
+                // (they are already WAL-durable; the checkpoint only
+                // bounds recovery time). A failure is not a lost write,
+                // so it is reported rather than propagated.
+                match engine.checkpoint_if_wal_exceeds(config.checkpoint_wal_bytes) {
+                    Ok(true) => shared.stats.lock().unwrap().checkpoints += 1,
+                    Ok(false) => {}
+                    Err(e) => eprintln!("checkpoint failed: {e}"),
                 }
             }
             Err(e) => {
@@ -629,6 +670,7 @@ fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
         .field_u64("inserts", st.inserts)
         .field_u64("deletes", st.deletes)
         .field_u64("mutation_batches", st.mutation_batches)
+        .field_u64("checkpoints", st.checkpoints)
         .field_obj("engine", &engine_obj);
     // Cumulative write-path counters straight from the engine (these
     // include recovery state — `last_seq` survives restarts — where the

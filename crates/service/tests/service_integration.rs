@@ -74,7 +74,7 @@ fn concurrent_clients_match_single_index_ground_truth() {
         max_delay: Duration::from_millis(50),
         queue_capacity: 1024,
         k_max: 64,
-        drain_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
     };
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -150,6 +150,7 @@ fn admission_control_and_deadlines() {
         queue_capacity: 1,
         k_max: 16,
         drain_grace: Duration::from_secs(2),
+        ..ServiceConfig::default()
     };
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -319,7 +320,7 @@ fn mutable_server_applies_durable_mutations_under_racing_readers() {
         max_delay: Duration::from_millis(5),
         queue_capacity: 256,
         k_max: 64,
-        drain_grace: Duration::from_secs(5),
+        ..ServiceConfig::default()
     };
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
@@ -423,6 +424,83 @@ fn mutable_server_applies_durable_mutations_under_racing_readers() {
         let victim = (t * 2) as u32;
         let (nn, _) = reopened.query(data.get(victim as usize), 1);
         assert!(nn[0].id != victim, "acked delete resurrected across reopen");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The checkpoint policy over the wire: with a tiny
+/// `checkpoint_wal_bytes` the batcher must fold acknowledged mutations
+/// into checkpoints as it goes (the WAL never grows without bound), the
+/// drain must leave an empty, header-only log, and a reopen of the
+/// directory must serve every acknowledged write from the checkpoint
+/// alone.
+#[test]
+fn checkpoint_policy_bounds_the_wal_and_preserves_acks() {
+    const SEED_N: usize = 100;
+    const D: usize = 6;
+    const INSERTS: usize = 40;
+
+    let dir = cc_storage::wal::scratch_dir("svc-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = cfg_exact(SEED_N);
+    let data = clustered(SEED_N, D, 21);
+
+    let engine = MutableIndex::open(&dir, D, SEED_N, &cfg).unwrap();
+    let seed_ops: Vec<MutationOp> =
+        data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+    engine.apply_batch(&seed_ops).unwrap();
+    let seeded_wal = engine.wal_size_bytes().unwrap();
+
+    let service = ServiceConfig {
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        k_max: 16,
+        // Any mutation flush finds the log over this threshold, so
+        // every flush checkpoints — the most aggressive policy.
+        checkpoint_wal_bytes: 0,
+        ..ServiceConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let acked = std::sync::Mutex::new(Vec::<(u32, Vec<f32>)>::new());
+    with_watchdog("checkpoint_policy", Duration::from_secs(60), || {
+        let (engine, service, acked) = (&engine, &service, &acked);
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+            let mut client = Client::connect(addr).unwrap();
+            for i in 0..INSERTS {
+                let novel: Vec<f32> = (0..D).map(|j| 5000.0 + (i * D + j) as f32).collect();
+                let (oid, _) = client.insert(&novel).unwrap();
+                acked.lock().unwrap().push((oid, novel));
+            }
+            // The log was truncated along the way: it cannot still hold
+            // the seed plus every insert.
+            assert!(
+                engine.wal_size_bytes().unwrap() < seeded_wal,
+                "WAL grew past the seeded size despite the checkpoint policy"
+            );
+            let json = client.stats_json().unwrap();
+            let checkpoints = find_u64(&json, "checkpoints").unwrap();
+            assert!(checkpoints >= 1, "no checkpoint recorded: {json}");
+            client.shutdown().unwrap();
+            let stats = server.join().unwrap();
+            assert!(stats.checkpoints >= checkpoints, "drain adds the final checkpoint");
+        })
+        .unwrap();
+    });
+
+    // After the drain the log holds nothing but its header …
+    let wal_len = std::fs::metadata(dir.join(c2lsh::mutable::WAL_FILE)).unwrap().len();
+    assert_eq!(wal_len, cc_storage::wal::WAL_HEADER_BYTES, "drain leaves an empty WAL");
+    // … and the checkpoint alone reproduces every ack.
+    drop(engine);
+    let reopened = MutableIndex::open(&dir, D, SEED_N, &cfg).unwrap();
+    assert_eq!(reopened.last_seq(), (SEED_N + INSERTS) as u64);
+    assert_eq!(reopened.len(), SEED_N + INSERTS);
+    for (oid, novel) in acked.into_inner().unwrap().iter() {
+        let (nn, _) = reopened.query(novel, 1);
+        assert_eq!((nn[0].id, nn[0].dist), (*oid, 0.0), "acked insert lost");
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -36,4 +36,4 @@ pub use bucket_file::BucketFile;
 pub use buffer::BufferPool;
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pagefile::{IoStats, PageFile};
-pub use wal::{FailpointFile, ReplayReport, Wal, WalOp, WalRecord};
+pub use wal::{FailpointFile, ReplayReport, Wal, WalOp, WalPosition, WalRecord};

@@ -103,6 +103,16 @@ pub struct ReplayReport {
     pub last_seq: u64,
 }
 
+/// A saved append position: everything [`Wal::rollback`] needs to
+/// restore the log to a batch boundary after a failed append or sync.
+/// Take one with [`Wal::position`] before the first append of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    len: u64,
+    next_seq: u64,
+    appended_since_sync: u64,
+}
+
 /// An open write-ahead log positioned for appends.
 #[derive(Debug)]
 pub struct Wal {
@@ -111,6 +121,11 @@ pub struct Wal {
     next_seq: u64,
     len: u64,
     appended_since_sync: u64,
+    /// Fault injection (test support): after skipping `.0` more
+    /// appends, write only `.1` bytes of the next record, then fail.
+    fail_append: Option<(u32, usize)>,
+    /// Fault injection (test support): fail the next N syncs.
+    fail_syncs: u32,
 }
 
 impl Wal {
@@ -150,6 +165,8 @@ impl Wal {
                 next_seq: base_seq + 1,
                 len: WAL_HEADER_BYTES,
                 appended_since_sync: 0,
+                fail_append: None,
+                fail_syncs: 0,
             };
             return Ok((wal, Vec::new(), ReplayReport::default()));
         }
@@ -189,7 +206,15 @@ impl Wal {
         }
         file.seek(SeekFrom::Start(valid_bytes))?;
         let next_seq = records.last().map_or(base_seq, |r| r.seq.max(base_seq)) + 1;
-        let wal = Wal { file, path, next_seq, len: valid_bytes, appended_since_sync: 0 };
+        let wal = Wal {
+            file,
+            path,
+            next_seq,
+            len: valid_bytes,
+            appended_since_sync: 0,
+            fail_append: None,
+            fail_syncs: 0,
+        };
         Ok((wal, records, report))
     }
 
@@ -219,6 +244,19 @@ impl Wal {
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&payload);
         record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        match self.fail_append {
+            Some((0, partial)) => {
+                // Injected short write: some record bytes land in the
+                // file, the length/seq bookkeeping does not advance —
+                // exactly the state a real mid-record write failure
+                // (ENOSPC) leaves.
+                self.fail_append = None;
+                self.file.write_all(&record[..partial.min(record.len())])?;
+                return Err(io::Error::other("injected append failure"));
+            }
+            Some((skip, partial)) => self.fail_append = Some((skip - 1, partial)),
+            None => {}
+        }
         self.file.write_all(&record)?;
         self.len += record.len() as u64;
         self.next_seq += 1;
@@ -229,8 +267,64 @@ impl Wal {
     /// Make every appended record durable (fsync). Returns the number
     /// of records this sync covered — the group-commit size.
     pub fn sync(&mut self) -> io::Result<u64> {
-        self.file.sync_data()?;
+        self.sync_inner()?;
         Ok(std::mem::take(&mut self.appended_since_sync))
+    }
+
+    fn sync_inner(&mut self) -> io::Result<()> {
+        if self.fail_syncs > 0 {
+            self.fail_syncs -= 1;
+            return Err(io::Error::other("injected sync failure"));
+        }
+        self.file.sync_data()
+    }
+
+    /// The current append position. Take one before a batch's first
+    /// append so a failure anywhere in the batch can [`Wal::rollback`]
+    /// to this boundary.
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            len: self.len,
+            next_seq: self.next_seq,
+            appended_since_sync: self.appended_since_sync,
+        }
+    }
+
+    /// Restore the log — file length, write offset, sequence numbering —
+    /// to a previously captured [`WalPosition`], physically discarding
+    /// every byte appended after it. This is the recovery path for a
+    /// failed append or sync mid-batch: a short write leaves partial
+    /// record bytes in the file (and a failed `write_all` leaves the
+    /// file position wherever it died), and later appends on top of
+    /// that garbage would be silently discarded by the next replay.
+    /// Truncating back to the batch boundary keeps the log's valid
+    /// prefix equal to its acknowledged history.
+    pub fn rollback(&mut self, pos: WalPosition) -> io::Result<()> {
+        self.file.set_len(pos.len)?;
+        // Make the truncation itself durable: if the partial bytes had
+        // already reached the platter, a crash right after an unsynced
+        // set_len could resurrect them behind acknowledged appends.
+        self.sync_inner()?;
+        self.file.seek(SeekFrom::Start(pos.len))?;
+        self.len = pos.len;
+        self.next_seq = pos.next_seq;
+        self.appended_since_sync = pos.appended_since_sync;
+        Ok(())
+    }
+
+    /// Fault injection (test support, like [`FailpointFile`]): after
+    /// `skip` more successful appends, the following [`Wal::append`]
+    /// writes only the first `partial_bytes` bytes of its record and
+    /// then fails — ENOSPC / a short write, placeable mid-batch.
+    pub fn inject_append_failure(&mut self, skip: u32, partial_bytes: usize) {
+        self.fail_append = Some((skip, partial_bytes));
+    }
+
+    /// Fault injection (test support): fail the next `n` fsyncs —
+    /// including the one inside [`Wal::rollback`], so two injected
+    /// failures exercise the can't-even-roll-back path.
+    pub fn inject_sync_failures(&mut self, n: u32) {
+        self.fail_syncs = n;
     }
 
     /// Truncate the log back to an empty (header-only) state after a
@@ -605,6 +699,68 @@ mod tests {
         let (mut wal, _, _) = Wal::open(dir.join("wal.log"), 41).unwrap();
         assert_eq!(wal.next_seq(), 42);
         assert_eq!(wal.append(&WalOp::Delete { oid: 7 }).unwrap(), 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rollback_after_failed_append_restores_the_batch_boundary() {
+        let dir = scratch_dir("rollback");
+        let path = dir.join("wal.log");
+        let ops = sample_ops(4);
+        {
+            let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+            wal.append(&ops[0]).unwrap();
+            wal.sync().unwrap();
+            // Batch of two: first append lands, second dies mid-record.
+            let pos = wal.position();
+            wal.inject_append_failure(1, 7);
+            wal.append(&ops[1]).unwrap();
+            let err = wal.append(&ops[2]).unwrap_err();
+            assert_eq!(err.to_string(), "injected append failure");
+            wal.rollback(pos).unwrap();
+            assert_eq!(wal.size_bytes(), pos.len);
+            // The log is clean again: the next batch appends and is
+            // numbered as if the failed one never happened.
+            assert_eq!(wal.append(&ops[3]).unwrap(), 2);
+            wal.sync().unwrap();
+        }
+        let (_, replayed, report) = Wal::open(&path, 0).unwrap();
+        assert_eq!(report.torn_bytes, 0, "no garbage left behind the rollback");
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(&replayed[0].op, &ops[0]);
+        assert_eq!(&replayed[1].op, &ops[3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn without_rollback_a_failed_append_poisons_later_records() {
+        // Documents the failure mode rollback exists to prevent: append
+        // after a torn record and replay silently drops the later
+        // (fully written, synced) record.
+        let dir = scratch_dir("poisoned");
+        let path = dir.join("wal.log");
+        let ops = sample_ops(3);
+        {
+            let (mut wal, _, _) = Wal::open(&path, 0).unwrap();
+            wal.inject_append_failure(0, 5);
+            wal.append(&ops[0]).unwrap_err();
+            wal.append(&ops[1]).unwrap();
+            wal.sync().unwrap();
+        }
+        let (_, replayed, report) = Wal::open(&path, 0).unwrap();
+        assert!(replayed.is_empty(), "the record behind the garbage is unreachable");
+        assert!(report.torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_sync_failures_count_down() {
+        let dir = scratch_dir("sync-fail");
+        let (mut wal, _, _) = Wal::open(dir.join("wal.log"), 0).unwrap();
+        wal.append(&WalOp::Delete { oid: 1 }).unwrap();
+        wal.inject_sync_failures(1);
+        wal.sync().unwrap_err();
+        assert_eq!(wal.sync().unwrap(), 1, "the retry syncs the still-pending record");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
