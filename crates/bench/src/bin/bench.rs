@@ -15,16 +15,20 @@
 //!
 //! `--check` exits nonzero when the current run regresses against the
 //! checked-in baseline (recall/ratio drift, qps collapse, early-abandon
-//! speedup under its floor) — that is the CI `bench-smoke` gate.
+//! speedup under its floor, observability overhead past its budget) —
+//! that is the CI `bench-smoke` gate.
 
+use c2lsh::engine::SearchOptions;
 use cc_bench::eval::evaluate_detailed;
 use cc_bench::methods::{defaults, AnnIndex};
 use cc_bench::prep::prepare_workload;
 use cc_bench::report::{
-    check_regression, percentile_ms, BenchReport, DatasetInfo, MethodReport, VerifyKernelReport,
-    SCHEMA_VERSION,
+    check_regression, percentile_ms, BenchReport, DatasetInfo, MethodReport, ObsOverheadReport,
+    VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
 };
 use cc_bench::table::{f1, f3, Table};
+use cc_obs::ObsConfig;
+use cc_service::ServerObs;
 use cc_vector::dataset::Dataset;
 use cc_vector::dist::euclidean_sq_bounded;
 use cc_vector::gt::Neighbor;
@@ -294,6 +298,72 @@ fn verify_kernel_bench(w: &Workload, k: usize) -> VerifyKernelReport {
     }
 }
 
+/// A/B-measure the observability layer's query-path cost, mirroring
+/// the service's flush loop exactly: the engine batch runs with the
+/// [`SearchOptions`] the server would pick, then every answer flows
+/// through the same per-query bookkeeping
+/// ([`ServerObs::record_query`], sampled trace accounting, slow-log
+/// consideration).
+///
+/// * **base**: a disabled registry — the `cc-service` default without
+///   `--metrics-addr`. Stage timing off, no span capture, every
+///   registry call gated out.
+/// * **obs**: an enabled registry at the service's default sampling
+///   (trace every 64th query, 100 ms slow threshold) — stage timing
+///   on, histograms fed per query.
+///
+/// Both passes run the same workload on the same index; passes are
+/// interleaved and the fastest of five is kept per arm,
+/// so the overhead percentage is a within-run relative measure that
+/// does not depend on the machine's absolute speed.
+fn obs_overhead_bench(w: &Workload, k: usize, seed: u64) -> ObsOverheadReport {
+    const OBS_BENCH_REPS: usize = 5;
+    let cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
+    let index = c2lsh::C2lshIndex::build(&w.data, &cfg);
+    let queries = w.queries.len() as f64;
+
+    let pass = |obs: &ServerObs| -> f64 {
+        let sample_every = if obs.on() { obs.config().trace_sample_every } else { 0 };
+        let opts = SearchOptions {
+            timing: true,
+            stage_timing: obs.on(),
+            capture_spans: false,
+            trace_every: sample_every,
+            ..SearchOptions::default()
+        };
+        let flush_t0 = Instant::now();
+        let (results, _agg) = index.query_batch_with(&w.queries, k, &opts);
+        obs.queries.add(results.len() as u64);
+        obs.batches.inc();
+        let answered_at = Instant::now();
+        for (nn, qstats) in &results {
+            let total_ns = answered_at.saturating_duration_since(flush_t0).as_nanos() as u64;
+            obs.record_query(0, total_ns, &qstats.stage);
+            let traced = !qstats.spans.is_empty() && sample_every > 0;
+            if traced {
+                obs.traces.inc();
+                obs.maybe_log_slow(obs.alloc_trace_id(), total_ns, k as u32, &qstats.spans);
+            } else {
+                obs.maybe_log_slow(0, total_ns, k as u32, &[]);
+            }
+            black_box(nn.last().map(|nb| nb.dist));
+        }
+        obs.record_flush(flush_t0.elapsed().as_nanos() as u64, results.len() as u64, None);
+        flush_t0.elapsed().as_secs_f64()
+    };
+
+    let base_obs = ServerObs::disabled();
+    let live_obs = ServerObs::new(ObsConfig::all_on());
+    let (mut base_best, mut obs_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..OBS_BENCH_REPS {
+        base_best = base_best.min(pass(&base_obs));
+        obs_best = obs_best.min(pass(&live_obs));
+    }
+    let base_qps = queries / base_best;
+    let obs_qps = queries / obs_best;
+    ObsOverheadReport { base_qps, obs_qps, overhead_pct: (base_qps - obs_qps) / base_qps * 100.0 }
+}
+
 fn main() -> ExitCode {
     let cfg = parse_args();
     let (n_paper, d) = cfg.profile.shape();
@@ -319,6 +389,13 @@ fn main() -> ExitCode {
         verify.new_ns_per_cand,
         verify.speedup,
         verify.abandon_rate * 100.0
+    );
+
+    println!("observability overhead: query path with registry off vs on...");
+    let obs_overhead = obs_overhead_bench(&w, cfg.k, cfg.seed);
+    println!(
+        "  {:.1} qps off, {:.1} qps on -> {:.2}% overhead (budget {MAX_OBS_OVERHEAD_PCT}%)",
+        obs_overhead.base_qps, obs_overhead.obs_qps, obs_overhead.overhead_pct
     );
 
     let mut table = Table::new(
@@ -388,6 +465,7 @@ fn main() -> ExitCode {
         k: cfg.k,
         seed: cfg.seed,
         verify: Some(verify),
+        obs_overhead: Some(obs_overhead),
         methods,
     };
 

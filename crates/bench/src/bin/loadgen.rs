@@ -30,12 +30,14 @@
 //! (32), `CC_SECONDS` (5), `CC_K` (10), `CC_N` (20000, self-host
 //! only), `CC_DIM` (16, self-host only), `CC_MODE`
 //! (`sharded`|`dynamic`, self-host only), `CC_WRITE_PCT` (0; needs a
-//! mutable server), `CC_WAL_DIR` (scratch directory by default).
+//! mutable server), `CC_WAL_DIR` (scratch directory by default),
+//! `CC_METRICS_ADDR` (scrape the server's `/metrics` endpoint after
+//! the run and print its latency quantiles next to the client-measured
+//! ones — the external server must run with `--metrics-addr`).
 
 use c2lsh::{C2lshConfig, MutableIndex, MutationOp, ShardedData, ShardedEngine};
 use cc_bench::env_usize;
-use cc_service::json::find_u64;
-use cc_service::{Client, Response, ServiceConfig};
+use cc_service::{Client, QueryRequest, SearchOutcome, ServiceConfig, StatsSnapshot};
 use cc_vector::gen::{generate, Distribution};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,16 +114,18 @@ fn run_client(
         }
         let q = queries.get(qi % queries.len());
         let sent = Instant::now();
-        match client.query(q, k, 0).expect("query") {
-            Response::TopK(nn) => {
-                assert!(!nn.is_empty(), "server returned an empty result set");
+        match client.search(&QueryRequest::new(q.to_vec()).k(k)).expect("query") {
+            SearchOutcome::Result(r) => {
+                assert!(!r.neighbors.is_empty(), "server returned an empty result set");
                 report.read_latencies_ns.push(sent.elapsed().as_nanos() as u64);
             }
-            Response::Overloaded => {
+            SearchOutcome::Overloaded => {
                 report.overloaded += 1;
                 std::thread::sleep(Duration::from_micros(200));
             }
-            other => panic!("unexpected response: {other:?}"),
+            SearchOutcome::DeadlineExceeded => {
+                panic!("deadline exceeded on a query that set no deadline")
+            }
         }
     }
     report
@@ -138,7 +142,7 @@ fn drive(
 
     let mut probe = Client::connect(addr).expect("connect");
     probe.ping().expect("ping");
-    let before = probe.stats_json().expect("stats");
+    let before = probe.stats().expect("stats");
 
     eprintln!(
         "driving {clients} closed-loop clients for {seconds}s (k = {k}, writes {write_pct}%)…"
@@ -155,10 +159,8 @@ fn drive(
     })
     .unwrap();
 
-    let after = probe.stats_json().expect("stats");
-    let delta = |key: &str| {
-        find_u64(&after, key).unwrap_or(0).saturating_sub(find_u64(&before, key).unwrap_or(0))
-    };
+    let after = probe.stats().expect("stats");
+    let delta = |get: fn(&StatsSnapshot) -> u64| get(&after).saturating_sub(get(&before));
 
     let mut reads: Vec<u64> =
         reports.iter().flat_map(|r| r.read_latencies_ns.iter().copied()).collect();
@@ -190,22 +192,75 @@ fn drive(
         );
         println!(
             "write path  {} inserts, {} deletes, {} mutation flushes",
-            delta("inserts"),
-            delta("deletes"),
-            delta("mutation_batches"),
+            delta(|s| s.inserts),
+            delta(|s| s.deletes),
+            delta(|s| s.mutation_batches),
         );
     }
-    let batches = delta("batches");
-    let mean_batch = if batches > 0 { delta("queries") as f64 / batches as f64 } else { 0.0 };
+    let batches = delta(|s| s.batches);
+    let mean_batch = if batches > 0 { delta(|s| s.queries) as f64 / batches as f64 } else { 0.0 };
     println!(
         "coalescing  {batches} engine flushes, mean batch {mean_batch:.1}, largest batch {} \
          (whole server lifetime)",
-        find_u64(&after, "max_batch").unwrap_or(0),
+        after.max_batch,
     );
-    if answered > 0 && find_u64(&after, "max_batch").unwrap_or(0) < 2 {
+    if answered > 0 && after.max_batch < 2 {
         eprintln!("warning: no request coalescing observed — is the server idle-tuned?");
     }
+    // A server running with observability on reports its own latency
+    // quantiles in the schema-2 stats frame — print them next to the
+    // client-side measurement (server time excludes the network, so it
+    // must come in at or under what the clients saw).
+    if let Some(latency) = &after.latency {
+        println!(
+            "server lat. p50 {:.3} ms   p99 {:.3} ms (reported by the server, network excluded)",
+            latency.query_p50_nanos as f64 / 1e6,
+            latency.query_p99_nanos as f64 / 1e6,
+        );
+    }
+    scrape_metrics(&reads);
     reports
+}
+
+/// With `CC_METRICS_ADDR` set, scrape the server's Prometheus endpoint
+/// and print its end-to-end quantiles next to the client-measured
+/// ones — the consistency check the metrics exist for.
+fn scrape_metrics(client_reads_sorted_ns: &[u64]) {
+    let Ok(addr) = std::env::var("CC_METRICS_ADDR") else { return };
+    let addr: std::net::SocketAddr = addr.parse().expect("CC_METRICS_ADDR must be HOST:PORT");
+    let text = match cc_obs::http_get(addr, "/metrics") {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("warning: scraping {addr}/metrics failed: {e}");
+            return;
+        }
+    };
+    let series = |name: &str| -> Option<f64> {
+        text.lines()
+            .find(|l| l.strip_prefix(name).map(|r| r.starts_with(' ')).unwrap_or(false))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+    };
+    let (Some(p50), Some(p99)) = (
+        series("cc_query_seconds{quantile=\"0.5\"}"),
+        series("cc_query_seconds{quantile=\"0.99\"}"),
+    ) else {
+        eprintln!("warning: {addr}/metrics has no cc_query_seconds quantiles (obs disabled?)");
+        return;
+    };
+    println!("scrape      cc_query_seconds p50 {:.3} ms   p99 {:.3} ms", p50 * 1e3, p99 * 1e3);
+    if !client_reads_sorted_ns.is_empty() {
+        let client_p50 = percentile(client_reads_sorted_ns, 0.50);
+        // Server-side time excludes the network and the client stack,
+        // so a server p50 far above the client p50 means the two views
+        // disagree about what was measured.
+        if p50 * 1e3 > client_p50 * 2.0 + 1.0 {
+            eprintln!(
+                "warning: server p50 {:.3} ms vs client p50 {client_p50:.3} ms — inconsistent",
+                p50 * 1e3
+            );
+        }
+    }
 }
 
 /// Reopen the WAL directory cold — the same code path crash recovery

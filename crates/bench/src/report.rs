@@ -29,6 +29,10 @@ pub const QPS_FLOOR_FRACTION: f64 = 0.70;
 /// The early-abandon kernel must beat the plain kernel by at least this
 /// factor on the smoke dataset (the tentpole's acceptance bar).
 pub const MIN_VERIFY_SPEEDUP: f64 = 1.3;
+/// Enabling the observability layer (stage timing, histograms, sampled
+/// span capture, slow-log consideration) may cost at most this percent
+/// of query throughput against the same run with it disabled.
+pub const MAX_OBS_OVERHEAD_PCT: f64 = 2.0;
 
 // ---------------------------------------------------------------------
 // JSON value
@@ -365,6 +369,23 @@ pub struct VerifyKernelReport {
     pub abandon_rate: f64,
 }
 
+/// A/B measurement of the observability layer's query-path cost: the
+/// same engine and workload driven through the service's per-query
+/// bookkeeping twice — once with a disabled registry (the plain
+/// `serve` path) and once with histograms, sampled span capture and
+/// the slow log live. The acceptance bar is
+/// [`MAX_OBS_OVERHEAD_PCT`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOverheadReport {
+    /// Queries per second with observability disabled.
+    pub base_qps: f64,
+    /// Queries per second with observability enabled.
+    pub obs_qps: f64,
+    /// `(base - obs) / base × 100` — may be slightly negative under
+    /// timing noise.
+    pub overhead_pct: f64,
+}
+
 /// One method's row of the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodReport {
@@ -407,6 +428,9 @@ pub struct BenchReport {
     pub seed: u64,
     /// Kernel microbenchmark (present when the run included it).
     pub verify: Option<VerifyKernelReport>,
+    /// Observability-layer overhead A/B (present when the run included
+    /// it; absent in baselines written before the field existed).
+    pub obs_overhead: Option<ObsOverheadReport>,
     /// Per-method measurements.
     pub methods: Vec<MethodReport>,
 }
@@ -431,6 +455,14 @@ impl BenchReport {
                 ("new_ns_per_cand".into(), Json::Num(v.new_ns_per_cand)),
                 ("speedup".into(), Json::Num(v.speedup)),
                 ("abandon_rate".into(), Json::Num(v.abandon_rate)),
+            ]),
+        };
+        let obs_overhead = match &self.obs_overhead {
+            None => Json::Null,
+            Some(o) => Json::Obj(vec![
+                ("base_qps".into(), Json::Num(o.base_qps)),
+                ("obs_qps".into(), Json::Num(o.obs_qps)),
+                ("overhead_pct".into(), Json::Num(o.overhead_pct)),
             ]),
         };
         let methods = Json::Arr(
@@ -459,6 +491,7 @@ impl BenchReport {
             ("dataset".into(), dataset),
             ("params".into(), params),
             ("verify_kernel".into(), verify),
+            ("obs_overhead".into(), obs_overhead),
             ("methods".into(), methods),
         ])
         .to_pretty()
@@ -493,6 +526,15 @@ impl BenchReport {
                 abandon_rate: v.num("abandon_rate").unwrap_or(0.0),
             }),
         };
+        // Absent in pre-observability baselines; parse leniently.
+        let obs_overhead = match root.get("obs_overhead") {
+            None | Some(Json::Null) => None,
+            Some(o) => Some(ObsOverheadReport {
+                base_qps: o.num("base_qps").unwrap_or(0.0),
+                obs_qps: o.num("obs_qps").unwrap_or(0.0),
+                overhead_pct: o.num("overhead_pct").unwrap_or(0.0),
+            }),
+        };
         let methods = root
             .get("methods")
             .and_then(Json::as_arr)
@@ -514,7 +556,7 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(BenchReport { schema_version, tag, dataset, k, seed, verify, methods })
+        Ok(BenchReport { schema_version, tag, dataset, k, seed, verify, obs_overhead, methods })
     }
 
     /// Look up a method row by name.
@@ -536,6 +578,11 @@ impl BenchReport {
 ///
 /// Plus, when both reports carry the kernel microbenchmark: the current
 /// early-abandon speedup is at least [`MIN_VERIFY_SPEEDUP`].
+///
+/// Plus, when the current run carries the observability A/B: enabling
+/// the observability layer costs at most [`MAX_OBS_OVERHEAD_PCT`]
+/// percent of query throughput. (Current-run only — the measure is
+/// relative within one run, so no baseline is needed.)
 pub fn check_regression(baseline: &BenchReport, current: &BenchReport) -> Vec<String> {
     let mut violations = Vec::new();
     if baseline.dataset != current.dataset || baseline.k != current.k {
@@ -586,6 +633,15 @@ pub fn check_regression(baseline: &BenchReport, current: &BenchReport) -> Vec<St
             ));
         }
     }
+    if let Some(obs) = &current.obs_overhead {
+        if obs.overhead_pct > MAX_OBS_OVERHEAD_PCT {
+            violations.push(format!(
+                "observability overhead {:.2}% exceeds the {MAX_OBS_OVERHEAD_PCT}% budget \
+                 ({:.1} qps off vs {:.1} qps on)",
+                obs.overhead_pct, obs.base_qps, obs.obs_qps
+            ));
+        }
+    }
     violations
 }
 
@@ -617,6 +673,11 @@ mod tests {
                 new_ns_per_cand: 40.0,
                 speedup: 2.5,
                 abandon_rate: 0.8,
+            }),
+            obs_overhead: Some(ObsOverheadReport {
+                base_qps: 1010.0,
+                obs_qps: 1000.0,
+                overhead_pct: 0.99,
             }),
             methods: vec![
                 MethodReport {
@@ -718,6 +779,37 @@ mod tests {
         let v = check_regression(&base, &cur);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("speedup"));
+    }
+
+    #[test]
+    fn gate_catches_obs_overhead_over_budget() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.obs_overhead =
+            Some(ObsOverheadReport { base_qps: 1000.0, obs_qps: 950.0, overhead_pct: 5.0 });
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert!(v[0].contains("observability overhead"));
+    }
+
+    #[test]
+    fn obs_overhead_gate_is_current_run_only_and_field_is_optional() {
+        // A baseline written before the field existed still parses
+        // (obs_overhead -> None) and still gates the current run.
+        let mut base_text = sample_report().to_json();
+        let start = base_text.find("\"obs_overhead\"").unwrap();
+        let end = base_text[start..].find("},").unwrap() + start + 2;
+        base_text.replace_range(start..end, "\"obs_overhead\": null,");
+        let base = BenchReport::from_json(&base_text).expect("legacy baseline parses");
+        assert_eq!(base.obs_overhead, None);
+
+        let mut cur = sample_report();
+        assert!(check_regression(&base, &cur).is_empty());
+        cur.obs_overhead.as_mut().unwrap().overhead_pct = MAX_OBS_OVERHEAD_PCT + 1.0;
+        assert_eq!(check_regression(&base, &cur).len(), 1);
+        // And a current run without the A/B is not penalized.
+        cur.obs_overhead = None;
+        assert!(check_regression(&base, &cur).is_empty());
     }
 
     #[test]

@@ -88,11 +88,33 @@ pub struct SearchOptions {
     /// the verification cost and [`QueryStats::candidates_abandoned`]
     /// change. On by default; turn off to measure the plain kernel.
     pub early_abandon: bool,
+    /// Attribute wall clock to pipeline stages
+    /// ([`crate::stats::StageNanos`]: hash / count / verify / rank).
+    /// Costs two clock reads per *verified* candidate plus two per
+    /// round; off by default so the plain hot path pays one branch.
+    pub stage_timing: bool,
+    /// Capture a span tree ([`QueryStats::spans`]) for this query:
+    /// one `hash` span, one `round` span per level (detail = radius),
+    /// one `rank` span. Off by default (zero allocation).
+    pub capture_spans: bool,
+    /// In [`run_query_batch`]: additionally capture spans for every
+    /// `trace_every`-th query of the batch (0 = only what
+    /// `capture_spans` says). Lets a service trace a sample of live
+    /// traffic without paying for every query.
+    pub trace_every: u32,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { per_round: false, timing: false, charge_table_io: true, early_abandon: true }
+        Self {
+            per_round: false,
+            timing: false,
+            charge_table_io: true,
+            early_abandon: true,
+            stage_timing: false,
+            capture_spans: false,
+            trace_every: 0,
+        }
     }
 }
 
@@ -342,8 +364,20 @@ pub fn run_query<S: TableStore>(
     let mut stats = QueryStats::new();
     let query_start = opts.timing.then(Instant::now);
     let io_before = opts.charge_table_io.then(|| store.io_reads());
+    // Stage accounting (hash / count / verify / rank) and span capture
+    // are both opt-in; when off, the hot loop pays one branch per
+    // verified candidate and nothing per collision increment.
+    let stage_on = opts.stage_timing;
+    let trace = opts.capture_spans.then(cc_obs::Trace::new);
+    let mut verify_ns: u64 = 0;
+    let mut count_ns: u64 = 0;
 
-    let mut cursor = store.begin(q);
+    let hash_start = stage_on.then(Instant::now);
+    let mut cursor = {
+        let _span = trace.as_ref().map(|tr| tr.span("hash"));
+        store.begin(q)
+    };
+    let hash_ns = hash_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
     let mut level: u32 = 0;
     loop {
@@ -353,6 +387,13 @@ pub fn run_query<S: TableStore>(
         let round_start = (opts.timing && opts.per_round).then(Instant::now);
         let round_collisions = stats.collisions_counted;
         let round_verified = stats.candidates_verified;
+        let verify_ns_before = verify_ns;
+        let expand_start = stage_on.then(Instant::now);
+        let round_span = trace.as_ref().map(|tr| {
+            let mut s = tr.span("round");
+            s.detail(radius as u64);
+            s
+        });
 
         let mut budget_hit = false;
         for t in 0..m {
@@ -365,6 +406,7 @@ pub fn run_query<S: TableStore>(
                         // computations paid for), abandoned or not —
                         // identical to the pre-abandon candidate count.
                         stats.candidates_verified += 1;
+                        let verify_start = stage_on.then(Instant::now);
                         let bound =
                             if opts.early_abandon { topk.bound_sq() } else { f64::INFINITY };
                         match euclidean_sq_bounded(v, q, bound) {
@@ -378,6 +420,9 @@ pub fn run_query<S: TableStore>(
                             // affect neither the result nor T1.
                             None => stats.candidates_abandoned += 1,
                         }
+                        if let Some(s) = verify_start {
+                            verify_ns += s.elapsed().as_nanos() as u64;
+                        }
                         if stats.candidates_verified >= cap {
                             budget_hit = true;
                             return false; // T2: stop scanning
@@ -390,6 +435,14 @@ pub fn run_query<S: TableStore>(
                 break;
             }
         }
+
+        if let Some(s) = expand_start {
+            // Counting time is the expansion total minus the verify
+            // work interleaved inside it.
+            let round_total = s.elapsed().as_nanos() as u64;
+            count_ns += round_total.saturating_sub(verify_ns - verify_ns_before);
+        }
+        drop(round_span);
 
         // T1 progress: verified candidates within the geometric radius
         // c·R·base_radius. Abandoned candidates are not counted, which
@@ -433,9 +486,27 @@ pub fn run_query<S: TableStore>(
     // retained candidates by (dist, id) and take k. (The top-k heap
     // selects by squared distance, whose ties can differ from post-sqrt
     // ties at the boundary, so it serves only as the abandon bound.)
-    candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    candidates.truncate(k);
-    let result = candidates.clone();
+    let rank_start = stage_on.then(Instant::now);
+    let result = {
+        let mut _span = trace.as_ref().map(|tr| tr.span("rank"));
+        if let Some(s) = _span.as_mut() {
+            s.detail(candidates.len() as u64);
+        }
+        candidates.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        candidates.truncate(k);
+        candidates.clone()
+    };
+    if stage_on {
+        stats.stage = crate::stats::StageNanos {
+            hash: hash_ns,
+            count: count_ns,
+            verify: verify_ns,
+            rank: rank_start.map_or(0, |s| s.elapsed().as_nanos() as u64),
+        };
+    }
+    if let Some(tr) = trace {
+        stats.spans = tr.finish();
+    }
     if let Some(start) = query_start {
         stats.elapsed_nanos = start.elapsed().as_nanos() as u64;
     }
@@ -477,14 +548,14 @@ pub fn run_query_batch<S: TableStore + Sync>(
             scope.spawn(move |_| {
                 let mut scratch = QueryScratch::new(store.id_bound());
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
-                    *slot = run_query(
-                        store,
-                        params,
-                        &mut scratch,
-                        queries.get(lo + off),
-                        k,
-                        &worker_opts,
-                    );
+                    let qi = lo + off;
+                    let mut per_query = worker_opts;
+                    // Sampled tracing: every trace_every-th query of the
+                    // batch (by position) captures its span tree.
+                    if opts.trace_every > 0 && (qi as u64).is_multiple_of(opts.trace_every as u64) {
+                        per_query.capture_spans = true;
+                    }
+                    *slot = run_query(store, params, &mut scratch, queries.get(qi), k, &per_query);
                 }
             });
         }
@@ -665,6 +736,57 @@ mod tests {
         assert_eq!(agg.verified, verified_total);
         assert_eq!(agg.t1 + agg.t2 + agg.exhausted, 23, "every query's termination is tallied");
         assert!(agg.elapsed_nanos > 0);
+    }
+
+    #[test]
+    fn stage_timing_and_spans_account_for_the_query() {
+        let (store, params) = mock_store(300, 8);
+        let mut scratch = QueryScratch::new(store.len());
+        let q = store.data.get(9).to_vec();
+        let opts = SearchOptions {
+            timing: true,
+            stage_timing: true,
+            capture_spans: true,
+            ..Default::default()
+        };
+        let (plain_nn, plain) =
+            run_query(&store, &params, &mut scratch, &q, 5, &SearchOptions::default());
+        let (nn, stats) = run_query(&store, &params, &mut scratch, &q, 5, &opts);
+        // Instrumentation must not change the answer or the work done.
+        assert_eq!(nn, plain_nn);
+        assert_eq!(stats.candidates_verified, plain.candidates_verified);
+        assert_eq!(stats.terminated_by, plain.terminated_by);
+        // Stage totals are positive and bounded by the wall clock of
+        // the whole query (they partition the inner work).
+        assert!(stats.stage.count > 0, "counting time must be attributed");
+        assert!(stats.stage.verify > 0, "verification time must be attributed");
+        assert!(stats.stage.total() <= stats.elapsed_nanos * 2, "{:?}", stats.stage);
+        // Span tree: one hash, one round per level, one rank, with the
+        // round details carrying the radius schedule.
+        let rounds: Vec<&cc_obs::SpanRecord> =
+            stats.spans.iter().filter(|s| s.name == "round").collect();
+        assert_eq!(rounds.len(), stats.rounds as usize);
+        assert_eq!(rounds.last().unwrap().detail, stats.final_radius as u64);
+        assert_eq!(stats.spans.iter().filter(|s| s.name == "hash").count(), 1);
+        assert_eq!(stats.spans.iter().filter(|s| s.name == "rank").count(), 1);
+        // Disabled observability stays disabled.
+        assert_eq!(plain.stage, crate::stats::StageNanos::default());
+        assert!(plain.spans.is_empty());
+    }
+
+    #[test]
+    fn batch_trace_sampling_captures_every_nth_query() {
+        let (store, params) = mock_store(250, 9);
+        let queries = store.data.slice_rows(0, 10);
+        let opts = SearchOptions { trace_every: 4, ..Default::default() };
+        let (batch, _) = run_query_batch(&store, &params, &queries, 3, &opts);
+        for (qi, (_, stats)) in batch.iter().enumerate() {
+            if qi % 4 == 0 {
+                assert!(!stats.spans.is_empty(), "query {qi} should be traced");
+            } else {
+                assert!(stats.spans.is_empty(), "query {qi} should not be traced");
+            }
+        }
     }
 
     #[test]

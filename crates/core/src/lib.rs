@@ -60,7 +60,9 @@
 //! * [`stats`] — per-query, per-round and per-batch cost counters,
 //! * [`persist`] — index save/load (static `C2L1` blobs and dynamic
 //!   `C2D1` checkpoints),
-//! * [`error`] — configuration errors.
+//! * [`error`] — configuration errors plus the unified [`Error`] /
+//!   [`ErrorKind`] type whose stable numeric codes ride the service's
+//!   protocol Error frames.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,11 +88,16 @@ pub use config::{Beta, C2lshConfig, ConfigBuilder};
 pub use disk::DiskIndex;
 pub use dynamic::DynamicIndex;
 pub use engine::{QueryScratch, SearchOptions, SearchParams, TableStore};
-pub use error::C2lshError;
+pub use error::{C2lshError, Error, ErrorKind};
 pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;
 pub use mutable::{MutableIndex, MutationAck, MutationOp};
 pub use params::FullParams;
 pub use persist::{load_dynamic, load_index, save_dynamic, save_index, PersistError};
 pub use sharded::{ShardedData, ShardedEngine};
-pub use stats::{BatchStats, MutationStats, QueryStats, RoundStats, Termination};
+pub use stats::{BatchStats, MutationStats, QueryStats, RoundStats, StageNanos, Termination};
+
+/// Re-export of the observability primitives ([`cc_obs`]) the stats
+/// layer builds on, so downstream crates need no direct `cc-obs` dep
+/// to consume [`stats::QueryStats::spans`].
+pub use cc_obs::{SpanRecord, Trace};

@@ -8,7 +8,52 @@
 //! and enabled through [`crate::engine::SearchOptions`]; batch runs
 //! aggregate into [`BatchStats`].
 
+use cc_obs::SpanRecord;
 use cc_storage::pagefile::IoStats;
+
+/// Wall-clock nanoseconds attributed to each stage of the query
+/// pipeline, recorded when
+/// [`crate::engine::SearchOptions::stage_timing`] is set. This is the
+/// per-stage accounting the LSH benchmarking literature keys on —
+/// hashing vs. counting vs. verification — and what the service's
+/// `/metrics` histograms are fed from.
+///
+/// Under [`QueryStats::merge`]'s parallel-composition semantics every
+/// stage *adds*: the merged value is total CPU-nanoseconds spent in
+/// that stage across shards, not wall clock (wall clock stays in
+/// [`QueryStats::elapsed_nanos`], which maxes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Hashing the query under all `m` functions and positioning the
+    /// per-table windows ([`crate::engine::TableStore::begin`]).
+    pub hash: u64,
+    /// Window expansion + collision counting, *excluding* the time
+    /// inside candidate verification (which is bracketed separately
+    /// even though it runs interleaved with counting).
+    pub count: u64,
+    /// Candidate verification: true-distance computations, including
+    /// early-abandoned ones.
+    pub verify: u64,
+    /// Final ranking: sorting the retained candidates and cutting to k.
+    pub rank: u64,
+}
+
+impl StageNanos {
+    /// Fold another block in: every stage adds (CPU-time semantics).
+    /// Associative and commutative with `StageNanos::default()` as the
+    /// identity.
+    pub fn merge(&mut self, other: &StageNanos) {
+        self.hash += other.hash;
+        self.count += other.count;
+        self.verify += other.verify;
+        self.rank += other.rank;
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> u64 {
+        self.hash + self.count + self.verify + self.rank
+    }
+}
 
 /// Why the query loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +122,14 @@ pub struct QueryStats {
     /// client's proof of read-your-writes: once an ack for seq `s`
     /// arrived, every later query reports `snapshot_seq >= s`.
     pub snapshot_seq: u64,
+    /// Per-stage wall-clock breakdown; all-zero unless
+    /// [`crate::engine::SearchOptions::stage_timing`] was set.
+    pub stage: StageNanos,
+    /// Captured span tree; empty unless
+    /// [`crate::engine::SearchOptions::capture_spans`] selected this
+    /// query for tracing. Offsets are relative to the query's own
+    /// start.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl QueryStats {
@@ -93,6 +146,8 @@ impl QueryStats {
             per_round: Vec::new(),
             elapsed_nanos: 0,
             snapshot_seq: 0,
+            stage: StageNanos::default(),
+            spans: Vec::new(),
         }
     }
 
@@ -132,6 +187,17 @@ impl QueryStats {
         // Shards of one logical query see the same snapshot; max keeps
         // the merge total and makes 0 (immutable backend) the identity.
         self.snapshot_seq = self.snapshot_seq.max(other.snapshot_seq);
+        // Stage time adds (CPU-time across shards); spans union as a
+        // multiset, kept in a canonical total order so the merge stays
+        // associative and commutative under equality.
+        self.stage.merge(&other.stage);
+        if !other.spans.is_empty() {
+            self.spans.extend(other.spans.iter().cloned());
+            self.spans.sort_unstable_by(|a, b| {
+                (a.start_ns, a.depth, a.name, a.dur_ns, a.detail)
+                    .cmp(&(b.start_ns, b.depth, b.name, b.dur_ns, b.detail))
+            });
+        }
     }
 }
 
@@ -244,6 +310,9 @@ pub struct BatchStats {
     /// read-only query; filled by the serving layer via
     /// [`MutationStats::merge`]).
     pub mutations: MutationStats,
+    /// Summed per-stage time across all absorbed queries; all-zero
+    /// unless [`crate::engine::SearchOptions::stage_timing`] was set.
+    pub stage: StageNanos,
 }
 
 impl BatchStats {
@@ -262,6 +331,7 @@ impl BatchStats {
             Termination::Exhausted => self.exhausted += 1,
         }
         self.elapsed_nanos += s.elapsed_nanos;
+        self.stage.merge(&s.stage);
     }
 
     /// Fold another batch's counters into this one. The two batches
@@ -285,6 +355,7 @@ impl BatchStats {
         self.exhausted += other.exhausted;
         self.elapsed_nanos += other.elapsed_nanos;
         self.mutations.merge(&other.mutations);
+        self.stage.merge(&other.stage);
     }
 
     /// Mean verified candidates per query (0 for an empty batch).
@@ -390,6 +461,17 @@ mod tests {
         }
         s.elapsed_nanos = 1_000 * seed + 5;
         s.snapshot_seq = (seed * 17) % 23;
+        s.stage =
+            StageNanos { hash: 10 * seed, count: 40 * seed + 3, verify: 25 * seed, rank: seed };
+        // Spans in canonical (start-ordered) order, as captured live —
+        // the merge keeps the union canonical.
+        s.spans = vec![SpanRecord {
+            name: "round",
+            start_ns: 100 * seed,
+            dur_ns: 50 * seed + 1,
+            depth: 0,
+            detail: seed,
+        }];
         s
     }
 
@@ -447,11 +529,18 @@ mod tests {
         let mut a = sample_query_stats(3); // T1, 4 rounds
         let b = sample_query_stats(4); // T2, 5 rounds
         let (col_a, col_b) = (a.collisions_counted, b.collisions_counted);
+        let want_verify_ns = a.stage.verify + b.stage.verify;
         a.merge(&b);
         assert_eq!(a.collisions_counted, col_a + col_b, "work adds");
         assert_eq!(a.rounds, 5, "depth is the max across shards");
         assert_eq!(a.terminated_by, Termination::T2CandidateBudget, "budget hit dominates");
         assert_eq!(a.per_round.len(), 5, "per-round merges level by level");
+        assert_eq!(a.stage.verify, want_verify_ns, "stage time adds like work");
+        assert_eq!(a.spans.len(), 2, "spans union across shards");
+        assert!(
+            a.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns),
+            "merged spans stay start-ordered"
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! A minimal HTTP/1.0 scrape listener.
+//!
+//! Just enough HTTP for `curl` and a Prometheus scraper: one thread,
+//! non-blocking accept polled every 25 ms against a stop flag,
+//! `Connection: close` on every response, request line parsed and the
+//! rest of the headers discarded. Three routes:
+//!
+//! * `GET /metrics`  → the source's exposition document
+//! * `GET /healthz`  → `ok` (200) or `draining` (503)
+//! * `GET /slowlog`  → the slow-query ring, plain text
+//!
+//! Anything else is 404. The listener owns no metrics itself — it
+//! renders on demand through the [`MetricsSource`] the caller hands in.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the listener serves: implemented by the service over its
+/// live metric registry.
+pub trait MetricsSource: Send + Sync + 'static {
+    /// The `/metrics` document (Prometheus text format).
+    fn render_metrics(&self) -> String;
+    /// The `/slowlog` document (plain text). Default: empty.
+    fn render_slowlog(&self) -> String {
+        String::new()
+    }
+    /// `/healthz` state; `false` answers 503 (e.g. while draining).
+    fn healthy(&self) -> bool {
+        true
+    }
+}
+
+/// Handle to a running scrape listener; stops (and joins its thread)
+/// on [`MetricsServer::stop`] or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `source`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        source: Arc<dyn MetricsSource>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new().name("cc-metrics".into()).spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_conn(stream, &*source),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+        })?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_conn(stream: TcpStream, source: &dyn MetricsSource) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers (bounded) so well-behaved clients see a clean close.
+    for _ in 0..64 {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", source.render_metrics())
+        }
+        "/healthz" => {
+            if source.healthy() {
+                ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+            } else {
+                ("503 Service Unavailable", "text/plain; charset=utf-8", "draining\n".to_string())
+            }
+        }
+        "/slowlog" => ("200 OK", "text/plain; charset=utf-8", source.render_slowlog()),
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    };
+    let mut stream = reader.into_inner();
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Fetch `path` from an HTTP server with a plain `TcpStream` — the
+/// client-side twin of this listener, used by loadgen and the CI lint
+/// to scrape `/metrics` without an HTTP dependency. Returns the body
+/// iff the status is 200.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: scrape\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split")
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!("GET {path}: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl MetricsSource for Fixed {
+        fn render_metrics(&self) -> String {
+            "# HELP cc_up Up.\n# TYPE cc_up gauge\ncc_up 1\n".into()
+        }
+        fn render_slowlog(&self) -> String {
+            "# slow queries: 0 retained (cap 4)\n".into()
+        }
+    }
+
+    #[test]
+    fn serves_metrics_healthz_slowlog_and_404() {
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::new(Fixed)).unwrap();
+        let addr = server.local_addr();
+
+        let metrics = http_get(addr, "/metrics").unwrap();
+        assert!(metrics.contains("cc_up 1"), "{metrics}");
+        let health = http_get(addr, "/healthz").unwrap();
+        assert_eq!(health, "ok\n");
+        let slow = http_get(addr, "/slowlog").unwrap();
+        assert!(slow.starts_with("# slow queries"), "{slow}");
+        let err = http_get(addr, "/nope").unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+
+        server.stop();
+    }
+
+    struct Unhealthy;
+    impl MetricsSource for Unhealthy {
+        fn render_metrics(&self) -> String {
+            String::new()
+        }
+        fn healthy(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn unhealthy_source_answers_503() {
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::new(Unhealthy)).unwrap();
+        let err = http_get(server.local_addr(), "/healthz").unwrap_err();
+        assert!(err.to_string().contains("503"), "{err}");
+    }
+}

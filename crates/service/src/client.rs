@@ -3,11 +3,131 @@
 //! One request in flight per connection (the protocol has no request
 //! ids); open several [`Client`]s for concurrency — that is exactly
 //! what gives the server batches to coalesce.
+//!
+//! Queries go through the builder-style [`QueryRequest`]:
+//!
+//! ```no_run
+//! # use cc_service::{Client, QueryRequest, SearchOutcome};
+//! # fn run(client: &mut Client) -> Result<(), cc_service::ProtoError> {
+//! let req = QueryRequest::new(vec![0.5; 16]).k(10).deadline_ms(50).with_trace();
+//! match client.search(&req)? {
+//!     SearchOutcome::Result(r) => {
+//!         println!("{} neighbors, trace {}", r.neighbors.len(), r.trace_id);
+//!         if let Some(cost) = r.cost {
+//!             println!("{} rounds, {} spans", cost.rounds, cost.spans.len());
+//!         }
+//!     }
+//!     SearchOutcome::Overloaded => { /* back off and retry */ }
+//!     SearchOutcome::DeadlineExceeded => { /* give up */ }
+//! }
+//! # Ok(()) }
+//! ```
 
-use crate::protocol::{self, ProtoError, Request, Response};
+use crate::protocol::{self, ProtoError, QueryCost, Request, Response};
+use crate::snapshot::StatsSnapshot;
 use cc_vector::gt::Neighbor;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// One c-k-ANN query, built fluently and executed with
+/// [`Client::search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    vector: Vec<f32>,
+    k: u32,
+    deadline_ms: u32,
+    want_stats: bool,
+    want_trace: bool,
+}
+
+impl QueryRequest {
+    /// A query for the nearest neighbor of `vector` (raise with
+    /// [`QueryRequest::k`]); no deadline, no stats, no trace.
+    pub fn new(vector: impl Into<Vec<f32>>) -> Self {
+        QueryRequest {
+            vector: vector.into(),
+            k: 1,
+            deadline_ms: 0,
+            want_stats: false,
+            want_trace: false,
+        }
+    }
+
+    /// Ask for the `k` nearest neighbors.
+    pub fn k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Give up (server-side) if still queued after `ms` milliseconds;
+    /// 0 disables the deadline.
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Attach a per-query cost block ([`QueryCost`]) to the answer.
+    pub fn with_stats(mut self) -> Self {
+        self.want_stats = true;
+        self
+    }
+
+    /// Trace this query: the answer carries a server-assigned trace id
+    /// and the captured span tree (implies [`QueryRequest::with_stats`]).
+    pub fn with_trace(mut self) -> Self {
+        self.want_trace = true;
+        self
+    }
+
+    fn to_wire(&self) -> Request {
+        Request::QueryV2 {
+            k: self.k,
+            deadline_ms: self.deadline_ms,
+            want_stats: self.want_stats,
+            want_trace: self.want_trace,
+            vector: self.vector.clone(),
+        }
+    }
+}
+
+/// A served query: the answer plus whatever extras were requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The k nearest verified candidates, ascending by distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Per-query cost block; present iff the request asked via
+    /// [`QueryRequest::with_stats`] / [`QueryRequest::with_trace`].
+    pub cost: Option<QueryCost>,
+    /// Server-assigned trace id (0 unless the request asked for a
+    /// trace); cross-references the server's `/slowlog`.
+    pub trace_id: u64,
+}
+
+/// How the server disposed of a [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchOutcome {
+    /// Served; the payload.
+    Result(QueryResult),
+    /// Refused at admission (queue full) — retry later.
+    Overloaded,
+    /// The deadline expired while the query was queued.
+    DeadlineExceeded,
+}
+
+impl SearchOutcome {
+    /// Unwrap the served result; maps [`SearchOutcome::Overloaded`] and
+    /// [`SearchOutcome::DeadlineExceeded`] to a [`ProtoError`] for
+    /// callers that treat them as failures.
+    pub fn into_result(self) -> Result<QueryResult, ProtoError> {
+        match self {
+            SearchOutcome::Result(r) => Ok(r),
+            SearchOutcome::Overloaded => Err(ProtoError::Malformed("server overloaded".into())),
+            SearchOutcome::DeadlineExceeded => {
+                Err(ProtoError::Malformed("deadline exceeded".into()))
+            }
+        }
+    }
+}
 
 /// A connected service client.
 #[derive(Debug)]
@@ -41,9 +161,33 @@ impl Client {
         }
     }
 
-    /// One query, returning the raw server response so the caller can
-    /// react to [`Response::Overloaded`] / [`Response::DeadlineExceeded`]
-    /// (`deadline_ms == 0` disables the deadline).
+    /// Execute one [`QueryRequest`], reporting admission-control
+    /// outcomes ([`SearchOutcome::Overloaded`] /
+    /// [`SearchOutcome::DeadlineExceeded`]) in-band so the caller can
+    /// react; server-side rejections ([`Response::Error`]) surface as
+    /// `Err`.
+    pub fn search(&mut self, req: &QueryRequest) -> Result<SearchOutcome, ProtoError> {
+        match self.call(&req.to_wire())? {
+            Response::TopKV2 { trace_id, neighbors, cost } => {
+                Ok(SearchOutcome::Result(QueryResult { neighbors, cost, trace_id }))
+            }
+            Response::Overloaded => Ok(SearchOutcome::Overloaded),
+            Response::DeadlineExceeded => Ok(SearchOutcome::DeadlineExceeded),
+            Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience: execute `req` and unwrap the served result (treats
+    /// overload/deadline as errors). For the common
+    /// "neighbors-or-bust" call site.
+    pub fn search_result(&mut self, req: &QueryRequest) -> Result<QueryResult, ProtoError> {
+        self.search(req)?.into_result()
+    }
+
+    /// One query under the **v1** frame, returning the raw server
+    /// response (`deadline_ms == 0` disables the deadline).
+    #[deprecated(since = "0.1.0", note = "build a `QueryRequest` and use `Client::search`")]
     pub fn query(
         &mut self,
         vector: &[f32],
@@ -55,18 +199,35 @@ impl Client {
 
     /// Convenience query that must come back as a result set; any
     /// other response is an error.
+    #[deprecated(since = "0.1.0", note = "build a `QueryRequest` and use `Client::search`")]
     pub fn top_k(&mut self, vector: &[f32], k: u32) -> Result<Vec<Neighbor>, ProtoError> {
-        match self.query(vector, k, 0)? {
-            Response::TopK(nn) => Ok(nn),
+        self.search_result(&QueryRequest::new(vector.to_vec()).k(k)).map(|r| r.neighbors)
+    }
+
+    /// Fetch the aggregated service statistics as a JSON document
+    /// (field extraction via [`crate::json::find_u64`], or parse with
+    /// [`Client::stats`]).
+    pub fn stats_json(&mut self) -> Result<String, ProtoError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsJson(json) => Ok(json),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Fetch the aggregated service statistics as a JSON document
-    /// (field extraction via [`crate::json::find_u64`]).
-    pub fn stats_json(&mut self) -> Result<String, ProtoError> {
-        match self.call(&Request::Stats)? {
-            Response::StatsJson(json) => Ok(json),
+    /// Fetch and parse the service statistics into a typed
+    /// [`StatsSnapshot`] (understands both the schema-1 and schema-2
+    /// envelopes).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ProtoError> {
+        let json = self.stats_json()?;
+        StatsSnapshot::parse(&json)
+            .ok_or_else(|| ProtoError::Malformed("unparseable stats document".into()))
+    }
+
+    /// Fetch the Prometheus text exposition over the binary protocol
+    /// (the same document `--metrics-addr` serves at `/metrics`).
+    pub fn metrics_text(&mut self) -> Result<String, ProtoError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsText(text) => Ok(text),
             other => Err(unexpected(&other)),
         }
     }

@@ -1,17 +1,240 @@
-//! A deliberately tiny JSON emitter (and a matching field extractor
-//! for tooling) — the workspace is offline, so no serde.
+//! A deliberately tiny JSON emitter, parser and field extractor —
+//! the workspace is offline, so no serde.
 //!
 //! [`JsonObject`] covers exactly what the stats frame needs: flat-ish
 //! objects of numbers, strings and nested objects, emitted in
 //! insertion order. Numbers are formatted so they parse back exactly
 //! (`u64`/`usize` verbatim, `f64` via `{:?}` which round-trips).
-//! The extractors ([`find_u64`], [`find_f64`]) do *not* implement a
-//! JSON parser; they scan for a quoted key at any nesting depth and
-//! read the number after the colon — sufficient for the load
-//! generator and the integration tests to pick counters out of the
-//! stats document this module itself produced.
+//! The quick extractors ([`find_u64`], [`find_f64`]) do *not*
+//! implement a JSON parser; they scan for a quoted key at any nesting
+//! depth and read the number after the colon — sufficient for the
+//! load generator and the integration tests to pick counters out of
+//! the stats document this module itself produced. The real parser
+//! ([`JsonValue::parse`]) backs the typed
+//! [`StatsSnapshot`](crate::snapshot::StatsSnapshot) and the
+//! round-trip property tests.
 
 use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers keep their raw token so `u64`
+/// counters survive without a float round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (parse on demand).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse one complete JSON document (surrounding whitespace
+    /// allowed; trailing garbage rejected).
+    pub fn parse(s: &str) -> Option<JsonValue> {
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Member lookup on an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.bytes.get(self.pos)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(JsonValue::String),
+            b't' => self.eat_lit("true").map(|()| JsonValue::Bool(true)),
+            b'f' => self.eat_lit("false").map(|()| JsonValue::Bool(false)),
+            b'n' => self.eat_lit("null").map(|()| JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<JsonValue> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}').is_some() {
+            return Some(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b'}')?;
+            return Some(JsonValue::Object(members));
+        }
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']').is_some() {
+            return Some(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b']')?;
+            return Some(JsonValue::Array(items));
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the run of plain bytes in one go (keeps the loop
+            // UTF-8 transparent: multi-byte chars pass through).
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => unreachable!("loop above stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return None;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        // Validate the token parses as a number at all.
+        raw.parse::<f64>().ok()?;
+        Some(JsonValue::Number(raw.to_string()))
+    }
+}
 
 /// Incremental JSON object builder.
 #[derive(Debug)]
@@ -172,5 +395,117 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn parser_reads_documents_back() {
+        let inner = JsonObject::new().field_u64("reads", 7).finish();
+        let doc = JsonObject::new()
+            .field_u64("schema", 2)
+            .field_str("state", "serving")
+            .field_f64("ratio", 1.5)
+            .field_obj("io", &inner)
+            .finish();
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("serving"));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("io").unwrap().get("reads").unwrap().as_u64(), Some(7));
+        assert!(v.get("missing").is_none());
+        // u64 precision survives (above 2^53, where f64 would lose it).
+        let big = JsonObject::new().field_u64("seq", u64::MAX).finish();
+        let v = JsonValue::parse(&big).unwrap();
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parser_handles_literals_arrays_and_rejects_garbage() {
+        let v = JsonValue::parse(r#"{"a": [1, true, null, "x"], "b": false}"#).unwrap();
+        match v.get("a").unwrap() {
+            JsonValue::Array(items) => {
+                assert_eq!(items.len(), 4);
+                assert_eq!(items[0].as_u64(), Some(1));
+                assert_eq!(items[1], JsonValue::Bool(true));
+                assert_eq!(items[2], JsonValue::Null);
+                assert_eq!(items[3].as_str(), Some("x"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} trailing", "nul", "\"open"] {
+            assert_eq!(JsonValue::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_the_hostile_cases() {
+        // Quotes, backslashes and control characters — the classic
+        // ways to produce invalid JSON from string interpolation.
+        for s in ["\"", "\\", "\"\\\"", "\x00\x1f\x07", "a\nb\rc\td", "π — ünïcode 🚀", ""] {
+            let doc = JsonObject::new().field_str("s", s).finish();
+            let v = JsonValue::parse(&doc)
+                .unwrap_or_else(|| panic!("emitted invalid JSON for {s:?}: {doc}"));
+            assert_eq!(v.get("s").unwrap().as_str(), Some(s), "{doc}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::VecStrategy;
+    use proptest::prelude::*;
+    use proptest::strategy::Map;
+
+    /// The strategy type behind [`hostile_string`], named to keep the
+    /// signature readable.
+    type HostileString = Map<VecStrategy<std::ops::Range<u32>>, fn(Vec<u32>) -> String>;
+
+    /// Strings up to `max` chars, biased hard toward the characters
+    /// that break naive JSON interpolation: quotes, backslashes,
+    /// control characters, plus the odd astral-plane code point.
+    fn hostile_string(max: usize) -> HostileString {
+        proptest::collection::vec(0u32..128, 0..max + 1).prop_map(|codes| {
+            codes
+                .into_iter()
+                .map(|c| match c {
+                    0..=31 => char::from_u32(c).unwrap(), // raw control chars
+                    32..=39 => '"',
+                    40..=47 => '\\',
+                    48..=119 => char::from_u32(c).unwrap(),
+                    _ => char::from_u32(0x1F680 + c).unwrap(), // astral
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Satellite pin: `field_str` must emit valid JSON for *any*
+        /// string — quotes, backslashes, control characters, the lot —
+        /// and the parsed value must equal the input exactly.
+        #[test]
+        fn field_str_escaping_round_trips(key in hostile_string(8), s in hostile_string(64)) {
+            prop_assume!(key != "tail");
+            let doc = JsonObject::new().field_str(&key, &s).field_u64("tail", 7).finish();
+            let v = JsonValue::parse(&doc)
+                .unwrap_or_else(|| panic!("emitted invalid JSON: {doc}"));
+            prop_assert_eq!(v.get(&key).unwrap().as_str(), Some(s.as_str()));
+            prop_assert_eq!(v.get("tail").unwrap().as_u64(), Some(7));
+        }
+
+        /// Numbers round-trip exactly through emit + parse — u64 at
+        /// full precision, f64 from raw bit patterns (NaN and the
+        /// infinities become JSON null).
+        #[test]
+        fn numbers_round_trip(u in 0u64..u64::MAX, bits in 0u64..u64::MAX) {
+            let f = f64::from_bits(bits);
+            let doc = JsonObject::new().field_u64("u", u).field_f64("f", f).finish();
+            let v = JsonValue::parse(&doc).unwrap();
+            prop_assert_eq!(v.get("u").unwrap().as_u64(), Some(u));
+            if f.is_finite() {
+                prop_assert_eq!(v.get("f").unwrap().as_f64(), Some(f));
+            } else {
+                prop_assert_eq!(v.get("f"), Some(&JsonValue::Null));
+            }
+        }
     }
 }

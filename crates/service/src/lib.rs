@@ -10,12 +10,20 @@
 //! only — no async runtime.
 //!
 //! * [`protocol`] — the wire format: framing, opcodes, encode/decode
-//!   (including the insert/delete/ack mutation frames),
+//!   (including the insert/delete/ack mutation frames and the v2
+//!   query/metrics frames),
 //! * [`server`] — [`server::serve`]: accept loop, admission control,
 //!   request coalescing, durable mutation acks, per-request deadlines,
 //!   graceful drain,
-//! * [`client`] — a minimal blocking [`Client`],
-//! * [`json`] — the hand-rolled serializer behind the stats frame.
+//! * [`obs`] — the live metric registry ([`obs::ServerObs`]):
+//!   counters, per-stage latency histograms, trace sampling, the
+//!   slow-query ring, and the Prometheus renderer,
+//! * [`client`] — a minimal blocking [`Client`] and the
+//!   builder-style [`QueryRequest`],
+//! * [`json`] — the hand-rolled serializer/parser behind the stats
+//!   frame,
+//! * [`snapshot`] — [`snapshot::StatsSnapshot`], the typed, versioned
+//!   view of that frame (parses schema 1 and 2).
 //!
 //! ## Quick start
 //!
@@ -39,8 +47,10 @@
 //!         cc_service::serve(&engine, listener, &ServiceConfig::default()).unwrap()
 //!     });
 //!     let mut client = Client::connect(addr).unwrap();
-//!     let neighbors = client.top_k(data.get(7), 3).unwrap();
-//!     assert_eq!(neighbors[0].id, 7); // the query itself is in the data
+//!     let result = client
+//!         .search_result(&cc_service::QueryRequest::new(data.get(7).to_vec()).k(3))
+//!         .unwrap();
+//!     assert_eq!(result.neighbors[0].id, 7); // the query itself is in the data
 //!     client.shutdown().unwrap();
 //!     let stats = server.join().unwrap();
 //!     assert_eq!(stats.queries, 1);
@@ -53,9 +63,13 @@
 
 pub mod client;
 pub mod json;
+pub mod obs;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
 
-pub use client::Client;
-pub use protocol::{ProtoError, Request, Response};
-pub use server::{serve, ServeEngine, ServiceConfig, ServiceStats};
+pub use client::{Client, QueryRequest, QueryResult, SearchOutcome};
+pub use obs::ServerObs;
+pub use protocol::{ProtoError, QueryCost, Request, Response, WireSpan};
+pub use server::{serve, serve_with_obs, ServeEngine, ServiceConfig, ServiceStats};
+pub use snapshot::StatsSnapshot;

@@ -24,12 +24,21 @@
 //! `--max-batch B` (32), `--max-delay-us US` (2000), `--k-max K`
 //! (1024), `--checkpoint-wal-bytes BYTES` (16 MiB; the batcher
 //! checkpoints and truncates the WAL whenever it exceeds this).
+//!
+//! Observability: `--metrics-addr HOST:PORT` turns the metrics layer
+//! on and serves `GET /metrics` (Prometheus text format), `/healthz`
+//! and `/slowlog` there; `--slow-query-ms MS` (100, 0 disables the
+//! slow log) sets the slow-log threshold and `--trace-sample N` (64)
+//! captures a span tree for every Nth query. Without `--metrics-addr`
+//! the service records nothing per query.
 
 use c2lsh::{C2lshConfig, DynamicIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
-use cc_service::ServiceConfig;
+use cc_obs::{MetricsServer, ObsConfig};
+use cc_service::{ServerObs, ServiceConfig};
 use cc_vector::gen::{generate, Distribution};
 use std::net::TcpListener;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -46,6 +55,9 @@ struct Args {
     max_delay_us: u64,
     k_max: usize,
     checkpoint_wal_bytes: u64,
+    metrics_addr: Option<String>,
+    slow_query_ms: u64,
+    trace_sample: u32,
 }
 
 impl Args {
@@ -64,6 +76,9 @@ impl Args {
             max_delay_us: 2000,
             k_max: 1024,
             checkpoint_wal_bytes: 16 << 20,
+            metrics_addr: None,
+            slow_query_ms: 100,
+            trace_sample: 64,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -94,12 +109,20 @@ impl Args {
                     args.checkpoint_wal_bytes =
                         parse(&value("--checkpoint-wal-bytes"), "--checkpoint-wal-bytes")
                 }
+                "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+                "--slow-query-ms" => {
+                    args.slow_query_ms = parse(&value("--slow-query-ms"), "--slow-query-ms")
+                }
+                "--trace-sample" => {
+                    args.trace_sample = parse(&value("--trace-sample"), "--trace-sample")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic] \
                          [--wal DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
-                         [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES]"
+                         [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES] \
+                         [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--trace-sample N]"
                     );
                     exit(0);
                 }
@@ -141,6 +164,28 @@ fn main() {
     });
     let shown_addr = listener.local_addr().map(|a| a.to_string()).unwrap_or(args.addr.clone());
 
+    // Metrics are pay-for-what-you-ask: the registry only records
+    // per-query latency (and samples traces) when --metrics-addr is
+    // given. Counters are maintained either way — they are free.
+    let obs = Arc::new(ServerObs::new(match args.metrics_addr {
+        Some(_) => ObsConfig {
+            enabled: true,
+            trace_sample_every: args.trace_sample,
+            slow_query_ms: args.slow_query_ms,
+            slow_log_capacity: 64,
+        },
+        None => ObsConfig::default(),
+    }));
+    let _metrics_server = args.metrics_addr.as_ref().map(|addr| {
+        let server = MetricsServer::bind(addr.as_str(), obs.clone()).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics address {addr}: {e}");
+            exit(1);
+        });
+        let shown = server.local_addr();
+        eprintln!("metrics on http://{shown}/metrics (healthz, slowlog)");
+        server
+    });
+
     let stats = match args.mode.as_str() {
         "sharded" => {
             eprintln!("generating {} clustered vectors in R^{}…", args.n, args.dim);
@@ -159,7 +204,7 @@ fn main() {
                  shards = {}, m = {}, l = {}",
                 args.n, args.dim, args.shards, params.m, params.l,
             );
-            cc_service::serve(&engine, listener, &service)
+            cc_service::serve_with_obs(&engine, listener, &service, obs)
         }
         "dynamic" => {
             let engine = match &args.wal {
@@ -207,7 +252,7 @@ fn main() {
                 args.dim,
                 engine.last_seq(),
             );
-            cc_service::serve(&engine, listener, &service)
+            cc_service::serve_with_obs(&engine, listener, &service, obs)
         }
         other => {
             eprintln!("unknown --mode {other} (expected sharded or dynamic)");

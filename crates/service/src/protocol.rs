@@ -14,6 +14,10 @@
 //!          0x04 Shutdown
 //!          0x05 Insert    u32 dim | dim × f32
 //!          0x06 Delete    u32 oid
+//!          0x07 QueryV2   u32 k | u32 deadline_ms | u32 flags
+//!                         (bit0 = want stats, bit1 = want trace) |
+//!                         u32 dim | dim × f32
+//!          0x08 Metrics             (Prometheus text exposition)
 //!
 //! response 0x81 Pong
 //!          0x82 TopK      u32 count | count × (u32 id, f64 dist)
@@ -23,8 +27,24 @@
 //!          0x86 ShutdownAck
 //!          0x87 InsertAck u32 oid | u64 seq
 //!          0x88 DeleteAck u8 found (0/1) | u32 oid | u64 seq
-//!          0x8F Error     utf-8 message
+//!          0x89 TopKV2    u64 trace_id (0 = untraced) | u32 count |
+//!                         count × (u32 id, f64 dist) |
+//!                         u8 has_stats | [QueryCost, see below]
+//!          0x8A MetricsText utf-8 Prometheus text document
+//!          0x8F Error     u16 ErrorKind code | utf-8 message
 //! ```
+//!
+//! `QueryCost` (present when `has_stats = 1`): `u32 rounds | u64
+//! collisions | u64 verified | u64 abandoned | u64 io_reads | u64
+//! elapsed_nanos | u64 snapshot_seq | 4 × u64 stage nanos
+//! (hash, count, verify, rank) | u32 span_count | span_count × (u8
+//! name_len | name utf-8 | u64 start_ns | u64 dur_ns | u8 depth |
+//! u64 detail)`.
+//!
+//! Error frames carry the *stable numeric code* of
+//! [`c2lsh::ErrorKind`] ahead of the prose, so clients branch on the
+//! kind without string matching; unknown codes decode as
+//! `ErrorKind::Internal`.
 //!
 //! An `InsertAck`/`DeleteAck` is sent only after the mutation's WAL
 //! record is fsynced, so receiving one certifies durability; `seq` is
@@ -35,6 +55,7 @@
 //! local [`cc_vector::gt::Neighbor`] — the integration tests compare
 //! them with `total_cmp` equality, no tolerance.
 
+use c2lsh::{Error, ErrorKind};
 use cc_vector::gt::Neighbor;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -42,6 +63,84 @@ use std::io::{self, Read, Write};
 /// Upper bound on a frame payload (guards the length word against
 /// garbage: 16 MiB comfortably holds a 1M-dimensional query).
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// A span as it travels the wire: like [`c2lsh::SpanRecord`] but with
+/// an owned name, since the receiving process cannot intern the
+/// sender's `&'static str`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Stage name (`"hash"`, `"round"`, `"rank"`, …).
+    pub name: String,
+    /// Nanoseconds from the start of the operation to span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth (0 = top level).
+    pub depth: u8,
+    /// Span-specific payload (radius, candidate count, …).
+    pub detail: u64,
+}
+
+/// Per-query cost summary a [`Request::QueryV2`] can ask for: the
+/// engine-side counters plus stage timings and (when tracing) the
+/// span tree, compact enough to ride every response.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryCost {
+    /// Virtual-rehashing rounds executed.
+    pub rounds: u32,
+    /// Total collisions counted.
+    pub collisions: u64,
+    /// Candidates whose exact distance was computed.
+    pub verified: u64,
+    /// Candidates abandoned by early-termination bounds.
+    pub abandoned: u64,
+    /// Backend page reads (0 for in-memory backends).
+    pub io_reads: u64,
+    /// Wall-clock nanoseconds the engine spent on this query.
+    pub elapsed_nanos: u64,
+    /// Snapshot sequence number the query ran against.
+    pub snapshot_seq: u64,
+    /// Nanoseconds hashing the query into table keys.
+    pub hash_ns: u64,
+    /// Nanoseconds scanning tables / counting collisions.
+    pub count_ns: u64,
+    /// Nanoseconds verifying candidate distances.
+    pub verify_ns: u64,
+    /// Nanoseconds ranking / truncating the candidate set.
+    pub rank_ns: u64,
+    /// Span tree (empty unless the query was traced).
+    pub spans: Vec<WireSpan>,
+}
+
+impl QueryCost {
+    /// Summarize an engine-side [`c2lsh::QueryStats`] for the wire.
+    pub fn from_stats(stats: &c2lsh::QueryStats) -> Self {
+        QueryCost {
+            rounds: stats.rounds,
+            collisions: stats.collisions_counted,
+            verified: stats.candidates_verified as u64,
+            abandoned: stats.candidates_abandoned as u64,
+            io_reads: stats.io.reads,
+            elapsed_nanos: stats.elapsed_nanos,
+            snapshot_seq: stats.snapshot_seq,
+            hash_ns: stats.stage.hash,
+            count_ns: stats.stage.count,
+            verify_ns: stats.stage.verify,
+            rank_ns: stats.stage.rank,
+            spans: stats
+                .spans
+                .iter()
+                .map(|s| WireSpan {
+                    name: s.name.to_string(),
+                    start_ns: s.start_ns,
+                    dur_ns: s.dur_ns,
+                    depth: s.depth,
+                    detail: s.detail,
+                })
+                .collect(),
+        }
+    }
+}
 
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +174,25 @@ pub enum Request {
         /// The object id to remove.
         oid: u32,
     },
+    /// One c-k-ANN query under the v2 contract: answered with
+    /// [`Response::TopKV2`], optionally carrying per-query stats and a
+    /// trace. Built by [`crate::QueryRequest`].
+    QueryV2 {
+        /// Number of neighbors wanted.
+        k: u32,
+        /// Queue-wait deadline in milliseconds; 0 disables it.
+        deadline_ms: u32,
+        /// Return a [`QueryCost`] block with the answer.
+        want_stats: bool,
+        /// Trace this query: capture the span tree (implies stats on
+        /// the wire) and assign a trace id.
+        want_trace: bool,
+        /// The query vector.
+        vector: Vec<f32>,
+    },
+    /// Ask for the Prometheus text exposition (same document the
+    /// `--metrics-addr` HTTP listener serves at `/metrics`).
+    Metrics,
 }
 
 /// A server-to-client frame.
@@ -109,9 +227,23 @@ pub enum Response {
         /// WAL sequence number (high-water mark for a miss).
         seq: u64,
     },
+    /// Answer to a [`Request::QueryV2`]: neighbors plus the optional
+    /// cost block and trace id.
+    TopKV2 {
+        /// Server-assigned trace id (0 when the query was not traced).
+        trace_id: u64,
+        /// The k nearest verified candidates, ascending by distance.
+        neighbors: Vec<Neighbor>,
+        /// Per-query cost summary, present when the request set
+        /// `want_stats` (or `want_trace`).
+        cost: Option<QueryCost>,
+    },
+    /// Prometheus text exposition document.
+    MetricsText(String),
     /// The request was rejected (bad dimensionality, k out of range,
-    /// server draining, …).
-    Error(String),
+    /// server draining, …). Carries the unified [`c2lsh::Error`] whose
+    /// [`ErrorKind`] code rides the wire numerically.
+    Error(Error),
 }
 
 /// Why decoding a frame failed.
@@ -140,12 +272,23 @@ impl From<io::Error> for ProtoError {
     }
 }
 
+impl From<ProtoError> for Error {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => Error::new(ErrorKind::Io, io.to_string()),
+            ProtoError::Malformed(m) => Error::new(ErrorKind::Protocol, m),
+        }
+    }
+}
+
 const OP_PING: u8 = 0x01;
 const OP_QUERY: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
 const OP_INSERT: u8 = 0x05;
 const OP_DELETE: u8 = 0x06;
+const OP_QUERY_V2: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 const OP_PONG: u8 = 0x81;
 const OP_TOPK: u8 = 0x82;
 const OP_OVERLOADED: u8 = 0x83;
@@ -154,10 +297,80 @@ const OP_STATS_JSON: u8 = 0x85;
 const OP_SHUTDOWN_ACK: u8 = 0x86;
 const OP_INSERT_ACK: u8 = 0x87;
 const OP_DELETE_ACK: u8 = 0x88;
+const OP_TOPK_V2: u8 = 0x89;
+const OP_METRICS_TEXT: u8 = 0x8A;
 const OP_ERROR: u8 = 0x8F;
+
+/// QueryV2 flag bits.
+const FLAG_WANT_STATS: u32 = 1;
+const FLAG_WANT_TRACE: u32 = 2;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_cost(buf: &mut Vec<u8>, cost: &QueryCost) {
+    put_u32(buf, cost.rounds);
+    put_u64(buf, cost.collisions);
+    put_u64(buf, cost.verified);
+    put_u64(buf, cost.abandoned);
+    put_u64(buf, cost.io_reads);
+    put_u64(buf, cost.elapsed_nanos);
+    put_u64(buf, cost.snapshot_seq);
+    put_u64(buf, cost.hash_ns);
+    put_u64(buf, cost.count_ns);
+    put_u64(buf, cost.verify_ns);
+    put_u64(buf, cost.rank_ns);
+    put_u32(buf, cost.spans.len() as u32);
+    for s in &cost.spans {
+        let name = s.name.as_bytes();
+        debug_assert!(name.len() <= u8::MAX as usize, "span names are short identifiers");
+        buf.push(name.len().min(u8::MAX as usize) as u8);
+        buf.extend_from_slice(&name[..name.len().min(u8::MAX as usize)]);
+        put_u64(buf, s.start_ns);
+        put_u64(buf, s.dur_ns);
+        buf.push(s.depth);
+        put_u64(buf, s.detail);
+    }
+}
+
+fn decode_cost(cur: &mut Cur<'_>) -> Result<QueryCost, ProtoError> {
+    let mut cost = QueryCost {
+        rounds: cur.u32()?,
+        collisions: cur.u64()?,
+        verified: cur.u64()?,
+        abandoned: cur.u64()?,
+        io_reads: cur.u64()?,
+        elapsed_nanos: cur.u64()?,
+        snapshot_seq: cur.u64()?,
+        hash_ns: cur.u64()?,
+        count_ns: cur.u64()?,
+        verify_ns: cur.u64()?,
+        rank_ns: cur.u64()?,
+        spans: Vec::new(),
+    };
+    let span_count = cur.u32()? as usize;
+    if span_count > MAX_FRAME / 26 {
+        return Err(ProtoError::Malformed(format!("bad span count {span_count}")));
+    }
+    cost.spans.reserve(span_count);
+    for _ in 0..span_count {
+        let name_len = cur.u8()? as usize;
+        let name = String::from_utf8(cur.take(name_len)?.to_vec())
+            .map_err(|_| ProtoError::Malformed("invalid UTF-8 span name".into()))?;
+        cost.spans.push(WireSpan {
+            name,
+            start_ns: cur.u64()?,
+            dur_ns: cur.u64()?,
+            depth: cur.u8()?,
+            detail: cur.u64()?,
+        });
+    }
+    Ok(cost)
 }
 
 /// Encode one request payload (without the length prefix).
@@ -192,6 +405,26 @@ fn encode_request(req: &Request) -> Vec<u8> {
             put_u32(&mut buf, *oid);
             buf
         }
+        Request::QueryV2 { k, deadline_ms, want_stats, want_trace, vector } => {
+            let mut buf = Vec::with_capacity(17 + vector.len() * 4);
+            buf.push(OP_QUERY_V2);
+            put_u32(&mut buf, *k);
+            put_u32(&mut buf, *deadline_ms);
+            let mut flags = 0u32;
+            if *want_stats {
+                flags |= FLAG_WANT_STATS;
+            }
+            if *want_trace {
+                flags |= FLAG_WANT_TRACE;
+            }
+            put_u32(&mut buf, flags);
+            put_u32(&mut buf, vector.len() as u32);
+            for x in vector {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            buf
+        }
+        Request::Metrics => vec![OP_METRICS],
     }
 }
 
@@ -233,9 +466,35 @@ fn encode_response(resp: &Response) -> Vec<u8> {
             buf.extend_from_slice(&seq.to_le_bytes());
             buf
         }
-        Response::Error(msg) => {
-            let mut buf = Vec::with_capacity(1 + msg.len());
+        Response::TopKV2 { trace_id, neighbors, cost } => {
+            let mut buf = Vec::with_capacity(14 + neighbors.len() * 12);
+            buf.push(OP_TOPK_V2);
+            put_u64(&mut buf, *trace_id);
+            put_u32(&mut buf, neighbors.len() as u32);
+            for n in neighbors {
+                put_u32(&mut buf, n.id);
+                buf.extend_from_slice(&n.dist.to_le_bytes());
+            }
+            match cost {
+                Some(c) => {
+                    buf.push(1);
+                    encode_cost(&mut buf, c);
+                }
+                None => buf.push(0),
+            }
+            buf
+        }
+        Response::MetricsText(text) => {
+            let mut buf = Vec::with_capacity(1 + text.len());
+            buf.push(OP_METRICS_TEXT);
+            buf.extend_from_slice(text.as_bytes());
+            buf
+        }
+        Response::Error(err) => {
+            let msg = err.message();
+            let mut buf = Vec::with_capacity(3 + msg.len());
             buf.push(OP_ERROR);
+            buf.extend_from_slice(&err.kind().code().to_le_bytes());
             buf.extend_from_slice(msg.as_bytes());
             buf
         }
@@ -302,6 +561,10 @@ impl<'a> Cur<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
@@ -366,6 +629,27 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
             Request::Insert { vector }
         }
         OP_DELETE => Request::Delete { oid: cur.u32()? },
+        OP_QUERY_V2 => {
+            let k = cur.u32()?;
+            let deadline_ms = cur.u32()?;
+            let flags = cur.u32()?;
+            let dim = cur.u32()? as usize;
+            if dim == 0 || dim > MAX_FRAME / 4 {
+                return Err(ProtoError::Malformed(format!("bad query dimensionality {dim}")));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vector.push(cur.f32()?);
+            }
+            Request::QueryV2 {
+                k,
+                deadline_ms,
+                want_stats: flags & FLAG_WANT_STATS != 0,
+                want_trace: flags & FLAG_WANT_TRACE != 0,
+                vector,
+            }
+        }
+        OP_METRICS => Request::Metrics,
         op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
     };
     cur.finish()?;
@@ -410,7 +694,30 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ProtoError> 
             let seq = cur.u64()?;
             Response::DeleteAck { oid, found, seq }
         }
-        OP_ERROR => Response::Error(cur.utf8_rest()?),
+        OP_TOPK_V2 => {
+            let trace_id = cur.u64()?;
+            let count = cur.u32()? as usize;
+            if count > MAX_FRAME / 12 {
+                return Err(ProtoError::Malformed(format!("bad result count {count}")));
+            }
+            let mut neighbors = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = cur.u32()?;
+                let dist = cur.f64()?;
+                neighbors.push(Neighbor::new(id, dist));
+            }
+            let cost = match cur.u8()? {
+                0 => None,
+                1 => Some(decode_cost(&mut cur)?),
+                x => return Err(ProtoError::Malformed(format!("bad has_stats flag {x}"))),
+            };
+            Response::TopKV2 { trace_id, neighbors, cost }
+        }
+        OP_METRICS_TEXT => Response::MetricsText(cur.utf8_rest()?),
+        OP_ERROR => {
+            let kind = ErrorKind::from_code(cur.u16()?);
+            Response::Error(Error::new(kind, cur.utf8_rest()?))
+        }
         op => return Err(ProtoError::Malformed(format!("unknown response opcode {op:#04x}"))),
     };
     cur.finish()?;
@@ -443,6 +750,21 @@ mod tests {
             Request::Query { k: 7, deadline_ms: 250, vector: vec![1.5, -2.25, 0.0, f32::MIN] },
             Request::Insert { vector: vec![0.25, -9.5, f32::MAX] },
             Request::Delete { oid: u32::MAX },
+            Request::Metrics,
+            Request::QueryV2 {
+                k: 5,
+                deadline_ms: 40,
+                want_stats: true,
+                want_trace: false,
+                vector: vec![0.5, -1.25],
+            },
+            Request::QueryV2 {
+                k: 1,
+                deadline_ms: 0,
+                want_stats: false,
+                want_trace: true,
+                vector: vec![9.0],
+            },
         ] {
             assert_eq!(round_trip_request(req.clone()), req);
         }
@@ -456,13 +778,68 @@ mod tests {
             Response::DeadlineExceeded,
             Response::ShutdownAck,
             Response::StatsJson("{\"queries\":3}".into()),
-            Response::Error("dim mismatch".into()),
+            Response::Error(Error::invalid("dim mismatch")),
+            Response::Error(Error::new(ErrorKind::Draining, "shutting down")),
             Response::TopK(vec![Neighbor::new(3, 0.25), Neighbor::new(9, 1e300)]),
             Response::InsertAck { oid: 12, seq: u64::MAX },
             Response::DeleteAck { oid: 4, found: true, seq: 99 },
             Response::DeleteAck { oid: 5, found: false, seq: 0 },
+            Response::MetricsText("# HELP cc_up 1\n".into()),
+            Response::TopKV2 { trace_id: 0, neighbors: vec![Neighbor::new(1, 0.5)], cost: None },
+            Response::TopKV2 {
+                trace_id: 77,
+                neighbors: vec![],
+                cost: Some(QueryCost {
+                    rounds: 3,
+                    collisions: 1000,
+                    verified: 42,
+                    abandoned: 7,
+                    io_reads: 5,
+                    elapsed_nanos: 123_456,
+                    snapshot_seq: 9,
+                    hash_ns: 100,
+                    count_ns: 2000,
+                    verify_ns: 300,
+                    rank_ns: 40,
+                    spans: vec![
+                        WireSpan {
+                            name: "hash".into(),
+                            start_ns: 0,
+                            dur_ns: 100,
+                            depth: 0,
+                            detail: 0,
+                        },
+                        WireSpan {
+                            name: "round".into(),
+                            start_ns: 100,
+                            dur_ns: 2300,
+                            depth: 0,
+                            detail: 16,
+                        },
+                    ],
+                }),
+            },
         ] {
             assert_eq!(round_trip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn error_frames_carry_the_kind_code() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::Error(Error::new(ErrorKind::Draining, "bye")))
+            .unwrap();
+        // len(4) | opcode(1) | u16 code — the Draining code is 6.
+        assert_eq!(&wire[5..7], &6u16.to_le_bytes());
+        // An unknown code from a future peer decodes as Internal, not an error.
+        wire[5] = 0xEE;
+        wire[6] = 0x01;
+        match read_response(&mut Cursor::new(wire)).unwrap().unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.kind(), c2lsh::ErrorKind::Internal);
+                assert_eq!(e.message(), "bye");
+            }
+            other => panic!("expected Error, got {other:?}"),
         }
     }
 
@@ -524,5 +901,33 @@ mod tests {
             read_request(&mut Cursor::new(&padded[..])),
             Err(ProtoError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn truncated_topk_v2_never_panics() {
+        let resp = Response::TopKV2 {
+            trace_id: 42,
+            neighbors: vec![Neighbor::new(1, 0.5), Neighbor::new(2, 1.5)],
+            cost: Some(QueryCost {
+                rounds: 2,
+                spans: vec![WireSpan {
+                    name: "rank".into(),
+                    start_ns: 5,
+                    dur_ns: 6,
+                    depth: 1,
+                    detail: 7,
+                }],
+                ..QueryCost::default()
+            }),
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        for len in 0..wire.len() {
+            match read_response(&mut Cursor::new(&wire[..len])) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(got)) => panic!("truncation to {len} bytes parsed as {got:?}"),
+            }
+        }
+        assert_eq!(read_response(&mut Cursor::new(wire)).unwrap().unwrap(), resp);
     }
 }

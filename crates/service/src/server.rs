@@ -43,17 +43,19 @@
 //! connections are force-closed after [`ServiceConfig::drain_grace`].
 
 use crate::json::JsonObject;
-use crate::protocol::{self, ProtoError, Request, Response};
+use crate::obs::ServerObs;
+use crate::protocol::{self, ProtoError, QueryCost, Request, Response};
 use c2lsh::engine::SearchOptions;
 use c2lsh::stats::{BatchStats, MutationStats, QueryStats};
-use c2lsh::{MutableIndex, MutationAck, MutationOp, ShardedEngine};
+use c2lsh::{Error, ErrorKind, MutableIndex, MutationAck, MutationOp, ShardedEngine};
+use cc_obs::ObsConfig;
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// What the serving layer needs from an engine. Implemented by the
@@ -201,6 +203,10 @@ pub struct ServiceConfig {
     /// seed — forever). A graceful drain always writes a final
     /// checkpoint regardless. `u64::MAX` disables the size trigger.
     pub checkpoint_wal_bytes: u64,
+    /// Observability switches: histograms, trace sampling and the slow
+    /// log. Off by default, so the query path pays nothing. (Ignored
+    /// by [`serve_with_obs`], which takes a pre-built registry.)
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -212,6 +218,7 @@ impl Default for ServiceConfig {
             k_max: 1024,
             drain_grace: Duration::from_secs(5),
             checkpoint_wal_bytes: 16 << 20,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -252,6 +259,15 @@ struct Pending {
     vector: Vec<f32>,
     k: usize,
     deadline: Option<Instant>,
+    /// When the query entered the queue (feeds the queue-wait
+    /// histogram).
+    enqueued_at: Instant,
+    /// Reply with the v2 frame ([`Response::TopKV2`]).
+    v2: bool,
+    /// Attach a [`QueryCost`] block to the reply.
+    want_stats: bool,
+    /// Capture a span tree and assign a trace id.
+    want_trace: bool,
     tx: mpsc::Sender<Response>,
 }
 
@@ -282,18 +298,34 @@ struct Shared {
     stats: Mutex<ServiceStats>,
     conns: Mutex<Vec<(u64, TcpStream)>>,
     local_addr: SocketAddr,
+    obs: Arc<ServerObs>,
 }
 
 /// Run the service until a [`Request::Shutdown`] arrives: accept
 /// connections on `listener`, answer queries from `engine`, then drain
 /// and return the final [`ServiceStats`] snapshot. All worker threads
-/// are scoped — when this returns, none survive.
+/// are scoped — when this returns, none survive. Builds a private
+/// metric registry from [`ServiceConfig::obs`]; use [`serve_with_obs`]
+/// to share one with a scrape listener.
 pub fn serve<E: ServeEngine>(
     engine: &E,
     listener: TcpListener,
     config: &ServiceConfig,
 ) -> io::Result<ServiceStats> {
+    serve_with_obs(engine, listener, config, Arc::new(ServerObs::new(config.obs)))
+}
+
+/// Like [`serve`], but over a caller-owned [`ServerObs`] — the same
+/// registry can then back a [`cc_obs::MetricsServer`] serving
+/// `/metrics` while this function runs.
+pub fn serve_with_obs<E: ServeEngine>(
+    engine: &E,
+    listener: TcpListener,
+    config: &ServiceConfig,
+    obs: Arc<ServerObs>,
+) -> io::Result<ServiceStats> {
     let local_addr = listener.local_addr()?;
+    obs.set_index_info(engine.len() as u64, engine.dim() as u64, engine.num_shards() as u64);
     let shared = Shared {
         queue: Mutex::new(Queue { items: VecDeque::new(), draining: false }),
         not_empty: Condvar::new(),
@@ -301,6 +333,7 @@ pub fn serve<E: ServeEngine>(
         stats: Mutex::new(ServiceStats::default()),
         conns: Mutex::new(Vec::new()),
         local_addr,
+        obs,
     };
     let shared = &shared;
     let stats = crossbeam::scope(move |s| {
@@ -380,7 +413,11 @@ fn serve_connection<E: ServeEngine>(
                 // Tell the peer why, then close: after a framing
                 // violation the stream position is unreliable.
                 shared.stats.lock().unwrap().errors += 1;
-                let resp = Response::Error(format!("malformed request: {msg}"));
+                shared.obs.errors.inc();
+                let resp = Response::Error(Error::new(
+                    ErrorKind::Protocol,
+                    format!("malformed request: {msg}"),
+                ));
                 let _ = protocol::write_response(stream, &resp);
                 return Err(ProtoError::Malformed(msg));
             }
@@ -389,13 +426,26 @@ fn serve_connection<E: ServeEngine>(
         let resp = match req {
             Request::Ping => Response::Pong,
             Request::Stats => Response::StatsJson(render_stats(engine, shared)),
+            Request::Metrics => Response::MetricsText(shared.obs.render_prometheus()),
             Request::Shutdown => {
                 protocol::write_response(stream, &Response::ShutdownAck)?;
                 begin_shutdown(shared);
                 return Ok(());
             }
             Request::Query { k, deadline_ms, vector } => {
-                answer_query(engine, shared, config, k, deadline_ms, vector)
+                let ask = QueryAsk {
+                    k,
+                    deadline_ms,
+                    vector,
+                    v2: false,
+                    want_stats: false,
+                    want_trace: false,
+                };
+                answer_query(engine, shared, config, ask)
+            }
+            Request::QueryV2 { k, deadline_ms, want_stats, want_trace, vector } => {
+                let ask = QueryAsk { k, deadline_ms, vector, v2: true, want_stats, want_trace };
+                answer_query(engine, shared, config, ask)
             }
             Request::Insert { vector } => {
                 answer_mutation(engine, shared, config, MutationOp::Insert { vector })
@@ -406,9 +456,21 @@ fn serve_connection<E: ServeEngine>(
         };
         if matches!(resp, Response::Error(_)) {
             shared.stats.lock().unwrap().errors += 1;
+            shared.obs.errors.inc();
         }
         protocol::write_response(stream, &resp)?;
     }
+}
+
+/// One validated-but-unadmitted query (both protocol versions funnel
+/// through this).
+struct QueryAsk {
+    k: u32,
+    deadline_ms: u32,
+    vector: Vec<f32>,
+    v2: bool,
+    want_stats: bool,
+    want_trace: bool,
 }
 
 /// Validate, admit and wait out one query. Never touches the engine —
@@ -417,24 +479,26 @@ fn answer_query<E: ServeEngine>(
     engine: &E,
     shared: &Shared,
     config: &ServiceConfig,
-    k: u32,
-    deadline_ms: u32,
-    vector: Vec<f32>,
+    ask: QueryAsk,
 ) -> Response {
+    let QueryAsk { k, deadline_ms, vector, v2, want_stats, want_trace } = ask;
     if vector.len() != engine.dim() {
-        return Response::Error(format!(
+        return Response::Error(Error::invalid(format!(
             "query dimensionality {} does not match the index ({})",
             vector.len(),
             engine.dim()
-        ));
+        )));
     }
     if k == 0 || k as usize > config.k_max {
-        return Response::Error(format!("k = {k} out of range 1..={}", config.k_max));
+        return Response::Error(Error::invalid(format!(
+            "k = {k} out of range 1..={}",
+            config.k_max
+        )));
     }
     // The engine asserts finiteness; a NaN/inf coordinate reaching the
     // batcher would kill it and wedge every later query, so refuse here.
     if !vector.iter().all(|x| x.is_finite()) {
-        return Response::Error("query contains non-finite coordinates".into());
+        return Response::Error(Error::invalid("query contains non-finite coordinates"));
     }
     let deadline =
         (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms.into()));
@@ -442,18 +506,30 @@ fn answer_query<E: ServeEngine>(
     {
         let mut q = shared.queue.lock().unwrap();
         if q.draining {
-            return Response::Error("server is draining".into());
+            return Response::Error(Error::new(ErrorKind::Draining, "server is draining"));
         }
         if q.items.len() >= config.queue_capacity {
             shared.stats.lock().unwrap().overloaded += 1;
+            shared.obs.overloaded.inc();
             return Response::Overloaded;
         }
-        q.items.push_back(Work::Query(Pending { vector, k: k as usize, deadline, tx }));
+        q.items.push_back(Work::Query(Pending {
+            vector,
+            k: k as usize,
+            deadline,
+            enqueued_at: Instant::now(),
+            v2,
+            want_stats,
+            want_trace,
+            tx,
+        }));
         shared.not_empty.notify_one();
     }
     // The batcher answers every admitted request, including during the
     // drain; a dead channel means it panicked.
-    rx.recv().unwrap_or_else(|_| Response::Error("server shut down before answering".into()))
+    rx.recv().unwrap_or_else(|_| {
+        Response::Error(Error::new(ErrorKind::Internal, "server shut down before answering"))
+    })
 }
 
 /// Validate, admit and wait out one mutation. Rejected up front when
@@ -467,34 +543,40 @@ fn answer_mutation<E: ServeEngine>(
     op: MutationOp,
 ) -> Response {
     if !engine.supports_mutations() {
-        return Response::Error("engine is immutable: mutations are not supported".into());
+        return Response::Error(Error::new(
+            ErrorKind::Unsupported,
+            "engine is immutable: mutations are not supported",
+        ));
     }
     if let MutationOp::Insert { vector } = &op {
         if vector.len() != engine.dim() {
-            return Response::Error(format!(
+            return Response::Error(Error::invalid(format!(
                 "insert dimensionality {} does not match the index ({})",
                 vector.len(),
                 engine.dim()
-            ));
+            )));
         }
         if !vector.iter().all(|x| x.is_finite()) {
-            return Response::Error("insert contains non-finite coordinates".into());
+            return Response::Error(Error::invalid("insert contains non-finite coordinates"));
         }
     }
     let (tx, rx) = mpsc::channel();
     {
         let mut q = shared.queue.lock().unwrap();
         if q.draining {
-            return Response::Error("server is draining".into());
+            return Response::Error(Error::new(ErrorKind::Draining, "server is draining"));
         }
         if q.items.len() >= config.queue_capacity {
             shared.stats.lock().unwrap().overloaded += 1;
+            shared.obs.overloaded.inc();
             return Response::Overloaded;
         }
         q.items.push_back(Work::Mutation { op, tx });
         shared.not_empty.notify_one();
     }
-    rx.recv().unwrap_or_else(|_| Response::Error("server shut down before answering".into()))
+    rx.recv().unwrap_or_else(|_| {
+        Response::Error(Error::new(ErrorKind::Internal, "server shut down before answering"))
+    })
 }
 
 /// The single batching worker: wait for work, linger for coalescing,
@@ -543,6 +625,7 @@ fn batcher_loop<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceCon
 /// before queries keeps a flush monotone: no query in the batch can
 /// miss a mutation that was acknowledged before the query was sent.
 fn flush<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceConfig, batch: Vec<Work>) {
+    let obs = &shared.obs;
     let now = Instant::now();
     let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
     let mut expired: Vec<Pending> = Vec::new();
@@ -561,9 +644,15 @@ fn flush<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceConfig, ba
         }
     }
 
+    let mut wal_ns: Option<u64> = None;
     if !ops.is_empty() {
+        let wal_start = obs.on().then(Instant::now);
         match engine.apply_mutations(ops) {
             Ok((acks, delta)) => {
+                wal_ns = wal_start.map(|s| s.elapsed().as_nanos() as u64);
+                obs.inserts.add(delta.inserts);
+                obs.deletes.add(delta.deletes + delta.delete_misses);
+                obs.set_objects(engine.len() as u64);
                 {
                     let mut st = shared.stats.lock().unwrap();
                     st.inserts += delta.inserts;
@@ -596,42 +685,101 @@ fn flush<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceConfig, ba
                 let mut st = shared.stats.lock().unwrap();
                 st.errors += op_txs.len() as u64;
                 drop(st);
+                obs.errors.add(op_txs.len() as u64);
                 for tx in &op_txs {
-                    let _ = tx.send(Response::Error(format!("mutation failed: {e}")));
+                    let _ = tx.send(Response::Error(Error::new(
+                        ErrorKind::Io,
+                        format!("mutation failed: {e}"),
+                    )));
                 }
             }
         }
     }
     let batch_len = live.len();
+    // Whole-batch trace capture when any client asked for a trace;
+    // positional sampling (`trace_every`) when the observability layer
+    // is on. Stage timing turns on for either — it is what feeds both
+    // the per-stage histograms and the v2 cost blocks.
+    let any_trace = live.iter().any(|p| p.want_trace);
+    let any_stats = live.iter().any(|p| p.want_stats);
+    let sample_every = if obs.on() { obs.config().trace_sample_every } else { 0 };
     let results = if batch_len > 0 {
         let k_max = live.iter().map(|p| p.k).max().unwrap();
         let rows: Vec<Vec<f32>> = live.iter_mut().map(|p| std::mem::take(&mut p.vector)).collect();
         let queries = Dataset::from_rows(&rows);
-        let opts = SearchOptions { timing: true, ..SearchOptions::default() };
+        let opts = SearchOptions {
+            timing: true,
+            stage_timing: obs.on() || any_stats || any_trace,
+            capture_spans: any_trace,
+            trace_every: sample_every,
+            ..SearchOptions::default()
+        };
         let (results, agg) = engine.query_batch_with(&queries, k_max, &opts);
         let mut st = shared.stats.lock().unwrap();
         st.queries += batch_len as u64;
         st.batches += 1;
         st.max_batch = st.max_batch.max(batch_len);
         st.engine.merge(&agg);
+        drop(st);
+        obs.queries.add(batch_len as u64);
+        obs.batches.inc();
         results
     } else {
         Vec::new()
     };
     shared.stats.lock().unwrap().deadline_expired += expired.len() as u64;
+    obs.deadline_expired.add(expired.len() as u64);
+    obs.record_flush(now.elapsed().as_nanos() as u64, batch_len as u64, wal_ns);
     // Reply only after every counter is recorded: a client holding its
     // answer must find it reflected in an immediate stats read.
     for p in expired {
         let _ = p.tx.send(Response::DeadlineExceeded);
     }
-    for (p, (mut nn, _)) in live.into_iter().zip(results) {
+    let answered_at = Instant::now();
+    for (p, (mut nn, qstats)) in live.into_iter().zip(results) {
         nn.truncate(p.k);
-        let _ = p.tx.send(Response::TopK(nn));
+        let queue_wait_ns = now.saturating_duration_since(p.enqueued_at).as_nanos() as u64;
+        let total_ns = answered_at.saturating_duration_since(p.enqueued_at).as_nanos() as u64;
+        obs.record_query(queue_wait_ns, total_ns, &qstats.stage);
+        // A query is *traced* when it has spans it is entitled to:
+        // either it asked, or positional sampling picked it. (A
+        // batchmate's `want_trace` forces whole-batch capture; spans
+        // nobody asked for are dropped here.)
+        let traced = !qstats.spans.is_empty() && (p.want_trace || (sample_every > 0 && !any_trace));
+        let trace_id = if traced {
+            obs.traces.inc();
+            obs.alloc_trace_id()
+        } else {
+            0
+        };
+        if traced {
+            obs.maybe_log_slow(trace_id, total_ns, p.k as u32, &qstats.spans);
+        } else {
+            obs.maybe_log_slow(0, total_ns, p.k as u32, &[]);
+        }
+        let resp = if p.v2 {
+            let cost = (p.want_stats || p.want_trace).then(|| {
+                let mut c = QueryCost::from_stats(&qstats);
+                if !p.want_trace {
+                    c.spans.clear();
+                }
+                c
+            });
+            Response::TopKV2 {
+                trace_id: if p.want_trace { trace_id } else { 0 },
+                neighbors: nn,
+                cost,
+            }
+        } else {
+            Response::TopK(nn)
+        };
+        let _ = p.tx.send(resp);
     }
 }
 
 fn begin_shutdown(shared: &Shared) {
     shared.queue.lock().unwrap().draining = true;
+    shared.obs.set_draining();
     shared.stopping.store(true, Ordering::SeqCst);
     shared.not_empty.notify_all();
     // Unblock the accept loop: it re-checks `stopping` per connection,
@@ -641,6 +789,13 @@ fn begin_shutdown(shared: &Shared) {
 
 /// Serialize the current counters (plus static index facts) for the
 /// stats frame.
+///
+/// The document is the **schema 2** envelope: a `"schema": 2` marker
+/// plus per-stage nanosecond totals (`engine.stage_*_nanos`) and,
+/// when observability is on, a `latency` object with live quantiles.
+/// Every v1 field keeps its exact name and place, so v1 consumers —
+/// including the naive key scanners in [`crate::json`] — keep working
+/// unchanged.
 fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
     let st = shared.stats.lock().unwrap().clone();
     let draining = shared.queue.lock().unwrap().draining;
@@ -655,8 +810,13 @@ fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
         .field_u64("exhausted", e.exhausted as u64)
         .field_u64("io_reads", e.io.reads)
         .field_u64("elapsed_nanos", e.elapsed_nanos)
+        .field_u64("stage_hash_nanos", e.stage.hash)
+        .field_u64("stage_count_nanos", e.stage.count)
+        .field_u64("stage_verify_nanos", e.stage.verify)
+        .field_u64("stage_rank_nanos", e.stage.rank)
         .finish();
     let mut doc = JsonObject::new()
+        .field_u64("schema", 2)
         .field_str("state", if draining { "draining" } else { "serving" })
         .field_u64("shards", engine.num_shards() as u64)
         .field_u64("objects", engine.len() as u64)
@@ -687,6 +847,15 @@ fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
             .field_u64("last_seq", m.last_seq)
             .finish();
         doc = doc.field_obj("mutations", &mutations);
+    }
+    // Live latency quantiles, only when the histograms are being fed.
+    if shared.obs.on() {
+        let (p50, p99) = shared.obs.query_latency_quantiles();
+        let latency = JsonObject::new()
+            .field_u64("query_p50_nanos", p50)
+            .field_u64("query_p99_nanos", p99)
+            .finish();
+        doc = doc.field_obj("latency", &latency);
     }
     doc.finish()
 }

@@ -1,0 +1,302 @@
+//! The observability layer against live servers.
+//!
+//! In-process: a mutable engine served with metrics on — mixed
+//! read/write load, `/metrics` scraped twice over real HTTP and checked
+//! for monotone counters that agree with the client-side tally, the
+//! exposition linted (unique series, `# HELP`/`# TYPE` for every
+//! family), traces and the slow log exercised end-to-end.
+//!
+//! Against the real binary: `--metrics-addr` must announce itself on
+//! stderr, serve `/metrics` and `/healthz`, and count the queries the
+//! client sends.
+
+use c2lsh::config::Beta;
+use c2lsh::{C2lshConfig, DynamicIndex, MutableIndex, MutationOp};
+use cc_obs::{http_get, MetricsServer, ObsConfig};
+use cc_service::{Client, QueryRequest, ServerObs, ServiceConfig};
+use cc_vector::gen::{generate, Distribution};
+use std::collections::HashSet;
+use std::net::TcpListener;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Abort the whole process if `f` does not finish in time — a panic
+/// inside a crossbeam scope would otherwise leave the server thread
+/// unjoined and hang the suite instead of failing it.
+fn with_watchdog(label: &'static str, limit: Duration, f: impl FnOnce()) {
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        if done_rx.recv_timeout(limit).is_err() {
+            eprintln!("[{label}] did not finish within {limit:?}");
+            std::process::abort();
+        }
+    });
+    f();
+    let _ = done_tx.send(());
+}
+
+/// Pull the value of a single-sample series (`name value`) out of an
+/// exposition document.
+fn metric(text: &str, name: &str) -> f64 {
+    let line = text
+        .lines()
+        .find(|l| l.strip_prefix(name).map(|r| r.starts_with(' ')).unwrap_or(false))
+        .unwrap_or_else(|| panic!("series {name} missing from exposition:\n{text}"));
+    line.split_whitespace().nth(1).unwrap().parse().unwrap()
+}
+
+/// The exposition lint CI also applies: every sample line belongs to a
+/// family with `# HELP` and `# TYPE`, and no series name (including its
+/// labels) appears twice.
+fn lint_exposition(text: &str) {
+    let mut help = HashSet::new();
+    let mut ty = HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split_whitespace().next().unwrap().to_string();
+            assert!(help.insert(family.clone()), "duplicate HELP for {family}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split_whitespace().next().unwrap().to_string();
+            assert!(ty.insert(family.clone()), "duplicate TYPE for {family}");
+        }
+    }
+    assert_eq!(help, ty, "HELP and TYPE must cover the same families");
+    let mut series = HashSet::new();
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let name = line.split(' ').next().unwrap().to_string();
+        assert!(series.insert(name.clone()), "duplicate series {name}:\n{text}");
+        // The family is the series name with labels and the summary
+        // aggregate suffixes stripped.
+        let family = name.split('{').next().unwrap();
+        let family = family.strip_suffix("_sum").unwrap_or(family);
+        let family = family.strip_suffix("_count").unwrap_or(family);
+        assert!(ty.contains(family), "series {name} has no # TYPE (family {family}):\n{text}");
+    }
+    assert!(!series.is_empty(), "empty exposition");
+}
+
+/// Mixed read/write load against an in-process server with the full
+/// observability stack on, scraped over real HTTP.
+#[test]
+fn live_scrape_is_monotone_and_consistent_with_load() {
+    const D: usize = 8;
+    const SEED_N: usize = 200;
+    const QUERIES_1: usize = 12;
+    const QUERIES_2: usize = 9;
+    const INSERTS: usize = 5;
+    const DELETES: usize = 3;
+
+    let cfg =
+        C2lshConfig::builder().bucket_width(1.0).seed(11).beta(Beta::Count(SEED_N as u64)).build();
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 6, spread: 0.02, scale: 10.0 },
+        SEED_N,
+        D,
+        17,
+    );
+    let engine = MutableIndex::ephemeral(DynamicIndex::new(D, SEED_N, &cfg));
+    let seed: Vec<MutationOp> =
+        data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+    engine.apply_batch(&seed).unwrap();
+
+    let obs = Arc::new(ServerObs::new(ObsConfig {
+        enabled: true,
+        trace_sample_every: 1,
+        slow_query_ms: 1,
+        slow_log_capacity: 8,
+    }));
+    let metrics = MetricsServer::bind("127.0.0.1:0", obs.clone()).unwrap();
+    let scrape = metrics.local_addr();
+
+    // A 5 ms linger with a lone client means every query waits out the
+    // full batching delay — so each one crosses the 1 ms slow-query
+    // threshold and the ring gets exercised.
+    let service = ServiceConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(5),
+        k_max: 32,
+        ..ServiceConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    with_watchdog("live_scrape", Duration::from_secs(120), || {
+        let obs = obs.clone();
+        crossbeam::scope(|s| {
+            let (engine, service) = (&engine, &service);
+            let server = s.spawn(move |_| {
+                cc_service::serve_with_obs(engine, listener, service, obs).unwrap()
+            });
+            let mut client = Client::connect(addr).unwrap();
+
+            assert_eq!(http_get(scrape, "/healthz").unwrap(), "ok\n");
+
+            for i in 0..QUERIES_1 {
+                let r = client
+                    .search_result(&QueryRequest::new(data.get(i % SEED_N).to_vec()).k(3))
+                    .unwrap();
+                assert_eq!(r.neighbors[0].id, (i % SEED_N) as u32);
+                assert!(r.cost.is_none(), "stats not requested");
+                assert_eq!(r.trace_id, 0, "trace not requested");
+            }
+            let first = http_get(scrape, "/metrics").unwrap();
+            lint_exposition(&first);
+            assert_eq!(metric(&first, "cc_up"), 1.0);
+            assert_eq!(metric(&first, "cc_queries_total"), QUERIES_1 as f64);
+            assert_eq!(metric(&first, "cc_dim"), D as f64);
+            assert_eq!(metric(&first, "cc_objects"), SEED_N as f64);
+            // The per-stage histograms saw exactly the answered queries.
+            assert_eq!(metric(&first, "cc_query_seconds_count"), QUERIES_1 as f64);
+            assert_eq!(metric(&first, "cc_stage_count_seconds_count"), QUERIES_1 as f64);
+            assert!(metric(&first, "cc_query_seconds_sum") > 0.0);
+            // p50 ≤ p99 by construction.
+            let p50 = metric(&first, "cc_query_seconds{quantile=\"0.5\"}");
+            let p99 = metric(&first, "cc_query_seconds{quantile=\"0.99\"}");
+            assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+
+            // Second wave: writes plus traced/stats queries.
+            let mut inserted = Vec::new();
+            for i in 0..INSERTS {
+                let novel: Vec<f32> = (0..D).map(|j| 900.0 + (i * D + j) as f32).collect();
+                inserted.push(client.insert(&novel).unwrap().0);
+            }
+            for oid in 0..DELETES {
+                let (found, _) = client.delete(oid as u32).unwrap();
+                assert!(found);
+            }
+            let mut traced_ids = Vec::new();
+            for i in 0..QUERIES_2 {
+                let r = client
+                    .search_result(&QueryRequest::new(data.get(50 + i).to_vec()).k(2).with_trace())
+                    .unwrap();
+                let cost = r.cost.expect("trace implies a cost block");
+                assert!(cost.rounds > 0, "{cost:?}");
+                assert!(!cost.spans.is_empty(), "traced query lost its spans: {cost:?}");
+                assert!(r.trace_id > 0, "traced query got no id");
+                traced_ids.push(r.trace_id);
+            }
+            let unique: HashSet<u64> = traced_ids.iter().copied().collect();
+            assert_eq!(unique.len(), traced_ids.len(), "trace ids must be unique");
+
+            let second = http_get(scrape, "/metrics").unwrap();
+            lint_exposition(&second);
+            assert_eq!(metric(&second, "cc_queries_total"), (QUERIES_1 + QUERIES_2) as f64);
+            assert_eq!(metric(&second, "cc_inserts_total"), INSERTS as f64);
+            assert_eq!(metric(&second, "cc_deletes_total"), DELETES as f64);
+            assert_eq!(metric(&second, "cc_objects"), (SEED_N + INSERTS - DELETES) as f64);
+            assert!(metric(&second, "cc_traces_total") >= QUERIES_2 as f64);
+            // One WAL-apply observation per flush that carried mutations:
+            // at least one (something was written), at most one per request.
+            let wal_flushes = metric(&second, "cc_wal_apply_seconds_count");
+            assert!(
+                (1.0..=(INSERTS + DELETES) as f64).contains(&wal_flushes),
+                "wal flushes {wal_flushes}"
+            );
+            // Monotonicity across the two scrapes, counter by counter.
+            for family in [
+                "cc_queries_total",
+                "cc_batches_total",
+                "cc_errors_total",
+                "cc_inserts_total",
+                "cc_deletes_total",
+                "cc_traces_total",
+                "cc_slow_queries_total",
+                "cc_query_seconds_count",
+                "cc_flush_seconds_count",
+            ] {
+                assert!(
+                    metric(&second, family) >= metric(&first, family),
+                    "{family} went backwards"
+                );
+            }
+
+            // Every query outlasted the 1 ms threshold (the linger alone
+            // guarantees it), so the ring retained the most recent ones —
+            // and the traced ids are cross-referenced.
+            let slowlog = http_get(scrape, "/slowlog").unwrap();
+            assert!(slowlog.contains("slow queries"), "{slowlog}");
+            let last_id = *traced_ids.last().unwrap();
+            assert!(slowlog.contains(&format!("trace_id={last_id} ")), "{slowlog}");
+
+            // The same document is served over the binary protocol.
+            let inband = client.metrics_text().unwrap();
+            lint_exposition(&inband);
+            assert!(metric(&inband, "cc_queries_total") >= (QUERIES_1 + QUERIES_2) as f64);
+
+            client.shutdown().unwrap();
+            server.join().unwrap();
+        })
+        .unwrap();
+    });
+    metrics.stop();
+}
+
+/// The real binary: `--metrics-addr` announces the scrape endpoint on
+/// stderr and serves a lintable exposition that tracks served queries.
+#[test]
+fn binary_serves_metrics_endpoint() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    const N: usize = 300;
+    const D: usize = 8;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cc-service"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slow-query-ms",
+            "0",
+            "--trace-sample",
+            "1",
+            "--n",
+            &N.to_string(),
+            "--dim",
+            &D.to_string(),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cc-service");
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = BufReader::new(stderr).lines();
+    let mut serve_addr = None;
+    let mut scrape_addr = None;
+    while serve_addr.is_none() || scrape_addr.is_none() {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its addresses")
+            .expect("read server stderr");
+        if let Some(rest) = line.split("metrics on http://").nth(1) {
+            let addr = rest.split('/').next().unwrap();
+            scrape_addr = Some(addr.parse().expect("parse metrics address"));
+        } else if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split_whitespace().next().unwrap();
+            serve_addr = Some(addr.parse::<std::net::SocketAddr>().expect("parse address"));
+        }
+    }
+    std::thread::spawn(move || for _ in lines {});
+    let (serve_addr, scrape_addr) = (serve_addr.unwrap(), scrape_addr.unwrap());
+
+    assert_eq!(http_get(scrape_addr, "/healthz").unwrap(), "ok\n");
+    let before = http_get(scrape_addr, "/metrics").unwrap();
+    lint_exposition(&before);
+    assert_eq!(metric(&before, "cc_up"), 1.0);
+    assert_eq!(metric(&before, "cc_queries_total"), 0.0);
+
+    let mut client = Client::connect(serve_addr).unwrap();
+    for i in 0..7u32 {
+        let q: Vec<f32> = (0..D).map(|j| (i + j as u32) as f32).collect();
+        let r = client.search_result(&QueryRequest::new(q).k(3).with_stats()).unwrap();
+        assert!(!r.neighbors.is_empty());
+        assert!(r.cost.is_some());
+    }
+    let after = http_get(scrape_addr, "/metrics").unwrap();
+    lint_exposition(&after);
+    assert_eq!(metric(&after, "cc_queries_total"), 7.0);
+    assert!(metric(&after, "cc_query_seconds_count") >= 7.0);
+
+    client.shutdown().unwrap();
+    child.wait().expect("server drains after shutdown");
+}

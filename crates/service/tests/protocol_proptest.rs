@@ -94,13 +94,14 @@ proptest! {
         }
     }
 
-    /// Opcodes `0x07..=0x7E` name no request and `0x89..=0x8E` name no
-    /// response: both directions must refuse them as malformed no
-    /// matter what body follows.
+    /// Opcodes `0x09..=0x7E` name no request and `0x8B..=0x8E` name no
+    /// response (`0x07`/`0x08` and `0x89`/`0x8A` are the v2
+    /// query/metrics frames): both directions must refuse them as
+    /// malformed no matter what body follows.
     #[test]
     fn unknown_opcodes_are_rejected(
-        req_op in 0x07u8..0x7F,
-        resp_op in 0x89u8..0x8F,
+        req_op in 0x09u8..0x7F,
+        resp_op in 0x8Bu8..0x8F,
         body in proptest::collection::vec(0u8..255, 0..32),
     ) {
         let mut wire = ((body.len() + 1) as u32).to_le_bytes().to_vec();

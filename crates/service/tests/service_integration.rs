@@ -13,7 +13,7 @@
 use c2lsh::config::Beta;
 use c2lsh::{C2lshConfig, C2lshIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
 use cc_service::json::find_u64;
-use cc_service::{Client, Response, ServiceConfig};
+use cc_service::{Client, QueryRequest, Response, SearchOutcome, ServiceConfig};
 use cc_vector::dataset::Dataset;
 use cc_vector::gen::{generate, Distribution};
 use cc_vector::gt::Neighbor;
@@ -23,6 +23,11 @@ use std::time::Duration;
 
 fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
     generate(Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 }, n, d, seed)
+}
+
+/// The "neighbors-or-bust" query these tests make constantly.
+fn top_k(client: &mut Client, vector: &[f32], k: u32) -> Vec<Neighbor> {
+    client.search_result(&QueryRequest::new(vector.to_vec()).k(k)).unwrap().neighbors
 }
 
 /// T2 disabled (budget ≥ n): the regime where sharded answers are
@@ -99,7 +104,7 @@ fn concurrent_clients_match_single_index_ground_truth() {
                             // batcher has something to coalesce.
                             barrier.wait();
                             let qi = (t * ROUNDS + i) % queries.len();
-                            let got = client.top_k(queries.get(qi), K).unwrap();
+                            let got = top_k(&mut client, queries.get(qi), K);
                             assert_eq!(got, expected[qi], "client {t} round {i} query {qi}");
                         }
                     })
@@ -165,41 +170,60 @@ fn admission_control_and_deadlines() {
             // deadline → expires while queued.
             let slow = s.spawn(move |_| {
                 let mut client = Client::connect(addr).unwrap();
-                client.query(data.get(0), 3, 50).unwrap()
+                client
+                    .search(&QueryRequest::new(data.get(0).to_vec()).k(3).deadline_ms(50))
+                    .unwrap()
             });
 
             // B: arrives mid-linger while A occupies the whole queue.
             std::thread::sleep(Duration::from_millis(150));
             let mut client = Client::connect(addr).unwrap();
-            let refused = client.query(data.get(1), 3, 0).unwrap();
-            assert_eq!(refused, Response::Overloaded);
+            let refused = client.search(&QueryRequest::new(data.get(1).to_vec()).k(3)).unwrap();
+            assert_eq!(refused, SearchOutcome::Overloaded);
+            assert!(refused.into_result().is_err(), "overload maps to Err for strict callers");
 
             let expired = slow.join().unwrap();
-            assert_eq!(expired, Response::DeadlineExceeded);
+            assert_eq!(expired, SearchOutcome::DeadlineExceeded);
 
             // The queue is free again: a plain query succeeds end-to-end.
-            let neighbors = client.top_k(data.get(2), 3).unwrap();
+            let neighbors = top_k(&mut client, data.get(2), 3);
             assert_eq!(neighbors[0].id, 2, "the query vector is row 2 of the data");
             assert_eq!(neighbors[0].dist, 0.0);
 
-            // Bad requests are answered, not dropped.
-            let wrong_dim = client.query(&[0.0f32; D + 1], 3, 0).unwrap();
-            assert!(matches!(wrong_dim, Response::Error(_)), "{wrong_dim:?}");
-            let bad_k = client.query(data.get(0), 0, 0).unwrap();
-            assert!(matches!(bad_k, Response::Error(_)), "{bad_k:?}");
+            // The v1 frame must keep answering old clients verbatim.
+            #[allow(deprecated)]
+            let v1 = client.query(data.get(2), 3, 0).unwrap();
+            match v1 {
+                Response::TopK(nn) => assert_eq!(nn[0].id, 2),
+                other => panic!("v1 query answered with {other:?}"),
+            }
+
+            // Bad requests are answered with an error frame, which the
+            // client surfaces as `Err` — never dropped.
+            let wrong_dim = client.search(&QueryRequest::new(vec![0.0f32; D + 1]).k(3));
+            assert!(wrong_dim.is_err(), "{wrong_dim:?}");
+            let bad_k = client.search(&QueryRequest::new(data.get(0).to_vec()).k(0));
+            assert!(bad_k.is_err(), "{bad_k:?}");
             // Non-finite coordinates must be refused at admission — the
             // engine asserts finiteness, and a NaN reaching the batcher
             // thread would kill it and wedge the whole service.
-            let nan = client.query(&[f32::NAN; D], 3, 0).unwrap();
-            assert!(matches!(nan, Response::Error(_)), "{nan:?}");
-            let survived = client.top_k(data.get(2), 3).unwrap();
+            let nan = client.search(&QueryRequest::new(vec![f32::NAN; D]).k(3));
+            assert!(nan.is_err(), "{nan:?}");
+            let survived = top_k(&mut client, data.get(2), 3);
             assert_eq!(survived[0].id, 2);
 
             let json = client.stats_json().unwrap();
             assert_eq!(find_u64(&json, "overloaded"), Some(1), "{json}");
             assert_eq!(find_u64(&json, "deadline_expired"), Some(1), "{json}");
             assert_eq!(find_u64(&json, "errors"), Some(3), "{json}");
-            assert_eq!(find_u64(&json, "queries"), Some(2), "{json}");
+            assert_eq!(find_u64(&json, "queries"), Some(3), "{json}");
+            // The typed snapshot view agrees with the raw extraction.
+            let snap = client.stats().unwrap();
+            assert_eq!(snap.schema, 2);
+            assert_eq!(snap.overloaded, 1);
+            assert_eq!(snap.deadline_expired, 1);
+            assert_eq!(snap.errors, 3);
+            assert_eq!(snap.queries, 3);
 
             client.shutdown().unwrap();
             let stats = server.join().unwrap();
@@ -277,7 +301,7 @@ fn sharded_engine_rejects_mutations() {
             assert!(client.delete(3).is_err(), "delete must be refused");
 
             // Still alive and still read-correct.
-            let nn = client.top_k(data.get(4), 1).unwrap();
+            let nn = top_k(&mut client, data.get(4), 1);
             assert_eq!(nn[0].id, 4);
             let json = client.stats_json().unwrap();
             assert_eq!(find_u64(&json, "errors"), Some(2), "{json}");
@@ -347,7 +371,7 @@ fn mutable_server_applies_durable_mutations_under_racing_readers() {
                         // Read-your-writes: the ack precedes this query,
                         // and the batcher applies mutations before the
                         // queries of any later flush.
-                        let nn = client.top_k(&novel, 1).unwrap();
+                        let nn = top_k(&mut client, &novel, 1);
                         assert_eq!(nn[0].id, oid, "writer {t} cannot see its own insert");
                         assert_eq!(nn[0].dist, 0.0);
                         ack_tx.send((oid, novel)).unwrap();
@@ -358,7 +382,7 @@ fn mutable_server_applies_durable_mutations_under_racing_readers() {
                         let victim = (t * 2) as u32;
                         let (found, _) = client.delete(victim).unwrap();
                         assert!(found, "seeded oid {victim} must exist");
-                        let nn = client.top_k(data.get(victim as usize), 1).unwrap();
+                        let nn = top_k(&mut client, data.get(victim as usize), 1);
                         assert!(
                             nn[0].id != victim && nn[0].dist > 0.0,
                             "deleted object {victim} still served: {nn:?}"
@@ -374,7 +398,7 @@ fn mutable_server_applies_durable_mutations_under_racing_readers() {
                             let qi = (r * READS + i) % SEED_N;
                             // Concurrent with deletes, so only sanity is
                             // checkable: a well-formed, ordered answer.
-                            let nn = client.top_k(data.get(qi), 3).unwrap();
+                            let nn = top_k(&mut client, data.get(qi), 3);
                             assert!(!nn.is_empty());
                             assert!(nn.windows(2).all(|w| w[0].dist <= w[1].dist));
                         }
@@ -594,11 +618,11 @@ fn killed_server_recovers_every_acknowledged_mutation() {
         let mut client = Client::connect(addr).unwrap();
 
         // Every ack must have survived.
-        let nn = client.top_k(&novel_a, 1).unwrap();
+        let nn = top_k(&mut client, &novel_a, 1);
         assert_eq!((nn[0].id, nn[0].dist), (oid_a, 0.0), "insert A lost in the crash");
-        let nn = client.top_k(&novel_b, 1).unwrap();
+        let nn = top_k(&mut client, &novel_b, 1);
         assert_eq!((nn[0].id, nn[0].dist), (oid_b, 0.0), "insert B lost in the crash");
-        let nn = client.top_k(data.get(0), 1).unwrap();
+        let nn = top_k(&mut client, data.get(0), 1);
         assert!(nn[0].id != 0 && nn[0].dist > 0.0, "delete of oid 0 resurrected: {nn:?}");
 
         // The recovered engine reports the pre-crash high-water mark,
