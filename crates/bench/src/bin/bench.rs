@@ -19,18 +19,19 @@
 //! that is the CI `bench-smoke` gate.
 
 use c2lsh::engine::SearchOptions;
+use c2lsh::{C2lshConfig, C2lshIndex, PointMeta, Predicate};
 use cc_bench::eval::evaluate_detailed;
 use cc_bench::methods::{defaults, AnnIndex};
 use cc_bench::prep::prepare_workload;
 use cc_bench::report::{
-    check_regression, percentile_ms, BenchReport, DatasetInfo, MethodReport, ObsOverheadReport,
-    VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
+    check_regression, percentile_ms, BenchReport, DatasetInfo, FilteredSearchReport, MethodReport,
+    ObsOverheadReport, VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
 };
 use cc_bench::table::{f1, f3, Table};
 use cc_obs::ObsConfig;
 use cc_service::ServerObs;
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::euclidean_sq_bounded;
+use cc_vector::dist::{euclidean_sq, euclidean_sq_bounded};
 use cc_vector::gt::Neighbor;
 use cc_vector::synth::Profile;
 use cc_vector::topk::TopK;
@@ -317,10 +318,17 @@ fn verify_kernel_bench(w: &Workload, k: usize) -> VerifyKernelReport {
 /// so the overhead percentage is a within-run relative measure that
 /// does not depend on the machine's absolute speed.
 fn obs_overhead_bench(w: &Workload, k: usize, seed: u64) -> ObsOverheadReport {
-    const OBS_BENCH_REPS: usize = 5;
+    const OBS_BENCH_REPS: usize = 11;
+    // The smoke query set finishes in single-digit milliseconds; on a
+    // noisy single-vCPU runner scheduler ticks and steal-time cycles
+    // swing such a pass by several percent. Replay the batch enough
+    // times that one pass spans hundreds of milliseconds — long enough
+    // to average over the drift the paired estimator below can't
+    // cancel.
+    const OBS_BENCH_ROUNDS: usize = 64;
     let cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
     let index = c2lsh::C2lshIndex::build(&w.data, &cfg);
-    let queries = w.queries.len() as f64;
+    let queries = (w.queries.len() * OBS_BENCH_ROUNDS) as f64;
 
     let pass = |obs: &ServerObs| -> f64 {
         let sample_every = if obs.on() { obs.config().trace_sample_every } else { 0 };
@@ -331,37 +339,157 @@ fn obs_overhead_bench(w: &Workload, k: usize, seed: u64) -> ObsOverheadReport {
             trace_every: sample_every,
             ..SearchOptions::default()
         };
-        let flush_t0 = Instant::now();
-        let (results, _agg) = index.query_batch_with(&w.queries, k, &opts);
-        obs.queries.add(results.len() as u64);
-        obs.batches.inc();
-        let answered_at = Instant::now();
-        for (nn, qstats) in &results {
-            let total_ns = answered_at.saturating_duration_since(flush_t0).as_nanos() as u64;
-            obs.record_query(0, total_ns, &qstats.stage);
-            let traced = !qstats.spans.is_empty() && sample_every > 0;
-            if traced {
-                obs.traces.inc();
-                obs.maybe_log_slow(obs.alloc_trace_id(), total_ns, k as u32, &qstats.spans);
-            } else {
-                obs.maybe_log_slow(0, total_ns, k as u32, &[]);
+        let t0 = Instant::now();
+        for _ in 0..OBS_BENCH_ROUNDS {
+            let flush_t0 = Instant::now();
+            let (results, _agg) = index.query_batch_with(&w.queries, k, &opts);
+            obs.queries.add(results.len() as u64);
+            obs.batches.inc();
+            let answered_at = Instant::now();
+            for (nn, qstats) in &results {
+                let total_ns = answered_at.saturating_duration_since(flush_t0).as_nanos() as u64;
+                obs.record_query(0, total_ns, &qstats.stage);
+                let traced = !qstats.spans.is_empty() && sample_every > 0;
+                if traced {
+                    obs.traces.inc();
+                    obs.maybe_log_slow(obs.alloc_trace_id(), total_ns, k as u32, &qstats.spans);
+                } else {
+                    obs.maybe_log_slow(0, total_ns, k as u32, &[]);
+                }
+                black_box(nn.last().map(|nb| nb.dist));
             }
-            black_box(nn.last().map(|nb| nb.dist));
+            obs.record_flush(flush_t0.elapsed().as_nanos() as u64, results.len() as u64, None);
         }
-        obs.record_flush(flush_t0.elapsed().as_nanos() as u64, results.len() as u64, None);
-        flush_t0.elapsed().as_secs_f64()
+        t0.elapsed().as_secs_f64()
     };
 
     let base_obs = ServerObs::disabled();
     let live_obs = ServerObs::new(ObsConfig::all_on());
+    // A shared runner's effective clock drifts over seconds, so
+    // comparing each arm's independent best-of-N confounds drift with
+    // the measured overhead. Each base pass is instead paired with the
+    // obs pass right after it — adjacent in time, so drift mostly
+    // cancels within the pair — and the median paired overhead is the
+    // reported figure (the bests still give the headline qps).
     let (mut base_best, mut obs_best) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..OBS_BENCH_REPS {
-        base_best = base_best.min(pass(&base_obs));
-        obs_best = obs_best.min(pass(&live_obs));
+    let mut paired_pct = Vec::with_capacity(OBS_BENCH_REPS);
+    for rep in 0..OBS_BENCH_REPS {
+        // Alternate which arm goes first so a warm-up or turbo effect
+        // on the pair's first pass doesn't bias every sample the same
+        // way.
+        let (base_s, obs_s) = if rep % 2 == 0 {
+            let b = pass(&base_obs);
+            (b, pass(&live_obs))
+        } else {
+            let o = pass(&live_obs);
+            (pass(&base_obs), o)
+        };
+        base_best = base_best.min(base_s);
+        obs_best = obs_best.min(obs_s);
+        paired_pct.push((obs_s - base_s) / obs_s * 100.0);
     }
-    let base_qps = queries / base_best;
-    let obs_qps = queries / obs_best;
-    ObsOverheadReport { base_qps, obs_qps, overhead_pct: (base_qps - obs_qps) / base_qps * 100.0 }
+    paired_pct.sort_by(f64::total_cmp);
+    ObsOverheadReport {
+        base_qps: queries / base_best,
+        obs_qps: queries / obs_best,
+        overhead_pct: paired_pct[paired_pct.len() / 2],
+    }
+}
+
+/// A/B-measure filtered search against the naive plan on the same
+/// index.
+///
+/// Every third point gets the target label (64 generator clusters and
+/// a modulus of 3 are coprime, so every cluster mixes all labels and
+/// the predicate is genuinely selective near every query). The two
+/// arms:
+///
+/// * **filtered**: the predicate runs inside the collision-counting
+///   loop — points failing it are rejected *before*
+///   `euclidean_sq_bounded`, so they never count as verified.
+/// * **post-filter**: query unfiltered with an inflated `k'`
+///   (starting at `k / selectivity`, doubling until the kept top-`k`
+///   reaches the filtered arm's recall on the matching subset), then
+///   drop non-matching answers.
+///
+/// Recall for both arms is measured against exact k-NN over the
+/// matching subset. The gate ([`check_regression`]) demands the
+/// filtered arm verify strictly fewer candidates per query at
+/// equal-or-better post-filter recall.
+fn filtered_search_bench(w: &Workload, k: usize, seed: u64) -> FilteredSearchReport {
+    const LABELS: u32 = 3;
+    let n = w.n();
+    let metas: Vec<PointMeta> = (0..n).map(|i| PointMeta::labeled(i as u32 % LABELS)).collect();
+    let predicate = Predicate::label(1);
+    let matching = metas.iter().filter(|m| predicate.matches(**m)).count();
+    let selectivity = matching as f64 / n as f64;
+
+    let cfg = C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
+    let index = C2lshIndex::build(&w.data, &cfg).with_meta(metas.clone());
+
+    // Exact k-NN over the matching subset — the ground truth both arms
+    // are scored against.
+    let truth: Vec<Vec<u32>> = w
+        .queries
+        .iter()
+        .map(|q| {
+            let mut subset: Vec<Neighbor> = w
+                .data
+                .iter()
+                .enumerate()
+                .filter(|(id, _)| predicate.matches(metas[*id]))
+                .map(|(id, v)| Neighbor::new(id as u32, euclidean_sq(q, v).sqrt()))
+                .collect();
+            subset.sort_by(|x, y| x.dist.total_cmp(&y.dist).then(x.id.cmp(&y.id)));
+            subset.truncate(k);
+            subset.into_iter().map(|nb| nb.id).collect()
+        })
+        .collect();
+    let truth_size: usize = truth.iter().map(Vec::len).sum();
+
+    let opts = SearchOptions { filter: Some(predicate), ..SearchOptions::default() };
+    let (mut f_verified, mut f_rejected, mut f_hits) = (0u64, 0u64, 0usize);
+    for (qi, q) in w.queries.iter().enumerate() {
+        let (nn, stats) = index.query_with(q, k, &opts);
+        f_verified += stats.candidates_verified as u64;
+        f_rejected += stats.candidates_filtered as u64;
+        f_hits += nn.iter().filter(|nb| truth[qi].contains(&nb.id)).count();
+    }
+    let filtered_recall = f_hits as f64 / truth_size.max(1) as f64;
+
+    // Naive arm: inflate k' until post-filtering stops costing recall.
+    let mut postfilter_k = ((k as f64 / selectivity).ceil() as usize).clamp(k + 1, n);
+    let (mut p_verified, mut postfilter_recall);
+    loop {
+        p_verified = 0u64;
+        let mut p_hits = 0usize;
+        for (qi, q) in w.queries.iter().enumerate() {
+            let (nn, stats) = index.query(q, postfilter_k);
+            p_verified += stats.candidates_verified as u64;
+            p_hits += nn
+                .iter()
+                .filter(|nb| predicate.matches(metas[nb.id as usize]))
+                .take(k)
+                .filter(|nb| truth[qi].contains(&nb.id))
+                .count();
+        }
+        postfilter_recall = p_hits as f64 / truth_size.max(1) as f64;
+        if postfilter_recall >= filtered_recall || postfilter_k >= n {
+            break;
+        }
+        postfilter_k = (postfilter_k * 2).min(n);
+    }
+
+    let queries = w.queries.len().max(1) as f64;
+    FilteredSearchReport {
+        selectivity,
+        postfilter_k,
+        filtered_recall,
+        postfilter_recall,
+        filtered_verified_per_query: f_verified as f64 / queries,
+        postfilter_verified_per_query: p_verified as f64 / queries,
+        rejected_per_query: f_rejected as f64 / queries,
+    }
 }
 
 fn main() -> ExitCode {
@@ -396,6 +524,20 @@ fn main() -> ExitCode {
     println!(
         "  {:.1} qps off, {:.1} qps on -> {:.2}% overhead (budget {MAX_OBS_OVERHEAD_PCT}%)",
         obs_overhead.base_qps, obs_overhead.obs_qps, obs_overhead.overhead_pct
+    );
+
+    println!("filtered search: in-loop predicate vs unfiltered + post-filter...");
+    let filtered_search = filtered_search_bench(&w, cfg.k, cfg.seed);
+    println!(
+        "  selectivity {:.2}: filtered {:.1} verified/query (recall {:.3}, {:.1} rejected \
+         pre-verify) vs post-filter k'={} {:.1} verified/query (recall {:.3})",
+        filtered_search.selectivity,
+        filtered_search.filtered_verified_per_query,
+        filtered_search.filtered_recall,
+        filtered_search.rejected_per_query,
+        filtered_search.postfilter_k,
+        filtered_search.postfilter_verified_per_query,
+        filtered_search.postfilter_recall,
     );
 
     let mut table = Table::new(
@@ -466,6 +608,7 @@ fn main() -> ExitCode {
         seed: cfg.seed,
         verify: Some(verify),
         obs_overhead: Some(obs_overhead),
+        filtered_search: Some(filtered_search),
         methods,
     };
 

@@ -30,12 +30,18 @@
 //! (32), `CC_SECONDS` (5), `CC_K` (10), `CC_N` (20000, self-host
 //! only), `CC_DIM` (16, self-host only), `CC_MODE`
 //! (`sharded`|`dynamic`, self-host only), `CC_WRITE_PCT` (0; needs a
-//! mutable server), `CC_WAL_DIR` (scratch directory by default),
-//! `CC_METRICS_ADDR` (scrape the server's `/metrics` endpoint after
-//! the run and print its latency quantiles next to the client-measured
-//! ones — the external server must run with `--metrics-addr`).
+//! mutable server), `CC_FILTER_PCT` (0; that share of reads carries a
+//! label predicate — self-hosted servers seed labels `i % 3`, and the
+//! probe predicate `label == 0` also matches every point of an
+//! external server without metadata), `CC_WAL_DIR` (scratch directory
+//! by default), `CC_METRICS_ADDR` (scrape the server's `/metrics`
+//! endpoint after the run and print its latency quantiles next to the
+//! client-measured ones — the external server must run with
+//! `--metrics-addr`).
 
-use c2lsh::{C2lshConfig, MutableIndex, MutationOp, ShardedData, ShardedEngine};
+use c2lsh::{
+    C2lshConfig, MutableIndex, MutationOp, PointMeta, Predicate, ShardedData, ShardedEngine,
+};
 use cc_bench::env_usize;
 use cc_service::{Client, QueryRequest, SearchOutcome, ServiceConfig, StatsSnapshot};
 use cc_vector::gen::{generate, Distribution};
@@ -53,6 +59,7 @@ struct AckedWrite {
 #[derive(Default)]
 struct ClientReport {
     read_latencies_ns: Vec<u64>,
+    filtered_latencies_ns: Vec<u64>,
     write_latencies_ns: Vec<u64>,
     overloaded: u64,
     acked: Vec<AckedWrite>,
@@ -77,6 +84,7 @@ fn run_client(
     queries: &cc_vector::dataset::Dataset,
     k: u32,
     write_pct: usize,
+    filter_pct: usize,
     stop: &AtomicBool,
     t: usize,
 ) -> ClientReport {
@@ -113,11 +121,25 @@ fn run_client(
             continue;
         }
         let q = queries.get(qi % queries.len());
+        // A second independent roll decides whether this read carries a
+        // predicate. `label == 0` is selective (one label in three) on
+        // the self-hosted seeding and still matches every point of a
+        // metadata-free external server, so results stay non-empty.
+        let filtered = (qi.wrapping_mul(2246822519)) % 100 < filter_pct;
+        let mut req = QueryRequest::new(q.to_vec()).k(k);
+        if filtered {
+            req = req.filter(Predicate::label(0));
+        }
         let sent = Instant::now();
-        match client.search(&QueryRequest::new(q.to_vec()).k(k)).expect("query") {
+        match client.search(&req).expect("query") {
             SearchOutcome::Result(r) => {
                 assert!(!r.neighbors.is_empty(), "server returned an empty result set");
-                report.read_latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                let lat = sent.elapsed().as_nanos() as u64;
+                if filtered {
+                    report.filtered_latencies_ns.push(lat);
+                } else {
+                    report.read_latencies_ns.push(lat);
+                }
             }
             SearchOutcome::Overloaded => {
                 report.overloaded += 1;
@@ -135,6 +157,7 @@ fn drive(
     addr: std::net::SocketAddr,
     queries: &cc_vector::dataset::Dataset,
     write_pct: usize,
+    filter_pct: usize,
 ) -> Vec<ClientReport> {
     let clients = env_usize("CC_CLIENTS", 32);
     let seconds = env_usize("CC_SECONDS", 5);
@@ -145,13 +168,14 @@ fn drive(
     let before = probe.stats().expect("stats");
 
     eprintln!(
-        "driving {clients} closed-loop clients for {seconds}s (k = {k}, writes {write_pct}%)…"
+        "driving {clients} closed-loop clients for {seconds}s \
+         (k = {k}, writes {write_pct}%, filtered reads {filter_pct}%)…"
     );
     let stop = AtomicBool::new(false);
     let stop = &stop;
     let reports: Vec<ClientReport> = crossbeam::scope(move |s| {
         let handles: Vec<_> = (0..clients)
-            .map(|t| s.spawn(move |_| run_client(addr, queries, k, write_pct, stop, t)))
+            .map(|t| s.spawn(move |_| run_client(addr, queries, k, write_pct, filter_pct, stop, t)))
             .collect();
         std::thread::sleep(Duration::from_secs(seconds as u64));
         stop.store(true, Ordering::Relaxed);
@@ -165,15 +189,20 @@ fn drive(
     let mut reads: Vec<u64> =
         reports.iter().flat_map(|r| r.read_latencies_ns.iter().copied()).collect();
     reads.sort_unstable();
+    let mut filtered: Vec<u64> =
+        reports.iter().flat_map(|r| r.filtered_latencies_ns.iter().copied()).collect();
+    filtered.sort_unstable();
     let mut writes: Vec<u64> =
         reports.iter().flat_map(|r| r.write_latencies_ns.iter().copied()).collect();
     writes.sort_unstable();
-    let answered = reads.len() as u64;
+    let answered = (reads.len() + filtered.len()) as u64;
     let overloaded: u64 = reports.iter().map(|r| r.overloaded).sum();
     let ops = answered + writes.len() as u64;
 
     println!(
-        "answered    {answered} queries + {} writes ({overloaded} overload rejections)",
+        "answered    {answered} queries ({} filtered) + {} writes ({overloaded} overload \
+         rejections)",
+        filtered.len(),
         writes.len()
     );
     println!("throughput  {:.0} ops/s", ops as f64 / seconds as f64);
@@ -183,6 +212,16 @@ fn drive(
         percentile(&reads, 0.95),
         percentile(&reads, 0.99),
     );
+    if !filtered.is_empty() {
+        println!(
+            "filt. lat.  p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms \
+             ({} candidates rejected by predicates, whole server lifetime)",
+            percentile(&filtered, 0.50),
+            percentile(&filtered, 0.95),
+            percentile(&filtered, 0.99),
+            delta(|s| s.engine.filtered),
+        );
+    }
     if !writes.is_empty() {
         println!(
             "write lat.  p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms (durable: acked after fsync)",
@@ -295,8 +334,16 @@ fn verify_durability(
     println!("durability  verified {verified} acknowledged writes against a cold reopen ✓");
 }
 
+/// The label assignment the self-hosted servers seed: `i % 3`, coprime
+/// to the generator's cluster count, so every cluster mixes all labels
+/// and a label predicate is genuinely selective.
+fn seed_meta(i: usize) -> PointMeta {
+    PointMeta::new(1 << (i % 5), (i % 3) as u32)
+}
+
 fn main() {
     let write_pct = env_usize("CC_WRITE_PCT", 0).min(100);
+    let filter_pct = env_usize("CC_FILTER_PCT", 0).min(100);
     if let Ok(addr) = std::env::var("CC_ADDR") {
         let addr = addr.parse().expect("CC_ADDR must be HOST:PORT");
         let queries = generate(
@@ -307,7 +354,7 @@ fn main() {
         );
         // External server: mutations are driven if requested, but
         // durability can only be verified when we own the WAL dir.
-        drive(addr, &queries, write_pct);
+        drive(addr, &queries, write_pct, filter_pct);
         return;
     }
 
@@ -336,12 +383,13 @@ fn main() {
             assert_eq!(write_pct, 0, "CC_WRITE_PCT needs CC_MODE=dynamic (read-only engine)");
             eprintln!("self-hosting: building a 4-shard index over {n} vectors in R^{dim}…");
             let sharded = ShardedData::partition(&data, 4);
-            let engine = ShardedEngine::build(&sharded, &config);
+            let metas: Vec<PointMeta> = (0..n).map(seed_meta).collect();
+            let engine = ShardedEngine::build(&sharded, &config).with_meta(metas);
             let (engine, service, queries) = (&engine, &service, &queries);
             crossbeam::scope(move |s| {
                 let server =
                     s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
-                drive(addr, queries, 0);
+                drive(addr, queries, 0, filter_pct);
                 Client::connect(addr).expect("connect").shutdown().expect("shutdown");
                 let stats = server.join().unwrap();
                 eprintln!(
@@ -363,8 +411,11 @@ fn main() {
             );
             let engine = MutableIndex::open(&dir, dim, n, &config).expect("open WAL dir");
             if engine.is_empty() && engine.last_seq() == 0 {
-                let rows: Vec<MutationOp> =
-                    data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+                let rows: Vec<MutationOp> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| MutationOp::Insert { vector: v.to_vec(), meta: seed_meta(i) })
+                    .collect();
                 for chunk in rows.chunks(4096) {
                     engine.apply_batch(chunk).expect("bulk load");
                 }
@@ -374,7 +425,7 @@ fn main() {
                 crossbeam::scope(move |s| {
                     let server =
                         s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
-                    let reports = drive(addr, queries, write_pct);
+                    let reports = drive(addr, queries, write_pct, filter_pct);
                     Client::connect(addr).expect("connect").shutdown().expect("shutdown");
                     let stats = server.join().unwrap();
                     eprintln!(

@@ -14,6 +14,7 @@ use crate::config::C2lshConfig;
 use crate::engine::QueryScratch;
 use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
+use crate::meta::PointMeta;
 use crate::params::FullParams;
 use crate::stats::{BatchStats, QueryStats};
 use cc_storage::bucket_file::BucketFile;
@@ -30,6 +31,8 @@ pub struct DiskIndex<'d> {
     family: HashFamily,
     file: PageFile,
     tables: Vec<BucketFile>,
+    /// Per-point attribute payloads; empty = every point defaults.
+    metas: Vec<PointMeta>,
     scratch: Mutex<QueryScratch>,
     /// Pages a candidate verification costs: reading one data vector.
     /// `⌈d·4 / 4096⌉`, at least 1 — the paper charges one page per
@@ -65,9 +68,30 @@ impl<'d> DiskIndex<'d> {
             family,
             file,
             tables,
+            metas: Vec::new(),
             scratch: Mutex::new(QueryScratch::new(data.len())),
             verify_pages,
         }
+    }
+
+    /// Attach per-point metadata (one entry per indexed point, in id
+    /// order). Filtered queries resolve [`Predicate`] clauses against
+    /// these payloads.
+    ///
+    /// [`Predicate`]: crate::meta::Predicate
+    ///
+    /// # Panics
+    /// Panics when `metas.len() != len()`.
+    pub fn set_meta(&mut self, metas: Vec<PointMeta>) {
+        assert_eq!(metas.len(), self.data.len(), "one PointMeta per indexed point");
+        self.metas = metas;
+    }
+
+    /// Builder-style [`DiskIndex::set_meta`].
+    #[must_use]
+    pub fn with_meta(mut self, metas: Vec<PointMeta>) -> Self {
+        self.set_meta(metas);
+        self
     }
 
     /// The derived parameters in effect.
@@ -195,6 +219,10 @@ impl TableStore for DiskIndex<'_> {
 
     fn vector(&self, oid: u32) -> Option<&[f32]> {
         Some(self.data.get(oid as usize))
+    }
+
+    fn meta(&self, oid: u32) -> PointMeta {
+        self.metas.get(oid as usize).copied().unwrap_or_default()
     }
 
     fn verify_pages(&self) -> u64 {

@@ -18,6 +18,7 @@ use crate::config::C2lshConfig;
 use crate::engine::QueryScratch;
 use crate::engine::{self, KeyWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
+use crate::meta::PointMeta;
 use crate::params::FullParams;
 use crate::stats::{BatchStats, QueryStats};
 use cc_vector::dataset::Dataset;
@@ -36,6 +37,10 @@ pub struct DynamicIndex {
     family: HashFamily,
     /// Object id → vector (tombstoned on delete).
     vectors: Vec<Option<Vec<f32>>>,
+    /// Object id → attribute payload, parallel to `vectors` (slots of
+    /// tombstoned objects keep their last payload; it is never read,
+    /// since the engine drops tombstones at [`TableStore::vector`]).
+    metas: Vec<PointMeta>,
     live: usize,
     tables: Vec<BTreeMap<i64, Vec<u32>>>,
     /// Reusable query scratch behind a lock, so queries take `&self`.
@@ -67,6 +72,7 @@ impl Clone for DynamicIndex {
             params: self.params,
             family: self.family.clone(),
             vectors: self.vectors.clone(),
+            metas: self.metas.clone(),
             live: self.live,
             tables: self.tables.clone(),
             scratch: Mutex::new(QueryScratch::new(0)),
@@ -94,6 +100,7 @@ impl DynamicIndex {
             params,
             family,
             vectors: Vec::new(),
+            metas: Vec::new(),
             live: 0,
             tables,
             scratch: Mutex::new(QueryScratch::new(0)),
@@ -110,7 +117,12 @@ impl DynamicIndex {
         expected_n: usize,
         config: &C2lshConfig,
         slots: Vec<Option<Vec<f32>>>,
+        metas: Vec<PointMeta>,
     ) -> Self {
+        assert!(
+            metas.is_empty() || metas.len() == slots.len(),
+            "checkpoint meta array length mismatch"
+        );
         let mut idx = Self::new(dim, expected_n, config);
         for (oid, slot) in slots.iter().enumerate() {
             let Some(v) = slot else { continue };
@@ -121,6 +133,9 @@ impl DynamicIndex {
             }
             idx.live += 1;
         }
+        // Keep `metas` parallel to `vectors` (meta-free checkpoints
+        // restore with all-default payloads).
+        idx.metas = if metas.is_empty() { vec![PointMeta::default(); slots.len()] } else { metas };
         idx.vectors = slots;
         idx
     }
@@ -135,11 +150,23 @@ impl DynamicIndex {
         idx
     }
 
-    /// Insert a vector; returns its object id. O(m log n).
+    /// Insert a vector with default (empty) metadata; returns its
+    /// object id. O(m log n).
     ///
     /// # Panics
     /// Panics on a dimension mismatch.
     pub fn insert(&mut self, v: Vec<f32>) -> u32 {
+        self.insert_with_meta(v, PointMeta::default())
+    }
+
+    /// Insert a vector with an attribute payload; returns its object
+    /// id. O(m log n). Object id assignment is independent of the
+    /// payload, so a meta-bearing insert replays identically to a
+    /// meta-free one (WAL compatibility).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn insert_with_meta(&mut self, v: Vec<f32>, meta: PointMeta) -> u32 {
         assert_eq!(v.len(), self.dim, "vector length mismatch");
         assert!(v.iter().all(|x| x.is_finite()), "vector contains non-finite coordinates");
         let oid = self.vectors.len() as u32;
@@ -148,6 +175,7 @@ impl DynamicIndex {
             self.tables[t].entry(b).or_default().push(oid);
         }
         self.vectors.push(Some(v));
+        self.metas.push(meta);
         self.live += 1;
         oid
     }
@@ -210,6 +238,12 @@ impl DynamicIndex {
     /// [`TableStore::id_bound`].
     pub fn slots(&self) -> &[Option<Vec<f32>>] {
         &self.vectors
+    }
+
+    /// The attribute payloads parallel to [`DynamicIndex::slots`] (one
+    /// per slot, tombstones included), used by checkpointing.
+    pub fn meta_slots(&self) -> &[PointMeta] {
+        &self.metas
     }
 
     /// Access a live vector by id.
@@ -328,6 +362,10 @@ impl TableStore for DynamicIndex {
 
     fn vector(&self, oid: u32) -> Option<&[f32]> {
         self.vectors.get(oid as usize).and_then(|v| v.as_deref())
+    }
+
+    fn meta(&self, oid: u32) -> PointMeta {
+        self.metas.get(oid as usize).copied().unwrap_or_default()
     }
 
     fn supports_mutations(&self) -> bool {
@@ -511,8 +549,13 @@ mod tests {
         for oid in [3u32, 77, 149] {
             assert!(idx.delete(oid));
         }
-        let restored =
-            DynamicIndex::from_slots(idx.dim, idx.expected_n(), idx.config(), idx.slots().to_vec());
+        let restored = DynamicIndex::from_slots(
+            idx.dim,
+            idx.expected_n(),
+            idx.config(),
+            idx.slots().to_vec(),
+            idx.meta_slots().to_vec(),
+        );
         assert_eq!(restored.len(), idx.len());
         assert_eq!(TableStore::id_bound(&restored), TableStore::id_bound(&idx));
         for qi in [0usize, 50, 120] {
@@ -524,6 +567,42 @@ mod tests {
         let mut a = idx;
         let mut b = restored;
         assert_eq!(a.insert(vec![1.0; 8]), b.insert(vec![1.0; 8]));
+    }
+
+    #[test]
+    fn insert_with_meta_enables_filtered_queries() {
+        use crate::meta::Predicate;
+        let data = clustered(240, 8, 10);
+        let mut idx = DynamicIndex::new(8, 400, &cfg());
+        for (i, v) in data.iter().enumerate() {
+            idx.insert_with_meta(v.to_vec(), PointMeta::labeled((i % 3) as u32));
+        }
+        let opts = SearchOptions { filter: Some(Predicate::label(1)), ..Default::default() };
+        let (nn, stats) = idx.query_with(data.get(10), 5, &opts);
+        assert!(!nn.is_empty());
+        for n in &nn {
+            assert_eq!(n.id % 3, 1, "predicate violated by {}", n.id);
+        }
+        assert!(stats.candidates_filtered > 0);
+        // Metadata survives the slots round-trip.
+        let restored = DynamicIndex::from_slots(
+            8,
+            idx.expected_n(),
+            idx.config(),
+            idx.slots().to_vec(),
+            idx.meta_slots().to_vec(),
+        );
+        assert_eq!(restored.query_with(data.get(10), 5, &opts).0, nn);
+        // A meta-free restore answers unfiltered queries identically.
+        let plain = DynamicIndex::from_slots(
+            8,
+            idx.expected_n(),
+            idx.config(),
+            idx.slots().to_vec(),
+            Vec::new(),
+        );
+        assert_eq!(plain.query(data.get(10), 5).0, idx.query(data.get(10), 5).0);
+        assert!(plain.meta_slots().iter().all(|m| *m == PointMeta::default()));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod counting;
 
+use crate::meta::{PointMeta, Predicate};
 use crate::rehash::{radius_at, window, Window};
 use crate::stats::{BatchStats, QueryStats, RoundStats, Termination};
 use cc_vector::dataset::Dataset;
@@ -102,6 +103,13 @@ pub struct SearchOptions {
     /// `capture_spans` says). Lets a service trace a sample of live
     /// traffic without paying for every query.
     pub trace_every: u32,
+    /// Per-query attribute filter, evaluated against
+    /// [`TableStore::meta`] for every frequent object *before* its
+    /// true distance is computed. Rejected objects count in
+    /// [`QueryStats::candidates_filtered`] and never reach
+    /// `euclidean_sq_bounded`. `None` (the default) skips the check
+    /// entirely.
+    pub filter: Option<Predicate>,
 }
 
 impl Default for SearchOptions {
@@ -114,6 +122,7 @@ impl Default for SearchOptions {
             stage_timing: false,
             capture_spans: false,
             trace_every: 0,
+            filter: None,
         }
     }
 }
@@ -172,6 +181,15 @@ pub trait TableStore {
     /// Resolve an object id to its vector; `None` for tombstoned ids
     /// (such objects are skipped, not verified).
     fn vector(&self, oid: u32) -> Option<&[f32]>;
+
+    /// Resolve an object id to its attribute payload. Stores without
+    /// metadata (or ids out of range) report the default payload,
+    /// which trivial predicates accept — so unfiltered behaviour is
+    /// unchanged and filters degrade predictably on metadata-free
+    /// corpora.
+    fn meta(&self, _oid: u32) -> PointMeta {
+        PointMeta::default()
+    }
 
     /// Pages charged per verified candidate (reading the vector under
     /// the paper's disk cost model; 0 for in-memory stores).
@@ -348,6 +366,9 @@ pub fn run_query<S: TableStore>(
     let n = store.len();
     let l = params.l;
     let cap = k + params.beta_n; // T2 budget
+                                 // Normalize the filter once: a trivial predicate (no clauses)
+                                 // matches everything, so the hot loop skips the check entirely.
+    let filter = opts.filter.filter(|p| !p.is_trivial());
     if scratch.counter.capacity() < store.id_bound() {
         scratch.counter = CollisionCounter::new(store.id_bound());
     }
@@ -400,7 +421,16 @@ pub fn run_query<S: TableStore>(
             store.expand(&mut cursor, t, radius, &mut |oid| {
                 stats.collisions_counted += 1;
                 if counter.increment(oid) == l && counter.mark_verified(oid) {
-                    // Frequent: verify unless tombstoned.
+                    // Frequent: the query's predicate prunes before the
+                    // distance kernel — rejected objects are counted
+                    // separately and never charge the T2 budget.
+                    if let Some(pred) = &filter {
+                        if !pred.matches(store.meta(oid)) {
+                            stats.candidates_filtered += 1;
+                            return true;
+                        }
+                    }
+                    // Verify unless tombstoned.
                     if let Some(v) = store.vector(oid) {
                         // The budget counts *verifications* (distance
                         // computations paid for), abandoned or not —
@@ -588,6 +618,7 @@ mod tests {
         data: Dataset,
         family: HashFamily,
         tables: Vec<Vec<(i64, u32)>>,
+        metas: Vec<PointMeta>,
     }
 
     impl TableStore for MockStore {
@@ -629,6 +660,9 @@ mod tests {
         fn vector(&self, oid: u32) -> Option<&[f32]> {
             Some(self.data.get(oid as usize))
         }
+        fn meta(&self, oid: u32) -> PointMeta {
+            self.metas.get(oid as usize).copied().unwrap_or_default()
+        }
     }
 
     fn mock_store(n: usize, seed: u64) -> (MockStore, SearchParams) {
@@ -656,7 +690,7 @@ mod tests {
             beta_n: params.beta_n,
             base_radius: cfg.base_radius,
         };
-        (MockStore { data, family, tables }, search)
+        (MockStore { data, family, tables, metas: Vec::new() }, search)
     }
 
     /// Build a coherent store for a tiny dataset via the real hashing
@@ -787,6 +821,36 @@ mod tests {
                 assert!(stats.spans.is_empty(), "query {qi} should not be traced");
             }
         }
+    }
+
+    #[test]
+    fn filter_prunes_before_verification() {
+        let (mut store, params) = mock_store(300, 10);
+        // Label points round-robin over 3 classes.
+        store.metas = (0..store.len()).map(|i| PointMeta::labeled((i % 3) as u32)).collect();
+        let mut scratch = QueryScratch::new(store.len());
+        let q = store.data.get(12).to_vec();
+
+        let (plain_nn, plain) =
+            run_query(&store, &params, &mut scratch, &q, 5, &SearchOptions::default());
+        assert_eq!(plain.candidates_filtered, 0, "unfiltered queries never filter");
+
+        let opts = SearchOptions { filter: Some(Predicate::label(0)), ..Default::default() };
+        let (nn, stats) = run_query(&store, &params, &mut scratch, &q, 5, &opts);
+        assert_eq!(nn[0].id, 12, "query point (label 0) survives its own filter");
+        for n in &nn {
+            assert_eq!(n.id % 3, 0, "result {n:?} violates the predicate");
+        }
+        assert!(stats.candidates_filtered > 0, "2/3 of frequent objects must be rejected");
+        // Rejected objects charge neither verification counter.
+        assert!(stats.candidates_verified + stats.candidates_filtered >= plain.candidates_verified);
+
+        // A trivial predicate behaves exactly like no predicate.
+        let trivial = SearchOptions { filter: Some(Predicate::any()), ..Default::default() };
+        let (triv_nn, triv) = run_query(&store, &params, &mut scratch, &q, 5, &trivial);
+        assert_eq!(triv_nn, plain_nn);
+        assert_eq!(triv.candidates_filtered, 0);
+        assert_eq!(triv.candidates_verified, plain.candidates_verified);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::config::C2lshConfig;
 use crate::engine::QueryScratch;
 use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::hash::HashFamily;
+use crate::meta::PointMeta;
 use crate::params::FullParams;
 use crate::stats::{BatchStats, QueryStats};
 use cc_vector::dataset::Dataset;
@@ -34,6 +35,9 @@ pub struct C2lshIndex<'d> {
     params: FullParams,
     family: HashFamily,
     tables: Vec<SortedRun>,
+    /// Per-point attribute payloads, indexed by object id; empty when
+    /// the corpus carries no metadata (every point reads as default).
+    metas: Vec<PointMeta>,
     /// Reusable query scratch (epoch counter), lazily rebuilt per query.
     scratch: Mutex<QueryScratch>,
 }
@@ -55,8 +59,26 @@ impl<'d> C2lshIndex<'d> {
             params,
             family,
             tables,
+            metas: Vec::new(),
             scratch: Mutex::new(QueryScratch::new(data.len())),
         }
+    }
+
+    /// Attach per-point attribute payloads (row `i` of the dataset gets
+    /// `metas[i]`), enabling filtered queries via
+    /// [`SearchOptions::filter`].
+    ///
+    /// # Panics
+    /// Panics unless exactly one payload per indexed point is supplied.
+    pub fn set_meta(&mut self, metas: Vec<PointMeta>) {
+        assert_eq!(metas.len(), self.data.len(), "one PointMeta per indexed point");
+        self.metas = metas;
+    }
+
+    /// Builder-style [`C2lshIndex::set_meta`].
+    pub fn with_meta(mut self, metas: Vec<PointMeta>) -> Self {
+        self.set_meta(metas);
+        self
     }
 
     /// The derived parameters in effect.
@@ -175,6 +197,7 @@ impl<'d> C2lshIndex<'d> {
             params,
             family,
             tables,
+            metas: Vec::new(),
             scratch: Mutex::new(QueryScratch::new(data.len())),
         }
     }
@@ -239,6 +262,10 @@ impl TableStore for C2lshIndex<'_> {
 
     fn vector(&self, oid: u32) -> Option<&[f32]> {
         Some(self.data.get(oid as usize))
+    }
+
+    fn meta(&self, oid: u32) -> PointMeta {
+        self.metas.get(oid as usize).copied().unwrap_or_default()
     }
 }
 
@@ -415,6 +442,38 @@ mod tests {
         let (batch, agg) = index.query_batch(&Dataset::empty(8), 3);
         assert!(batch.is_empty());
         assert_eq!(agg.queries, 0);
+    }
+
+    #[test]
+    fn filtered_query_respects_predicate_and_counts_separately() {
+        use crate::meta::Predicate;
+        let data = clustered(900, 12, 13);
+        // Modulus 3 is coprime to the generator's 16 clusters, so every
+        // cluster mixes all three labels and a filtered search must
+        // reject frequent same-cluster points.
+        let metas: Vec<PointMeta> =
+            (0..900u32).map(|i| PointMeta::new(1 << (i % 5), i % 3)).collect();
+        let index = C2lshIndex::build(&data, &cfg()).with_meta(metas);
+        let opts = SearchOptions {
+            filter: Some(Predicate::label(1).and_tag_any(u64::MAX)),
+            ..Default::default()
+        };
+        let (nn, stats) = index.query_with(data.get(4), 8, &opts);
+        assert!(!nn.is_empty());
+        for n in &nn {
+            assert_eq!(n.id % 3, 1, "label clause violated by {}", n.id);
+        }
+        assert!(stats.candidates_filtered > 0);
+        // Unfiltered queries on the same index stay untouched.
+        let (_, plain) = index.query(data.get(4), 8);
+        assert_eq!(plain.candidates_filtered, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one PointMeta per indexed point")]
+    fn meta_length_mismatch_rejected() {
+        let data = clustered(50, 8, 14);
+        let _ = C2lshIndex::build(&data, &cfg()).with_meta(vec![PointMeta::default(); 49]);
     }
 
     #[test]

@@ -56,6 +56,9 @@
 //! * [`mutable`] — crash-safe online mutations: snapshot-consistent
 //!   reads over the dynamic backend plus WAL-backed durability
 //!   (acknowledged inserts/deletes survive a kill at any byte offset),
+//! * [`meta`] — per-point attribute payloads ([`meta::PointMeta`]) and
+//!   the conjunctive [`meta::Predicate`] filters evaluated inside the
+//!   counting loop (filtered search),
 //! * [`rehash`] — virtual rehashing window arithmetic (shared),
 //! * [`stats`] — per-query, per-round and per-batch cost counters,
 //! * [`persist`] — index save/load (static `C2L1` blobs and dynamic
@@ -74,6 +77,7 @@ pub mod engine;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod meta;
 pub mod mutable;
 pub mod params;
 pub mod persist;
@@ -91,6 +95,7 @@ pub use engine::{QueryScratch, SearchOptions, SearchParams, TableStore};
 pub use error::{C2lshError, Error, ErrorKind};
 pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;
+pub use meta::{PointMeta, Predicate};
 pub use mutable::{MutableIndex, MutationAck, MutationOp};
 pub use params::FullParams;
 pub use persist::{load_dynamic, load_index, save_dynamic, save_index, PersistError};

@@ -1,0 +1,171 @@
+//! Per-point attribute metadata and the filter predicates evaluated
+//! *inside* the collision-counting loop.
+//!
+//! The paper's scheme only pays the true-distance cost for objects
+//! whose dynamic collision count crosses the threshold `l`; filtered
+//! search extends that pruning one step earlier: an object that crosses
+//! the threshold but fails the query's [`Predicate`] is dropped before
+//! [`cc_vector::dist::euclidean_sq_bounded`] ever runs, counted in
+//! [`crate::stats::QueryStats::candidates_filtered`] instead of
+//! `candidates_verified`. Every [`crate::engine::TableStore`] backend
+//! resolves object ids to a [`PointMeta`] for this check.
+
+/// A small per-point attribute payload: a 64-bit tag bitmask plus a
+/// 32-bit label id. Both default to zero ("no attributes"), which every
+/// trivial predicate accepts, so metadata-free corpora behave exactly
+/// as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PointMeta {
+    /// Free-form tag bits (set semantics: bit `i` set ⇔ point carries
+    /// tag `i`).
+    pub tag: u64,
+    /// Categorical label id (e.g. a shard key, tenant id, or class).
+    pub label: u32,
+}
+
+impl PointMeta {
+    /// A payload with both fields set.
+    pub fn new(tag: u64, label: u32) -> Self {
+        Self { tag, label }
+    }
+
+    /// A label-only payload (no tag bits).
+    pub fn labeled(label: u32) -> Self {
+        Self { tag: 0, label }
+    }
+}
+
+/// A conjunctive filter over [`PointMeta`]: every present clause must
+/// hold. The empty predicate (all clauses absent) matches every point
+/// and is the `Default`.
+///
+/// The shape is deliberately flat — three optional clauses rather than
+/// an expression tree — so it stays `Copy`, costs a handful of branches
+/// per candidate inside the hot counting loop, and has a trivially
+/// bounded wire encoding (see `cc-service`'s QueryV2 extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Predicate {
+    /// Accept only points whose label equals this value.
+    pub label_eq: Option<u32>,
+    /// Accept only points with *at least one* of these tag bits set.
+    pub tag_any: Option<u64>,
+    /// Accept only points with *all* of these tag bits set.
+    pub tag_all: Option<u64>,
+}
+
+impl Predicate {
+    /// The match-everything predicate.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Match points labeled exactly `label`.
+    pub fn label(label: u32) -> Self {
+        Self { label_eq: Some(label), ..Self::default() }
+    }
+
+    /// Match points with at least one bit of `mask` set in their tag.
+    pub fn tag_any(mask: u64) -> Self {
+        Self { tag_any: Some(mask), ..Self::default() }
+    }
+
+    /// Match points with every bit of `mask` set in their tag.
+    pub fn tag_all(mask: u64) -> Self {
+        Self { tag_all: Some(mask), ..Self::default() }
+    }
+
+    /// Conjoin a label-equality clause onto `self`.
+    pub fn and_label(mut self, label: u32) -> Self {
+        self.label_eq = Some(label);
+        self
+    }
+
+    /// Conjoin a tag-any clause onto `self`.
+    pub fn and_tag_any(mut self, mask: u64) -> Self {
+        self.tag_any = Some(mask);
+        self
+    }
+
+    /// Conjoin a tag-all clause onto `self`.
+    pub fn and_tag_all(mut self, mask: u64) -> Self {
+        self.tag_all = Some(mask);
+        self
+    }
+
+    /// `true` when no clause is present (matches everything). Callers
+    /// can skip the per-candidate check entirely for trivial filters.
+    pub fn is_trivial(&self) -> bool {
+        self.label_eq.is_none() && self.tag_any.is_none() && self.tag_all.is_none()
+    }
+
+    /// Evaluate the conjunction against one point's payload.
+    #[inline]
+    pub fn matches(&self, meta: PointMeta) -> bool {
+        if let Some(label) = self.label_eq {
+            if meta.label != label {
+                return false;
+            }
+        }
+        if let Some(mask) = self.tag_any {
+            if meta.tag & mask == 0 {
+                return false;
+            }
+        }
+        if let Some(mask) = self.tag_all {
+            if meta.tag & mask != mask {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_predicate_matches_everything() {
+        let p = Predicate::any();
+        assert!(p.is_trivial());
+        assert!(p.matches(PointMeta::default()));
+        assert!(p.matches(PointMeta::new(u64::MAX, u32::MAX)));
+    }
+
+    #[test]
+    fn label_clause() {
+        let p = Predicate::label(7);
+        assert!(!p.is_trivial());
+        assert!(p.matches(PointMeta::labeled(7)));
+        assert!(!p.matches(PointMeta::labeled(8)));
+        // Tag bits are irrelevant to a label-only predicate.
+        assert!(p.matches(PointMeta::new(0xFF, 7)));
+    }
+
+    #[test]
+    fn tag_clauses() {
+        let any = Predicate::tag_any(0b0110);
+        assert!(any.matches(PointMeta::new(0b0100, 0)));
+        assert!(any.matches(PointMeta::new(0b0010, 9)));
+        assert!(!any.matches(PointMeta::new(0b1001, 0)));
+
+        let all = Predicate::tag_all(0b0110);
+        assert!(all.matches(PointMeta::new(0b0111, 0)));
+        assert!(!all.matches(PointMeta::new(0b0100, 0)));
+    }
+
+    #[test]
+    fn conjunction_requires_every_clause() {
+        let p = Predicate::label(3).and_tag_all(0b01).and_tag_any(0b11);
+        assert!(p.matches(PointMeta::new(0b01, 3)));
+        assert!(!p.matches(PointMeta::new(0b01, 4)), "wrong label");
+        assert!(!p.matches(PointMeta::new(0b10, 3)), "tag_all fails");
+    }
+
+    #[test]
+    fn zero_masks_are_degenerate_but_well_defined() {
+        // tag_any(0) can never match; tag_all(0) always matches.
+        assert!(!Predicate::tag_any(0).matches(PointMeta::new(u64::MAX, 0)));
+        assert!(Predicate::tag_all(0).matches(PointMeta::default()));
+    }
+}

@@ -28,6 +28,7 @@
 use crate::config::C2lshConfig;
 use crate::dynamic::DynamicIndex;
 use crate::engine::SearchOptions;
+use crate::meta::PointMeta;
 use crate::persist::{load_dynamic, save_dynamic};
 use crate::stats::{BatchStats, MutationStats, QueryStats};
 use cc_storage::wal::{Wal, WalOp};
@@ -47,6 +48,10 @@ pub enum MutationOp {
         /// The vector to insert; must match the index dimension and be
         /// finite in every coordinate.
         vector: Vec<f32>,
+        /// Attribute payload stored alongside the vector (default:
+        /// empty). Persisted in the WAL record and in checkpoints, so
+        /// filtered search keeps working across crash recovery.
+        meta: PointMeta,
     },
     /// Delete an object by id.
     Delete {
@@ -198,8 +203,8 @@ impl MutableIndex {
                 continue;
             }
             match rec.op {
-                WalOp::Insert { oid, vector } => {
-                    let got = index.insert(vector);
+                WalOp::Insert { oid, vector, tag, label } => {
+                    let got = index.insert_with_meta(vector, PointMeta::new(tag, label));
                     if got != oid {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
@@ -272,7 +277,7 @@ impl MutableIndex {
 
         let dim = self.snapshot.read().index.dim();
         for (i, op) in ops.iter().enumerate() {
-            if let MutationOp::Insert { vector } = op {
+            if let MutationOp::Insert { vector, .. } = op {
                 if vector.len() != dim {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidInput,
@@ -304,9 +309,14 @@ impl MutableIndex {
 
         for op in ops {
             match op {
-                MutationOp::Insert { vector } => {
-                    let oid = next.insert(vector.clone());
-                    logged.push(WalOp::Insert { oid, vector: vector.clone() });
+                MutationOp::Insert { vector, meta } => {
+                    let oid = next.insert_with_meta(vector.clone(), *meta);
+                    logged.push(WalOp::Insert {
+                        oid,
+                        vector: vector.clone(),
+                        tag: meta.tag,
+                        label: meta.label,
+                    });
                     delta.inserts += 1;
                     acks.push(MutationAck::Inserted { oid, seq: 0 });
                 }
@@ -555,7 +565,7 @@ mod tests {
     }
 
     fn insert(v: &[f32]) -> MutationOp {
-        MutationOp::Insert { vector: v.to_vec() }
+        MutationOp::Insert { vector: v.to_vec(), meta: PointMeta::default() }
     }
 
     #[test]
@@ -763,6 +773,45 @@ mod tests {
         let e = MutableIndex::ephemeral(DynamicIndex::new(4, 100, &cfg()));
         assert_eq!(e.wal_size_bytes(), None);
         assert!(!e.checkpoint_if_wal_exceeds(0).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metadata_survives_wal_replay_and_checkpoint() {
+        use crate::meta::Predicate;
+        let dir = scratch_dir("mutable-meta");
+        let data = points(60, 6, 20);
+        let config = cfg();
+        let ops: Vec<MutationOp> = data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| MutationOp::Insert {
+                vector: v.to_vec(),
+                meta: PointMeta::new(1 << (i % 8), (i % 3) as u32),
+            })
+            .collect();
+        let opts = SearchOptions {
+            filter: Some(Predicate::label(1).and_tag_any(0xFF)),
+            ..Default::default()
+        };
+        let q = data.get(13).to_vec();
+        let want = {
+            let m = MutableIndex::open(&dir, 6, 100, &config).unwrap();
+            m.apply_batch(&ops).unwrap();
+            m.query_with(&q, 4, &opts).0
+        }; // kill without checkpoint: recovery is pure WAL replay
+        assert!(!want.is_empty());
+        for n in &want {
+            assert_eq!(n.id % 3, 1, "predicate violated by {}", n.id);
+        }
+        {
+            let m = MutableIndex::open(&dir, 6, 100, &config).unwrap();
+            assert_eq!(m.query_with(&q, 4, &opts).0, want, "WAL replay lost metadata");
+            m.checkpoint().unwrap();
+        }
+        // Now recovery goes through the checkpoint instead of the log.
+        let m = MutableIndex::open(&dir, 6, 100, &config).unwrap();
+        assert_eq!(m.query_with(&q, 4, &opts).0, want, "checkpoint lost metadata");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -30,6 +30,7 @@
 use crate::config::{Beta, C2lshConfig};
 use crate::dynamic::DynamicIndex;
 use crate::index::C2lshIndex;
+use crate::meta::PointMeta;
 use bytes::BufMut;
 use cc_vector::dataset::Dataset;
 use std::fmt;
@@ -49,6 +50,14 @@ const FORMAT_VERSION: u8 = (MAGIC & 0xFF) as u8;
 const DYN_MAGIC: u32 = 0x4332_4431; // "C2D1"
 const DYN_MAGIC_PREFIX: u32 = DYN_MAGIC & !0xFF;
 const DYN_FORMAT_VERSION: u8 = (DYN_MAGIC & 0xFF) as u8;
+/// Version `'2'` of the dynamic checkpoint: identical to `C2D1` except
+/// each live slot carries its [`PointMeta`] (`u64 tag | u32 label`)
+/// before the coordinates. The writer picks the version by content —
+/// an index whose points all carry default (zero) metadata saves as
+/// plain `C2D1`, byte-identical to what older builds wrote — and the
+/// loader reads both.
+const DYN_MAGIC_V2: u32 = 0x4332_4432; // "C2D2"
+const DYN_FORMAT_VERSION_V2: u8 = (DYN_MAGIC_V2 & 0xFF) as u8;
 
 /// Why loading failed.
 #[derive(Debug, PartialEq)]
@@ -308,6 +317,12 @@ pub fn load_index<'d>(data: &'d Dataset, buf: &[u8]) -> Result<C2lshIndex<'d>, P
 /// xor-fold checksum
 /// ```
 ///
+/// A `C2D2` checkpoint differs only in each live slot's body, which
+/// gains the point's metadata before the coordinates:
+/// `u8 1 | u64 tag | u32 label | dim×f32`. The version is chosen by
+/// content: only an index carrying at least one non-default
+/// [`PointMeta`] needs (and gets) the `'2'` stamp.
+///
 /// The hash family is *not* stored: it re-generates deterministically
 /// from `(m, dim, config)` at load time, exactly as the original was
 /// built, keeping checkpoints proportional to the data rather than the
@@ -315,8 +330,10 @@ pub fn load_index<'d>(data: &'d Dataset, buf: &[u8]) -> Result<C2lshIndex<'d>, P
 pub fn save_dynamic(index: &DynamicIndex, last_seq: u64) -> Vec<u8> {
     let cfg = index.config();
     let slots = index.slots();
+    let metas = index.meta_slots();
+    let has_meta = metas.iter().any(|m| *m != PointMeta::default());
     let mut buf = Vec::with_capacity(64 + slots.len() * (1 + 4 * index.params().m.min(1)));
-    buf.put_u32_le(DYN_MAGIC);
+    buf.put_u32_le(if has_meta { DYN_MAGIC_V2 } else { DYN_MAGIC });
     buf.put_u32_le(index.dim() as u32);
     buf.put_u64_le(index.expected_n() as u64);
     buf.put_u32_le(cfg.c);
@@ -349,11 +366,16 @@ pub fn save_dynamic(index: &DynamicIndex, last_seq: u64) -> Vec<u8> {
     buf.put_u32_le(p.beta_n as u32);
     buf.put_u64_le(last_seq);
     buf.put_u64_le(slots.len() as u64);
-    for slot in slots {
+    for (i, slot) in slots.iter().enumerate() {
         match slot {
             None => buf.put_u8(0),
             Some(v) => {
                 buf.put_u8(1);
+                if has_meta {
+                    let m = metas.get(i).copied().unwrap_or_default();
+                    buf.put_u64_le(m.tag);
+                    buf.put_u32_le(m.label);
+                }
                 for &x in v {
                     buf.put_f32_le(x);
                 }
@@ -380,9 +402,10 @@ pub fn load_dynamic(buf: &[u8]) -> Result<(DynamicIndex, u64), PersistError> {
         return Err(PersistError::Malformed(format!("bad magic {magic:#010x}")));
     }
     let version = (magic & 0xFF) as u8;
-    if version != DYN_FORMAT_VERSION {
+    if version != DYN_FORMAT_VERSION && version != DYN_FORMAT_VERSION_V2 {
         return Err(PersistError::UnsupportedVersion { found: version });
     }
+    let has_meta = version == DYN_FORMAT_VERSION_V2;
     let (payload, tail) = buf.split_at(buf.len() - 4);
     if xor_fold(payload) != u32::from_le_bytes(tail.try_into().unwrap()) {
         return Err(PersistError::Malformed("checksum mismatch".into()));
@@ -442,10 +465,23 @@ pub fn load_dynamic(buf: &[u8]) -> Result<(DynamicIndex, u64), PersistError> {
         )));
     }
     let mut slots: Vec<Option<Vec<f32>>> = Vec::with_capacity(slot_count);
+    let mut metas: Vec<PointMeta> = Vec::with_capacity(if has_meta { slot_count } else { 0 });
     for i in 0..slot_count {
         match r.get_u8()? {
-            0 => slots.push(None),
+            0 => {
+                slots.push(None);
+                if has_meta {
+                    // Tombstones carry no payload on disk; restore the
+                    // slot with a default to keep the arrays parallel.
+                    metas.push(PointMeta::default());
+                }
+            }
             1 => {
+                if has_meta {
+                    let tag = r.get_u64_le()?;
+                    let label = r.get_u32_le()?;
+                    metas.push(PointMeta::new(tag, label));
+                }
                 let mut v = Vec::with_capacity(dim);
                 for _ in 0..dim {
                     let x = r.get_f32_le()?;
@@ -465,7 +501,7 @@ pub fn load_dynamic(buf: &[u8]) -> Result<(DynamicIndex, u64), PersistError> {
         return Err(PersistError::Malformed(format!("{} trailing bytes", r.remaining())));
     }
 
-    let index = DynamicIndex::from_slots(dim, expected_n, &config, slots);
+    let index = DynamicIndex::from_slots(dim, expected_n, &config, slots, metas);
     // (m, l, beta_n) re-derive from (expected_n, config); a mismatch
     // means the checkpoint and this build disagree on the derivation
     // and the restored index would not answer like the saved one.
@@ -640,16 +676,59 @@ mod tests {
     fn dynamic_future_version_and_wrong_family() {
         let (idx, _) = mutated_dynamic();
         let blob = save_dynamic(&idx, 0);
-        // "C2D2": right family, newer version, checksum fixed up.
-        let future = with_version(&blob, b'2');
+        // "C2D3": right family, newer version, checksum fixed up.
+        let future = with_version(&blob, b'3');
         assert_eq!(
             load_dynamic(&future).unwrap_err(),
-            PersistError::UnsupportedVersion { found: b'2' }
+            PersistError::UnsupportedVersion { found: b'3' }
         );
+        // "C2D2" is a *known* version now, but re-stamping a v1 blob as
+        // v2 makes the slot bodies unparseable (v2 expects 12 meta bytes
+        // per live slot) — corruption, not version skew.
+        assert!(matches!(
+            load_dynamic(&with_version(&blob, b'2')),
+            Err(PersistError::Malformed(_))
+        ));
         // A C2L1 blob is a different family, not a version skew.
         let data = clustered(50, 4, 12);
         let static_blob = save_index(&C2lshIndex::build(&data, &cfg()));
         assert!(matches!(load_dynamic(&static_blob), Err(PersistError::Malformed(_))));
         assert!(load_dynamic(&with_version(&blob, b'1')).is_ok());
+    }
+
+    #[test]
+    fn dynamic_checkpoint_version_tracks_metadata_content() {
+        // Meta-free indexes keep writing byte-for-byte C2D1.
+        let (idx, _) = mutated_dynamic();
+        let blob = save_dynamic(&idx, 7);
+        assert_eq!(blob[0], b'1', "meta-free checkpoint must stay v1");
+
+        // A single non-default payload upgrades the blob to C2D2, and
+        // the round-trip preserves every slot's metadata.
+        let data = clustered(120, 8, 13);
+        let mut rich = DynamicIndex::new(8, 300, &cfg());
+        for (i, v) in data.iter().enumerate() {
+            rich.insert_with_meta(v.to_vec(), PointMeta::new((i as u64) << 1, (i % 4) as u32));
+        }
+        assert!(rich.delete(60), "keep a tombstone in the slot array");
+        let blob = save_dynamic(&rich, 121);
+        assert_eq!(blob[0], b'2');
+        let (loaded, last_seq) = load_dynamic(&blob).unwrap();
+        assert_eq!(last_seq, 121);
+        assert_eq!(loaded.slots(), rich.slots());
+        let want: Vec<PointMeta> = rich
+            .meta_slots()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| if i == 60 { PointMeta::default() } else { *m })
+            .collect();
+        assert_eq!(loaded.meta_slots(), &want[..], "tombstones restore with default meta");
+        use crate::engine::SearchOptions;
+        use crate::meta::Predicate;
+        let opts = SearchOptions { filter: Some(Predicate::label(3)), ..Default::default() };
+        assert_eq!(
+            loaded.query_with(data.get(5), 4, &opts).0,
+            rich.query_with(data.get(5), 4, &opts).0
+        );
     }
 }

@@ -32,6 +32,7 @@ use crate::config::C2lshConfig;
 use crate::engine::QueryScratch;
 use crate::engine::{self, BucketWindows, SearchOptions, SearchParams, TableStore};
 use crate::index::C2lshIndex;
+use crate::meta::PointMeta;
 use crate::params::FullParams;
 use crate::stats::{BatchStats, QueryStats};
 use cc_vector::dataset::Dataset;
@@ -258,6 +259,29 @@ impl<'d> ShardedEngine<'d> {
         (merged, stats)
     }
 
+    /// Attach per-point metadata, indexed by **global** object id (one
+    /// entry per row of the source dataset). The vector is split along
+    /// the shard boundaries so each shard serves its own slice; both
+    /// the exact and fan-out paths then honor `SearchOptions::filter`.
+    ///
+    /// # Panics
+    /// Panics when `metas.len() != len()`.
+    pub fn set_meta(&mut self, metas: Vec<PointMeta>) {
+        assert_eq!(metas.len(), self.len(), "one PointMeta per indexed point");
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let lo = self.offsets[s] as usize;
+            let hi = self.offsets[s + 1] as usize;
+            shard.set_meta(metas[lo..hi].to_vec());
+        }
+    }
+
+    /// Builder-style [`ShardedEngine::set_meta`].
+    #[must_use]
+    pub fn with_meta(mut self, metas: Vec<PointMeta>) -> Self {
+        self.set_meta(metas);
+        self
+    }
+
     /// Map a global object id to `(shard, local id)`.
     fn locate(&self, oid: u32) -> (usize, u32) {
         let s = self.offsets.partition_point(|&o| o <= oid) - 1;
@@ -322,6 +346,11 @@ impl TableStore for ShardedEngine<'_> {
     fn vector(&self, oid: u32) -> Option<&[f32]> {
         let (s, local) = self.locate(oid);
         self.shards[s].vector(local)
+    }
+
+    fn meta(&self, oid: u32) -> PointMeta {
+        let (s, local) = self.locate(oid);
+        TableStore::meta(&self.shards[s], local)
     }
 }
 
@@ -439,6 +468,28 @@ mod tests {
         let (exact, _) = engine.query(q, 6);
         for (f, e) in nn.iter().zip(&exact) {
             assert!(f.dist <= e.dist + 1e-6, "fanout {f:?} worse than exact {e:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_filtered_matches_unsharded_filtered() {
+        use crate::meta::Predicate;
+        let data = clustered(700, 10, 8);
+        let cfg = cfg_exact(700);
+        let metas: Vec<PointMeta> = (0..700).map(|i| PointMeta::labeled(i % 5)).collect();
+        let single = C2lshIndex::build(&data, &cfg).with_meta(metas.clone());
+        let sharded = ShardedData::partition(&data, 3);
+        let engine = ShardedEngine::build(&sharded, &cfg).with_meta(metas);
+        let opts = SearchOptions { filter: Some(Predicate::label(2)), ..Default::default() };
+        for qi in [0usize, 350, 699] {
+            let q = data.get(qi);
+            let (want, want_stats) = single.query_with(q, 6, &opts);
+            let (got, got_stats) = engine.query_with(q, 6, &opts);
+            assert_eq!(got, want, "query {qi}");
+            assert_eq!(got_stats.candidates_filtered, want_stats.candidates_filtered, "query {qi}");
+            for n in &got {
+                assert_eq!(n.id % 5, 2, "predicate violated by {}", n.id);
+            }
         }
     }
 

@@ -106,6 +106,12 @@ pub struct QueryStats {
     /// `candidates_verified`; 0 when
     /// [`crate::engine::SearchOptions::early_abandon`] is off.
     pub candidates_abandoned: usize,
+    /// Frequent objects rejected by the query's
+    /// [`crate::meta::Predicate`] *before* verification: their true
+    /// distance was never computed, so they appear in neither
+    /// `candidates_verified` nor `candidates_abandoned` and do not
+    /// consume the T2 budget. Always 0 for unfiltered queries.
+    pub candidates_filtered: usize,
     /// Page I/O (zero in memory mode).
     pub io: IoStats,
     /// Which condition stopped the loop.
@@ -141,6 +147,7 @@ impl QueryStats {
             collisions_counted: 0,
             candidates_verified: 0,
             candidates_abandoned: 0,
+            candidates_filtered: 0,
             io: IoStats::default(),
             terminated_by: Termination::Exhausted,
             per_round: Vec::new(),
@@ -170,6 +177,7 @@ impl QueryStats {
         self.collisions_counted += other.collisions_counted;
         self.candidates_verified += other.candidates_verified;
         self.candidates_abandoned += other.candidates_abandoned;
+        self.candidates_filtered += other.candidates_filtered;
         self.io.reads += other.io.reads;
         self.io.writes += other.io.writes;
         self.terminated_by = severest(self.terminated_by, other.terminated_by);
@@ -292,6 +300,9 @@ pub struct BatchStats {
     /// Total candidates cut short by the early-abandon kernel (subset of
     /// `verified`).
     pub abandoned: u64,
+    /// Total frequent objects rejected by per-query predicates before
+    /// verification (disjoint from `verified`).
+    pub filtered: u64,
     /// Total page I/O: per-query verification charges plus (for batch
     /// runs) the store's table-read delta over the whole batch.
     pub io: IoStats,
@@ -323,6 +334,7 @@ impl BatchStats {
         self.collisions += s.collisions_counted;
         self.verified += s.candidates_verified as u64;
         self.abandoned += s.candidates_abandoned as u64;
+        self.filtered += s.candidates_filtered as u64;
         self.io.reads += s.io.reads;
         self.io.writes += s.io.writes;
         match s.terminated_by {
@@ -348,6 +360,7 @@ impl BatchStats {
         self.collisions += other.collisions;
         self.verified += other.verified;
         self.abandoned += other.abandoned;
+        self.filtered += other.filtered;
         self.io.reads += other.io.reads;
         self.io.writes += other.io.writes;
         self.t1 += other.t1;
@@ -442,6 +455,7 @@ mod tests {
         s.collisions_counted = 13 * seed + 7;
         s.candidates_verified = (3 * seed + 1) as usize;
         s.candidates_abandoned = (seed % 3) as usize;
+        s.candidates_filtered = (seed % 5) as usize;
         s.io.reads = 11 * seed;
         s.io.writes = seed / 2;
         s.terminated_by = match seed % 3 {

@@ -11,7 +11,7 @@
 
 use c2lsh::{
     load_dynamic, load_index, save_dynamic, save_index, C2lshConfig, C2lshIndex, DynamicIndex,
-    MutableIndex, MutationAck, MutationOp, PersistError,
+    MutableIndex, MutationAck, MutationOp, PersistError, PointMeta,
 };
 use cc_storage::wal::scratch_dir;
 use cc_storage::FailpointFile;
@@ -130,7 +130,14 @@ fn materialize(script: &[(u8, u64)], dim: usize) -> Vec<MutationOp> {
                     ((s >> 40) as f32) / 1000.0
                 })
                 .collect();
-            ops.push(MutationOp::Insert { vector });
+            // Roughly half the inserts carry a non-default payload, so
+            // both WAL insert opcodes appear in every recovered log.
+            let meta = if payload % 2 == 0 {
+                PointMeta::default()
+            } else {
+                PointMeta::new(payload | 1, (payload >> 3) as u32)
+            };
+            ops.push(MutationOp::Insert { vector, meta });
             inserted += 1;
         }
     }
@@ -141,8 +148,12 @@ fn materialize(script: &[(u8, u64)], dim: usize) -> Vec<MutationOp> {
 /// `u32 len | u64 seq | u8 op | body | u32 crc`.
 fn record_bytes(op: &MutationOp) -> u64 {
     match op {
-        // body: u32 oid | u32 dim | dim × f32
-        MutationOp::Insert { vector } => 4 + 8 + 1 + 4 + 4 + 4 * vector.len() as u64 + 4,
+        // op 1 body: u32 oid | u32 dim | dim × f32
+        MutationOp::Insert { vector, meta } if *meta == PointMeta::default() => {
+            4 + 8 + 1 + 4 + 4 + 4 * vector.len() as u64 + 4
+        }
+        // op 3 body: u32 oid | u64 tag | u32 label | u32 dim | dim × f32
+        MutationOp::Insert { vector, .. } => 4 + 8 + 1 + 4 + 12 + 4 + 4 * vector.len() as u64 + 4,
         // body: u32 oid
         MutationOp::Delete { .. } => 4 + 8 + 1 + 4 + 4,
     }
@@ -184,8 +195,8 @@ fn reference_after(dim: usize, cfg: &C2lshConfig, logged: &[MutationOp], k: usiz
     let mut reference = DynamicIndex::new(dim, EXPECTED_N, cfg);
     for op in &logged[..k] {
         match op {
-            MutationOp::Insert { vector } => {
-                reference.insert(vector.clone());
+            MutationOp::Insert { vector, meta } => {
+                reference.insert_with_meta(vector.clone(), *meta);
             }
             MutationOp::Delete { oid } => {
                 assert!(reference.delete(*oid), "logged deletes always hit on prefix replay");
@@ -299,7 +310,9 @@ proptest! {
         let mut index = DynamicIndex::new(dim, EXPECTED_N, &cfg);
         for op in &ops {
             match op {
-                MutationOp::Insert { vector } => { index.insert(vector.clone()); }
+                MutationOp::Insert { vector, meta } => {
+                    index.insert_with_meta(vector.clone(), *meta);
+                }
                 MutationOp::Delete { oid } => { index.delete(*oid); }
             }
         }
@@ -309,6 +322,11 @@ proptest! {
         prop_assert_eq!(loaded_seq, seq);
         prop_assert_eq!(loaded.slots(), index.slots());
         prop_assert_eq!(loaded.len(), index.len());
+        // Live slots keep their payloads; tombstones restore default.
+        for (i, (slot, meta)) in index.slots().iter().zip(index.meta_slots()).enumerate() {
+            let want = if slot.is_some() { *meta } else { PointMeta::default() };
+            prop_assert_eq!(loaded.meta_slots()[i], want, "slot {}", i);
+        }
         if !index.is_empty() {
             let q = index.slots().iter().flatten().next().unwrap();
             let (a, _) = index.query(q, 3);

@@ -60,6 +60,46 @@ impl PromText {
         let _ = writeln!(self.out, "{name} {value}");
     }
 
+    /// Escape a label value per the exposition format (backslash,
+    /// double-quote, newline).
+    fn escape_label(value: &str) -> String {
+        value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    }
+
+    /// Emit one counter family with a label dimension: one `# HELP` /
+    /// `# TYPE` header, then one series per `(label value, count)`
+    /// pair. An empty series list emits nothing — an exposition must
+    /// not carry a header without samples.
+    pub fn counter_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(String, u64)],
+    ) {
+        if series.is_empty() || self.register(name) {
+            return;
+        }
+        self.header(name, help, "counter");
+        for (value, count) in series {
+            let v = Self::escape_label(value);
+            let _ = writeln!(self.out, "{name}{{{label}=\"{v}\"}} {count}");
+        }
+    }
+
+    /// Emit one gauge family with a label dimension (see
+    /// [`PromText::counter_labeled`]).
+    pub fn gauge_labeled(&mut self, name: &str, help: &str, label: &str, series: &[(String, f64)]) {
+        if series.is_empty() || self.register(name) {
+            return;
+        }
+        self.header(name, help, "gauge");
+        for (value, gauge) in series {
+            let v = Self::escape_label(value);
+            let _ = writeln!(self.out, "{name}{{{label}=\"{v}\"}} {gauge}");
+        }
+    }
+
     /// Emit a nanosecond-valued histogram snapshot as a summary in
     /// seconds: `{quantile="…"}` series plus `_sum` / `_count`.
     /// `name` should end in `_seconds`.
@@ -125,6 +165,37 @@ mod tests {
             let helps = text.matches(&format!("# HELP {family} ")).count();
             assert_eq!(helps, 1, "family {family} must have exactly one HELP");
         }
+    }
+
+    #[test]
+    fn labeled_families_escape_values_and_share_one_header() {
+        let mut doc = PromText::new();
+        doc.counter_labeled(
+            "cc_collection_queries_total",
+            "Queries per collection.",
+            "collection",
+            &[("alpha".into(), 3), ("we\"ird\\n".into(), 9)],
+        );
+        doc.gauge_labeled(
+            "cc_collection_objects",
+            "Objects per collection.",
+            "collection",
+            &[("alpha".into(), 12.0)],
+        );
+        doc.counter_labeled("cc_empty_total", "Never emitted.", "collection", &[]);
+        let text = doc.finish();
+        assert!(text.contains("cc_collection_queries_total{collection=\"alpha\"} 3"), "{text}");
+        assert!(
+            text.contains("cc_collection_queries_total{collection=\"we\\\"ird\\\\n\"} 9"),
+            "{text}"
+        );
+        assert!(text.contains("cc_collection_objects{collection=\"alpha\"} 12"), "{text}");
+        assert_eq!(
+            text.matches("# HELP cc_collection_queries_total ").count(),
+            1,
+            "one header per family: {text}"
+        );
+        assert!(!text.contains("cc_empty_total"), "empty family must emit nothing: {text}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::params::derive;
 use c2lsh::engine::QueryScratch;
 use c2lsh::engine::{self, SearchOptions, SearchParams, TableStore};
+use c2lsh::meta::PointMeta;
 use c2lsh::stats::{BatchStats, QueryStats};
 use cc_math::hoeffding::DerivedParams;
 use cc_storage::bptree::{BPlusTree, Cursor};
@@ -84,6 +85,8 @@ pub struct Qalsh<'d> {
     proj: Vec<Vec<f32>>,
     /// One B+-tree per projection, keyed by `a·o`.
     trees: Vec<BPlusTree<OrdF64, u32>>,
+    /// Per-point attribute payloads; empty = every point defaults.
+    metas: Vec<PointMeta>,
     scratch: Mutex<QueryScratch>,
     verify_pages: u64,
 }
@@ -134,9 +137,27 @@ impl<'d> Qalsh<'d> {
             beta_n,
             proj,
             trees,
+            metas: Vec::new(),
             scratch: Mutex::new(QueryScratch::new(n)),
             verify_pages,
         }
+    }
+
+    /// Attach per-point metadata (one entry per indexed point, in id
+    /// order) for filtered queries via `SearchOptions::filter`.
+    ///
+    /// # Panics
+    /// Panics when `metas.len() != data.len()`.
+    pub fn set_meta(&mut self, metas: Vec<PointMeta>) {
+        assert_eq!(metas.len(), self.data.len(), "one PointMeta per indexed point");
+        self.metas = metas;
+    }
+
+    /// Builder-style [`Qalsh::set_meta`].
+    #[must_use]
+    pub fn with_meta(mut self, metas: Vec<PointMeta>) -> Self {
+        self.set_meta(metas);
+        self
     }
 
     /// The Hoeffding-derived parameters (`p1`, `p2`, `α`, `m`, `l`).
@@ -308,6 +329,10 @@ impl TableStore for Qalsh<'_> {
 
     fn vector(&self, oid: u32) -> Option<&[f32]> {
         Some(self.data.get(oid as usize))
+    }
+
+    fn meta(&self, oid: u32) -> PointMeta {
+        self.metas.get(oid as usize).copied().unwrap_or_default()
     }
 
     fn verify_pages(&self) -> u64 {

@@ -1,0 +1,88 @@
+//! Live-server collections smoke driver (used by CI): connect to
+//! `CC_ADDR`, create two collections, load each with metadata-bearing
+//! inserts, apply a mixed filtered/unfiltered query load, and check
+//! every answer against the predicate. Exits nonzero on any violated
+//! expectation; pair it with a `/metrics` scrape to assert the
+//! per-collection series render.
+//!
+//! ```text
+//! cc-service --addr 127.0.0.1:7878 --metrics-addr 127.0.0.1:9184 &
+//! CC_ADDR=127.0.0.1:7878 collections_smoke
+//! curl -fsS http://127.0.0.1:9184/metrics | grep 'collection="alpha"'
+//! ```
+
+use c2lsh::Predicate;
+use cc_service::{Client, QueryRequest};
+use cc_vector::gen::{generate, Distribution};
+
+const DIM: usize = 16;
+const N: usize = 400;
+const QUERIES: usize = 60;
+
+fn main() {
+    let addr = std::env::var("CC_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".into());
+    let addr: std::net::SocketAddr = addr.parse().expect("CC_ADDR must be HOST:PORT");
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    // Labels `i % 3` are coprime to the 8 generator clusters, so every
+    // cluster mixes all labels and the predicate below is selective.
+    let data = generate(
+        Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 },
+        N,
+        DIM,
+        5,
+    );
+    for name in ["alpha", "beta"] {
+        let existed = client.create_collection(name, DIM as u32).expect("create collection");
+        assert!(!existed, "collection {name} already present — stale server state?");
+        for (i, v) in data.iter().enumerate() {
+            client
+                .insert_with_meta(Some(name), v, 1 << (i % 4), (i % 3) as u32)
+                .expect("insert with meta");
+        }
+    }
+    let listed = client.list_collections().expect("list collections");
+    for name in ["alpha", "beta"] {
+        let info = listed
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from {listed:?}"));
+        assert_eq!((info.dim as usize, info.objects as usize), (DIM, N), "{info:?}");
+    }
+
+    // Mixed load: collection queries alternate between the two
+    // collections, two in three carrying a label predicate; every
+    // round also hits the server's default engine unfiltered.
+    let mut rejected = 0u64;
+    for (i, q) in data.iter().take(QUERIES).enumerate() {
+        let name = if i % 2 == 0 { "alpha" } else { "beta" };
+        let filtered = i % 3 != 0;
+        let mut req = QueryRequest::new(q.to_vec()).k(5).collection(name).with_stats();
+        if filtered {
+            req = req.filter(Predicate::label(1));
+        }
+        let res = client.search_result(&req).expect("collection query");
+        assert!(!res.neighbors.is_empty(), "query {i} served nothing");
+        if filtered {
+            for n in &res.neighbors {
+                assert_eq!(n.id % 3, 1, "query {i}: label predicate violated by oid {}", n.id);
+            }
+        }
+        rejected += res.cost.as_ref().map(|c| c.filtered).unwrap_or(0);
+
+        let res = client
+            .search_result(&QueryRequest::new(q.to_vec()).k(5))
+            .expect("default-engine query");
+        assert!(!res.neighbors.is_empty(), "default engine served nothing");
+    }
+    assert!(rejected > 0, "a selective predicate must reject some candidates");
+
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.collections, 2, "stats must count the live collections");
+    assert!(snap.engine.filtered >= rejected, "stats fold the rejection counter");
+    println!(
+        "collections smoke ok: 2 collections x {N} objects, {QUERIES} mixed rounds, \
+         {rejected} candidates rejected by predicates"
+    );
+}

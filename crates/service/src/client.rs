@@ -23,8 +23,9 @@
 //! # Ok(()) }
 //! ```
 
-use crate::protocol::{self, ProtoError, QueryCost, Request, Response};
+use crate::protocol::{self, CollectionInfo, ProtoError, QueryCost, Request, Response};
 use crate::snapshot::StatsSnapshot;
+use c2lsh::Predicate;
 use cc_vector::gt::Neighbor;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -38,6 +39,8 @@ pub struct QueryRequest {
     deadline_ms: u32,
     want_stats: bool,
     want_trace: bool,
+    filter: Option<Predicate>,
+    collection: Option<String>,
 }
 
 impl QueryRequest {
@@ -50,6 +53,8 @@ impl QueryRequest {
             deadline_ms: 0,
             want_stats: false,
             want_trace: false,
+            filter: None,
+            collection: None,
         }
     }
 
@@ -79,6 +84,20 @@ impl QueryRequest {
         self
     }
 
+    /// Only return points matching `pred`; the server evaluates it
+    /// inside the collision-counting loop, before any distance work.
+    pub fn filter(mut self, pred: Predicate) -> Self {
+        self.filter = Some(pred);
+        self
+    }
+
+    /// Route the query to a named collection instead of the default
+    /// engine.
+    pub fn collection(mut self, name: impl Into<String>) -> Self {
+        self.collection = Some(name.into());
+        self
+    }
+
     fn to_wire(&self) -> Request {
         Request::QueryV2 {
             k: self.k,
@@ -86,6 +105,8 @@ impl QueryRequest {
             want_stats: self.want_stats,
             want_trace: self.want_trace,
             vector: self.vector.clone(),
+            filter: self.filter,
+            collection: self.collection.clone(),
         }
     }
 }
@@ -239,6 +260,59 @@ impl Client {
     pub fn insert(&mut self, vector: &[f32]) -> Result<(u32, u64), ProtoError> {
         match self.call(&Request::Insert { vector: vector.to_vec() })? {
             Response::InsertAck { oid, seq } => Ok((oid, seq)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Insert a vector carrying a metadata payload — tag bitmask and
+    /// label — into the default engine (`collection = None`) or a
+    /// named collection. Returns `(oid, seq)` with the same durability
+    /// contract as [`Client::insert`].
+    pub fn insert_with_meta(
+        &mut self,
+        collection: Option<&str>,
+        vector: &[f32],
+        tag: u64,
+        label: u32,
+    ) -> Result<(u32, u64), ProtoError> {
+        let req = Request::InsertV2 {
+            collection: collection.map(str::to_string),
+            tag,
+            label,
+            vector: vector.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::InsertAck { oid, seq } => Ok((oid, seq)),
+            Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Create a collection with dimensionality `dim`; returns whether
+    /// it already existed (idempotent either way).
+    pub fn create_collection(&mut self, name: &str, dim: u32) -> Result<bool, ProtoError> {
+        match self.call(&Request::CreateCollection { name: name.into(), dim })? {
+            Response::CollectionAck { existed } => Ok(existed),
+            Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drop a collection and its on-disk state; returns whether it
+    /// existed.
+    pub fn drop_collection(&mut self, name: &str) -> Result<bool, ProtoError> {
+        match self.call(&Request::DropCollection { name: name.into() })? {
+            Response::CollectionAck { existed } => Ok(existed),
+            Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// List all collections with their dimensionality and live object
+    /// counts.
+    pub fn list_collections(&mut self) -> Result<Vec<CollectionInfo>, ProtoError> {
+        match self.call(&Request::ListCollections)? {
+            Response::CollectionList(infos) => Ok(infos),
             other => Err(unexpected(&other)),
         }
     }

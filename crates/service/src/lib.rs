@@ -15,6 +15,8 @@
 //! * [`server`] — [`server::serve`]: accept loop, admission control,
 //!   request coalescing, durable mutation acks, per-request deadlines,
 //!   graceful drain,
+//! * [`collections`] — the named-collection registry: per-collection
+//!   indexes, WAL directories, metadata manifests and metric counters,
 //! * [`obs`] — the live metric registry ([`obs::ServerObs`]):
 //!   counters, per-stage latency histograms, trace sampling, the
 //!   slow-query ring, and the Prometheus renderer,
@@ -62,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod collections;
 pub mod json;
 pub mod obs;
 pub mod protocol;
@@ -69,7 +72,8 @@ pub mod server;
 pub mod snapshot;
 
 pub use client::{Client, QueryRequest, QueryResult, SearchOutcome};
+pub use collections::CollectionsConfig;
 pub use obs::ServerObs;
-pub use protocol::{ProtoError, QueryCost, Request, Response, WireSpan};
+pub use protocol::{CollectionInfo, ProtoError, QueryCost, Request, Response, WireSpan};
 pub use server::{serve, serve_with_obs, ServeEngine, ServiceConfig, ServiceStats};
 pub use snapshot::StatsSnapshot;

@@ -19,6 +19,8 @@
 //!
 //! Flags (all optional): `--addr HOST:PORT` (default `127.0.0.1:7878`),
 //! `--mode sharded|dynamic` (sharded), `--wal DIR` (dynamic only),
+//! `--collections-dir DIR` (persist named collections under `DIR`;
+//! without it collections are in-memory),
 //! `--shards S` (4), `--n N` (20000), `--dim D` (16), `--seed SEED`
 //! (42), `--bucket-width W` (1.0), `--queue-cap Q` (1024),
 //! `--max-batch B` (32), `--max-delay-us US` (2000), `--k-max K`
@@ -45,6 +47,7 @@ struct Args {
     addr: String,
     mode: String,
     wal: Option<String>,
+    collections_dir: Option<String>,
     shards: usize,
     n: usize,
     dim: usize,
@@ -66,6 +69,7 @@ impl Args {
             addr: "127.0.0.1:7878".into(),
             mode: "sharded".into(),
             wal: None,
+            collections_dir: None,
             shards: 4,
             n: 20_000,
             dim: 16,
@@ -92,6 +96,7 @@ impl Args {
                 "--addr" => args.addr = value("--addr"),
                 "--mode" => args.mode = value("--mode"),
                 "--wal" => args.wal = Some(value("--wal")),
+                "--collections-dir" => args.collections_dir = Some(value("--collections-dir")),
                 "--shards" => args.shards = parse(&value("--shards"), "--shards"),
                 "--n" => args.n = parse(&value("--n"), "--n"),
                 "--dim" => args.dim = parse(&value("--dim"), "--dim"),
@@ -119,7 +124,7 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic] \
-                         [--wal DIR] [--shards S] [--n N] [--dim D] \
+                         [--wal DIR] [--collections-dir DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
                          [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES] \
                          [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--trace-sample N]"
@@ -150,7 +155,7 @@ fn main() {
         exit(2);
     }
     let config = C2lshConfig::builder().bucket_width(args.bucket_width).seed(args.seed).build();
-    let service = ServiceConfig {
+    let mut service = ServiceConfig {
         max_batch: args.max_batch,
         max_delay: Duration::from_micros(args.max_delay_us),
         queue_capacity: args.queue_cap,
@@ -158,6 +163,11 @@ fn main() {
         checkpoint_wal_bytes: args.checkpoint_wal_bytes,
         ..ServiceConfig::default()
     };
+    // Named collections share the server's hashing config; with a
+    // root directory they are durable (each gets its own WAL under
+    // `DIR/<name>/`), without one they live in memory.
+    service.collections.config = config.clone();
+    service.collections.root = args.collections_dir.as_ref().map(std::path::PathBuf::from);
     let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {}: {e}", args.addr);
         exit(1);
@@ -229,8 +239,10 @@ fn main() {
                 );
                 // Chunked batches keep the WAL group commits (and the
                 // clone-per-batch cost) bounded during the bulk load.
-                let rows: Vec<MutationOp> =
-                    data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+                let rows: Vec<MutationOp> = data
+                    .iter()
+                    .map(|v| MutationOp::Insert { vector: v.to_vec(), meta: Default::default() })
+                    .collect();
                 for chunk in rows.chunks(4096) {
                     if let Err(e) = engine.apply_batch(chunk) {
                         eprintln!("bulk load failed: {e}");

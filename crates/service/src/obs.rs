@@ -16,8 +16,14 @@
 //! slow log are gated on [`ObsConfig::enabled`] so a service started
 //! without observability pays nothing per query.
 
+use crate::collections::CollectionMetricsRow;
 use cc_obs::{Counter, Histogram, MetricsSource, ObsConfig, PromText, SlowLog, SlowQuery};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A provider of per-collection counter snapshots — the serving layer
+/// installs one backed by its collection registry.
+pub type CollectionsSource = Box<dyn Fn() -> Vec<CollectionMetricsRow> + Send + Sync>;
 
 /// Live metric registry for one service instance.
 pub struct ServerObs {
@@ -43,6 +49,8 @@ pub struct ServerObs {
     pub inserts: Counter,
     /// Deletes acknowledged (found or not).
     pub deletes: Counter,
+    /// Candidates rejected by filter predicates before verification.
+    pub filtered: Counter,
     /// Queries that had a span tree captured.
     pub traces: Counter,
     /// Queries recorded in the slow log.
@@ -60,6 +68,10 @@ pub struct ServerObs {
     batch_size: Histogram,
     slowlog: SlowLog,
     next_trace_id: AtomicU64,
+    /// Per-collection snapshot provider; installed by the serving
+    /// layer once its registry exists (the mutex is only taken at
+    /// install and scrape time, never on the query path).
+    collections: Mutex<Option<CollectionsSource>>,
 }
 
 impl ServerObs {
@@ -79,6 +91,7 @@ impl ServerObs {
             deadline_expired: Counter::new(),
             inserts: Counter::new(),
             deletes: Counter::new(),
+            filtered: Counter::new(),
             traces: Counter::new(),
             slow_queries: Counter::new(),
             queue_wait: Histogram::new(),
@@ -92,7 +105,13 @@ impl ServerObs {
             batch_size: Histogram::new(),
             slowlog: SlowLog::new(config.slow_log_capacity),
             next_trace_id: AtomicU64::new(1),
+            collections: Mutex::new(None),
         }
+    }
+
+    /// Install (or replace) the per-collection snapshot provider.
+    pub fn set_collections_source(&self, source: CollectionsSource) {
+        *self.collections.lock().unwrap() = Some(source);
     }
 
     /// A registry with everything off (the plain [`crate::serve`] path).
@@ -224,6 +243,11 @@ impl ServerObs {
         );
         doc.counter("cc_inserts_total", "Inserts acknowledged.", self.inserts.get());
         doc.counter("cc_deletes_total", "Deletes acknowledged (found or not).", self.deletes.get());
+        doc.counter(
+            "cc_filtered_candidates_total",
+            "Candidates rejected by filter predicates before verification.",
+            self.filtered.get(),
+        );
         doc.counter("cc_traces_total", "Queries with a captured span tree.", self.traces.get());
         doc.counter(
             "cc_slow_queries_total",
@@ -275,6 +299,45 @@ impl ServerObs {
             "Queries coalesced per engine flush.",
             &self.batch_size.snapshot(),
         );
+        // Per-collection series, labeled `collection="<name>"`. Only
+        // present once the serving layer installed its registry and at
+        // least one collection exists.
+        if let Some(source) = self.collections.lock().unwrap().as_ref() {
+            let rows = source();
+            let pick = |f: &dyn Fn(&CollectionMetricsRow) -> u64| -> Vec<(String, u64)> {
+                rows.iter().map(|r| (r.name.clone(), f(r))).collect()
+            };
+            doc.gauge_labeled(
+                "cc_collection_objects",
+                "Live objects per collection.",
+                "collection",
+                &rows.iter().map(|r| (r.name.clone(), r.objects as f64)).collect::<Vec<_>>(),
+            );
+            doc.counter_labeled(
+                "cc_collection_queries_total",
+                "Queries answered per collection.",
+                "collection",
+                &pick(&|r| r.queries),
+            );
+            doc.counter_labeled(
+                "cc_collection_inserts_total",
+                "Inserts acknowledged per collection.",
+                "collection",
+                &pick(&|r| r.inserts),
+            );
+            doc.counter_labeled(
+                "cc_collection_deletes_total",
+                "Deletes acknowledged per collection.",
+                "collection",
+                &pick(&|r| r.deletes),
+            );
+            doc.counter_labeled(
+                "cc_collection_filtered_candidates_total",
+                "Filter-rejected candidates per collection.",
+                "collection",
+                &pick(&|r| r.filtered),
+            );
+        }
         doc.finish()
     }
 }
@@ -331,6 +394,40 @@ mod tests {
         let a = obs.alloc_trace_id();
         let b = obs.alloc_trace_id();
         assert!(a > 0 && b > a);
+    }
+
+    #[test]
+    fn collection_series_are_labeled_per_collection() {
+        let obs = ServerObs::disabled();
+        obs.set_collections_source(Box::new(|| {
+            vec![
+                CollectionMetricsRow {
+                    name: "alpha".into(),
+                    objects: 10,
+                    queries: 3,
+                    inserts: 10,
+                    deletes: 0,
+                    filtered: 7,
+                },
+                CollectionMetricsRow {
+                    name: "beta".into(),
+                    objects: 2,
+                    queries: 0,
+                    inserts: 2,
+                    deletes: 1,
+                    filtered: 0,
+                },
+            ]
+        }));
+        let text = obs.render_prometheus();
+        assert!(text.contains("cc_collection_objects{collection=\"alpha\"} 10"), "{text}");
+        assert!(text.contains("cc_collection_queries_total{collection=\"alpha\"} 3"), "{text}");
+        assert!(text.contains("cc_collection_queries_total{collection=\"beta\"} 0"), "{text}");
+        assert!(
+            text.contains("cc_collection_filtered_candidates_total{collection=\"alpha\"} 7"),
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE cc_collection_queries_total counter").count(), 1);
     }
 
     #[test]

@@ -15,9 +15,17 @@
 //!          0x05 Insert    u32 dim | dim × f32
 //!          0x06 Delete    u32 oid
 //!          0x07 QueryV2   u32 k | u32 deadline_ms | u32 flags
-//!                         (bit0 = want stats, bit1 = want trace) |
-//!                         u32 dim | dim × f32
+//!                         (bit0 = want stats, bit1 = want trace,
+//!                         bit2 = filter, bit3 = collection) |
+//!                         u32 dim | dim × f32 |
+//!                         [filter block, iff bit2] |
+//!                         [u16 name_len | name, iff bit3]
 //!          0x08 Metrics             (Prometheus text exposition)
+//!          0x09 CreateCollection  u16 name_len | name | u32 dim
+//!          0x0A DropCollection    u16 name_len | name
+//!          0x0B ListCollections
+//!          0x0C InsertV2  u16 name_len (0 = default engine) | name |
+//!                         u64 tag | u32 label | u32 dim | dim × f32
 //!
 //! response 0x81 Pong
 //!          0x82 TopK      u32 count | count × (u32 id, f64 dist)
@@ -31,14 +39,24 @@
 //!                         count × (u32 id, f64 dist) |
 //!                         u8 has_stats | [QueryCost, see below]
 //!          0x8A MetricsText utf-8 Prometheus text document
+//!          0x8B CollectionAck  u8 existed (0/1)
+//!          0x8C CollectionList u32 count | count × (u16 name_len |
+//!                              name | u32 dim | u64 objects)
 //!          0x8F Error     u16 ErrorKind code | utf-8 message
 //! ```
 //!
+//! The QueryV2 *filter block* serializes a [`c2lsh::Predicate`]: `u8
+//! clause mask (bit0 = label_eq, bit1 = tag_any, bit2 = tag_all)`
+//! followed by the present clauses in that order (`u32 label`, `u64
+//! tag_any`, `u64 tag_all`). A request without the filter or
+//! collection flag is byte-identical to the pre-extension frame, so
+//! old captures replay unchanged.
+//!
 //! `QueryCost` (present when `has_stats = 1`): `u32 rounds | u64
-//! collisions | u64 verified | u64 abandoned | u64 io_reads | u64
-//! elapsed_nanos | u64 snapshot_seq | 4 × u64 stage nanos
-//! (hash, count, verify, rank) | u32 span_count | span_count × (u8
-//! name_len | name utf-8 | u64 start_ns | u64 dur_ns | u8 depth |
+//! collisions | u64 verified | u64 abandoned | u64 filtered | u64
+//! io_reads | u64 elapsed_nanos | u64 snapshot_seq | 4 × u64 stage
+//! nanos (hash, count, verify, rank) | u32 span_count | span_count ×
+//! (u8 name_len | name utf-8 | u64 start_ns | u64 dur_ns | u8 depth |
 //! u64 detail)`.
 //!
 //! Error frames carry the *stable numeric code* of
@@ -55,7 +73,7 @@
 //! local [`cc_vector::gt::Neighbor`] — the integration tests compare
 //! them with `total_cmp` equality, no tolerance.
 
-use c2lsh::{Error, ErrorKind};
+use c2lsh::{Error, ErrorKind, Predicate};
 use cc_vector::gt::Neighbor;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -81,6 +99,17 @@ pub struct WireSpan {
     pub detail: u64,
 }
 
+/// One row of a [`Response::CollectionList`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionInfo {
+    /// Collection name.
+    pub name: String,
+    /// Dimensionality of its vectors.
+    pub dim: u32,
+    /// Live objects it currently holds.
+    pub objects: u64,
+}
+
 /// Per-query cost summary a [`Request::QueryV2`] can ask for: the
 /// engine-side counters plus stage timings and (when tracing) the
 /// span tree, compact enough to ride every response.
@@ -94,6 +123,9 @@ pub struct QueryCost {
     pub verified: u64,
     /// Candidates abandoned by early-termination bounds.
     pub abandoned: u64,
+    /// Candidates rejected by the query's filter predicate before any
+    /// distance work.
+    pub filtered: u64,
     /// Backend page reads (0 for in-memory backends).
     pub io_reads: u64,
     /// Wall-clock nanoseconds the engine spent on this query.
@@ -120,6 +152,7 @@ impl QueryCost {
             collisions: stats.collisions_counted,
             verified: stats.candidates_verified as u64,
             abandoned: stats.candidates_abandoned as u64,
+            filtered: stats.candidates_filtered as u64,
             io_reads: stats.io.reads,
             elapsed_nanos: stats.elapsed_nanos,
             snapshot_seq: stats.snapshot_seq,
@@ -189,10 +222,46 @@ pub enum Request {
         want_trace: bool,
         /// The query vector.
         vector: Vec<f32>,
+        /// Evaluate this predicate inside the collision-counting loop;
+        /// only matching points are verified and returned.
+        filter: Option<Predicate>,
+        /// Route the query to a named collection instead of the
+        /// default engine.
+        collection: Option<String>,
     },
     /// Ask for the Prometheus text exposition (same document the
     /// `--metrics-addr` HTTP listener serves at `/metrics`).
     Metrics,
+    /// Create a named collection with its own index (and, on a durable
+    /// server, its own WAL directory). Idempotent: creating an
+    /// existing collection answers [`Response::CollectionAck`] with
+    /// `existed = true` and leaves it untouched.
+    CreateCollection {
+        /// Collection name (1–64 chars of `[A-Za-z0-9_-]`).
+        name: String,
+        /// Dimensionality of the collection's vectors.
+        dim: u32,
+    },
+    /// Drop a collection and its on-disk state. Idempotent.
+    DropCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// List all collections; answered with
+    /// [`Response::CollectionList`].
+    ListCollections,
+    /// Insert a vector with its [`c2lsh::PointMeta`] payload, into a
+    /// named collection or (empty name) the default engine.
+    InsertV2 {
+        /// Target collection; `None` routes to the default engine.
+        collection: Option<String>,
+        /// Tag bitmask stored with the point.
+        tag: u64,
+        /// Label id stored with the point.
+        label: u32,
+        /// The vector to insert.
+        vector: Vec<f32>,
+    },
 }
 
 /// A server-to-client frame.
@@ -240,6 +309,15 @@ pub enum Response {
     },
     /// Prometheus text exposition document.
     MetricsText(String),
+    /// Reply to [`Request::CreateCollection`] /
+    /// [`Request::DropCollection`]: whether the collection already
+    /// existed (create) or was present to drop (drop).
+    CollectionAck {
+        /// See above; both operations are idempotent either way.
+        existed: bool,
+    },
+    /// Reply to [`Request::ListCollections`].
+    CollectionList(Vec<CollectionInfo>),
     /// The request was rejected (bad dimensionality, k out of range,
     /// server draining, …). Carries the unified [`c2lsh::Error`] whose
     /// [`ErrorKind`] code rides the wire numerically.
@@ -289,6 +367,10 @@ const OP_INSERT: u8 = 0x05;
 const OP_DELETE: u8 = 0x06;
 const OP_QUERY_V2: u8 = 0x07;
 const OP_METRICS: u8 = 0x08;
+const OP_CREATE_COLLECTION: u8 = 0x09;
+const OP_DROP_COLLECTION: u8 = 0x0A;
+const OP_LIST_COLLECTIONS: u8 = 0x0B;
+const OP_INSERT_V2: u8 = 0x0C;
 const OP_PONG: u8 = 0x81;
 const OP_TOPK: u8 = 0x82;
 const OP_OVERLOADED: u8 = 0x83;
@@ -299,11 +381,80 @@ const OP_INSERT_ACK: u8 = 0x87;
 const OP_DELETE_ACK: u8 = 0x88;
 const OP_TOPK_V2: u8 = 0x89;
 const OP_METRICS_TEXT: u8 = 0x8A;
+const OP_COLLECTION_ACK: u8 = 0x8B;
+const OP_COLLECTION_LIST: u8 = 0x8C;
 const OP_ERROR: u8 = 0x8F;
 
 /// QueryV2 flag bits.
 const FLAG_WANT_STATS: u32 = 1;
 const FLAG_WANT_TRACE: u32 = 2;
+const FLAG_FILTER: u32 = 4;
+const FLAG_COLLECTION: u32 = 8;
+
+/// Filter-block clause-mask bits.
+const CLAUSE_LABEL: u8 = 1;
+const CLAUSE_TAG_ANY: u8 = 2;
+const CLAUSE_TAG_ALL: u8 = 4;
+
+/// Longest collection name the wire accepts (the server is stricter).
+const MAX_NAME: usize = 256;
+
+fn put_name(buf: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    debug_assert!(bytes.len() <= MAX_NAME, "collection names are short");
+    buf.extend_from_slice(&(bytes.len().min(MAX_NAME) as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..bytes.len().min(MAX_NAME)]);
+}
+
+fn get_name(cur: &mut Cur<'_>) -> Result<String, ProtoError> {
+    let len = cur.u16()? as usize;
+    if len > MAX_NAME {
+        return Err(ProtoError::Malformed(format!("collection name of {len} bytes")));
+    }
+    String::from_utf8(cur.take(len)?.to_vec())
+        .map_err(|_| ProtoError::Malformed("invalid UTF-8 collection name".into()))
+}
+
+fn put_filter(buf: &mut Vec<u8>, pred: &Predicate) {
+    let mut mask = 0u8;
+    if pred.label_eq.is_some() {
+        mask |= CLAUSE_LABEL;
+    }
+    if pred.tag_any.is_some() {
+        mask |= CLAUSE_TAG_ANY;
+    }
+    if pred.tag_all.is_some() {
+        mask |= CLAUSE_TAG_ALL;
+    }
+    buf.push(mask);
+    if let Some(label) = pred.label_eq {
+        put_u32(buf, label);
+    }
+    if let Some(m) = pred.tag_any {
+        put_u64(buf, m);
+    }
+    if let Some(m) = pred.tag_all {
+        put_u64(buf, m);
+    }
+}
+
+fn get_filter(cur: &mut Cur<'_>) -> Result<Predicate, ProtoError> {
+    let mask = cur.u8()?;
+    if mask & !(CLAUSE_LABEL | CLAUSE_TAG_ANY | CLAUSE_TAG_ALL) != 0 {
+        return Err(ProtoError::Malformed(format!("unknown filter clause bits {mask:#04x}")));
+    }
+    let mut pred = Predicate::any();
+    if mask & CLAUSE_LABEL != 0 {
+        pred.label_eq = Some(cur.u32()?);
+    }
+    if mask & CLAUSE_TAG_ANY != 0 {
+        pred.tag_any = Some(cur.u64()?);
+    }
+    if mask & CLAUSE_TAG_ALL != 0 {
+        pred.tag_all = Some(cur.u64()?);
+    }
+    Ok(pred)
+}
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -318,6 +469,7 @@ fn encode_cost(buf: &mut Vec<u8>, cost: &QueryCost) {
     put_u64(buf, cost.collisions);
     put_u64(buf, cost.verified);
     put_u64(buf, cost.abandoned);
+    put_u64(buf, cost.filtered);
     put_u64(buf, cost.io_reads);
     put_u64(buf, cost.elapsed_nanos);
     put_u64(buf, cost.snapshot_seq);
@@ -344,6 +496,7 @@ fn decode_cost(cur: &mut Cur<'_>) -> Result<QueryCost, ProtoError> {
         collisions: cur.u64()?,
         verified: cur.u64()?,
         abandoned: cur.u64()?,
+        filtered: cur.u64()?,
         io_reads: cur.u64()?,
         elapsed_nanos: cur.u64()?,
         snapshot_seq: cur.u64()?,
@@ -405,7 +558,7 @@ fn encode_request(req: &Request) -> Vec<u8> {
             put_u32(&mut buf, *oid);
             buf
         }
-        Request::QueryV2 { k, deadline_ms, want_stats, want_trace, vector } => {
+        Request::QueryV2 { k, deadline_ms, want_stats, want_trace, vector, filter, collection } => {
             let mut buf = Vec::with_capacity(17 + vector.len() * 4);
             buf.push(OP_QUERY_V2);
             put_u32(&mut buf, *k);
@@ -417,14 +570,53 @@ fn encode_request(req: &Request) -> Vec<u8> {
             if *want_trace {
                 flags |= FLAG_WANT_TRACE;
             }
+            if filter.is_some() {
+                flags |= FLAG_FILTER;
+            }
+            if collection.is_some() {
+                flags |= FLAG_COLLECTION;
+            }
             put_u32(&mut buf, flags);
+            put_u32(&mut buf, vector.len() as u32);
+            for x in vector {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            if let Some(pred) = filter {
+                put_filter(&mut buf, pred);
+            }
+            if let Some(name) = collection {
+                put_name(&mut buf, name);
+            }
+            buf
+        }
+        Request::Metrics => vec![OP_METRICS],
+        Request::CreateCollection { name, dim } => {
+            let mut buf = Vec::with_capacity(7 + name.len());
+            buf.push(OP_CREATE_COLLECTION);
+            put_name(&mut buf, name);
+            put_u32(&mut buf, *dim);
+            buf
+        }
+        Request::DropCollection { name } => {
+            let mut buf = Vec::with_capacity(3 + name.len());
+            buf.push(OP_DROP_COLLECTION);
+            put_name(&mut buf, name);
+            buf
+        }
+        Request::ListCollections => vec![OP_LIST_COLLECTIONS],
+        Request::InsertV2 { collection, tag, label, vector } => {
+            let name = collection.as_deref().unwrap_or("");
+            let mut buf = Vec::with_capacity(19 + name.len() + vector.len() * 4);
+            buf.push(OP_INSERT_V2);
+            put_name(&mut buf, name);
+            put_u64(&mut buf, *tag);
+            put_u32(&mut buf, *label);
             put_u32(&mut buf, vector.len() as u32);
             for x in vector {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
             buf
         }
-        Request::Metrics => vec![OP_METRICS],
     }
 }
 
@@ -488,6 +680,18 @@ fn encode_response(resp: &Response) -> Vec<u8> {
             let mut buf = Vec::with_capacity(1 + text.len());
             buf.push(OP_METRICS_TEXT);
             buf.extend_from_slice(text.as_bytes());
+            buf
+        }
+        Response::CollectionAck { existed } => vec![OP_COLLECTION_ACK, u8::from(*existed)],
+        Response::CollectionList(infos) => {
+            let mut buf = Vec::with_capacity(5 + infos.len() * 20);
+            buf.push(OP_COLLECTION_LIST);
+            put_u32(&mut buf, infos.len() as u32);
+            for info in infos {
+                put_name(&mut buf, &info.name);
+                put_u32(&mut buf, info.dim);
+                put_u64(&mut buf, info.objects);
+            }
             buf
         }
         Response::Error(err) => {
@@ -641,15 +845,41 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
             for _ in 0..dim {
                 vector.push(cur.f32()?);
             }
+            let filter = if flags & FLAG_FILTER != 0 { Some(get_filter(&mut cur)?) } else { None };
+            let collection =
+                if flags & FLAG_COLLECTION != 0 { Some(get_name(&mut cur)?) } else { None };
             Request::QueryV2 {
                 k,
                 deadline_ms,
                 want_stats: flags & FLAG_WANT_STATS != 0,
                 want_trace: flags & FLAG_WANT_TRACE != 0,
                 vector,
+                filter,
+                collection,
             }
         }
         OP_METRICS => Request::Metrics,
+        OP_CREATE_COLLECTION => {
+            let name = get_name(&mut cur)?;
+            let dim = cur.u32()?;
+            Request::CreateCollection { name, dim }
+        }
+        OP_DROP_COLLECTION => Request::DropCollection { name: get_name(&mut cur)? },
+        OP_LIST_COLLECTIONS => Request::ListCollections,
+        OP_INSERT_V2 => {
+            let name = get_name(&mut cur)?;
+            let tag = cur.u64()?;
+            let label = cur.u32()?;
+            let dim = cur.u32()? as usize;
+            if dim == 0 || dim > MAX_FRAME / 4 {
+                return Err(ProtoError::Malformed(format!("bad insert dimensionality {dim}")));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vector.push(cur.f32()?);
+            }
+            Request::InsertV2 { collection: (!name.is_empty()).then_some(name), tag, label, vector }
+        }
         op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
     };
     cur.finish()?;
@@ -714,6 +944,28 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ProtoError> 
             Response::TopKV2 { trace_id, neighbors, cost }
         }
         OP_METRICS_TEXT => Response::MetricsText(cur.utf8_rest()?),
+        OP_COLLECTION_ACK => {
+            let existed = match cur.u8()? {
+                0 => false,
+                1 => true,
+                x => return Err(ProtoError::Malformed(format!("bad existed flag {x}"))),
+            };
+            Response::CollectionAck { existed }
+        }
+        OP_COLLECTION_LIST => {
+            let count = cur.u32()? as usize;
+            if count > MAX_FRAME / 14 {
+                return Err(ProtoError::Malformed(format!("bad collection count {count}")));
+            }
+            let mut infos = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = get_name(&mut cur)?;
+                let dim = cur.u32()?;
+                let objects = cur.u64()?;
+                infos.push(CollectionInfo { name, dim, objects });
+            }
+            Response::CollectionList(infos)
+        }
         OP_ERROR => {
             let kind = ErrorKind::from_code(cur.u16()?);
             Response::Error(Error::new(kind, cur.utf8_rest()?))
@@ -757,6 +1009,8 @@ mod tests {
                 want_stats: true,
                 want_trace: false,
                 vector: vec![0.5, -1.25],
+                filter: None,
+                collection: None,
             },
             Request::QueryV2 {
                 k: 1,
@@ -764,9 +1018,88 @@ mod tests {
                 want_stats: false,
                 want_trace: true,
                 vector: vec![9.0],
+                filter: Some(Predicate::label(7).and_tag_any(0b1010).and_tag_all(u64::MAX)),
+                collection: Some("tenant-a".into()),
             },
+            Request::QueryV2 {
+                k: 3,
+                deadline_ms: 10,
+                want_stats: false,
+                want_trace: false,
+                vector: vec![1.0, 2.0],
+                filter: Some(Predicate::tag_any(1)),
+                collection: None,
+            },
+            Request::CreateCollection { name: "images".into(), dim: 128 },
+            Request::DropCollection { name: "images".into() },
+            Request::ListCollections,
+            Request::InsertV2 {
+                collection: Some("images".into()),
+                tag: u64::MAX,
+                label: 42,
+                vector: vec![0.5, -0.5],
+            },
+            Request::InsertV2 { collection: None, tag: 0, label: 0, vector: vec![3.0] },
         ] {
             assert_eq!(round_trip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn unextended_query_v2_keeps_the_pre_collection_wire_shape() {
+        // A request with neither filter nor collection must encode to
+        // exactly the pre-extension layout: header + flags + vector,
+        // nothing trailing, flag bits 2/3 clear.
+        let req = Request::QueryV2 {
+            k: 4,
+            deadline_ms: 9,
+            want_stats: true,
+            want_trace: false,
+            vector: vec![1.0, 2.0, 3.0],
+            filter: None,
+            collection: None,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        // len(4) + opcode(1) + k(4) + deadline(4) + flags(4) + dim(4) + 3 × f32.
+        assert_eq!(wire.len(), 4 + 1 + 4 + 4 + 4 + 4 + 12);
+        let flags = u32::from_le_bytes(wire[13..17].try_into().unwrap());
+        assert_eq!(flags & (FLAG_FILTER | FLAG_COLLECTION), 0);
+    }
+
+    #[test]
+    fn unknown_filter_clause_bits_are_malformed() {
+        let req = Request::QueryV2 {
+            k: 1,
+            deadline_ms: 0,
+            want_stats: false,
+            want_trace: false,
+            vector: vec![1.0],
+            filter: Some(Predicate::label(3)),
+            collection: None,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        // The clause mask sits right after the single f32 coordinate:
+        // len(4) + opcode(1) + 3 × u32 header + dim(4) + f32(4).
+        let mask_at = 4 + 1 + 12 + 4 + 4;
+        assert_eq!(wire[mask_at], CLAUSE_LABEL);
+        wire[mask_at] = 0x80;
+        assert!(matches!(read_request(&mut Cursor::new(&wire[..])), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn collection_frames_round_trip() {
+        for resp in [
+            Response::CollectionAck { existed: false },
+            Response::CollectionAck { existed: true },
+            Response::CollectionList(vec![]),
+            Response::CollectionList(vec![
+                CollectionInfo { name: "a".into(), dim: 8, objects: 0 },
+                CollectionInfo { name: "tenant-b_2".into(), dim: 512, objects: u64::MAX },
+            ]),
+        ] {
+            assert_eq!(round_trip_response(resp.clone()), resp);
         }
     }
 
@@ -794,6 +1127,7 @@ mod tests {
                     collisions: 1000,
                     verified: 42,
                     abandoned: 7,
+                    filtered: 11,
                     io_reads: 5,
                     elapsed_nanos: 123_456,
                     snapshot_seq: 9,

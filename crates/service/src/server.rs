@@ -42,12 +42,15 @@
 //! queue is flushed, every waiting client gets its answer, and idle
 //! connections are force-closed after [`ServiceConfig::drain_grace`].
 
+use crate::collections::{Collection, CollectionsConfig, Registry};
 use crate::json::JsonObject;
 use crate::obs::ServerObs;
 use crate::protocol::{self, ProtoError, QueryCost, Request, Response};
 use c2lsh::engine::SearchOptions;
 use c2lsh::stats::{BatchStats, MutationStats, QueryStats};
-use c2lsh::{Error, ErrorKind, MutableIndex, MutationAck, MutationOp, ShardedEngine};
+use c2lsh::{
+    Error, ErrorKind, MutableIndex, MutationAck, MutationOp, PointMeta, Predicate, ShardedEngine,
+};
 use cc_obs::ObsConfig;
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
@@ -207,6 +210,9 @@ pub struct ServiceConfig {
     /// log. Off by default, so the query path pays nothing. (Ignored
     /// by [`serve_with_obs`], which takes a pre-built registry.)
     pub obs: ObsConfig,
+    /// How named collections are provisioned: durable root directory
+    /// (default none — ephemeral), index parameters and sizing.
+    pub collections: CollectionsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -219,6 +225,7 @@ impl Default for ServiceConfig {
             drain_grace: Duration::from_secs(5),
             checkpoint_wal_bytes: 16 << 20,
             obs: ObsConfig::default(),
+            collections: CollectionsConfig::default(),
         }
     }
 }
@@ -258,6 +265,9 @@ pub struct ServiceStats {
 struct Pending {
     vector: Vec<f32>,
     k: usize,
+    /// Predicate evaluated inside the engine's counting loop; queries
+    /// with equal filters still coalesce into one engine batch.
+    filter: Option<Predicate>,
     deadline: Option<Instant>,
     /// When the query entered the queue (feeds the queue-wait
     /// histogram).
@@ -299,6 +309,7 @@ struct Shared {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     local_addr: SocketAddr,
     obs: Arc<ServerObs>,
+    collections: Arc<Registry>,
 }
 
 /// Run the service until a [`Request::Shutdown`] arrives: accept
@@ -326,6 +337,14 @@ pub fn serve_with_obs<E: ServeEngine>(
 ) -> io::Result<ServiceStats> {
     let local_addr = listener.local_addr()?;
     obs.set_index_info(engine.len() as u64, engine.dim() as u64, engine.num_shards() as u64);
+    let collections = Arc::new(Registry::open(config.collections.clone())?);
+    // The scrape listener renders per-collection series through this
+    // Arc; it stays valid after serve returns because the closure owns
+    // its own clone.
+    obs.set_collections_source({
+        let registry = Arc::clone(&collections);
+        Box::new(move || registry.metrics_rows())
+    });
     let shared = Shared {
         queue: Mutex::new(Queue { items: VecDeque::new(), draining: false }),
         not_empty: Condvar::new(),
@@ -334,6 +353,7 @@ pub fn serve_with_obs<E: ServeEngine>(
         conns: Mutex::new(Vec::new()),
         local_addr,
         obs,
+        collections,
     };
     let shared = &shared;
     let stats = crossbeam::scope(move |s| {
@@ -365,6 +385,9 @@ pub fn serve_with_obs<E: ServeEngine>(
             Ok(false) => {}
             Err(e) => eprintln!("final checkpoint failed: {e}"),
         }
+        // Same deal for every durable collection.
+        let collection_ckpts = shared.collections.checkpoint_all(0);
+        shared.stats.lock().unwrap().checkpoints += collection_ckpts;
         // Handlers deregister on exit; give stragglers (clients that
         // keep idle connections open across the shutdown) a grace
         // period, then sever them so the scope can join.
@@ -440,19 +463,68 @@ fn serve_connection<E: ServeEngine>(
                     v2: false,
                     want_stats: false,
                     want_trace: false,
+                    filter: None,
                 };
                 answer_query(engine, shared, config, ask)
             }
-            Request::QueryV2 { k, deadline_ms, want_stats, want_trace, vector } => {
-                let ask = QueryAsk { k, deadline_ms, vector, v2: true, want_stats, want_trace };
-                answer_query(engine, shared, config, ask)
-            }
-            Request::Insert { vector } => {
-                answer_mutation(engine, shared, config, MutationOp::Insert { vector })
+            Request::QueryV2 {
+                k,
+                deadline_ms,
+                want_stats,
+                want_trace,
+                vector,
+                filter,
+                collection,
+            } => match collection {
+                Some(name) => answer_collection_query(
+                    shared,
+                    config,
+                    &name,
+                    QueryAsk { k, deadline_ms, vector, v2: true, want_stats, want_trace, filter },
+                ),
+                None => {
+                    let ask = QueryAsk {
+                        k,
+                        deadline_ms,
+                        vector,
+                        v2: true,
+                        want_stats,
+                        want_trace,
+                        filter,
+                    };
+                    answer_query(engine, shared, config, ask)
+                }
+            },
+            Request::Insert { vector } => answer_mutation(
+                engine,
+                shared,
+                config,
+                MutationOp::Insert { vector, meta: PointMeta::default() },
+            ),
+            Request::InsertV2 { collection, tag, label, vector } => {
+                let op = MutationOp::Insert { vector, meta: PointMeta::new(tag, label) };
+                match collection {
+                    Some(name) => answer_collection_mutation(shared, config, &name, op),
+                    None => answer_mutation(engine, shared, config, op),
+                }
             }
             Request::Delete { oid } => {
                 answer_mutation(engine, shared, config, MutationOp::Delete { oid })
             }
+            Request::CreateCollection { name, dim } => {
+                match shared.collections.create(&name, dim as usize) {
+                    Ok(existed) => Response::CollectionAck { existed },
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Request::DropCollection { name } => match shared.collections.drop_collection(&name) {
+                Ok(existed) => Response::CollectionAck { existed },
+                Err(e) => Response::Error(Error::new(
+                    ErrorKind::Io,
+                    format!("cannot drop collection {name:?}: {e}"),
+                )),
+            },
+            Request::ListCollections => Response::CollectionList(shared.collections.list()),
         };
         if matches!(resp, Response::Error(_)) {
             shared.stats.lock().unwrap().errors += 1;
@@ -471,6 +543,7 @@ struct QueryAsk {
     v2: bool,
     want_stats: bool,
     want_trace: bool,
+    filter: Option<Predicate>,
 }
 
 /// Validate, admit and wait out one query. Never touches the engine —
@@ -481,7 +554,7 @@ fn answer_query<E: ServeEngine>(
     config: &ServiceConfig,
     ask: QueryAsk,
 ) -> Response {
-    let QueryAsk { k, deadline_ms, vector, v2, want_stats, want_trace } = ask;
+    let QueryAsk { k, deadline_ms, vector, v2, want_stats, want_trace, filter } = ask;
     if vector.len() != engine.dim() {
         return Response::Error(Error::invalid(format!(
             "query dimensionality {} does not match the index ({})",
@@ -516,6 +589,9 @@ fn answer_query<E: ServeEngine>(
         q.items.push_back(Work::Query(Pending {
             vector,
             k: k as usize,
+            // Trivial predicates are dropped at admission so the flush
+            // groups them with unfiltered traffic.
+            filter: filter.filter(|p| !p.is_trivial()),
             deadline,
             enqueued_at: Instant::now(),
             v2,
@@ -548,7 +624,7 @@ fn answer_mutation<E: ServeEngine>(
             "engine is immutable: mutations are not supported",
         ));
     }
-    if let MutationOp::Insert { vector } = &op {
+    if let MutationOp::Insert { vector, .. } = &op {
         if vector.len() != engine.dim() {
             return Response::Error(Error::invalid(format!(
                 "insert dimensionality {} does not match the index ({})",
@@ -577,6 +653,123 @@ fn answer_mutation<E: ServeEngine>(
     rx.recv().unwrap_or_else(|_| {
         Response::Error(Error::new(ErrorKind::Internal, "server shut down before answering"))
     })
+}
+
+fn lookup_collection(shared: &Shared, name: &str) -> Result<Arc<Collection>, Error> {
+    shared
+        .collections
+        .get(name)
+        .ok_or_else(|| Error::invalid(format!("unknown collection {name:?}")))
+}
+
+/// Answer one query against a named collection, synchronously in the
+/// connection thread. Collection traffic skips the batching queue: the
+/// default engine's batcher exists to coalesce load on *one* shared
+/// index, while collections are many independent small indexes.
+fn answer_collection_query(
+    shared: &Shared,
+    config: &ServiceConfig,
+    name: &str,
+    ask: QueryAsk,
+) -> Response {
+    let QueryAsk { k, vector, want_stats, want_trace, filter, .. } = ask;
+    let col = match lookup_collection(shared, name) {
+        Ok(col) => col,
+        Err(e) => return Response::Error(e),
+    };
+    if vector.len() != col.dim() {
+        return Response::Error(Error::invalid(format!(
+            "query dimensionality {} does not match collection {name:?} ({})",
+            vector.len(),
+            col.dim()
+        )));
+    }
+    if k == 0 || k as usize > config.k_max {
+        return Response::Error(Error::invalid(format!(
+            "k = {k} out of range 1..={}",
+            config.k_max
+        )));
+    }
+    if !vector.iter().all(|x| x.is_finite()) {
+        return Response::Error(Error::invalid("query contains non-finite coordinates"));
+    }
+    let opts = SearchOptions {
+        timing: true,
+        stage_timing: want_stats || want_trace,
+        capture_spans: want_trace,
+        filter: filter.filter(|p| !p.is_trivial()),
+        ..SearchOptions::default()
+    };
+    let queries = Dataset::from_rows(std::slice::from_ref(&vector));
+    let (mut results, agg) = col.index.query_batch_with(&queries, k as usize, &opts);
+    let (nn, qstats) = results.remove(0);
+    col.queries.inc();
+    col.filtered.add(qstats.candidates_filtered as u64);
+    {
+        let mut st = shared.stats.lock().unwrap();
+        st.queries += 1;
+        st.engine.merge(&agg);
+    }
+    shared.obs.queries.inc();
+    let cost = (want_stats || want_trace).then(|| QueryCost::from_stats(&qstats));
+    Response::TopKV2 { trace_id: 0, neighbors: nn, cost }
+}
+
+/// Apply one mutation to a named collection, synchronously (its own
+/// WAL append + fsync — replies certify durability just like the
+/// batched default-engine path).
+fn answer_collection_mutation(
+    shared: &Shared,
+    config: &ServiceConfig,
+    name: &str,
+    op: MutationOp,
+) -> Response {
+    let col = match lookup_collection(shared, name) {
+        Ok(col) => col,
+        Err(e) => return Response::Error(e),
+    };
+    if let MutationOp::Insert { vector, .. } = &op {
+        if vector.len() != col.dim() {
+            return Response::Error(Error::invalid(format!(
+                "insert dimensionality {} does not match collection {name:?} ({})",
+                vector.len(),
+                col.dim()
+            )));
+        }
+        if !vector.iter().all(|x| x.is_finite()) {
+            return Response::Error(Error::invalid("insert contains non-finite coordinates"));
+        }
+    }
+    match col.index.apply_batch(std::slice::from_ref(&op)) {
+        Ok((acks, delta)) => {
+            col.inserts.add(delta.inserts);
+            col.deletes.add(delta.deletes + delta.delete_misses);
+            shared.obs.inserts.add(delta.inserts);
+            shared.obs.deletes.add(delta.deletes + delta.delete_misses);
+            {
+                let mut st = shared.stats.lock().unwrap();
+                st.inserts += delta.inserts;
+                st.deletes += delta.deletes + delta.delete_misses;
+                st.engine.mutations.merge(&delta);
+            }
+            match col.index.checkpoint_if_wal_exceeds(config.checkpoint_wal_bytes) {
+                Ok(true) => shared.stats.lock().unwrap().checkpoints += 1,
+                Ok(false) => {}
+                Err(e) => eprintln!("collection {name:?} checkpoint failed: {e}"),
+            }
+            match acks.into_iter().next() {
+                Some(MutationAck::Inserted { oid, seq }) => Response::InsertAck { oid, seq },
+                Some(MutationAck::Deleted { oid, found, seq }) => {
+                    Response::DeleteAck { oid, found, seq }
+                }
+                None => Response::Error(Error::new(ErrorKind::Internal, "empty ack batch")),
+            }
+        }
+        Err(e) => Response::Error(Error::new(
+            ErrorKind::Io,
+            format!("mutation on collection {name:?} failed: {e}"),
+        )),
+    }
 }
 
 /// The single batching worker: wait for work, linger for coalescing,
@@ -704,26 +897,49 @@ fn flush<E: ServeEngine>(engine: &E, shared: &Shared, config: &ServiceConfig, ba
     let any_stats = live.iter().any(|p| p.want_stats);
     let sample_every = if obs.on() { obs.config().trace_sample_every } else { 0 };
     let results = if batch_len > 0 {
-        let k_max = live.iter().map(|p| p.k).max().unwrap();
-        let rows: Vec<Vec<f32>> = live.iter_mut().map(|p| std::mem::take(&mut p.vector)).collect();
-        let queries = Dataset::from_rows(&rows);
-        let opts = SearchOptions {
-            timing: true,
-            stage_timing: obs.on() || any_stats || any_trace,
-            capture_spans: any_trace,
-            trace_every: sample_every,
-            ..SearchOptions::default()
-        };
-        let (results, agg) = engine.query_batch_with(&queries, k_max, &opts);
-        let mut st = shared.stats.lock().unwrap();
-        st.queries += batch_len as u64;
-        st.batches += 1;
-        st.max_batch = st.max_batch.max(batch_len);
-        st.engine.merge(&agg);
-        drop(st);
-        obs.queries.add(batch_len as u64);
-        obs.batches.inc();
-        results
+        // The filter rides SearchOptions (whole-batch scope), so a
+        // flush runs one engine call per distinct predicate. Queries
+        // sharing a predicate — including the unfiltered majority —
+        // still coalesce; answers scatter back to queue order.
+        let mut groups: Vec<(Option<Predicate>, Vec<usize>)> = Vec::new();
+        for (i, p) in live.iter().enumerate() {
+            match groups.iter_mut().find(|(f, _)| *f == p.filter) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((p.filter, vec![i])),
+            }
+        }
+        let mut results: Vec<Option<(Vec<Neighbor>, QueryStats)>> =
+            (0..batch_len).map(|_| None).collect();
+        let mut st_queries = 0u64;
+        for (filter, idxs) in groups {
+            let k_max = idxs.iter().map(|&i| live[i].k).max().unwrap();
+            let rows: Vec<Vec<f32>> =
+                idxs.iter().map(|&i| std::mem::take(&mut live[i].vector)).collect();
+            let queries = Dataset::from_rows(&rows);
+            let opts = SearchOptions {
+                timing: true,
+                stage_timing: obs.on() || any_stats || any_trace,
+                capture_spans: any_trace,
+                trace_every: sample_every,
+                filter,
+                ..SearchOptions::default()
+            };
+            let (group_results, agg) = engine.query_batch_with(&queries, k_max, &opts);
+            let mut st = shared.stats.lock().unwrap();
+            st.queries += idxs.len() as u64;
+            st.batches += 1;
+            st.max_batch = st.max_batch.max(idxs.len());
+            st.engine.merge(&agg);
+            drop(st);
+            st_queries += idxs.len() as u64;
+            obs.batches.inc();
+            obs.filtered.add(agg.filtered);
+            for (&i, r) in idxs.iter().zip(group_results) {
+                results[i] = Some(r);
+            }
+        }
+        obs.queries.add(st_queries);
+        results.into_iter().map(|r| r.expect("every live query answered")).collect()
     } else {
         Vec::new()
     };
@@ -805,6 +1021,7 @@ fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
         .field_u64("collisions", e.collisions)
         .field_u64("verified", e.verified)
         .field_u64("abandoned", e.abandoned)
+        .field_u64("filtered", e.filtered)
         .field_u64("t1", e.t1 as u64)
         .field_u64("t2", e.t2 as u64)
         .field_u64("exhausted", e.exhausted as u64)
@@ -831,6 +1048,7 @@ fn render_stats<E: ServeEngine>(engine: &E, shared: &Shared) -> String {
         .field_u64("deletes", st.deletes)
         .field_u64("mutation_batches", st.mutation_batches)
         .field_u64("checkpoints", st.checkpoints)
+        .field_u64("collections", shared.collections.list().len() as u64)
         .field_obj("engine", &engine_obj);
     // Cumulative write-path counters straight from the engine (these
     // include recovery state — `last_seq` survives restarts — where the

@@ -22,6 +22,10 @@ pub struct EngineSnapshot {
     pub verified: u64,
     /// Total candidates cut short by early abandonment.
     pub abandoned: u64,
+    /// Total candidates rejected by filter predicates before
+    /// verification (0 on documents from servers without filtered
+    /// search).
+    pub filtered: u64,
     /// Queries that stopped via T1.
     pub t1: u64,
     /// Queries that stopped via T2.
@@ -106,6 +110,9 @@ pub struct StatsSnapshot {
     pub mutation_batches: u64,
     /// WAL-truncating checkpoints written.
     pub checkpoints: u64,
+    /// Live named collections (0 on documents from servers without
+    /// collection support).
+    pub collections: u64,
     /// Engine-side work counters.
     pub engine: EngineSnapshot,
     /// Write-path counters, when the engine is mutable.
@@ -132,6 +139,7 @@ impl StatsSnapshot {
             collisions: u(e, "collisions"),
             verified: u(e, "verified"),
             abandoned: u(e, "abandoned"),
+            filtered: u(e, "filtered"),
             t1: u(e, "t1"),
             t2: u(e, "t2"),
             exhausted: u(e, "exhausted"),
@@ -172,6 +180,7 @@ impl StatsSnapshot {
             deletes: u(&doc, "deletes"),
             mutation_batches: u(&doc, "mutation_batches"),
             checkpoints: u(&doc, "checkpoints"),
+            collections: u(&doc, "collections"),
             engine: engine.unwrap_or_default(),
             mutations,
             latency,
@@ -202,6 +211,8 @@ mod tests {
         assert_eq!(s.queries, 11);
         assert_eq!(s.engine.collisions, 900);
         assert_eq!(s.engine.stage_hash_nanos, 0, "v1 has no stage fields");
+        assert_eq!(s.engine.filtered, 0, "v1 has no filtered counter");
+        assert_eq!(s.collections, 0, "v1 has no collections");
         assert!(s.mutations.is_none());
         assert!(s.latency.is_none());
     }

@@ -95,8 +95,10 @@ fn live_scrape_is_monotone_and_consistent_with_load() {
         17,
     );
     let engine = MutableIndex::ephemeral(DynamicIndex::new(D, SEED_N, &cfg));
-    let seed: Vec<MutationOp> =
-        data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+    let seed: Vec<MutationOp> = data
+        .iter()
+        .map(|v| MutationOp::Insert { vector: v.to_vec(), meta: Default::default() })
+        .collect();
     engine.apply_batch(&seed).unwrap();
 
     let obs = Arc::new(ServerObs::new(ObsConfig {

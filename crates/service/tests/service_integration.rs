@@ -11,9 +11,12 @@
 //! acknowledged mutation from the WAL.
 
 use c2lsh::config::Beta;
-use c2lsh::{C2lshConfig, C2lshIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
+use c2lsh::{
+    C2lshConfig, C2lshIndex, DynamicIndex, MutableIndex, MutationOp, PointMeta, Predicate,
+    ShardedData, ShardedEngine,
+};
 use cc_service::json::find_u64;
-use cc_service::{Client, QueryRequest, Response, SearchOutcome, ServiceConfig};
+use cc_service::{Client, CollectionsConfig, QueryRequest, Response, SearchOutcome, ServiceConfig};
 use cc_vector::dataset::Dataset;
 use cc_vector::gen::{generate, Distribution};
 use cc_vector::gt::Neighbor;
@@ -334,8 +337,10 @@ fn mutable_server_applies_durable_mutations_under_racing_readers() {
     let data = clustered(SEED_N, D, 7);
 
     let engine = MutableIndex::open(&dir, D, SEED_N, &cfg).unwrap();
-    let seed_ops: Vec<MutationOp> =
-        data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+    let seed_ops: Vec<MutationOp> = data
+        .iter()
+        .map(|v| MutationOp::Insert { vector: v.to_vec(), meta: Default::default() })
+        .collect();
     engine.apply_batch(&seed_ops).unwrap();
     assert_eq!(engine.last_seq(), SEED_N as u64);
 
@@ -470,8 +475,10 @@ fn checkpoint_policy_bounds_the_wal_and_preserves_acks() {
     let data = clustered(SEED_N, D, 21);
 
     let engine = MutableIndex::open(&dir, D, SEED_N, &cfg).unwrap();
-    let seed_ops: Vec<MutationOp> =
-        data.iter().map(|v| MutationOp::Insert { vector: v.to_vec() }).collect();
+    let seed_ops: Vec<MutationOp> = data
+        .iter()
+        .map(|v| MutationOp::Insert { vector: v.to_vec(), meta: Default::default() })
+        .collect();
     engine.apply_batch(&seed_ops).unwrap();
     let seeded_wal = engine.wal_size_bytes().unwrap();
 
@@ -527,6 +534,143 @@ fn checkpoint_policy_bounds_the_wal_and_preserves_acks() {
         assert_eq!((nn[0].id, nn[0].dist), (*oid, 0.0), "acked insert lost");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Collections and filtered search over one wire session: named
+/// collections are created, listed and dropped by opcode; inserts into
+/// a collection carry per-point metadata; filtered queries honor the
+/// predicate against both a named collection and the default engine;
+/// and the cost block reports predicate rejections (`filtered`)
+/// separately from verification work.
+#[test]
+fn collections_and_filtered_search_over_the_wire() {
+    const N: usize = 600;
+    const D: usize = 8;
+    let data = clustered(N, D, 17);
+    let cfg = cfg_exact(N);
+
+    // Default engine seeded with labels `i % 3` — coprime to the
+    // generator's 8 clusters, so every cluster mixes all labels and a
+    // selective predicate must reject close points.
+    let engine = MutableIndex::ephemeral(DynamicIndex::new(D, N, &cfg));
+    let seed: Vec<MutationOp> = data
+        .iter()
+        .enumerate()
+        .map(|(i, v)| MutationOp::Insert {
+            vector: v.to_vec(),
+            meta: PointMeta::new(1 << (i % 5), (i % 3) as u32),
+        })
+        .collect();
+    engine.apply_batch(&seed).unwrap();
+
+    let col_data = clustered(90, D, 31);
+    let service = ServiceConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        k_max: 64,
+        collections: CollectionsConfig { config: cfg_exact(128), ..CollectionsConfig::default() },
+        ..ServiceConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    with_watchdog("collections_wire", Duration::from_secs(120), || {
+        let (engine, service, data, col_data) = (&engine, &service, &data, &col_data);
+        crossbeam::scope(move |s| {
+            let server = s.spawn(move |_| cc_service::serve(engine, listener, service).unwrap());
+            let mut client = Client::connect(addr).unwrap();
+
+            // Lifecycle: create is idempotent-with-signal, bad names
+            // are refused outright.
+            assert!(!client.create_collection("alpha", D as u32).unwrap(), "fresh create");
+            assert!(client.create_collection("alpha", D as u32).unwrap(), "second create exists");
+            assert!(!client.create_collection("beta", 4).unwrap());
+            assert!(client.create_collection("no spaces!", D as u32).is_err());
+            assert!(client.create_collection("", D as u32).is_err());
+
+            // Per-collection inserts carry metadata; oid == insertion
+            // order, so `oid % 3` recovers the label below.
+            for (i, v) in col_data.iter().enumerate() {
+                let (oid, seq) = client
+                    .insert_with_meta(Some("alpha"), v, 1 << (i % 4), (i % 3) as u32)
+                    .unwrap();
+                assert_eq!(oid as usize, i);
+                assert_eq!(seq as usize, i + 1);
+            }
+            // Dimension mismatches are refused per collection.
+            assert!(client.insert_with_meta(Some("beta"), col_data.get(0), 0, 0).is_err());
+
+            let listed = client.list_collections().unwrap();
+            assert_eq!(listed.len(), 2, "{listed:?}");
+            let alpha = listed.iter().find(|c| c.name == "alpha").unwrap();
+            assert_eq!((alpha.dim, alpha.objects), (D as u32, 90));
+            let beta = listed.iter().find(|c| c.name == "beta").unwrap();
+            assert_eq!((beta.dim, beta.objects), (4, 0));
+
+            // Filtered query against the collection: row 3 has label 0,
+            // so asking for label 1 must skip it (distance-0 rejection
+            // shows up in `filtered`) and serve only label-1 points.
+            let res = client
+                .search_result(
+                    &QueryRequest::new(col_data.get(3).to_vec())
+                        .k(5)
+                        .collection("alpha")
+                        .filter(Predicate::label(1))
+                        .with_stats(),
+                )
+                .unwrap();
+            assert!(!res.neighbors.is_empty());
+            for n in &res.neighbors {
+                assert_eq!(n.id % 3, 1, "label predicate violated by oid {}", n.id);
+                assert!(n.dist > 0.0, "row 3 itself must be filtered out");
+            }
+            let cost = res.cost.expect("with_stats populates the cost block");
+            assert!(cost.filtered >= 1, "the exact match was label-0: {cost:?}");
+
+            // Same predicate against the default engine.
+            let res = client
+                .search_result(
+                    &QueryRequest::new(data.get(5).to_vec())
+                        .k(5)
+                        .filter(Predicate::label(1))
+                        .with_stats(),
+                )
+                .unwrap();
+            assert!(!res.neighbors.is_empty());
+            for n in &res.neighbors {
+                assert_eq!(n.id % 3, 1, "label predicate violated by oid {}", n.id);
+            }
+            let cost = res.cost.expect("cost block");
+            assert!(cost.filtered >= 1, "row 5 (label 2) must be rejected: {cost:?}");
+
+            // An unfiltered query on the default engine is untouched by
+            // all of the above.
+            let nn = top_k(&mut client, data.get(5), 1);
+            assert_eq!((nn[0].id, nn[0].dist), (5, 0.0));
+
+            // Unknown collections are an error, not a hang.
+            assert!(client
+                .search_result(&QueryRequest::new(data.get(0).to_vec()).k(1).collection("nope"))
+                .is_err());
+
+            // Drop: first call deletes, second reports absence; queries
+            // against the dropped name fail cleanly.
+            assert!(client.drop_collection("beta").unwrap());
+            assert!(!client.drop_collection("beta").unwrap());
+            assert_eq!(client.list_collections().unwrap().len(), 1);
+            assert!(client.insert_with_meta(Some("beta"), col_data.get(0), 0, 0).is_err());
+
+            // The stats document counts live collections and folds the
+            // collection queries into the engine filter counter.
+            let snap = client.stats().unwrap();
+            assert_eq!(snap.collections, 1, "alpha survives");
+            assert!(snap.engine.filtered >= 2, "both filtered queries counted: {snap:?}");
+
+            client.shutdown().unwrap();
+            server.join().unwrap();
+        })
+        .unwrap();
+    });
 }
 
 /// The full crash story against the real binary: seed a WAL-backed

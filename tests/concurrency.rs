@@ -135,8 +135,10 @@ fn queries_racing_mutation_batches_never_see_a_torn_view() {
         }
         for i in 0..BATCHES {
             let replacement: Vec<f32> = (0..8).map(|j| 1000.0 + (i * 8 + j) as f32).collect();
-            let ops =
-                [MutationOp::Delete { oid: i as u32 }, MutationOp::Insert { vector: replacement }];
+            let ops = [
+                MutationOp::Delete { oid: i as u32 },
+                MutationOp::Insert { vector: replacement, meta: Default::default() },
+            ];
             let (acks, _) = index.apply_batch(&ops).unwrap();
             assert_eq!(acks.len(), 2);
         }

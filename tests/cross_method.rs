@@ -158,6 +158,96 @@ mod engine_equivalence {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Filtered search: with metadata attached, a query carrying a predicate
+// must serve exactly the unfiltered ranking with non-matching points
+// struck out — on every backend.
+// ---------------------------------------------------------------------------
+
+mod filtered_equivalence {
+    use c2lsh::engine::SearchOptions;
+    use c2lsh::{C2lshConfig, C2lshIndex, DiskIndex, DynamicIndex, PointMeta, Predicate};
+    use cc_vector::dataset::Dataset;
+    use cc_vector::gt::Neighbor;
+    use proptest::prelude::*;
+    use qalsh::{Qalsh, QalshConfig};
+
+    fn coord() -> impl Strategy<Value = f32> {
+        -50.0f32..50.0
+    }
+
+    fn rows() -> impl Strategy<Value = Vec<Vec<f32>>> {
+        proptest::collection::vec(proptest::collection::vec(coord(), 6), 20..100)
+    }
+
+    /// Run one (unfiltered, filtered) query pair and demand the
+    /// post-filter identity, bit-exact on ids and distances. With
+    /// k = n, T1 cannot fire before full coverage and the default β
+    /// budget (k + 100 > n) keeps T2 unreachable, so both runs exhaust
+    /// their windows and rank everything the predicate admits.
+    fn assert_post_filter_identity(
+        label: &str,
+        metas: &[PointMeta],
+        pred: Predicate,
+        full: &[Neighbor],
+        filtered: &[Neighbor],
+        filtered_count: usize,
+    ) {
+        let expected: Vec<Neighbor> =
+            full.iter().filter(|nb| pred.matches(metas[nb.id as usize])).cloned().collect();
+        prop_assert_eq!(filtered, &expected[..], "{} disagrees with post-filtering", label);
+        let rejected = metas.len() - expected.len();
+        prop_assert_eq!(filtered_count, rejected, "{} rejection count", label);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn filtered_search_equals_brute_force_post_filtering(
+            rows in rows(),
+            qi in 0usize..1000,
+            seed in 0u64..64,
+            labels in 2u32..5,
+            want in 0u32..5,
+        ) {
+            let n = rows.len();
+            let data = Dataset::from_rows(&rows);
+            let q = data.get(qi % n).to_vec();
+            let want = want % labels;
+            let metas: Vec<PointMeta> =
+                (0..n as u32).map(|i| PointMeta::new(1 << (i % 7), i % labels)).collect();
+            let pred = Predicate::label(want).and_tag_any(u64::MAX);
+            let opts = SearchOptions { filter: Some(pred), ..Default::default() };
+            let plain = SearchOptions::default();
+            let cfg = C2lshConfig::builder().bucket_width(1.0).seed(seed).build();
+
+            let mem = C2lshIndex::build(&data, &cfg).with_meta(metas.clone());
+            let (full, _) = mem.query_with(&q, n, &plain);
+            let (flt, fs) = mem.query_with(&q, n, &opts);
+            assert_post_filter_identity("mem", &metas, pred, &full, &flt, fs.candidates_filtered);
+
+            let disk = DiskIndex::build(&data, &cfg).with_meta(metas.clone());
+            let (full, _) = disk.query_with(&q, n, &plain);
+            let (flt, fs) = disk.query_with(&q, n, &opts);
+            assert_post_filter_identity("disk", &metas, pred, &full, &flt, fs.candidates_filtered);
+
+            let mut dynm = DynamicIndex::new(6, n, &cfg);
+            for (i, v) in data.iter().enumerate() {
+                dynm.insert_with_meta(v.to_vec(), metas[i]);
+            }
+            let (full, _) = dynm.query_with(&q, n, &plain);
+            let (flt, fs) = dynm.query_with(&q, n, &opts);
+            assert_post_filter_identity("dyn", &metas, pred, &full, &flt, fs.candidates_filtered);
+
+            let mut qa = Qalsh::build(&data, QalshConfig { w: 1.2, seed, ..Default::default() });
+            qa.set_meta(metas.clone());
+            let (full, _) = qa.query_with(&q, n, &plain);
+            let (flt, fs) = qa.query_with(&q, n, &opts);
+            assert_post_filter_identity("qalsh", &metas, pred, &full, &flt, fs.candidates_filtered);
+        }
+    }
+}
+
 #[test]
 fn candidate_budget_larger_than_dataset_is_safe_everywhere() {
     // Default β is an absolute count (100), so on a tiny dataset
