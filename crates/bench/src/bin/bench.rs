@@ -9,14 +9,27 @@
 //! bench run --smoke                      # CI preset + kernel microbench
 //! bench run --profile color --k 20      # one paper profile
 //! bench run --profile custom:8000x64    # arbitrary shape
+//! bench run --profile large             # out-of-core: stream 1M points
+//!                                        # through the paged disk tier
 //! bench run --smoke --check results/bench_baseline.json   # CI gate
 //! bench run --smoke --write-baseline results/bench_baseline.json
+//! bench f9                               # buffer-pool sensitivity sweep
 //! ```
 //!
 //! `--check` exits nonzero when the current run regresses against the
 //! checked-in baseline (recall/ratio drift, qps collapse, early-abandon
-//! speedup under its floor, observability overhead past its budget) —
-//! that is the CI `bench-smoke` gate.
+//! speedup under its floor, observability overhead past its budget,
+//! I/O-per-query or index-bytes growth, paged-tier compression or
+//! parity-recall collapse) — that is the CI `bench-smoke` /
+//! `disk-large` gate.
+//!
+//! `--profile large` never materializes the dataset: points are
+//! generated in chunks and streamed into the page-file builder while
+//! exact ground truth is folded into per-query top-k heaps, so peak RSS
+//! stays far below the on-disk index size. The run records physical
+//! I/O per query, on-disk index bytes, the buffer-pool hit rate and
+//! peak RSS (VmHWM) in the report's `paged` section, plus an
+//! equal-parameter parity sub-run against the in-memory backend.
 
 use c2lsh::engine::SearchOptions;
 use c2lsh::{C2lshConfig, C2lshIndex, PointMeta, Predicate};
@@ -25,14 +38,16 @@ use cc_bench::methods::{defaults, AnnIndex};
 use cc_bench::prep::prepare_workload;
 use cc_bench::report::{
     check_regression, percentile_ms, BenchReport, DatasetInfo, FilteredSearchReport, MethodReport,
-    ObsOverheadReport, VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
+    ObsOverheadReport, PagedTierReport, VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
 };
 use cc_bench::table::{f1, f3, Table};
 use cc_obs::ObsConfig;
 use cc_service::ServerObs;
 use cc_vector::dataset::Dataset;
 use cc_vector::dist::{euclidean_sq, euclidean_sq_bounded};
-use cc_vector::gt::Neighbor;
+use cc_vector::gt::{ground_truth, Neighbor};
+use cc_vector::metrics::{overall_ratio, recall};
+use cc_vector::scale::{mean_nn_distance, rescale};
 use cc_vector::synth::Profile;
 use cc_vector::topk::TopK;
 use cc_vector::workload::Workload;
@@ -42,20 +57,89 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 /// Registry keys accepted by `--methods`, in canonical order.
-const METHOD_KEYS: [&str; 8] =
-    ["c2lsh", "c2lsh-disk", "c2lsh-dyn", "qalsh", "e2lsh", "lsb", "multiprobe", "linear"];
+const METHOD_KEYS: [&str; 9] = [
+    "c2lsh",
+    "c2lsh-paged",
+    "c2lsh-disk",
+    "c2lsh-dyn",
+    "qalsh",
+    "e2lsh",
+    "lsb",
+    "multiprobe",
+    "linear",
+];
 
 /// Methods the `--smoke` preset runs (dyn/lsb excluded to keep the CI
 /// job fast; they stay available via `--methods`).
-const SMOKE_METHODS: [&str; 6] = ["c2lsh", "c2lsh-disk", "qalsh", "e2lsh", "multiprobe", "linear"];
+const SMOKE_METHODS: [&str; 7] =
+    ["c2lsh", "c2lsh-paged", "c2lsh-disk", "qalsh", "e2lsh", "multiprobe", "linear"];
+
+/// Paper-scale point count of the `large` profile (times `--scale`).
+const LARGE_N: usize = 1_000_000;
+/// Dimensionality of the `large` profile.
+const LARGE_D: usize = 64;
+/// Points per generated chunk during the large profile's streaming
+/// ingest — the largest dataset slice ever resident in memory.
+const LARGE_CHUNK: usize = 50_000;
+/// Mixture components of the large profile's clustered distribution.
+const LARGE_CLUSTERS: usize = 64;
+/// Points in the large profile's equal-parameter parity sub-run.
+const PARITY_N: usize = 100_000;
+
+/// Streaming Gaussian-mixture generator for the large profile.
+///
+/// [`cc_vector::gen::Distribution::GaussianMixture`] draws its cluster
+/// centers from the call's own seed, so generating a huge dataset in chunks with
+/// per-chunk seeds would *move the mixture* between chunks. This
+/// generator fixes the centers once and hands out chunks of the same
+/// virtual stream: chunk contents depend on the chunk seed, the
+/// distribution does not. Uniform data would stream trivially but is
+/// the worst case for LSH contrast at d = 64 (distance concentration
+/// drives recall toward zero for every method), which would make the
+/// profile useless as a regression signal.
+struct StreamMixture {
+    centers: Vec<Vec<f64>>,
+    sigma: f64,
+}
+
+impl StreamMixture {
+    fn new(seed: u64, clusters: usize, d: usize, scale: f64, spread: f64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let centers =
+            (0..clusters).map(|_| (0..d).map(|_| rng.gen::<f64>() * scale).collect()).collect();
+        Self { centers, sigma: spread * scale }
+    }
+
+    /// Points `[start, start + n)` of the virtual stream, as a dataset.
+    fn chunk(&self, seed: u64, start: usize, n: usize) -> Dataset {
+        use rand::SeedableRng;
+        let d = self.centers[0].len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            seed ^ (start as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut normal = cc_vector::gen::NormalSampler::new();
+        let mut flat = Vec::with_capacity(n * d);
+        for i in start..start + n {
+            let c = &self.centers[i % self.centers.len()];
+            for &cj in c {
+                flat.push((cj + self.sigma * normal.sample(&mut rng)) as f32);
+            }
+        }
+        Dataset::from_flat(d, flat)
+    }
+}
 
 struct RunConfig {
     profile: Profile,
+    large: bool,
     scale: f64,
+    scale_explicit: bool,
     queries: usize,
     k: usize,
     seed: u64,
     reps: usize,
+    pool_pages: Option<usize>,
     methods: Vec<String>,
     tag: String,
     out_dir: PathBuf,
@@ -65,23 +149,31 @@ struct RunConfig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench run [options]\n\
+        "usage: bench run [options] | bench f9\n\
          \n\
-         options:\n\
+         run options:\n\
            --smoke                preset: custom:4000x128, 40 queries, k=10, seed 42,\n\
                                   methods {smoke}, tag `smoke`, kernel microbench on\n\
-           --profile NAME         audio | mnist | color | labelme | custom:NxD\n\
+           --profile NAME         audio | mnist | color | labelme | custom:NxD | large\n\
+                                  (`large` streams scale x 1M points through the paged\n\
+                                  disk tier; scale defaults to 1.0 there)\n\
            --scale F              fraction of the paper-scale n (default {scale})\n\
            --queries N            held-out queries (default {queries})\n\
            --k N                  neighbors per query (default 10)\n\
            --seed N               RNG seed for data + every index (default 7)\n\
            --reps N               timing repetitions per method; qps and latency\n\
                                   percentiles come from the fastest rep (default 3)\n\
+           --pool-pages N         buffer-pool capacity for `--profile large`\n\
+                                  (default ~5% of the page file)\n\
            --methods a,b,c        subset of: {all}\n\
            --tag NAME             report tag; output file is BENCH_<tag>.json\n\
            --out DIR              output directory (default results/)\n\
            --check FILE           compare against a baseline report; exit 1 on regression\n\
-           --write-baseline FILE  also write this run as the new baseline",
+           --write-baseline FILE  also write this run as the new baseline\n\
+         \n\
+         f9: sweep the pinned buffer pool's capacity over the paged tier\n\
+         and write results/f9_buffer_pool.csv (recall / physical I/O vs\n\
+         pool size; honors CC_BENCH_SCALE / CC_BENCH_QUERIES)",
         smoke = SMOKE_METHODS.join(","),
         scale = cc_bench::DEFAULT_SCALE,
         queries = cc_bench::DEFAULT_QUERIES,
@@ -122,11 +214,14 @@ fn parse_args() -> RunConfig {
     }
     let mut cfg = RunConfig {
         profile: Profile::Color,
+        large: false,
         scale: cc_bench::scale(),
+        scale_explicit: false,
         queries: cc_bench::queries(),
         k: 10,
         seed: 7,
         reps: 3,
+        pool_pages: None,
         methods: METHOD_KEYS.iter().map(|s| s.to_string()).collect(),
         tag: String::new(),
         out_dir: PathBuf::from("results"),
@@ -153,8 +248,18 @@ fn parse_args() -> RunConfig {
                 cfg.methods = SMOKE_METHODS.iter().map(|s| s.to_string()).collect();
                 cfg.tag = "smoke".into();
             }
-            "--profile" => cfg.profile = parse_profile(&need(&mut it, "--profile")),
-            "--scale" => cfg.scale = need(&mut it, "--scale").parse().unwrap_or_else(|_| usage()),
+            "--profile" => {
+                let name = need(&mut it, "--profile");
+                if name == "large" {
+                    cfg.large = true;
+                } else {
+                    cfg.profile = parse_profile(&name);
+                }
+            }
+            "--scale" => {
+                cfg.scale = need(&mut it, "--scale").parse().unwrap_or_else(|_| usage());
+                cfg.scale_explicit = true;
+            }
             "--queries" => {
                 cfg.queries = need(&mut it, "--queries").parse().unwrap_or_else(|_| usage())
             }
@@ -176,6 +281,10 @@ fn parse_args() -> RunConfig {
                     }
                 }
             }
+            "--pool-pages" => {
+                cfg.pool_pages =
+                    Some(need(&mut it, "--pool-pages").parse().unwrap_or_else(|_| usage()))
+            }
             "--tag" => cfg.tag = need(&mut it, "--tag"),
             "--out" => cfg.out_dir = PathBuf::from(need(&mut it, "--out")),
             "--check" => cfg.check = Some(PathBuf::from(need(&mut it, "--check"))),
@@ -188,6 +297,17 @@ fn parse_args() -> RunConfig {
             }
         }
     }
+    if cfg.large {
+        // The large profile is paper-scale by definition: the global
+        // CC_BENCH_SCALE default (meant to shrink the in-memory
+        // profiles) does not apply unless --scale is passed explicitly.
+        if !cfg.scale_explicit {
+            cfg.scale = 1.0;
+        }
+        if cfg.tag.is_empty() {
+            cfg.tag = "large".into();
+        }
+    }
     if cfg.tag.is_empty() {
         cfg.tag = cfg.profile.name().to_string();
     }
@@ -198,6 +318,7 @@ fn parse_args() -> RunConfig {
 fn build_method<'d>(key: &str, data: &'d Dataset, seed: u64) -> Box<dyn AnnIndex + 'd> {
     match key {
         "c2lsh" => Box::new(defaults::c2lsh(data, seed)),
+        "c2lsh-paged" => Box::new(defaults::c2lsh_paged(data, seed)),
         "c2lsh-disk" => Box::new(defaults::c2lsh_disk(data, seed)),
         "c2lsh-dyn" => Box::new(defaults::c2lsh_dyn(data, seed)),
         "qalsh" => Box::new(defaults::qalsh(data, seed)),
@@ -493,7 +614,85 @@ fn filtered_search_bench(w: &Workload, k: usize, seed: u64) -> FilteredSearchRep
 }
 
 fn main() -> ExitCode {
-    let cfg = parse_args();
+    match std::env::args().nth(1).as_deref() {
+        Some("f9") => f9_main(),
+        Some("run") => {
+            let cfg = parse_args();
+            if cfg.large {
+                run_large(&cfg)
+            } else {
+                run_standard(&cfg)
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Peak resident set size (VmHWM) of this process, in bytes; 0 when
+/// `/proc` is unavailable.
+fn peak_rss_bytes() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0.0);
+            return kb * 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Write `BENCH_<tag>.json`, optionally refresh the baseline, and run
+/// the regression gate — the shared tail of every `bench run` flavor.
+fn emit_report(report: &BenchReport, cfg: &RunConfig) -> ExitCode {
+    if std::fs::create_dir_all(&cfg.out_dir).is_err() {
+        eprintln!("error: cannot create {}", cfg.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let out_path = cfg.out_dir.join(format!("BENCH_{}.json", cfg.tag));
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[saved {}]", out_path.display());
+
+    if let Some(path) = &cfg.write_baseline {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[saved baseline {}]", path.display());
+    }
+
+    if let Some(path) = &cfg.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: bad baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = check_regression(&baseline, report);
+        if violations.is_empty() {
+            println!("regression gate: PASS vs {}", path.display());
+        } else {
+            eprintln!("regression gate: FAIL vs {}", path.display());
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_standard(cfg: &RunConfig) -> ExitCode {
     let (n_paper, d) = cfg.profile.shape();
     let n = ((n_paper as f64 * cfg.scale) as usize).max(1);
     let dataset_name = match cfg.profile {
@@ -609,53 +808,273 @@ fn main() -> ExitCode {
         verify: Some(verify),
         obs_overhead: Some(obs_overhead),
         filtered_search: Some(filtered_search),
+        paged: None,
         methods,
     };
 
-    if std::fs::create_dir_all(&cfg.out_dir).is_err() {
-        eprintln!("error: cannot create {}", cfg.out_dir.display());
-        return ExitCode::FAILURE;
-    }
-    let out_path = cfg.out_dir.join(format!("BENCH_{}.json", cfg.tag));
-    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
-        eprintln!("error: cannot write {}: {e}", out_path.display());
-        return ExitCode::FAILURE;
-    }
-    println!("[saved {}]", out_path.display());
+    emit_report(&report, cfg)
+}
 
-    if let Some(path) = &cfg.write_baseline {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
-            eprintln!("error: cannot write baseline {}: {e}", path.display());
+/// `bench run --profile large` — stream `scale × 1M` synthetic points
+/// through the paged disk tier without ever materializing the dataset.
+///
+/// Chunks are generated, normalized and appended to the page-file
+/// builder one at a time; exact ground truth is folded into per-query
+/// top-k heaps during the same pass (early-abandoned against the
+/// current k-th distance), so the working set is one chunk plus the
+/// heaps regardless of `n`. After the out-of-core query phase the run
+/// records peak RSS (VmHWM) and finishes with an equal-parameter
+/// parity sub-run: in-memory and paged backends built on the same
+/// materialized slice, gated to within [`cc_bench::report::RECALL_TOLERANCE`].
+fn run_large(cfg: &RunConfig) -> ExitCode {
+    let n = ((LARGE_N as f64 * cfg.scale) as usize).max(10_000);
+    let d = LARGE_D;
+    let k = cfg.k;
+    let dataset_name = format!("large-mixture-{n}x{d}");
+    println!(
+        "bench run: {dataset_name} (streaming ingest, never materialized) queries={q} k={k} seed={s}",
+        q = cfg.queries,
+        s = cfg.seed
+    );
+
+    // Fixed-center mixture: chunks with per-chunk seeds all draw from
+    // the same distribution (see [`StreamMixture`]).
+    let mix = StreamMixture::new(cfg.seed, LARGE_CLUSTERS, d, 10.0, 0.02);
+    // Unit-NN normalization factor from a probe chunk — the paper's
+    // protocol, estimated on a sample because the full set never
+    // exists in memory.
+    let probe = mix.chunk(cfg.seed, 0, 20_000.min(n));
+    let factor = 1.0 / mean_nn_distance(&probe, 50);
+    drop(probe);
+    let queries = rescale(&mix.chunk(cfg.seed ^ 0x9e37_79b9, 0, cfg.queries.max(1)), factor);
+
+    // The paper's default verification budget (β·n = 100) is tuned for
+    // its ≤ 68k-point datasets; held constant to 1M points it truncates
+    // the candidate list long before the true neighbors are verified
+    // and recall decays with n for *every* backend. Scale the budget
+    // sublinearly (0.2% of n, floor 100) so the million-point profile
+    // measures the disk tier, not budget starvation.
+    let beta = c2lsh::config::Beta::Count((n as u64 / 500).max(100));
+    let config = C2lshConfig::builder().bucket_width(2.184).seed(cfg.seed).beta(beta).build();
+
+    let scratch = std::env::temp_dir().join(format!("cc-bench-large-{}.ccpg", std::process::id()));
+    let t_ingest = Instant::now();
+    let mut builder = match c2lsh::PagedBuilder::create(&scratch, d, n, &config) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot create page file {}: {e}", scratch.display());
             return ExitCode::FAILURE;
         }
-        println!("[saved baseline {}]", path.display());
+    };
+    let mut heaps: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+    let mut next_id: u32 = 0;
+    let mut chunk_i: u64 = 0;
+    while (next_id as usize) < n {
+        let take = LARGE_CHUNK.min(n - next_id as usize);
+        let chunk = rescale(
+            &mix.chunk(cfg.seed.wrapping_add(1000 + chunk_i), next_id as usize, take),
+            factor,
+        );
+        for row in chunk.iter() {
+            if let Err(e) = builder.append(row) {
+                eprintln!("error: ingest failed at point {next_id}: {e}");
+                return ExitCode::FAILURE;
+            }
+            for (qi, q) in queries.iter().enumerate() {
+                if let Some(d_sq) = euclidean_sq_bounded(q, row, heaps[qi].bound_sq()) {
+                    heaps[qi].insert(d_sq, next_id);
+                }
+            }
+            next_id += 1;
+        }
+        chunk_i += 1;
+        if chunk_i.is_multiple_of(4) || (next_id as usize) == n {
+            println!("  ingested {next_id}/{n} points ({:.0}s)", t_ingest.elapsed().as_secs_f64());
+        }
     }
+    let truth: Vec<Vec<Neighbor>> = heaps.iter_mut().map(TopK::drain_sorted).collect();
+    let store = match builder.finish(1) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: finishing the page file failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut store = store.delete_file_on_drop();
+    let ingest_seconds = t_ingest.elapsed().as_secs_f64();
 
-    if let Some(path) = &cfg.check {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
+    let file_pages = (store.file_bytes() as usize).div_ceil(cc_storage::PAGE_SIZE);
+    let pool_pages = cfg.pool_pages.unwrap_or((file_pages / 20).max(256));
+    store.set_pool_pages(pool_pages);
+    let index_bytes = store.posting_bytes() as f64;
+    let compression_ratio =
+        store.uncompressed_posting_bytes() as f64 / store.posting_bytes().max(1) as f64;
+    println!(
+        "  page file: {file_pages} pages ({:.1} MiB), postings {:.1} MiB compressed \
+         ({compression_ratio:.2}x vs plain layout), buffer pool {pool_pages} pages",
+        store.file_bytes() as f64 / (1024.0 * 1024.0),
+        index_bytes / (1024.0 * 1024.0),
+    );
+
+    // Out-of-core query phase: every posting and every vector comes
+    // through the buffer pool; io_per_query counts physical reads
+    // (pool misses), the paper's cost model for a cached disk index.
+    let opts = SearchOptions { timing: true, ..SearchOptions::default() };
+    let nq = queries.len() as f64;
+    let mut lat = Vec::with_capacity(queries.len());
+    let (mut rec_sum, mut ratio_sum) = (0.0f64, 0.0f64);
+    let (mut verified, mut abandoned) = (0u64, 0u64);
+    for (qi, q) in queries.iter().enumerate() {
+        let t0 = Instant::now();
+        let (nn, stats) = store.query_with(q, k, &opts);
+        lat.push(t0.elapsed().as_nanos() as u64);
+        rec_sum += recall(&nn, &truth[qi]);
+        ratio_sum += overall_ratio(&nn, &truth[qi]);
+        verified += stats.candidates_verified as u64;
+        abandoned += stats.candidates_abandoned as u64;
+    }
+    let io_per_query = store.physical_reads() as f64 / nq;
+    let pool_stats = store.pool_stats();
+    // VmHWM is monotonic, so read it after the query phase and before
+    // the (materialized) parity sub-run inflates it.
+    let peak_rss = peak_rss_bytes();
+    println!(
+        "  queries: recall {:.3}, {:.1} physical reads/query, pool hit rate {:.3}, \
+         peak RSS {:.0} MiB",
+        rec_sum / nq,
+        io_per_query,
+        pool_stats.hit_ratio(),
+        peak_rss / (1024.0 * 1024.0),
+    );
+
+    // Equal-parameter parity: both backends on the same materialized
+    // slice, same config — the paged tier must not trade recall away.
+    let parity_n = PARITY_N.min(n);
+    let parity_data = rescale(&mix.chunk(cfg.seed.wrapping_add(77), 0, parity_n), factor);
+    let parity_truth = ground_truth(&parity_data, &queries, k);
+    let mem_index = C2lshIndex::build(&parity_data, &config);
+    let parity_path =
+        std::env::temp_dir().join(format!("cc-bench-parity-{}.ccpg", std::process::id()));
+    let parity_pool = ((parity_n * d * 4 / cc_storage::PAGE_SIZE) / 20).max(64);
+    let parity_store =
+        match c2lsh::PagedStore::build(&parity_data, &config, &parity_path, parity_pool) {
+            Ok(s) => s.delete_file_on_drop(),
             Err(e) => {
-                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                eprintln!("error: parity page file failed: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let baseline = match BenchReport::from_json(&text) {
-            Ok(b) => b,
+    let (mut mem_rec, mut paged_rec) = (0.0f64, 0.0f64);
+    for (qi, q) in queries.iter().enumerate() {
+        let (nn_mem, _) = mem_index.query(q, k);
+        mem_rec += recall(&nn_mem, &parity_truth[qi]);
+        let (nn_paged, _) = parity_store.query(q, k);
+        paged_rec += recall(&nn_paged, &parity_truth[qi]);
+    }
+    let (mem_parity_recall, paged_parity_recall) = (mem_rec / nq, paged_rec / nq);
+    println!(
+        "  parity @ n={parity_n}: in-memory recall {mem_parity_recall:.3}, \
+         paged recall {paged_parity_recall:.3}"
+    );
+
+    let total_s: f64 = lat.iter().map(|&ns| ns as f64 / 1e9).sum();
+    let row = MethodReport {
+        name: "C2LSH(paged)".into(),
+        qps: if total_s > 0.0 { lat.len() as f64 / total_s } else { 0.0 },
+        p50_ms: percentile_ms(&lat, 50.0),
+        p95_ms: percentile_ms(&lat, 95.0),
+        p99_ms: percentile_ms(&lat, 99.0),
+        recall: rec_sum / nq,
+        ratio: ratio_sum / nq,
+        verified_per_query: verified as f64 / nq,
+        abandoned_per_query: abandoned as f64 / nq,
+        io_per_query,
+        index_bytes,
+    };
+    let paged = PagedTierReport {
+        points: n,
+        ingest_seconds,
+        io_per_query,
+        index_bytes,
+        file_bytes: store.file_bytes() as f64,
+        bufpool_pages: pool_pages,
+        bufpool_hit_rate: pool_stats.hit_ratio(),
+        compression_ratio,
+        peak_rss_bytes: peak_rss,
+        parity_points: parity_n,
+        paged_parity_recall,
+        mem_parity_recall,
+    };
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        tag: cfg.tag.clone(),
+        dataset: DatasetInfo { name: dataset_name, n, d, queries: queries.len() },
+        k,
+        seed: cfg.seed,
+        verify: None,
+        obs_overhead: None,
+        filtered_search: None,
+        paged: Some(paged),
+        methods: vec![row],
+    };
+    emit_report(&report, cfg)
+}
+
+/// `bench f9` — sweep the pinned buffer pool's capacity over a real
+/// paged index and record recall / physical I/O per pool size, writing
+/// `results/f9_buffer_pool.csv` (figure 9's curve). Unlike the old
+/// trace-replay simulation, every row here queries the actual
+/// `PagedStore` through the actual pool, so hit rates include vector
+/// pages and posting pages alike.
+fn f9_main() -> ExitCode {
+    let scale = cc_bench::scale();
+    let nq = cc_bench::queries();
+    let k = 10;
+    let mut t = Table::new(
+        format!("F9: pinned buffer-pool sensitivity of the paged tier (k = {k})"),
+        &["dataset", "file_pages", "pool_pages", "pool_frac", "hit_rate", "io_per_query", "recall"],
+    );
+    for profile in [Profile::Mnist, Profile::Color] {
+        let w = prepare_workload(profile, scale, nq, k, 59);
+        let cfg = C2lshConfig::builder().bucket_width(2.184).seed(59).build();
+        let path = std::env::temp_dir().join(format!(
+            "cc-bench-f9-{}-{}.ccpg",
+            std::process::id(),
+            profile.name()
+        ));
+        let mut store = match c2lsh::PagedStore::build(&w.data, &cfg, &path, 1) {
+            Ok(s) => s.delete_file_on_drop(),
             Err(e) => {
-                eprintln!("error: bad baseline {}: {e}", path.display());
+                eprintln!("error: paged build failed for {}: {e}", profile.name());
                 return ExitCode::FAILURE;
             }
         };
-        let violations = check_regression(&baseline, &report);
-        if violations.is_empty() {
-            println!("regression gate: PASS vs {}", path.display());
-        } else {
-            eprintln!("regression gate: FAIL vs {}", path.display());
-            for v in &violations {
-                eprintln!("  - {v}");
+        let truth = w.truth_at(k);
+        let file_pages = (store.file_bytes() as usize).div_ceil(cc_storage::PAGE_SIZE);
+        for frac in [0.01f64, 0.05, 0.1, 0.25, 0.5] {
+            let pages = ((file_pages as f64 * frac) as usize).max(1);
+            // A fresh pool per capacity: hit rates and physical reads
+            // below cover exactly this sweep point's query pass.
+            store.set_pool_pages(pages);
+            let mut rec = 0.0;
+            for (qi, q) in w.queries.iter().enumerate() {
+                let (nn, _) = store.query(q, k);
+                rec += recall(&nn, &truth[qi]);
             }
-            return ExitCode::FAILURE;
+            let s = store.pool_stats();
+            t.row(vec![
+                profile.name().into(),
+                file_pages.to_string(),
+                pages.to_string(),
+                f3(frac),
+                f3(s.hit_ratio()),
+                f1(store.physical_reads() as f64 / nq.max(1) as f64),
+                f3(rec / nq.max(1) as f64),
+            ]);
         }
+        eprintln!("[{} done]", profile.name());
     }
+    t.print();
+    t.save_csv("f9_buffer_pool");
     ExitCode::SUCCESS
 }

@@ -58,6 +58,25 @@ impl AnnIndex for C2lshMem<'_> {
     }
 }
 
+/// C2LSH, out-of-core backend: compressed postings + vectors on disk,
+/// reads through the pinned buffer pool. Owns its page file (scratch,
+/// deleted on drop).
+pub struct C2lshPaged(pub c2lsh::PagedStore);
+
+impl AnnIndex for C2lshPaged {
+    fn name(&self) -> &str {
+        "C2LSH(paged)"
+    }
+    fn query(&self, q: &[f32], k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.0.query_with(q, k, &timed())
+    }
+    /// Compressed posting bytes — the on-disk analogue of the other
+    /// methods' table bytes (the shared raw-data segment is excluded).
+    fn size_bytes(&self) -> usize {
+        self.0.posting_bytes() as usize
+    }
+}
+
 /// C2LSH, paged backend with exact I/O accounting.
 pub struct C2lshDisk<'d>(pub c2lsh::DiskIndex<'d>);
 
@@ -194,6 +213,27 @@ pub mod defaults {
     pub fn c2lsh(data: &Dataset, seed: u64) -> C2lshMem<'_> {
         let cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
         C2lshMem(c2lsh::C2lshIndex::build(data, &cfg))
+    }
+
+    /// C2LSH out-of-core backend, same parameters; the page file lands
+    /// in a scratch directory and the buffer pool is capped at ~10% of
+    /// the file so the smoke run actually exercises eviction.
+    pub fn c2lsh_paged(data: &Dataset, seed: u64) -> C2lshPaged {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let cfg = c2lsh::C2lshConfig::builder().bucket_width(2.184).seed(seed).build();
+        let path = std::env::temp_dir().join(format!(
+            "cc-paged-bench-{}-{}.ccpg",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = c2lsh::PagedStore::build(data, &cfg, &path, 1)
+            .expect("paged index build failed")
+            .delete_file_on_drop();
+        let pages = (store.file_bytes() as usize / cc_storage::PAGE_SIZE / 10).max(64);
+        let mut store = store;
+        store.set_pool_pages(pages);
+        C2lshPaged(store)
     }
 
     /// C2LSH disk backend, same parameters.

@@ -38,6 +38,18 @@ pub const MIN_VERIFY_SPEEDUP: f64 = 1.3;
 /// catch real regressions (accidental per-candidate recording blows
 /// through it instantly), not jitter.
 pub const MAX_OBS_OVERHEAD_PCT: f64 = 5.0;
+/// A method's mean page reads per query may grow by at most this factor
+/// over the baseline (skipped when the baseline did no I/O — in-memory
+/// methods report zero).
+pub const MAX_IO_GROWTH: f64 = 1.5;
+/// A method's index bytes may grow by at most this factor over the
+/// baseline (skipped when the baseline recorded none).
+pub const MAX_INDEX_GROWTH: f64 = 1.25;
+/// The paged tier's compressed posting lists must shrink the on-disk
+/// bucket layout by at least this factor vs the uncompressed page
+/// layout (the tentpole's compression acceptance bar; current-run
+/// gate, no baseline needed).
+pub const MIN_COMPRESSION_RATIO: f64 = 2.0;
 
 // ---------------------------------------------------------------------
 // JSON value
@@ -422,6 +434,42 @@ pub struct FilteredSearchReport {
     pub rejected_per_query: f64,
 }
 
+/// The paged disk tier's large-profile measurements: streaming ingest
+/// into the page file, out-of-core queries through the pinned buffer
+/// pool, and a small equal-parameter parity sub-run against the
+/// in-memory backend (the recall-drift acceptance bar). Present only on
+/// `--profile large` runs; absent (and parsed leniently) everywhere
+/// else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagedTierReport {
+    /// Points ingested into the page file.
+    pub points: usize,
+    /// Wall-clock seconds for the streaming build (generate + hash +
+    /// spill + merge + write).
+    pub ingest_seconds: f64,
+    /// Mean *physical* page reads (buffer-pool misses) per query.
+    pub io_per_query: f64,
+    /// Compressed posting bytes on disk (the index-size metric; the
+    /// shared vector segment is excluded, as for every other method).
+    pub index_bytes: f64,
+    /// Total page-file bytes (vectors + postings + header).
+    pub file_bytes: f64,
+    /// Buffer-pool capacity, in pages, the query phase ran with.
+    pub bufpool_pages: usize,
+    /// Buffer-pool hit rate over the query phase, `[0, 1]`.
+    pub bufpool_hit_rate: f64,
+    /// `uncompressed posting layout bytes / compressed posting bytes`.
+    pub compression_ratio: f64,
+    /// Peak resident set (VmHWM) after the query phase, bytes.
+    pub peak_rss_bytes: f64,
+    /// Points in the equal-parameter parity sub-run (0 = skipped).
+    pub parity_points: usize,
+    /// Paged-backend recall on the parity sub-run.
+    pub paged_parity_recall: f64,
+    /// In-memory-backend recall on the parity sub-run, same parameters.
+    pub mem_parity_recall: f64,
+}
+
 /// One method's row of the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodReport {
@@ -470,6 +518,9 @@ pub struct BenchReport {
     /// Filtered-search A/B (present when the run included it; absent
     /// in baselines written before the field existed).
     pub filtered_search: Option<FilteredSearchReport>,
+    /// Paged-tier large-profile section (present on `--profile large`
+    /// runs; absent in baselines written before the disk tier existed).
+    pub paged: Option<PagedTierReport>,
     /// Per-method measurements.
     pub methods: Vec<MethodReport>,
 }
@@ -519,6 +570,23 @@ impl BenchReport {
                 ("rejected_per_query".into(), Json::Num(f.rejected_per_query)),
             ]),
         };
+        let paged = match &self.paged {
+            None => Json::Null,
+            Some(p) => Json::Obj(vec![
+                ("points".into(), Json::Num(p.points as f64)),
+                ("ingest_seconds".into(), Json::Num(p.ingest_seconds)),
+                ("io_per_query".into(), Json::Num(p.io_per_query)),
+                ("index_bytes".into(), Json::Num(p.index_bytes)),
+                ("file_bytes".into(), Json::Num(p.file_bytes)),
+                ("bufpool_pages".into(), Json::Num(p.bufpool_pages as f64)),
+                ("bufpool_hit_rate".into(), Json::Num(p.bufpool_hit_rate)),
+                ("compression_ratio".into(), Json::Num(p.compression_ratio)),
+                ("peak_rss_bytes".into(), Json::Num(p.peak_rss_bytes)),
+                ("parity_points".into(), Json::Num(p.parity_points as f64)),
+                ("paged_parity_recall".into(), Json::Num(p.paged_parity_recall)),
+                ("mem_parity_recall".into(), Json::Num(p.mem_parity_recall)),
+            ]),
+        };
         let methods = Json::Arr(
             self.methods
                 .iter()
@@ -547,6 +615,7 @@ impl BenchReport {
             ("verify_kernel".into(), verify),
             ("obs_overhead".into(), obs_overhead),
             ("filtered_search".into(), filtered_search),
+            ("paged".into(), paged),
             ("methods".into(), methods),
         ])
         .to_pretty()
@@ -605,6 +674,24 @@ impl BenchReport {
                 rejected_per_query: f.num("rejected_per_query").unwrap_or(0.0),
             }),
         };
+        // Absent in pre-disk-tier baselines; parse leniently.
+        let paged = match root.get("paged") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(PagedTierReport {
+                points: p.num("points").unwrap_or(0.0) as usize,
+                ingest_seconds: p.num("ingest_seconds").unwrap_or(0.0),
+                io_per_query: p.num("io_per_query").unwrap_or(0.0),
+                index_bytes: p.num("index_bytes").unwrap_or(0.0),
+                file_bytes: p.num("file_bytes").unwrap_or(0.0),
+                bufpool_pages: p.num("bufpool_pages").unwrap_or(0.0) as usize,
+                bufpool_hit_rate: p.num("bufpool_hit_rate").unwrap_or(0.0),
+                compression_ratio: p.num("compression_ratio").unwrap_or(0.0),
+                peak_rss_bytes: p.num("peak_rss_bytes").unwrap_or(0.0),
+                parity_points: p.num("parity_points").unwrap_or(0.0) as usize,
+                paged_parity_recall: p.num("paged_parity_recall").unwrap_or(0.0),
+                mem_parity_recall: p.num("mem_parity_recall").unwrap_or(0.0),
+            }),
+        };
         let methods = root
             .get("methods")
             .and_then(Json::as_arr)
@@ -635,6 +722,7 @@ impl BenchReport {
             verify,
             obs_overhead,
             filtered_search,
+            paged,
             methods,
         })
     }
@@ -710,6 +798,20 @@ pub fn check_regression(baseline: &BenchReport, current: &BenchReport) -> Vec<St
                 base.qps
             ));
         }
+        // I/O and index-size gates are skipped for baselines that
+        // recorded none (in-memory methods, pre-disk-tier baselines).
+        if base.io_per_query > 0.0 && cur.io_per_query > base.io_per_query * MAX_IO_GROWTH {
+            violations.push(format!(
+                "{}: io/query {:.1} grew past {MAX_IO_GROWTH}x baseline {:.1}",
+                base.name, cur.io_per_query, base.io_per_query
+            ));
+        }
+        if base.index_bytes > 0.0 && cur.index_bytes > base.index_bytes * MAX_INDEX_GROWTH {
+            violations.push(format!(
+                "{}: index bytes {:.0} grew past {MAX_INDEX_GROWTH}x baseline {:.0}",
+                base.name, cur.index_bytes, base.index_bytes
+            ));
+        }
     }
     if let (Some(_), Some(cur)) = (&baseline.verify, &current.verify) {
         if cur.speedup < MIN_VERIFY_SPEEDUP {
@@ -741,6 +843,40 @@ pub fn check_regression(baseline: &BenchReport, current: &BenchReport) -> Vec<St
                 "post-filter arm recall {:.4} never reached the filtered arm's {:.4} - \
                  {RECALL_TOLERANCE} — the verified-candidate comparison is not at equal recall",
                 fs.postfilter_recall, fs.filtered_recall
+            ));
+        }
+    }
+    // Paged-tier gates are current-run only (the compression ratio and
+    // the parity drift are relative measures within one run).
+    if let Some(p) = &current.paged {
+        if p.compression_ratio < MIN_COMPRESSION_RATIO {
+            violations.push(format!(
+                "paged tier compression {:.2}x fell below the {MIN_COMPRESSION_RATIO}x floor",
+                p.compression_ratio
+            ));
+        }
+        if p.parity_points > 0 && p.paged_parity_recall < p.mem_parity_recall - RECALL_TOLERANCE {
+            violations.push(format!(
+                "paged backend parity recall {:.4} drifted below the in-memory backend's \
+                 {:.4} - {RECALL_TOLERANCE} at equal parameters",
+                p.paged_parity_recall, p.mem_parity_recall
+            ));
+        }
+    }
+    // When one run measured both disk layouts, the compressed paged
+    // index must be at least MIN_COMPRESSION_RATIO smaller than the
+    // uncompressed per-entry disk layout.
+    if let (Some(paged), Some(disk)) =
+        (current.method("C2LSH(paged)"), current.method("C2LSH(disk)"))
+    {
+        if paged.index_bytes > 0.0
+            && disk.index_bytes > 0.0
+            && paged.index_bytes * MIN_COMPRESSION_RATIO > disk.index_bytes
+        {
+            violations.push(format!(
+                "paged index {:.0} bytes is not {MIN_COMPRESSION_RATIO}x smaller than the \
+                 uncompressed disk layout's {:.0}",
+                paged.index_bytes, disk.index_bytes
             ));
         }
     }
@@ -789,6 +925,20 @@ mod tests {
                 filtered_verified_per_query: 60.0,
                 postfilter_verified_per_query: 140.0,
                 rejected_per_query: 110.0,
+            }),
+            paged: Some(PagedTierReport {
+                points: 1_000_000,
+                ingest_seconds: 120.0,
+                io_per_query: 85.0,
+                index_bytes: 9.0e7,
+                file_bytes: 6.0e8,
+                bufpool_pages: 4096,
+                bufpool_hit_rate: 0.92,
+                compression_ratio: 2.6,
+                peak_rss_bytes: 3.0e8,
+                parity_points: 120_000,
+                paged_parity_recall: 0.94,
+                mem_parity_recall: 0.95,
             }),
             methods: vec![
                 MethodReport {
@@ -960,6 +1110,81 @@ mod tests {
         // A current run without the A/B is not penalized either.
         let mut cur = sample_report();
         cur.filtered_search = None;
+        assert!(check_regression(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_io_and_index_growth() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.methods[0].io_per_query = base.methods[0].io_per_query * MAX_IO_GROWTH * 1.1;
+        cur.methods[0].index_bytes = base.methods[0].index_bytes * MAX_INDEX_GROWTH * 1.1;
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 2, "violations: {v:?}");
+        assert!(v.iter().any(|m| m.contains("io/query")));
+        assert!(v.iter().any(|m| m.contains("index bytes")));
+        // Zero-valued baseline fields (in-memory methods, legacy
+        // baselines) never gate.
+        let mut cur = sample_report();
+        cur.methods[1].io_per_query = 1.0e9;
+        cur.methods[1].index_bytes = 1.0e9;
+        let mut base = sample_report();
+        base.methods[1].io_per_query = 0.0;
+        assert!(check_regression(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn gate_catches_paged_compression_and_parity_drift() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.paged.as_mut().unwrap().compression_ratio = MIN_COMPRESSION_RATIO - 0.3;
+        cur.paged.as_mut().unwrap().paged_parity_recall =
+            cur.paged.as_ref().unwrap().mem_parity_recall - RECALL_TOLERANCE - 0.01;
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 2, "violations: {v:?}");
+        assert!(v.iter().any(|m| m.contains("compression")));
+        assert!(v.iter().any(|m| m.contains("parity recall")));
+        // A skipped parity sub-run (parity_points = 0) does not gate.
+        let mut cur = sample_report();
+        cur.paged.as_mut().unwrap().parity_points = 0;
+        cur.paged.as_mut().unwrap().paged_parity_recall = 0.0;
+        assert!(check_regression(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn gate_compares_paged_vs_disk_index_bytes_when_both_present() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        let mut paged_row = cur.methods[0].clone();
+        paged_row.name = "C2LSH(paged)".into();
+        paged_row.index_bytes = 1.0e6;
+        let mut disk_row = cur.methods[0].clone();
+        disk_row.name = "C2LSH(disk)".into();
+        disk_row.index_bytes = 3.0e6; // 3x larger: passes the 2x bar
+        cur.methods.push(paged_row);
+        cur.methods.push(disk_row);
+        assert!(check_regression(&base, &cur).is_empty());
+        cur.methods.last_mut().unwrap().index_bytes = 1.5e6; // only 1.5x
+        let v = check_regression(&base, &cur);
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert!(v[0].contains("not 2x smaller"));
+    }
+
+    #[test]
+    fn paged_field_is_optional() {
+        // A baseline written before the disk tier still parses
+        // (paged -> None) and does not gate anything.
+        let mut base_text = sample_report().to_json();
+        let start = base_text.find("\"paged\"").unwrap();
+        let end = base_text[start..].find("},").unwrap() + start + 2;
+        base_text.replace_range(start..end, "\"paged\": null,");
+        let base = BenchReport::from_json(&base_text).expect("legacy baseline parses");
+        assert_eq!(base.paged, None);
+        assert!(check_regression(&base, &sample_report()).is_empty());
+
+        // A current run without the large profile is not penalized.
+        let mut cur = sample_report();
+        cur.paged = None;
         assert!(check_regression(&base, &cur).is_empty());
     }
 

@@ -182,6 +182,30 @@ pub trait TableStore {
     /// (such objects are skipped, not verified).
     fn vector(&self, oid: u32) -> Option<&[f32]>;
 
+    /// `true` when vectors live in addressable memory and
+    /// [`TableStore::vector`] is the cheap path (the default). Paged
+    /// stores return `false` and serve verification reads through
+    /// [`TableStore::vector_into`] instead; [`TableStore::vector`] may
+    /// then always return `None`.
+    fn vectors_resident(&self) -> bool {
+        true
+    }
+
+    /// Copy object `oid`'s vector into `out` (cleared first), returning
+    /// `false` for tombstoned/unknown ids. The default delegates to
+    /// [`TableStore::vector`]; paged stores override this to read through
+    /// their buffer pool without holding borrows across the engine loop.
+    fn vector_into(&self, oid: u32, out: &mut Vec<f32>) -> bool {
+        match self.vector(oid) {
+            Some(v) => {
+                out.clear();
+                out.extend_from_slice(v);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Resolve an object id to its attribute payload. Stores without
     /// metadata (or ids out of range) report the default payload,
     /// which trivial predicates accept — so unfiltered behaviour is
@@ -324,6 +348,9 @@ pub struct QueryScratch {
     /// Running k nearest by squared distance; its root bounds the
     /// early-abandon kernel.
     topk: TopK,
+    /// Vector staging buffer for stores whose vectors are not memory
+    /// resident ([`TableStore::vector_into`]).
+    vec_buf: Vec<f32>,
 }
 
 impl QueryScratch {
@@ -334,6 +361,7 @@ impl QueryScratch {
             counter: CollisionCounter::new(id_bound),
             candidates: Vec::new(),
             topk: TopK::new(1),
+            vec_buf: Vec::new(),
         }
     }
 
@@ -381,6 +409,10 @@ pub fn run_query<S: TableStore>(
     candidates.reserve(cap.min(n));
     let topk = &mut scratch.topk;
     topk.reset(k);
+    let vec_buf = &mut scratch.vec_buf;
+    // Hoisted: resident stores keep the zero-copy `vector()` path; paged
+    // stores stage reads through `vec_buf` via `vector_into`.
+    let resident = store.vectors_resident();
 
     let mut stats = QueryStats::new();
     let query_start = opts.timing.then(Instant::now);
@@ -431,7 +463,14 @@ pub fn run_query<S: TableStore>(
                         }
                     }
                     // Verify unless tombstoned.
-                    if let Some(v) = store.vector(oid) {
+                    let v: Option<&[f32]> = if resident {
+                        store.vector(oid)
+                    } else if store.vector_into(oid, vec_buf) {
+                        Some(vec_buf.as_slice())
+                    } else {
+                        None
+                    };
+                    if let Some(v) = v {
                         // The budget counts *verifications* (distance
                         // computations paid for), abandoned or not —
                         // identical to the pre-abandon candidate count.

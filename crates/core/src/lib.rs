@@ -79,6 +79,7 @@ pub mod hash;
 pub mod index;
 pub mod meta;
 pub mod mutable;
+pub mod paged;
 pub mod params;
 pub mod persist;
 pub mod rehash;
@@ -97,10 +98,16 @@ pub use hash::{HashFamily, PstableHash};
 pub use index::C2lshIndex;
 pub use meta::{PointMeta, Predicate};
 pub use mutable::{MutableIndex, MutationAck, MutationOp};
+pub use paged::{PagedBuilder, PagedStore};
 pub use params::FullParams;
 pub use persist::{load_dynamic, load_index, save_dynamic, save_index, PersistError};
 pub use sharded::{ShardedData, ShardedEngine};
 pub use stats::{BatchStats, MutationStats, QueryStats, RoundStats, StageNanos, Termination};
+
+/// Re-export of the page size ([`cc_storage::PAGE_SIZE`]) the paged
+/// tier is built on, so downstream crates can size buffer pools
+/// without a direct `cc-storage` dep.
+pub use cc_storage::PAGE_SIZE;
 
 /// Re-export of the observability primitives ([`cc_obs`]) the stats
 /// layer builds on, so downstream crates need no direct `cc-obs` dep

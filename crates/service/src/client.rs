@@ -206,25 +206,6 @@ impl Client {
         self.search(req)?.into_result()
     }
 
-    /// One query under the **v1** frame, returning the raw server
-    /// response (`deadline_ms == 0` disables the deadline).
-    #[deprecated(since = "0.1.0", note = "build a `QueryRequest` and use `Client::search`")]
-    pub fn query(
-        &mut self,
-        vector: &[f32],
-        k: u32,
-        deadline_ms: u32,
-    ) -> Result<Response, ProtoError> {
-        self.call(&Request::Query { k, deadline_ms, vector: vector.to_vec() })
-    }
-
-    /// Convenience query that must come back as a result set; any
-    /// other response is an error.
-    #[deprecated(since = "0.1.0", note = "build a `QueryRequest` and use `Client::search`")]
-    pub fn top_k(&mut self, vector: &[f32], k: u32) -> Result<Vec<Neighbor>, ProtoError> {
-        self.search_result(&QueryRequest::new(vector.to_vec()).k(k)).map(|r| r.neighbors)
-    }
-
     /// Fetch the aggregated service statistics as a JSON document
     /// (field extraction via [`crate::json::find_u64`], or parse with
     /// [`Client::stats`]).

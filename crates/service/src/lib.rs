@@ -73,7 +73,7 @@ pub mod snapshot;
 
 pub use client::{Client, QueryRequest, QueryResult, SearchOutcome};
 pub use collections::CollectionsConfig;
-pub use obs::ServerObs;
+pub use obs::{BufpoolSnapshot, ServerObs};
 pub use protocol::{CollectionInfo, ProtoError, QueryCost, Request, Response, WireSpan};
 pub use server::{serve, serve_with_obs, ServeEngine, ServiceConfig, ServiceStats};
 pub use snapshot::StatsSnapshot;

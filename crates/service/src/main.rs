@@ -11,14 +11,22 @@
 //!   synthetic dataset seeds the index only when `DIR` is empty.
 //!   Without `--wal` the index is in-memory (acks do not survive a
 //!   restart).
+//! * `--mode paged`: build the out-of-core disk tier ([`PagedStore`])
+//!   under `--paged-file PATH` (default: a scratch file in the temp
+//!   dir, deleted on exit) and serve read-only queries through the
+//!   pinned buffer pool (`--pool-pages N`, default ~5% of the page
+//!   file). With `--metrics-addr` the pool exports the `cc_bufpool_*`
+//!   Prometheus families.
 //!
 //! ```text
 //! cargo run -p cc-service --release -- --shards 4
 //! cargo run -p cc-service --release -- --mode dynamic --wal /tmp/cc-wal
+//! cargo run -p cc-service --release -- --mode paged --pool-pages 512
 //! ```
 //!
 //! Flags (all optional): `--addr HOST:PORT` (default `127.0.0.1:7878`),
-//! `--mode sharded|dynamic` (sharded), `--wal DIR` (dynamic only),
+//! `--mode sharded|dynamic|paged` (sharded), `--wal DIR` (dynamic
+//! only), `--paged-file PATH` / `--pool-pages N` (paged only),
 //! `--collections-dir DIR` (persist named collections under `DIR`;
 //! without it collections are in-memory),
 //! `--shards S` (4), `--n N` (20000), `--dim D` (16), `--seed SEED`
@@ -34,9 +42,11 @@
 //! captures a span tree for every Nth query. Without `--metrics-addr`
 //! the service records nothing per query.
 
-use c2lsh::{C2lshConfig, DynamicIndex, MutableIndex, MutationOp, ShardedData, ShardedEngine};
+use c2lsh::{
+    C2lshConfig, DynamicIndex, MutableIndex, MutationOp, PagedStore, ShardedData, ShardedEngine,
+};
 use cc_obs::{MetricsServer, ObsConfig};
-use cc_service::{ServerObs, ServiceConfig};
+use cc_service::{BufpoolSnapshot, ServerObs, ServiceConfig};
 use cc_vector::gen::{generate, Distribution};
 use std::net::TcpListener;
 use std::process::exit;
@@ -47,6 +57,8 @@ struct Args {
     addr: String,
     mode: String,
     wal: Option<String>,
+    paged_file: Option<String>,
+    pool_pages: Option<usize>,
     collections_dir: Option<String>,
     shards: usize,
     n: usize,
@@ -69,6 +81,8 @@ impl Args {
             addr: "127.0.0.1:7878".into(),
             mode: "sharded".into(),
             wal: None,
+            paged_file: None,
+            pool_pages: None,
             collections_dir: None,
             shards: 4,
             n: 20_000,
@@ -96,6 +110,10 @@ impl Args {
                 "--addr" => args.addr = value("--addr"),
                 "--mode" => args.mode = value("--mode"),
                 "--wal" => args.wal = Some(value("--wal")),
+                "--paged-file" => args.paged_file = Some(value("--paged-file")),
+                "--pool-pages" => {
+                    args.pool_pages = Some(parse(&value("--pool-pages"), "--pool-pages"))
+                }
                 "--collections-dir" => args.collections_dir = Some(value("--collections-dir")),
                 "--shards" => args.shards = parse(&value("--shards"), "--shards"),
                 "--n" => args.n = parse(&value("--n"), "--n"),
@@ -123,8 +141,9 @@ impl Args {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic] \
-                         [--wal DIR] [--collections-dir DIR] [--shards S] [--n N] [--dim D] \
+                        "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic|paged] \
+                         [--wal DIR] [--paged-file PATH] [--pool-pages N] \
+                         [--collections-dir DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
                          [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES] \
                          [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--trace-sample N]"
@@ -216,6 +235,52 @@ fn main() {
             );
             cc_service::serve_with_obs(&engine, listener, &service, obs)
         }
+        "paged" => {
+            eprintln!("generating {} clustered vectors in R^{}…", args.n, args.dim);
+            let data = generate(
+                Distribution::GaussianMixture { clusters: 10, spread: 0.02, scale: 10.0 },
+                args.n,
+                args.dim,
+                args.seed,
+            );
+            let scratch = args.paged_file.is_none();
+            let path = args.paged_file.clone().map(std::path::PathBuf::from).unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("cc-service-paged-{}.ccpg", std::process::id()))
+            });
+            eprintln!("building the paged disk tier at {}…", path.display());
+            let store = PagedStore::build(&data, &config, &path, 1).unwrap_or_else(|e| {
+                eprintln!("cannot build page file {}: {e}", path.display());
+                exit(1);
+            });
+            let mut store = if scratch { store.delete_file_on_drop() } else { store };
+            let file_pages = (store.file_bytes() as usize).div_ceil(c2lsh::PAGE_SIZE);
+            let pool_pages = args.pool_pages.unwrap_or((file_pages / 20).max(64));
+            store.set_pool_pages(pool_pages);
+            let store = Arc::new(store);
+            // The scrape path snapshots the pool through a weak-free
+            // clone of the Arc; plain counter reads, no query-path
+            // cost.
+            let pool_src = store.clone();
+            obs.set_bufpool_source(Box::new(move || {
+                let s = pool_src.pool_stats();
+                BufpoolSnapshot {
+                    requests: s.requests,
+                    hits: s.hits,
+                    misses: s.misses,
+                    evictions: s.evictions,
+                    capacity_pages: pool_src.pool_pages() as u64,
+                    resident_pages: pool_src.pool_resident() as u64,
+                }
+            }));
+            let params = store.params();
+            eprintln!(
+                "cc-service listening on {shown_addr} — paged (out-of-core, read-only), \
+                 n = {}, d = {}, file pages = {file_pages}, pool pages = {pool_pages}, \
+                 m = {}, l = {}",
+                args.n, args.dim, params.m, params.l,
+            );
+            cc_service::serve_with_obs(&*store, listener, &service, obs)
+        }
         "dynamic" => {
             let engine = match &args.wal {
                 Some(dir) => {
@@ -267,7 +332,7 @@ fn main() {
             cc_service::serve_with_obs(&engine, listener, &service, obs)
         }
         other => {
-            eprintln!("unknown --mode {other} (expected sharded or dynamic)");
+            eprintln!("unknown --mode {other} (expected sharded, dynamic or paged)");
             exit(2);
         }
     };

@@ -25,6 +25,40 @@ use std::sync::Mutex;
 /// installs one backed by its collection registry.
 pub type CollectionsSource = Box<dyn Fn() -> Vec<CollectionMetricsRow> + Send + Sync>;
 
+/// A snapshot of the paged tier's pinned buffer pool — a plain struct
+/// (not the storage crate's stats type) so the registry stays free of
+/// engine-layer dependencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufpoolSnapshot {
+    /// Page lookups served (hits + misses).
+    pub requests: u64,
+    /// Lookups satisfied from a resident frame.
+    pub hits: u64,
+    /// Lookups that went to disk.
+    pub misses: u64,
+    /// Frames recycled by the clock sweep.
+    pub evictions: u64,
+    /// Pool capacity, in pages.
+    pub capacity_pages: u64,
+    /// Pages currently resident.
+    pub resident_pages: u64,
+}
+
+impl BufpoolSnapshot {
+    /// Hits over requests; 0 before any traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A provider of buffer-pool snapshots — installed by the serving
+/// layer when the engine is the paged disk tier.
+pub type BufpoolSource = Box<dyn Fn() -> BufpoolSnapshot + Send + Sync>;
+
 /// Live metric registry for one service instance.
 pub struct ServerObs {
     config: ObsConfig,
@@ -72,6 +106,9 @@ pub struct ServerObs {
     /// layer once its registry exists (the mutex is only taken at
     /// install and scrape time, never on the query path).
     collections: Mutex<Option<CollectionsSource>>,
+    /// Buffer-pool snapshot provider; installed when the engine is the
+    /// paged disk tier (same locking discipline as `collections`).
+    bufpool: Mutex<Option<BufpoolSource>>,
 }
 
 impl ServerObs {
@@ -106,12 +143,18 @@ impl ServerObs {
             slowlog: SlowLog::new(config.slow_log_capacity),
             next_trace_id: AtomicU64::new(1),
             collections: Mutex::new(None),
+            bufpool: Mutex::new(None),
         }
     }
 
     /// Install (or replace) the per-collection snapshot provider.
     pub fn set_collections_source(&self, source: CollectionsSource) {
         *self.collections.lock().unwrap() = Some(source);
+    }
+
+    /// Install (or replace) the buffer-pool snapshot provider.
+    pub fn set_bufpool_source(&self, source: BufpoolSource) {
+        *self.bufpool.lock().unwrap() = Some(source);
     }
 
     /// A registry with everything off (the plain [`crate::serve`] path).
@@ -299,6 +342,46 @@ impl ServerObs {
             "Queries coalesced per engine flush.",
             &self.batch_size.snapshot(),
         );
+        // Buffer-pool families, present only when the paged disk tier
+        // is behind the server.
+        if let Some(source) = self.bufpool.lock().unwrap().as_ref() {
+            let s = source();
+            doc.counter(
+                "cc_bufpool_requests_total",
+                "Buffer-pool page lookups (hits + misses).",
+                s.requests,
+            );
+            doc.counter(
+                "cc_bufpool_hits_total",
+                "Buffer-pool lookups served from a resident frame.",
+                s.hits,
+            );
+            doc.counter(
+                "cc_bufpool_misses_total",
+                "Buffer-pool lookups that read the page from disk.",
+                s.misses,
+            );
+            doc.counter(
+                "cc_bufpool_evictions_total",
+                "Frames recycled by the clock sweep.",
+                s.evictions,
+            );
+            doc.gauge(
+                "cc_bufpool_capacity_pages",
+                "Buffer-pool capacity in pages.",
+                s.capacity_pages as f64,
+            );
+            doc.gauge(
+                "cc_bufpool_resident_pages",
+                "Pages currently resident in the buffer pool.",
+                s.resident_pages as f64,
+            );
+            doc.gauge(
+                "cc_bufpool_hit_ratio",
+                "Buffer-pool hit ratio since start (hits / requests).",
+                s.hit_ratio(),
+            );
+        }
         // Per-collection series, labeled `collection="<name>"`. Only
         // present once the serving layer installed its registry and at
         // least one collection exists.
@@ -431,9 +514,36 @@ mod tests {
     }
 
     #[test]
+    fn bufpool_series_appear_once_installed() {
+        let obs = ServerObs::disabled();
+        let before = obs.render_prometheus();
+        assert!(!before.contains("cc_bufpool_"), "{before}");
+        obs.set_bufpool_source(Box::new(|| BufpoolSnapshot {
+            requests: 100,
+            hits: 90,
+            misses: 10,
+            evictions: 4,
+            capacity_pages: 64,
+            resident_pages: 60,
+        }));
+        let text = obs.render_prometheus();
+        assert!(text.contains("cc_bufpool_requests_total 100"), "{text}");
+        assert!(text.contains("cc_bufpool_hits_total 90"), "{text}");
+        assert!(text.contains("cc_bufpool_misses_total 10"), "{text}");
+        assert!(text.contains("cc_bufpool_evictions_total 4"), "{text}");
+        assert!(text.contains("cc_bufpool_capacity_pages 64"), "{text}");
+        assert!(text.contains("cc_bufpool_resident_pages 60"), "{text}");
+        assert!(text.contains("cc_bufpool_hit_ratio 0.9"), "{text}");
+    }
+
+    #[test]
     fn exposition_has_help_and_type_for_every_series() {
         let obs = ServerObs::new(ObsConfig::all_on());
         obs.set_index_info(1000, 16, 4);
+        obs.set_bufpool_source(Box::new(|| BufpoolSnapshot {
+            requests: 1,
+            ..BufpoolSnapshot::default()
+        }));
         let text = obs.render_prometheus();
         // Every non-comment series name must have HELP and TYPE.
         for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {

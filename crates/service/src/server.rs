@@ -49,7 +49,8 @@ use crate::protocol::{self, ProtoError, QueryCost, Request, Response};
 use c2lsh::engine::SearchOptions;
 use c2lsh::stats::{BatchStats, MutationStats, QueryStats};
 use c2lsh::{
-    Error, ErrorKind, MutableIndex, MutationAck, MutationOp, PointMeta, Predicate, ShardedEngine,
+    Error, ErrorKind, MutableIndex, MutationAck, MutationOp, PagedStore, PointMeta, Predicate,
+    ShardedEngine,
 };
 use cc_obs::ObsConfig;
 use cc_vector::dataset::Dataset;
@@ -141,6 +142,28 @@ impl ServeEngine for ShardedEngine<'_> {
         opts: &SearchOptions,
     ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
         ShardedEngine::query_batch_with(self, queries, k, opts)
+    }
+}
+
+/// The out-of-core disk tier serves read-only, exactly like the
+/// sharded engine: posting lists and vectors stream through the pinned
+/// buffer pool, mutations are refused at admission.
+impl ServeEngine for PagedStore {
+    fn dim(&self) -> usize {
+        PagedStore::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        PagedStore::len(self)
+    }
+
+    fn query_batch_with(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        opts: &SearchOptions,
+    ) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+        PagedStore::query_batch_with(self, queries, k, opts)
     }
 }
 

@@ -194,12 +194,21 @@ fn admission_control_and_deadlines() {
             assert_eq!(neighbors[0].dist, 0.0);
 
             // The v1 frame must keep answering old clients verbatim.
-            #[allow(deprecated)]
-            let v1 = client.query(data.get(2), 3, 0).unwrap();
-            match v1 {
+            // The typed client dropped its v1 shim, so speak the old
+            // frame at the wire level: encode a `Request::Query`, read
+            // back the bare `Response::TopK`.
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            let v1 = cc_service::protocol::Request::Query {
+                k: 3,
+                deadline_ms: 0,
+                vector: data.get(2).to_vec(),
+            };
+            cc_service::protocol::write_request(&mut raw, &v1).unwrap();
+            match cc_service::protocol::read_response(&mut raw).unwrap().unwrap() {
                 Response::TopK(nn) => assert_eq!(nn[0].id, 2),
                 other => panic!("v1 query answered with {other:?}"),
             }
+            drop(raw);
 
             // Bad requests are answered with an error frame, which the
             // client surfaces as `Err` — never dropped.

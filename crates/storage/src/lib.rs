@@ -20,6 +20,17 @@
 //!   (append + fsync + replay with torn-tail truncation), plus the
 //!   [`wal::FailpointFile`] fault injector used by the crash-recovery
 //!   test suites.
+//!
+//! The *real* (non-simulated) disk tier added for million-point scale:
+//!
+//! * [`diskfile`] — an on-disk page file with a checksummed header and a
+//!   CRC-32 trailer verified on every read (positioned `pread`-style I/O),
+//! * [`codec`] — delta + bitpacked posting-list compression with a plain
+//!   fallback,
+//! * [`paged_bucket`] — compressed `(bucket, object)` posting runs packed
+//!   into disk pages with an in-memory page directory,
+//! * [`pool`] — a pinned buffer pool (clock eviction, pin counts,
+//!   hit/miss/eviction counters) fronting the disk page file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,13 +38,20 @@
 pub mod bptree;
 pub mod bucket_file;
 pub mod buffer;
+pub mod codec;
+pub mod diskfile;
 pub mod page;
+pub mod paged_bucket;
 pub mod pagefile;
+pub mod pool;
 pub mod wal;
 
 pub use bptree::BPlusTree;
 pub use bucket_file::BucketFile;
 pub use buffer::BufferPool;
+pub use diskfile::{DiskPageFile, DiskPageFileWriter, PAYLOAD_BYTES};
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use paged_bucket::{PostingRun, PostingRunBuilder};
 pub use pagefile::{IoStats, PageFile};
+pub use pool::{PinnedPage, PinnedPool, PinnedPoolStats};
 pub use wal::{FailpointFile, ReplayReport, Wal, WalOp, WalPosition, WalRecord};
