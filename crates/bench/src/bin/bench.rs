@@ -37,8 +37,9 @@ use cc_bench::eval::evaluate_detailed;
 use cc_bench::methods::{defaults, AnnIndex};
 use cc_bench::prep::prepare_workload;
 use cc_bench::report::{
-    check_regression, percentile_ms, BenchReport, DatasetInfo, FilteredSearchReport, MethodReport,
-    ObsOverheadReport, PagedTierReport, VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
+    check_regression, percentile_ms, BenchReport, DatasetInfo, FilteredSearchReport,
+    KernelBatchPoint, KernelsReport, MethodReport, ObsOverheadReport, PagedTierReport,
+    VerifyKernelReport, MAX_OBS_OVERHEAD_PCT, SCHEMA_VERSION,
 };
 use cc_bench::table::{f1, f3, Table};
 use cc_obs::ObsConfig;
@@ -145,6 +146,7 @@ struct RunConfig {
     out_dir: PathBuf,
     check: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    kernel: Option<c2lsh::Kernel>,
 }
 
 fn usage() -> ! {
@@ -153,7 +155,7 @@ fn usage() -> ! {
          \n\
          run options:\n\
            --smoke                preset: custom:4000x128, 40 queries, k=10, seed 42,\n\
-                                  methods {smoke}, tag `smoke`, kernel microbench on\n\
+                                  methods {smoke}, tag `smoke`, reps 7, kernel microbench on\n\
            --profile NAME         audio | mnist | color | labelme | custom:NxD | large\n\
                                   (`large` streams scale x 1M points through the paged\n\
                                   disk tier; scale defaults to 1.0 there)\n\
@@ -170,6 +172,8 @@ fn usage() -> ! {
            --out DIR              output directory (default results/)\n\
            --check FILE           compare against a baseline report; exit 1 on regression\n\
            --write-baseline FILE  also write this run as the new baseline\n\
+           --kernel NAME          pin the SIMD kernel: auto|scalar|sse2|avx2|neon\n\
+                                  (default auto: CC_FORCE_SCALAR=1 or best detected)\n\
          \n\
          f9: sweep the pinned buffer pool's capacity over the paged tier\n\
          and write results/f9_buffer_pool.csv (recall / physical I/O vs\n\
@@ -227,6 +231,7 @@ fn parse_args() -> RunConfig {
         out_dir: PathBuf::from("results"),
         check: None,
         write_baseline: None,
+        kernel: None,
     };
     fn need<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> String {
         it.next()
@@ -247,6 +252,11 @@ fn parse_args() -> RunConfig {
                 cfg.seed = 42;
                 cfg.methods = SMOKE_METHODS.iter().map(|s| s.to_string()).collect();
                 cfg.tag = "smoke".into();
+                // The smoke profile is tiny but feeds the CI gate, so
+                // buy noise robustness with extra best-of reps: on a
+                // shared runner a single throttling dip otherwise
+                // reads as a qps regression.
+                cfg.reps = 7;
             }
             "--profile" => {
                 let name = need(&mut it, "--profile");
@@ -290,6 +300,12 @@ fn parse_args() -> RunConfig {
             "--check" => cfg.check = Some(PathBuf::from(need(&mut it, "--check"))),
             "--write-baseline" => {
                 cfg.write_baseline = Some(PathBuf::from(need(&mut it, "--write-baseline")))
+            }
+            "--kernel" => {
+                cfg.kernel = c2lsh::Kernel::parse(&need(&mut it, "--kernel")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                })
             }
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -417,6 +433,121 @@ fn verify_kernel_bench(w: &Workload, k: usize) -> VerifyKernelReport {
         new_ns_per_cand: new_best * 1e9 / per_pass,
         speedup: old_best / new_best,
         abandon_rate: abandoned as f64 / per_pass,
+    }
+}
+
+/// Microbenchmark the SIMD kernels against the scalar oracle on both
+/// hot loops, plus the batched-projection sweep.
+///
+/// * **ns/hash**: one hash = one `d`-dim dot product + offset, over an
+///   `m = 128` row matrix, queries hashed one at a time — the hashing
+///   phase's unit of work. Measured for the scalar kernel and the
+///   dispatched one (identical under `CC_FORCE_SCALAR=1`).
+/// * **ns/cand**: one full-dimension bounded distance (bound = ∞ so
+///   both kernels do identical work; the abandon *decision* path is
+///   covered by the equivalence proptests, its end-to-end payoff by
+///   [`verify_kernel_bench`]).
+/// * **batch sweep**: dispatched-kernel [`project_batch`] cost per hash
+///   as the number of coalesced queries grows — the curve that
+///   justifies the batching worker's coalescing.
+///
+/// Best-of-3 wall times throughout; both kernels return bit-identical
+/// results by contract, so only time differs.
+///
+/// [`project_batch`]: c2lsh::kernels::KernelDispatch::project_batch
+fn kernels_bench(w: &Workload) -> KernelsReport {
+    use c2lsh::kernels::{self, Kernel, KernelDispatch};
+    let kd = *kernels::dispatch();
+    let scalar = KernelDispatch::new(Kernel::Scalar).expect("scalar is always available");
+    let d = w.data.dim();
+    let m = 128usize;
+
+    // Deterministic pseudo-random family (xorshift; no rand dependency
+    // needed here and the exact values are irrelevant to timing).
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+    };
+    let matrix: Vec<f32> = (0..m * d).map(|_| next()).collect();
+    let offsets: Vec<f64> = (0..m).map(|_| next() as f64).collect();
+
+    let nq = w.queries.len().max(1);
+    let single_reps = (20_000 / nq).max(1);
+    let mut out = vec![0.0f64; m];
+    let mut time_single = |k: &KernelDispatch| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..single_reps {
+                for q in w.queries.iter() {
+                    k.project_family(&matrix, d, q, &offsets, &mut out);
+                    black_box(out[0]);
+                }
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best * 1e9 / (single_reps * nq * m) as f64
+    };
+    let scalar_ns_per_hash = time_single(&scalar);
+    let dispatched_ns_per_hash = time_single(&kd);
+
+    let n_cand = w.n().min(2000);
+    let cand_reps = (40_000 / nq.max(1)).clamp(1, 100);
+    let time_cand = |k: &KernelDispatch| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..cand_reps {
+                for q in w.queries.iter() {
+                    for v in w.data.iter().take(n_cand) {
+                        black_box(k.euclidean_sq_bounded(q, v, f64::INFINITY));
+                    }
+                }
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best * 1e9 / (cand_reps * nq * n_cand) as f64
+    };
+    let scalar_ns_per_cand = time_cand(&scalar);
+    let dispatched_ns_per_cand = time_cand(&kd);
+
+    let batch_sweep = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|batch| {
+            // A coalesced batch of `batch` queries, drawn cyclically
+            // from the workload's query set.
+            let mut flat = Vec::with_capacity(batch * d);
+            for i in 0..batch {
+                flat.extend_from_slice(w.queries.get(i % nq));
+            }
+            let qs = Dataset::from_flat(d, flat);
+            let mut out = vec![0.0f64; batch * m];
+            let reps = (40_000 / batch).max(1);
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    kd.project_batch(&matrix, d, &qs, &offsets, &mut out);
+                    black_box(out[0]);
+                }
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            KernelBatchPoint { batch, ns_per_hash: best * 1e9 / (reps * batch * m) as f64 }
+        })
+        .collect();
+
+    KernelsReport {
+        kernel: kd.kernel().name().into(),
+        scalar_ns_per_hash,
+        dispatched_ns_per_hash,
+        hash_speedup: scalar_ns_per_hash / dispatched_ns_per_hash,
+        scalar_ns_per_cand,
+        dispatched_ns_per_cand,
+        cand_speedup: scalar_ns_per_cand / dispatched_ns_per_cand,
+        batch_sweep,
     }
 }
 
@@ -618,6 +749,13 @@ fn main() -> ExitCode {
         Some("f9") => f9_main(),
         Some("run") => {
             let cfg = parse_args();
+            // Pin the kernel before any index builds or hashes.
+            if let Some(k) = cfg.kernel {
+                if let Err(e) = c2lsh::kernels::init(k) {
+                    eprintln!("--kernel: {e}");
+                    return ExitCode::from(2);
+                }
+            }
             if cfg.large {
                 run_large(&cfg)
             } else {
@@ -718,6 +856,22 @@ fn run_standard(cfg: &RunConfig) -> ExitCode {
         verify.abandon_rate * 100.0
     );
 
+    println!("kernels: scalar oracle vs dispatched SIMD on both hot loops...");
+    let kernels = kernels_bench(&w);
+    println!(
+        "  kernel {}: hash {:.1} -> {:.1} ns ({:.2}x), dist {:.1} -> {:.1} ns/cand ({:.2}x)",
+        kernels.kernel,
+        kernels.scalar_ns_per_hash,
+        kernels.dispatched_ns_per_hash,
+        kernels.hash_speedup,
+        kernels.scalar_ns_per_cand,
+        kernels.dispatched_ns_per_cand,
+        kernels.cand_speedup,
+    );
+    let sweep: Vec<String> =
+        kernels.batch_sweep.iter().map(|p| format!("{}:{:.1}", p.batch, p.ns_per_hash)).collect();
+    println!("  batch sweep (queries:ns/hash): {}", sweep.join("  "));
+
     println!("observability overhead: query path with registry off vs on...");
     let obs_overhead = obs_overhead_bench(&w, cfg.k, cfg.seed);
     println!(
@@ -806,6 +960,7 @@ fn run_standard(cfg: &RunConfig) -> ExitCode {
         k: cfg.k,
         seed: cfg.seed,
         verify: Some(verify),
+        kernels: Some(kernels),
         obs_overhead: Some(obs_overhead),
         filtered_search: Some(filtered_search),
         paged: None,
@@ -1012,6 +1167,7 @@ fn run_large(cfg: &RunConfig) -> ExitCode {
         k,
         seed: cfg.seed,
         verify: None,
+        kernels: None,
         obs_overhead: None,
         filtered_search: None,
         paged: Some(paged),

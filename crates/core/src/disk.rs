@@ -196,6 +196,15 @@ impl TableStore for DiskIndex<'_> {
         BucketWindows::new(self.family.buckets(q))
     }
 
+    fn begin_batch(&self, queries: &Dataset) -> Vec<BucketWindows> {
+        let m = self.family.len();
+        self.family
+            .buckets_batch(queries)
+            .chunks_exact(m)
+            .map(|b| BucketWindows::new(b.to_vec()))
+            .collect()
+    }
+
     fn expand(
         &self,
         cursor: &mut BucketWindows,
@@ -205,7 +214,7 @@ impl TableStore for DiskIndex<'_> {
     ) {
         let table = &self.tables[t];
         let n = self.data.len();
-        let (left, right) = cursor.grow(t, radius, n, |b| table.lower_bound(&self.file, b));
+        let (left, right) = cursor.grow(t, radius, n, |b, _, _| table.lower_bound(&self.file, b));
         for range in [left, right] {
             if !range.is_empty() {
                 table.scan_while(&self.file, range.start, range.end, |_, oid| visit(oid));

@@ -329,6 +329,15 @@ impl TableStore for DynamicIndex {
         KeyWindows::new(self.family.buckets(q))
     }
 
+    fn begin_batch(&self, queries: &Dataset) -> Vec<KeyWindows> {
+        let m = self.family.len();
+        self.family
+            .buckets_batch(queries)
+            .chunks_exact(m)
+            .map(|b| KeyWindows::new(b.to_vec()))
+            .collect()
+    }
+
     fn expand(
         &self,
         cursor: &mut KeyWindows,
@@ -345,6 +354,26 @@ impl TableStore for DynamicIndex {
                     if !visit(oid) {
                         return;
                     }
+                }
+            }
+        }
+    }
+
+    fn expand_slices(
+        &self,
+        cursor: &mut KeyWindows,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(&[u32]) -> bool,
+    ) {
+        // Native slices: every bucket's id vector is contiguous.
+        for (lo, hi) in cursor.grow(t, radius) {
+            if lo >= hi {
+                continue;
+            }
+            for (_, bucket) in self.tables[t].range(lo..hi) {
+                if !bucket.is_empty() && !visit(bucket) {
+                    return;
                 }
             }
         }

@@ -2,17 +2,20 @@
 //!
 //! The query phase maintains `#Col(o)` for every object that collides
 //! with the query at the current radius. A `HashMap` would allocate per
-//! query; instead we keep two flat arrays indexed by object id — a count
-//! and an epoch stamp — and bump the epoch to "clear" in O(1) between
-//! queries. A separate flag array (same trick) remembers which objects
-//! were already verified, so an object is never verified twice even
-//! though its count keeps growing past `l`.
+//! query; instead we keep flat arrays indexed by object id and bump an
+//! epoch to "clear" in O(1) between queries. The count and its epoch
+//! stamp are packed into one `u64` word (`epoch << 32 | count`) so the
+//! counting hot loop — the single most executed code in a query, one
+//! increment per collision — touches exactly one cache line per object
+//! instead of two parallel arrays. A separate flag array (same epoch
+//! trick) remembers which objects were already verified, so an object
+//! is never verified twice even though its count keeps growing past `l`.
 
 /// Collision counter for up to `n` objects.
 #[derive(Debug)]
 pub struct CollisionCounter {
-    counts: Vec<u32>,
-    count_epoch: Vec<u32>,
+    /// Per-object `epoch << 32 | count` word.
+    state: Vec<u64>,
     verified_epoch: Vec<u32>,
     epoch: u32,
 }
@@ -20,7 +23,7 @@ pub struct CollisionCounter {
 impl CollisionCounter {
     /// Counter sized for object ids `0..n`.
     pub fn new(n: usize) -> Self {
-        Self { counts: vec![0; n], count_epoch: vec![0; n], verified_epoch: vec![0; n], epoch: 0 }
+        Self { state: vec![0; n], verified_epoch: vec![0; n], epoch: 0 }
     }
 
     /// Begin a new query: logically clears all counts and verified flags.
@@ -29,30 +32,42 @@ impl CollisionCounter {
         if self.epoch == 0 {
             // Epoch wrapped (after 2^32 queries): hard-reset the stamps so
             // stale entries from epoch 0 cannot alias.
-            self.count_epoch.fill(0);
+            self.state.fill(0);
             self.verified_epoch.fill(0);
             self.epoch = 1;
         }
     }
 
     /// Increment the collision count of `oid`; returns the new count.
+    ///
+    /// Branchless on purpose: whether a touched object's stamp is
+    /// current is data-dependent (≈ one stale touch then several fresh
+    /// ones per object), so a branch here mispredicts constantly in the
+    /// hottest loop of a query. `old_count * same_epoch + 1` compiles to
+    /// a compare + masked multiply with no jump.
     #[inline]
     pub fn increment(&mut self, oid: u32) -> u32 {
         let i = oid as usize;
-        if self.count_epoch[i] != self.epoch {
-            self.count_epoch[i] = self.epoch;
-            self.counts[i] = 1;
-        } else {
-            self.counts[i] += 1;
-        }
-        self.counts[i]
+        let v = self.state[i];
+        let same = u32::from((v >> 32) as u32 == self.epoch);
+        let c = (v as u32) * same + 1;
+        self.state[i] = (u64::from(self.epoch) << 32) | u64::from(c);
+        c
+    }
+
+    /// Hint that `oid`'s counter word will be incremented shortly (see
+    /// [`crate::kernels::prefetch_read_u64`]); out-of-range ids are
+    /// ignored.
+    #[inline]
+    pub fn prefetch(&self, oid: u32) {
+        crate::kernels::prefetch_read_u64(&self.state, oid as usize);
     }
 
     /// Current count of `oid` in this query (0 when untouched).
     pub fn count(&self, oid: u32) -> u32 {
-        let i = oid as usize;
-        if self.count_epoch[i] == self.epoch {
-            self.counts[i]
+        let v = self.state[oid as usize];
+        if (v >> 32) as u32 == self.epoch {
+            v as u32
         } else {
             0
         }
@@ -77,7 +92,7 @@ impl CollisionCounter {
 
     /// Capacity (number of object ids representable).
     pub fn capacity(&self) -> usize {
-        self.counts.len()
+        self.state.len()
     }
 }
 
@@ -133,6 +148,17 @@ mod tests {
         assert_eq!(c.epoch, 1);
         assert_eq!(c.count(0), 0, "wrapped epoch must not alias old stamps");
         assert!(!c.is_verified(0));
+    }
+
+    #[test]
+    fn counts_saturate_well_below_the_stamp_bits() {
+        // Many increments never bleed into the epoch half of the word.
+        let mut c = CollisionCounter::new(1);
+        c.begin_query();
+        for expect in 1..=1000u32 {
+            assert_eq!(c.increment(0), expect);
+        }
+        assert_eq!(c.count(0), 1000);
     }
 
     #[test]

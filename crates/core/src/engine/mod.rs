@@ -39,16 +39,25 @@
 
 pub mod counting;
 
+use crate::kernels;
 use crate::meta::{PointMeta, Predicate};
 use crate::rehash::{radius_at, window, Window};
 use crate::stats::{BatchStats, QueryStats, RoundStats, Termination};
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::euclidean_sq_bounded;
 use cc_vector::gt::Neighbor;
 use cc_vector::topk::TopK;
 use counting::CollisionCounter;
 use std::ops::Range;
 use std::time::Instant;
+
+/// Entries buffered per flush by the default [`TableStore::expand_slices`]
+/// adapter (a stack buffer; 1 KiB).
+pub const EXPAND_SLICE_BUF: usize = 256;
+
+/// How many entries ahead the counting loop prefetches its counter
+/// words (far enough to cover an L2 round-trip at ~1 entry/cycle-ish
+/// consumption, near enough to stay inside typical slice lengths).
+const COUNT_PREFETCH_AHEAD: usize = 16;
 
 /// The parameters the search loop needs, independent of how they were
 /// derived (C2LSH's Chernoff bounds and QALSH's Hoeffding bounds both
@@ -163,6 +172,17 @@ pub trait TableStore {
     /// per-table windows (all empty).
     fn begin(&self, q: &[f32]) -> Self::Cursor;
 
+    /// Start a whole coalesced query batch: one cursor per query, in
+    /// query order, each identical to [`TableStore::begin`] on that
+    /// query. The default maps `begin`; backends whose cursors are
+    /// bucket ids override this with one blocked
+    /// [`crate::hash::HashFamily::buckets_batch`] matrix product so the
+    /// hash matrix streams through cache once per query block instead
+    /// of once per query.
+    fn begin_batch(&self, queries: &Dataset) -> Vec<Self::Cursor> {
+        (0..queries.len()).map(|qi| self.begin(queries.get(qi))).collect()
+    }
+
     /// Grow table `t`'s window to `radius` and call `visit` once per
     /// newly covered object id, in table order; stop early when `visit`
     /// returns `false`.
@@ -173,6 +193,51 @@ pub trait TableStore {
         radius: i64,
         visit: &mut dyn FnMut(u32) -> bool,
     );
+
+    /// Slice-granular [`TableStore::expand`]: deliver the newly covered
+    /// object ids as contiguous `&[u32]` slices (in table order,
+    /// arbitrary slice boundaries) instead of one virtual call per id.
+    /// The engine's counting loop runs inlined over each slice, so the
+    /// per-collision cost drops from a `dyn FnMut` round-trip (~6 ns) to
+    /// a couple of instructions — counting is ~90 % of query time, which
+    /// makes this the load-bearing expansion path.
+    ///
+    /// Stopping is entry-precise either way: when `visit` returns
+    /// `false` the expansion stops, and the engine stops *consuming* a
+    /// slice at the exact entry that hit the budget, so semantics
+    /// (collision counts, verification order, T2 cut-off) are identical
+    /// to the per-id path regardless of slice boundaries.
+    ///
+    /// The default adapts [`TableStore::expand`] through a
+    /// [`EXPAND_SLICE_BUF`]-entry stack buffer; backends whose tables
+    /// are already contiguous id runs override it to hand out their
+    /// runs directly (zero copies).
+    fn expand_slices(
+        &self,
+        cursor: &mut Self::Cursor,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(&[u32]) -> bool,
+    ) {
+        let mut buf = [0u32; EXPAND_SLICE_BUF];
+        let mut len = 0usize;
+        let mut stopped = false;
+        self.expand(cursor, t, radius, &mut |oid| {
+            buf[len] = oid;
+            len += 1;
+            if len == EXPAND_SLICE_BUF {
+                len = 0;
+                if !visit(&buf) {
+                    stopped = true;
+                    return false;
+                }
+            }
+            true
+        });
+        if !stopped && len > 0 {
+            visit(&buf[..len]);
+        }
+    }
 
     /// `true` once every table's window covers its entire table (no
     /// further expansion can reach new entries).
@@ -271,20 +336,31 @@ impl BucketWindows {
 
     /// Grow table `t`'s window to `radius`; returns the two delta entry
     /// ranges (left of and right of the previously covered range).
-    /// `lower_bound(b)` must return the index of the first entry of
-    /// table `t` with bucket id ≥ `b`; `n` is the table length.
+    /// `lower_bound(b, lo, hi)` must return the index of the first entry
+    /// of table `t` with bucket id ≥ `b`, which is guaranteed to lie in
+    /// `[lo, hi]` — window nesting means the new lower boundary can only
+    /// move left of the previous window and the new upper boundary only
+    /// right of it, so each round's searches run over the (much
+    /// smaller, recently touched) complement of the already-covered
+    /// range instead of the whole table. Implementations may ignore the
+    /// hint (a full-table search returns the same index); `n` is the
+    /// table length.
     pub fn grow(
         &mut self,
         t: usize,
         radius: i64,
         n: usize,
-        mut lower_bound: impl FnMut(i64) -> usize,
+        mut lower_bound: impl FnMut(i64, usize, usize) -> usize,
     ) -> (Range<usize>, Range<usize>) {
         let (blo, bhi) = window(self.q_buckets[t], radius);
-        let elo = lower_bound(blo);
+        let w = &self.windows[t];
+        let first_grow = w.lo == w.hi;
+        let lo_domain_end = if first_grow { n } else { w.lo };
+        let hi_domain_start = if first_grow { 0 } else { w.hi };
+        let elo = lower_bound(blo, 0, lo_domain_end);
         // `bhi` saturates/wraps past the key space at extreme radii;
         // treat it as "end of table".
-        let ehi = if bhi == i64::MIN { n } else { lower_bound(bhi) };
+        let ehi = if bhi == i64::MIN { n } else { lower_bound(bhi, hi_domain_start.max(elo), n) };
         self.windows[t].grow(elo, ehi)
     }
 
@@ -386,6 +462,55 @@ pub fn run_query<S: TableStore>(
     k: usize,
     opts: &SearchOptions,
 ) -> (Vec<Neighbor>, QueryStats) {
+    let query_start = opts.timing.then(Instant::now);
+    let trace = opts.capture_spans.then(cc_obs::Trace::new);
+    let hash_start = opts.stage_timing.then(Instant::now);
+    let cursor = {
+        let _span = trace.as_ref().map(|tr| tr.span("hash"));
+        store.begin(q)
+    };
+    let hash_ns = hash_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+    run_query_with(store, params, scratch, q, k, opts, cursor, hash_ns, trace, query_start)
+}
+
+/// [`run_query`] with hashing already done: `cursor` came from
+/// [`TableStore::begin`] or one slot of [`TableStore::begin_batch`], and
+/// `hash_ns` is the hashing time to attribute to this query's
+/// [`crate::stats::StageNanos::hash`] (a batch passes its per-query
+/// share). The batch executor uses this to hash a whole batch as one
+/// blocked matrix product before fanning queries out to workers.
+/// Results are identical to [`run_query`]; the only observable
+/// differences are that [`QueryStats::elapsed_nanos`] excludes hashing
+/// and a captured span tree has no `hash` span.
+#[allow(clippy::too_many_arguments)] // mirrors run_query plus the batch cursor/hash share
+pub fn run_query_prepared<S: TableStore>(
+    store: &S,
+    params: &SearchParams,
+    scratch: &mut QueryScratch,
+    q: &[f32],
+    k: usize,
+    opts: &SearchOptions,
+    cursor: S::Cursor,
+    hash_ns: u64,
+) -> (Vec<Neighbor>, QueryStats) {
+    let query_start = opts.timing.then(Instant::now);
+    let trace = opts.capture_spans.then(cc_obs::Trace::new);
+    run_query_with(store, params, scratch, q, k, opts, cursor, hash_ns, trace, query_start)
+}
+
+#[allow(clippy::too_many_arguments)] // internal seam between the two entry points above
+fn run_query_with<S: TableStore>(
+    store: &S,
+    params: &SearchParams,
+    scratch: &mut QueryScratch,
+    q: &[f32],
+    k: usize,
+    opts: &SearchOptions,
+    mut cursor: S::Cursor,
+    hash_ns: u64,
+    trace: Option<cc_obs::Trace>,
+    query_start: Option<Instant>,
+) -> (Vec<Neighbor>, QueryStats) {
     assert!(k > 0, "k must be positive");
     assert_eq!(q.len(), store.dim(), "query dimensionality mismatch");
     assert!(q.iter().all(|x| x.is_finite()), "query contains non-finite coordinates");
@@ -413,24 +538,18 @@ pub fn run_query<S: TableStore>(
     // Hoisted: resident stores keep the zero-copy `vector()` path; paged
     // stores stage reads through `vec_buf` via `vector_into`.
     let resident = store.vectors_resident();
+    // Hoisted kernel dispatch: one global load per query, not per
+    // candidate.
+    let kd = kernels::dispatch();
 
     let mut stats = QueryStats::new();
-    let query_start = opts.timing.then(Instant::now);
     let io_before = opts.charge_table_io.then(|| store.io_reads());
     // Stage accounting (hash / count / verify / rank) and span capture
     // are both opt-in; when off, the hot loop pays one branch per
     // verified candidate and nothing per collision increment.
     let stage_on = opts.stage_timing;
-    let trace = opts.capture_spans.then(cc_obs::Trace::new);
     let mut verify_ns: u64 = 0;
     let mut count_ns: u64 = 0;
-
-    let hash_start = stage_on.then(Instant::now);
-    let mut cursor = {
-        let _span = trace.as_ref().map(|tr| tr.span("hash"));
-        store.begin(q)
-    };
-    let hash_ns = hash_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
     let mut level: u32 = 0;
     loop {
@@ -450,54 +569,73 @@ pub fn run_query<S: TableStore>(
 
         let mut budget_hit = false;
         for t in 0..m {
-            store.expand(&mut cursor, t, radius, &mut |oid| {
-                stats.collisions_counted += 1;
-                if counter.increment(oid) == l && counter.mark_verified(oid) {
-                    // Frequent: the query's predicate prunes before the
-                    // distance kernel — rejected objects are counted
-                    // separately and never charge the T2 budget.
-                    if let Some(pred) = &filter {
-                        if !pred.matches(store.meta(oid)) {
-                            stats.candidates_filtered += 1;
-                            return true;
-                        }
+            // Slice-granular expansion: the per-collision work below is
+            // inlined straight-line code, paying one virtual call per
+            // *slice* instead of one per id.
+            store.expand_slices(&mut cursor, t, radius, &mut |oids| {
+                // Collision accounting is per *slice*: one add for the
+                // whole slice on the fall-through path, `idx + 1` on the
+                // early-stop path — never a per-entry counter RMW.
+                for (idx, &oid) in oids.iter().enumerate() {
+                    // Counter updates are random-access over the state
+                    // array while the oid slices stream it out of L1;
+                    // pull the line a few entries ahead so the
+                    // increment doesn't stall on it.
+                    if let Some(&ahead) = oids.get(idx + COUNT_PREFETCH_AHEAD) {
+                        counter.prefetch(ahead);
                     }
-                    // Verify unless tombstoned.
-                    let v: Option<&[f32]> = if resident {
-                        store.vector(oid)
-                    } else if store.vector_into(oid, vec_buf) {
-                        Some(vec_buf.as_slice())
-                    } else {
-                        None
-                    };
-                    if let Some(v) = v {
-                        // The budget counts *verifications* (distance
-                        // computations paid for), abandoned or not —
-                        // identical to the pre-abandon candidate count.
-                        stats.candidates_verified += 1;
-                        let verify_start = stage_on.then(Instant::now);
-                        let bound =
-                            if opts.early_abandon { topk.bound_sq() } else { f64::INFINITY };
-                        match euclidean_sq_bounded(v, q, bound) {
-                            Some(d_sq) => {
-                                topk.insert(d_sq, oid);
-                                candidates.push(Neighbor::new(oid, d_sq.sqrt()));
+                    if counter.increment(oid) == l && counter.mark_verified(oid) {
+                        // Frequent: the query's predicate prunes before
+                        // the distance kernel — rejected objects are
+                        // counted separately and never charge the T2
+                        // budget.
+                        if let Some(pred) = &filter {
+                            if !pred.matches(store.meta(oid)) {
+                                stats.candidates_filtered += 1;
+                                continue;
                             }
-                            // Abandoned: provably farther than the final
-                            // k-th best (the bound carries slack for the
-                            // sqrt rounding used in ranking), so it can
-                            // affect neither the result nor T1.
-                            None => stats.candidates_abandoned += 1,
                         }
-                        if let Some(s) = verify_start {
-                            verify_ns += s.elapsed().as_nanos() as u64;
-                        }
-                        if stats.candidates_verified >= cap {
-                            budget_hit = true;
-                            return false; // T2: stop scanning
+                        // Verify unless tombstoned.
+                        let v: Option<&[f32]> = if resident {
+                            store.vector(oid)
+                        } else if store.vector_into(oid, vec_buf) {
+                            Some(vec_buf.as_slice())
+                        } else {
+                            None
+                        };
+                        if let Some(v) = v {
+                            // The budget counts *verifications* (distance
+                            // computations paid for), abandoned or not —
+                            // identical to the pre-abandon candidate
+                            // count.
+                            stats.candidates_verified += 1;
+                            let verify_start = stage_on.then(Instant::now);
+                            let bound =
+                                if opts.early_abandon { topk.bound_sq() } else { f64::INFINITY };
+                            match kd.euclidean_sq_bounded(v, q, bound) {
+                                Some(d_sq) => {
+                                    topk.insert(d_sq, oid);
+                                    candidates.push(Neighbor::new(oid, d_sq.sqrt()));
+                                }
+                                // Abandoned: provably farther than the
+                                // final k-th best (the bound carries
+                                // slack for the sqrt rounding used in
+                                // ranking), so it can affect neither the
+                                // result nor T1.
+                                None => stats.candidates_abandoned += 1,
+                            }
+                            if let Some(s) = verify_start {
+                                verify_ns += s.elapsed().as_nanos() as u64;
+                            }
+                            if stats.candidates_verified >= cap {
+                                stats.collisions_counted += (idx + 1) as u64;
+                                budget_hit = true;
+                                return false; // T2: stop scanning
+                            }
                         }
                     }
                 }
+                stats.collisions_counted += oids.len() as u64;
                 true
             });
             if budget_hit {
@@ -584,20 +722,29 @@ pub fn run_query<S: TableStore>(
 
 /// Answer a whole query set in parallel across scoped threads.
 ///
-/// Results are in query order and identical to sequential [`run_query`]
-/// calls — each worker owns its own [`QueryScratch`].
-/// Thread count defaults to the machine's parallelism. Per-query
-/// [`QueryStats::io`] carries only the deterministic verification
-/// charge; the store's table I/O over the whole batch is reported once
-/// in [`BatchStats::io`] (concurrent workers share the store's I/O
-/// counters, so a per-query table delta would be attribution noise).
+/// The batch is hashed up front as one blocked matrix product
+/// ([`TableStore::begin_batch`]) — each hash-matrix row streams through
+/// cache once per query block instead of once per query — then queries
+/// fan out to workers via [`run_query_prepared`] (hence the
+/// `S::Cursor: Send` bound). Results are in query order and identical
+/// to sequential [`run_query`] calls — each worker owns its own
+/// [`QueryScratch`]. Thread count defaults to the machine's
+/// parallelism. Per-query [`QueryStats::io`] carries only the
+/// deterministic verification charge; the store's table I/O over the
+/// whole batch is reported once in [`BatchStats::io`] (concurrent
+/// workers share the store's I/O counters, so a per-query table delta
+/// would be attribution noise). With stage timing on, each query's
+/// `hash` stage carries its 1/nq share of the batched hashing time.
 pub fn run_query_batch<S: TableStore + Sync>(
     store: &S,
     params: &SearchParams,
     queries: &Dataset,
     k: usize,
     opts: &SearchOptions,
-) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats) {
+) -> (Vec<(Vec<Neighbor>, QueryStats)>, BatchStats)
+where
+    S::Cursor: Send,
+{
     assert_eq!(queries.dim(), store.dim(), "query dimensionality mismatch");
     let nq = queries.len();
     let mut batch = BatchStats::default();
@@ -608,15 +755,26 @@ pub fn run_query_batch<S: TableStore + Sync>(
     let io_before = store.io_reads();
     let worker_opts = SearchOptions { charge_table_io: false, ..*opts };
 
+    // Hash the whole batch in one pass; workers consume their cursors.
+    let hash_start = opts.stage_timing.then(Instant::now);
+    let cursors: Vec<Option<S::Cursor>> =
+        store.begin_batch(queries).into_iter().map(Some).collect();
+    assert_eq!(cursors.len(), nq, "begin_batch must return one cursor per query");
+    let hash_ns_each = hash_start.map_or(0, |s| s.elapsed().as_nanos() as u64 / nq as u64);
+    let mut cursors = cursors;
+
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq);
     let mut out: Vec<(Vec<Neighbor>, QueryStats)> = vec![(Vec::new(), QueryStats::new()); nq];
     crossbeam::scope(|scope| {
         let chunk = nq.div_ceil(threads);
-        for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+        for (t, (out_chunk, cur_chunk)) in
+            out.chunks_mut(chunk).zip(cursors.chunks_mut(chunk)).enumerate()
+        {
             let lo = t * chunk;
             scope.spawn(move |_| {
                 let mut scratch = QueryScratch::new(store.id_bound());
-                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                for (off, (slot, cur)) in out_chunk.iter_mut().zip(cur_chunk.iter_mut()).enumerate()
+                {
                     let qi = lo + off;
                     let mut per_query = worker_opts;
                     // Sampled tracing: every trace_every-th query of the
@@ -624,7 +782,17 @@ pub fn run_query_batch<S: TableStore + Sync>(
                     if opts.trace_every > 0 && (qi as u64).is_multiple_of(opts.trace_every as u64) {
                         per_query.capture_spans = true;
                     }
-                    *slot = run_query(store, params, &mut scratch, queries.get(qi), k, &per_query);
+                    let cursor = cur.take().expect("each batch cursor is consumed once");
+                    *slot = run_query_prepared(
+                        store,
+                        params,
+                        &mut scratch,
+                        queries.get(qi),
+                        k,
+                        &per_query,
+                        cursor,
+                        hash_ns_each,
+                    );
                 }
             });
         }
@@ -683,8 +851,9 @@ mod tests {
             visit: &mut dyn FnMut(u32) -> bool,
         ) {
             let n = self.tables[t].len();
-            let (left, right) =
-                cursor.grow(t, radius, n, |b| self.tables[t].partition_point(|e| e.0 < b));
+            let (left, right) = cursor.grow(t, radius, n, |b, lo, hi| {
+                lo + self.tables[t][lo..hi].partition_point(|e| e.0 < b)
+            });
             for range in [left, right] {
                 for e in &self.tables[t][range] {
                     if !visit(e.1) {

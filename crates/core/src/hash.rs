@@ -10,7 +10,8 @@
 //! probability `p(s, wR)`.
 
 use crate::config::C2lshConfig;
-use cc_vector::dist::dot;
+use crate::kernels;
+use cc_vector::dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,9 +32,12 @@ pub struct PstableHash {
 
 impl PstableHash {
     /// Raw projection `a·o + b` (before bucketing). Exposed because
-    /// QALSH-style schemes index this value directly.
+    /// QALSH-style schemes index this value directly. Computed through
+    /// the process-wide [`kernels::dispatch`] under the canonical
+    /// lane-parallel schedule, so single-function, family and batched
+    /// hashing agree bit-for-bit across kernels.
     pub fn project(&self, o: &[f32]) -> f64 {
-        dot(&self.a, o) + self.b
+        kernels::dispatch().dot(&self.a, o) + self.b
     }
 
     /// Level-1 bucket id `⌊(a·o + b)/w⌋`.
@@ -73,9 +77,22 @@ impl PstableHash {
 }
 
 /// A family of `m` i.i.d. p-stable hash functions.
+///
+/// Besides the individual [`PstableHash`] functions, the family keeps
+/// their projection vectors packed into one row-major `m×d` matrix so
+/// whole-family hashing runs as a blocked matrix product through the
+/// dispatched SIMD kernel ([`kernels::KernelDispatch::project_family`] /
+/// [`kernels::KernelDispatch::project_batch`]) instead of `m` separate
+/// virtual calls.
 #[derive(Debug, Clone)]
 pub struct HashFamily {
     functions: Vec<PstableHash>,
+    /// Row-major `m×d` packing of the functions' `a` vectors.
+    matrix: Vec<f32>,
+    /// Per-function offsets `b` (added by the projection kernels).
+    offsets: Vec<f64>,
+    /// Dimensionality shared by every function.
+    d: usize,
 }
 
 impl HashFamily {
@@ -87,7 +104,13 @@ impl HashFamily {
         assert!(!functions.is_empty(), "empty hash family");
         let d = functions[0].dim();
         assert!(functions.iter().all(|h| h.dim() == d), "mixed dimensions in family");
-        Self { functions }
+        let mut matrix = Vec::with_capacity(functions.len() * d);
+        let mut offsets = Vec::with_capacity(functions.len());
+        for h in &functions {
+            matrix.extend_from_slice(&h.a);
+            offsets.push(h.b);
+        }
+        Self { functions, matrix, offsets, d }
     }
 
     /// Draw `m` functions for `d`-dimensional data, deterministically
@@ -106,7 +129,7 @@ impl HashFamily {
                 PstableHash { a, b, w: config.w }
             })
             .collect();
-        Self { functions }
+        Self::from_functions(functions)
     }
 
     /// Number of functions `m`.
@@ -129,9 +152,35 @@ impl HashFamily {
         self.functions.iter()
     }
 
+    /// Dimensionality the family was drawn for.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
     /// Level-1 bucket ids of `o` under every function ("hash string").
+    /// One blocked `m×d` matrix product through the dispatched kernel;
+    /// bit-identical to calling [`PstableHash::bucket`] per function.
     pub fn buckets(&self, o: &[f32]) -> Vec<i64> {
-        self.functions.iter().map(|h| h.bucket(o)).collect()
+        let mut proj = vec![0.0f64; self.functions.len()];
+        kernels::dispatch().project_family(&self.matrix, self.d, o, &self.offsets, &mut proj);
+        proj.iter().zip(&self.functions).map(|(p, h)| (p / h.w).floor() as i64).collect()
+    }
+
+    /// Level-1 bucket ids for a whole coalesced query batch:
+    /// `out[qi*m + t]` is query `qi`'s bucket under function `t`. The
+    /// blocked kernel reads each matrix row once per query block, which
+    /// is where batched hashing beats `nq` single calls; results are
+    /// bit-identical to per-query [`HashFamily::buckets`].
+    ///
+    /// # Panics
+    /// Panics when the batch dimensionality disagrees with the family's.
+    pub fn buckets_batch(&self, queries: &Dataset) -> Vec<i64> {
+        let m = self.functions.len();
+        let mut proj = vec![0.0f64; m * queries.len()];
+        kernels::dispatch().project_batch(&self.matrix, self.d, queries, &self.offsets, &mut proj);
+        proj.chunks_exact(m)
+            .flat_map(|row| row.iter().zip(&self.functions).map(|(p, h)| (p / h.w).floor() as i64))
+            .collect()
     }
 
     /// Estimated heap size of the family in bytes (index-size reports).
@@ -228,5 +277,33 @@ mod tests {
     #[should_panic(expected = "need m > 0")]
     fn rejects_empty_family() {
         HashFamily::generate(0, 4, &cfg(0, 1.0));
+    }
+
+    #[test]
+    fn family_buckets_match_per_function_buckets() {
+        let c = cfg(11, 1.3);
+        let fam = HashFamily::generate(17, 13, &c);
+        let o: Vec<f32> = (0..13).map(|i| (i as f32 * 0.9).sin() * 4.0).collect();
+        let packed = fam.buckets(&o);
+        let single: Vec<i64> = fam.iter().map(|h| h.bucket(&o)).collect();
+        assert_eq!(packed, single);
+    }
+
+    #[test]
+    fn batched_buckets_match_single_query_buckets() {
+        use cc_vector::gen::{generate, Distribution};
+        let c = cfg(19, 0.8);
+        let d = 21;
+        let fam = HashFamily::generate(9, d, &c);
+        let queries = generate(
+            Distribution::GaussianMixture { clusters: 4, spread: 0.05, scale: 3.0 },
+            13,
+            d,
+            3,
+        );
+        let batched = fam.buckets_batch(&queries);
+        for qi in 0..queries.len() {
+            assert_eq!(&batched[qi * 9..(qi + 1) * 9], fam.buckets(queries.get(qi)), "q={qi}");
+        }
     }
 }

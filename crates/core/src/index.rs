@@ -237,6 +237,15 @@ impl TableStore for C2lshIndex<'_> {
         BucketWindows::new(self.family.buckets(q))
     }
 
+    fn begin_batch(&self, queries: &Dataset) -> Vec<BucketWindows> {
+        let m = self.family.len();
+        self.family
+            .buckets_batch(queries)
+            .chunks_exact(m)
+            .map(|b| BucketWindows::new(b.to_vec()))
+            .collect()
+    }
+
     fn expand(
         &self,
         cursor: &mut BucketWindows,
@@ -246,12 +255,33 @@ impl TableStore for C2lshIndex<'_> {
     ) {
         let run = &self.tables[t];
         let n = run.oids.len();
-        let (left, right) = cursor.grow(t, radius, n, |b| run.buckets.partition_point(|&x| x < b));
+        let (left, right) = cursor
+            .grow(t, radius, n, |b, lo, hi| lo + run.buckets[lo..hi].partition_point(|&x| x < b));
         for range in [left, right] {
             for &oid in &run.oids[range] {
                 if !visit(oid) {
                     return;
                 }
+            }
+        }
+    }
+
+    fn expand_slices(
+        &self,
+        cursor: &mut BucketWindows,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(&[u32]) -> bool,
+    ) {
+        // Native slices: each delta range of a sorted run is already a
+        // contiguous id run, handed to the engine without any buffering.
+        let run = &self.tables[t];
+        let n = run.oids.len();
+        let (left, right) = cursor
+            .grow(t, radius, n, |b, lo, hi| lo + run.buckets[lo..hi].partition_point(|&x| x < b));
+        for range in [left, right] {
+            if !range.is_empty() && !visit(&run.oids[range]) {
+                return;
             }
         }
     }

@@ -521,6 +521,15 @@ impl TableStore for PagedStore {
         BucketWindows::new(self.family.buckets(q))
     }
 
+    fn begin_batch(&self, queries: &Dataset) -> Vec<BucketWindows> {
+        let m = self.family.len();
+        self.family
+            .buckets_batch(queries)
+            .chunks_exact(m)
+            .map(|b| BucketWindows::new(b.to_vec()))
+            .collect()
+    }
+
     fn expand(
         &self,
         cursor: &mut BucketWindows,
@@ -529,7 +538,7 @@ impl TableStore for PagedStore {
         visit: &mut dyn FnMut(u32) -> bool,
     ) {
         let run = self.run(t);
-        let (left, right) = cursor.grow(t, radius, self.n, |b| {
+        let (left, right) = cursor.grow(t, radius, self.n, |b, _, _| {
             run.lower_bound(&self.file, &self.pool, b).expect("posting page read failed")
         });
         for range in [left, right] {

@@ -312,7 +312,30 @@ impl TableStore for ShardedEngine<'_> {
     }
 
     fn begin(&self, q: &[f32]) -> ShardedCursor {
-        ShardedCursor { per_shard: self.shards.iter().map(|s| s.begin(q)).collect() }
+        // All shards share one hash family, so the query's bucket ids
+        // are computed once and cloned into each shard's window set
+        // rather than re-hashed `S` times.
+        let buckets = self.shards[0].family().buckets(q);
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for _ in 1..self.shards.len() {
+            per_shard.push(BucketWindows::new(buckets.clone()));
+        }
+        per_shard.push(BucketWindows::new(buckets));
+        ShardedCursor { per_shard }
+    }
+
+    fn begin_batch(&self, queries: &Dataset) -> Vec<ShardedCursor> {
+        // One blocked matrix product hashes the whole batch for every
+        // shard at once (shared family).
+        let family = self.shards[0].family();
+        let m = family.len();
+        family
+            .buckets_batch(queries)
+            .chunks_exact(m)
+            .map(|b| ShardedCursor {
+                per_shard: self.shards.iter().map(|_| BucketWindows::new(b.to_vec())).collect(),
+            })
+            .collect()
     }
 
     fn expand(
@@ -332,6 +355,45 @@ impl TableStore for ShardedEngine<'_> {
                 let keep_going = visit(local + off);
                 stopped = !keep_going;
                 keep_going
+            });
+            if stopped {
+                return;
+            }
+        }
+    }
+
+    fn expand_slices(
+        &self,
+        cursor: &mut ShardedCursor,
+        t: usize,
+        radius: i64,
+        visit: &mut dyn FnMut(&[u32]) -> bool,
+    ) {
+        // Shard 0's local ids are already global (offset 0) and pass
+        // through untouched; later shards remap each native slice into
+        // a stack buffer — a straight-line add over a `u32` slice, far
+        // cheaper than the per-id virtual remap of `expand`.
+        let mut stopped = false;
+        let mut buf = [0u32; engine::EXPAND_SLICE_BUF];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let off = self.offsets[s];
+            shard.expand_slices(&mut cursor.per_shard[s], t, radius, &mut |oids| {
+                if off == 0 {
+                    let keep_going = visit(oids);
+                    stopped = !keep_going;
+                    return keep_going;
+                }
+                for chunk in oids.chunks(engine::EXPAND_SLICE_BUF) {
+                    let remapped = &mut buf[..chunk.len()];
+                    for (dst, &local) in remapped.iter_mut().zip(chunk) {
+                        *dst = local + off;
+                    }
+                    if !visit(remapped) {
+                        stopped = true;
+                        return false;
+                    }
+                }
+                true
             });
             if stopped {
                 return;

@@ -17,7 +17,6 @@ use c2lsh::stats::{BatchStats, QueryStats};
 use cc_math::hoeffding::DerivedParams;
 use cc_storage::bptree::{BPlusTree, Cursor};
 use cc_vector::dataset::Dataset;
-use cc_vector::dist::dot;
 use cc_vector::gt::Neighbor;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -116,11 +115,19 @@ impl<'d> Qalsh<'d> {
         let d = data.dim();
         let proj: Vec<Vec<f32>> =
             (0..m).map(|_| (0..d).map(|_| normal.sample(&mut rng) as f32).collect()).collect();
+        // Build-time keys and query-time probes must use the same
+        // projection schedule; both go through the dispatched kernel
+        // (bit-identical across kernels, so cross-kernel index/query
+        // mixes still probe exactly).
+        let kd = c2lsh::kernels::dispatch();
         let trees: Vec<BPlusTree<OrdF64, u32>> = proj
             .iter()
             .map(|a| {
-                let mut pairs: Vec<(OrdF64, u32)> =
-                    data.iter().enumerate().map(|(i, v)| (OrdF64(dot(a, v)), i as u32)).collect();
+                let mut pairs: Vec<(OrdF64, u32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (OrdF64(kd.dot(a, v)), i as u32))
+                    .collect();
                 pairs.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
                 let t = BPlusTree::bulk_load(&pairs);
                 t.reset_io();
@@ -261,7 +268,10 @@ impl TableStore for Qalsh<'_> {
     }
 
     fn begin(&self, q: &[f32]) -> QalshCursor {
-        let pq: Vec<f64> = self.proj.iter().map(|a| dot(a, q)).collect();
+        // The dispatched projection kernel; build-time keys used the same
+        // canonical schedule, so probe positions land exactly.
+        let kd = c2lsh::kernels::dispatch();
+        let pq: Vec<f64> = self.proj.iter().map(|a| kd.dot(a, q)).collect();
         let probes: Vec<ProbePair> = (0..self.m)
             .map(|t| {
                 let right = self.trees[t].lower_bound(OrdF64(pq[t]));

@@ -41,6 +41,11 @@
 //! slow log) sets the slow-log threshold and `--trace-sample N` (64)
 //! captures a span tree for every Nth query. Without `--metrics-addr`
 //! the service records nothing per query.
+//!
+//! Kernels: `--kernel auto|scalar|sse2|avx2|neon` (auto) pins the SIMD
+//! kernel both hot loops dispatch through; `auto` honors
+//! `CC_FORCE_SCALAR=1` and otherwise picks the best the CPU supports.
+//! The selection is exported as the `cc_kernel_info` gauge.
 
 use c2lsh::{
     C2lshConfig, DynamicIndex, MutableIndex, MutationOp, PagedStore, ShardedData, ShardedEngine,
@@ -73,6 +78,7 @@ struct Args {
     metrics_addr: Option<String>,
     slow_query_ms: u64,
     trace_sample: u32,
+    kernel: Option<c2lsh::Kernel>,
 }
 
 impl Args {
@@ -97,6 +103,7 @@ impl Args {
             metrics_addr: None,
             slow_query_ms: 100,
             trace_sample: 64,
+            kernel: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -139,6 +146,12 @@ impl Args {
                 "--trace-sample" => {
                     args.trace_sample = parse(&value("--trace-sample"), "--trace-sample")
                 }
+                "--kernel" => {
+                    args.kernel = c2lsh::Kernel::parse(&value("--kernel")).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic|paged] \
@@ -146,7 +159,8 @@ impl Args {
                          [--collections-dir DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
                          [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES] \
-                         [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--trace-sample N]"
+                         [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--trace-sample N] \
+                         [--kernel auto|scalar|sse2|avx2|neon]"
                     );
                     exit(0);
                 }
@@ -173,6 +187,16 @@ fn main() {
         eprintln!("--shards, --n and --dim must all be at least 1");
         exit(2);
     }
+    // Pin the SIMD kernel before anything hashes: index build, WAL
+    // recovery and queries must all dispatch through the same kernel.
+    let kd = match args.kernel {
+        Some(k) => c2lsh::kernels::init(k).unwrap_or_else(|e| {
+            eprintln!("--kernel: {e}");
+            exit(2);
+        }),
+        None => c2lsh::kernels::dispatch(),
+    };
+    eprintln!("kernel: {}", kd.kernel());
     let config = C2lshConfig::builder().bucket_width(args.bucket_width).seed(args.seed).build();
     let mut service = ServiceConfig {
         max_batch: args.max_batch,

@@ -266,6 +266,12 @@ impl ServerObs {
             self.objects.load(Ordering::Relaxed) as f64,
         );
         doc.gauge("cc_dim", "Dataset dimensionality.", self.dim.load(Ordering::Relaxed) as f64);
+        doc.gauge_labeled(
+            "cc_kernel_info",
+            "SIMD kernel both hot loops dispatch through (value is always 1).",
+            "kernel",
+            &[(c2lsh::kernels::dispatch().kernel().name().to_string(), 1.0)],
+        );
         doc.gauge(
             "cc_shards",
             "Shards behind the engine.",
@@ -468,6 +474,8 @@ mod tests {
         assert!(text.contains("cc_query_seconds_count 1"), "{text}");
         assert!(text.contains("cc_stage_count_seconds_count 1"), "{text}");
         assert!(text.contains("cc_slow_queries_total 1"), "{text}");
+        let kernel = c2lsh::kernels::dispatch().kernel().name();
+        assert!(text.contains(&format!("cc_kernel_info{{kernel=\"{kernel}\"}} 1")), "{text}");
         assert!(obs.render_slowlog().contains("trace_id=3"), "{}", obs.render_slowlog());
     }
 

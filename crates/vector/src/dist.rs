@@ -18,15 +18,28 @@
 //! bounded variant merely reads the accumulators every
 //! [`BOUND_CHECK_DIMS`] dimensions without disturbing them).
 
-/// Accumulator lanes of the squared-distance kernel.
-const LANES: usize = 8;
+/// Accumulator lanes of the squared-distance kernel. This is the
+/// canonical schedule every SIMD reimplementation (`c2lsh::kernels`)
+/// must reproduce lane-for-lane to stay bit-identical: AVX2 keeps all
+/// eight lanes in one 256-bit register, SSE2/NEON keep them as two
+/// 128-bit registers.
+pub const LANES: usize = 8;
+
+/// Accumulator chunks between two early-abandon bound checks.
+pub const CHECK_CHUNKS: usize = 8;
 
 /// The bounded kernel compares its partial sum against the bound at
 /// block boundaries of this many dimensions (a whole number of
 /// accumulator chunks, so the check never perturbs the accumulation
 /// schedule). The final, possibly partial block of the lane-chunked
 /// region is also followed by a check — it can spare the tail loop.
-pub const BOUND_CHECK_DIMS: usize = 64;
+///
+/// Derived from the kernel's lane count rather than hardcoded: every
+/// dispatchable kernel keeps [`LANES`] f32 accumulator lanes (however
+/// they are packed into registers) and checks every [`CHECK_CHUNKS`]
+/// chunks, so abandon-rate statistics stay comparable across scalar
+/// and SIMD kernels.
+pub const BOUND_CHECK_DIMS: usize = LANES * CHECK_CHUNKS;
 
 /// Combine the eight lane accumulators into `f64`. Used both for the
 /// final sum and for the (read-only) mid-stream bound checks, so bounded

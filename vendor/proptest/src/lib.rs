@@ -264,6 +264,14 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The `PROPTEST_CASES` environment override (mirroring upstream):
+/// when set to a valid count it replaces every property's configured
+/// case count — interpreted runs (Miri) use it to stay within budget.
+#[doc(hidden)]
+pub fn cases_from_env(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(configured)
+}
+
 pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
 
@@ -298,7 +306,7 @@ macro_rules! __proptest_fns {
                 let __config: $crate::ProptestConfig = $cfg;
                 let mut __rng =
                     $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__config.cases {
+                for __case in 0..$crate::cases_from_env(__config.cases) {
                     $(
                         let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
                     )+
