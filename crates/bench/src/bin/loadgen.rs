@@ -148,6 +148,9 @@ fn run_client(
             SearchOutcome::DeadlineExceeded => {
                 panic!("deadline exceeded on a query that set no deadline")
             }
+            SearchOutcome::Stale => {
+                panic!("stale rejection on a query that pinned no min_seq")
+            }
         }
     }
     report

@@ -68,6 +68,10 @@ pub enum ErrorKind {
     /// Anything that does not fit the categories above — including
     /// codes from a future peer this build does not know.
     Internal,
+    /// The serving node cannot satisfy the request's freshness bound
+    /// (`min_seq` ahead of the node's applied sequence). Retryable:
+    /// pick another replica or wait for replication to catch up.
+    Stale,
 }
 
 impl ErrorKind {
@@ -81,6 +85,7 @@ impl ErrorKind {
             ErrorKind::Protocol => 5,
             ErrorKind::Draining => 6,
             ErrorKind::Internal => 7,
+            ErrorKind::Stale => 8,
         }
     }
 
@@ -94,6 +99,7 @@ impl ErrorKind {
             4 => ErrorKind::Io,
             5 => ErrorKind::Protocol,
             6 => ErrorKind::Draining,
+            8 => ErrorKind::Stale,
             _ => ErrorKind::Internal,
         }
     }
@@ -108,6 +114,7 @@ impl ErrorKind {
             ErrorKind::Protocol => "protocol",
             ErrorKind::Draining => "draining",
             ErrorKind::Internal => "internal",
+            ErrorKind::Stale => "stale",
         }
     }
 }
@@ -199,6 +206,7 @@ mod tests {
             ErrorKind::Protocol,
             ErrorKind::Draining,
             ErrorKind::Internal,
+            ErrorKind::Stale,
         ];
         for k in kinds {
             assert_eq!(ErrorKind::from_code(k.code()), k);
@@ -211,6 +219,7 @@ mod tests {
         assert_eq!(ErrorKind::Protocol.code(), 5);
         assert_eq!(ErrorKind::Draining.code(), 6);
         assert_eq!(ErrorKind::Internal.code(), 7);
+        assert_eq!(ErrorKind::Stale.code(), 8);
         // Unknown codes degrade gracefully.
         assert_eq!(ErrorKind::from_code(999), ErrorKind::Internal);
     }

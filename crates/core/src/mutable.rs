@@ -31,10 +31,11 @@ use crate::engine::SearchOptions;
 use crate::meta::PointMeta;
 use crate::persist::{load_dynamic, save_dynamic};
 use crate::stats::{BatchStats, MutationStats, QueryStats};
-use cc_storage::wal::{Wal, WalOp};
+use cc_storage::wal::{Wal, WalOp, WalRecord};
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
 use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -121,12 +122,61 @@ struct Writer {
     poisoned: Option<String>,
 }
 
+/// In-memory retention of applied WAL records, feeding replication
+/// subscribers. Seeded from the replayed log at open and appended on
+/// every applied batch; checkpoints truncate the *disk* log but never
+/// this buffer, so a connected follower survives checkpoints. The
+/// buffer grows with process-lifetime mutations — bounded retention
+/// plus snapshot shipping for too-far-behind followers is the
+/// documented follow-up (DESIGN.md §14).
+struct ReplLog {
+    /// Sequence number *before* the first retained record: subscribers
+    /// must start at or above this floor. Nonzero when the index was
+    /// opened from a checkpoint (the pre-checkpoint history is gone).
+    floor: u64,
+    records: VecDeque<WalRecord>,
+}
+
 /// A [`DynamicIndex`] made safe for concurrent serving: lock-free-read
 /// snapshots plus (optionally) a WAL-backed crash-recovery story. See
 /// the module docs for the contract.
 pub struct MutableIndex {
     snapshot: RwLock<Snapshot>,
     writer: Mutex<Writer>,
+    repl: Mutex<ReplLog>,
+}
+
+/// Apply one replicated/replayed WAL record to an index, with the
+/// divergence checks shared by crash recovery and follower apply: an
+/// insert must reproduce the logged oid, a delete must find its
+/// victim — anything else means the histories forked.
+fn apply_wal_record(index: &mut DynamicIndex, rec: &WalRecord) -> io::Result<()> {
+    match &rec.op {
+        WalOp::Insert { oid, vector, tag, label } => {
+            let got = index.insert_with_meta(vector.clone(), PointMeta::new(*tag, *label));
+            if got != *oid {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL replay divergence at seq {}: insert produced oid {got}, log says {oid}",
+                        rec.seq
+                    ),
+                ));
+            }
+        }
+        WalOp::Delete { oid } => {
+            if !index.delete(*oid) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL replay divergence at seq {}: delete of unknown oid {oid}",
+                        rec.seq
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for MutableIndex {
@@ -159,6 +209,7 @@ impl MutableIndex {
                 stats: MutationStats::default(),
                 poisoned: None,
             }),
+            repl: Mutex::new(ReplLog { floor: 0, records: VecDeque::new() }),
         }
     }
 
@@ -195,6 +246,7 @@ impl MutableIndex {
 
         let (wal, records, _report) = Wal::open(dir.join(WAL_FILE), ckpt_seq)?;
         let mut last_seq = ckpt_seq;
+        let mut retained = VecDeque::new();
         for rec in records {
             if rec.seq <= ckpt_seq {
                 // Already reflected by the checkpoint (log written
@@ -202,32 +254,9 @@ impl MutableIndex {
                 // checkpoint rename and WAL reset).
                 continue;
             }
-            match rec.op {
-                WalOp::Insert { oid, vector, tag, label } => {
-                    let got = index.insert_with_meta(vector, PointMeta::new(tag, label));
-                    if got != oid {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "WAL replay divergence at seq {}: insert produced oid {got}, log says {oid}",
-                                rec.seq
-                            ),
-                        ));
-                    }
-                }
-                WalOp::Delete { oid } => {
-                    if !index.delete(oid) {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!(
-                                "WAL replay divergence at seq {}: delete of unknown oid {oid}",
-                                rec.seq
-                            ),
-                        ));
-                    }
-                }
-            }
+            apply_wal_record(&mut index, &rec)?;
             last_seq = rec.seq;
+            retained.push_back(rec);
         }
 
         Ok(Self {
@@ -239,6 +268,7 @@ impl MutableIndex {
                 stats: MutationStats { last_seq, ..MutationStats::default() },
                 poisoned: None,
             }),
+            repl: Mutex::new(ReplLog { floor: ckpt_seq, records: retained }),
         })
     }
 
@@ -389,16 +419,159 @@ impl MutableIndex {
             last_seq = last_seq.max(ack.seq());
         }
         delta.last_seq = last_seq;
+        let publish = !logged.is_empty();
+
+        // Feed replication subscribers: these records are past the
+        // durability point (fsynced, or accepted in ephemeral mode),
+        // so they may ship to followers.
+        if publish {
+            let recs = logged.into_iter().zip(&seqs).map(|(op, &seq)| WalRecord { seq, op });
+            self.repl.lock().records.extend(recs);
+        }
 
         // Publish: one pointer swap; readers holding the old Arc finish
         // on the pre-batch snapshot. A batch of pure delete misses
         // changed nothing — keep the old snapshot (and its readers'
         // cache residency) instead of swapping in an identical clone.
-        if !logged.is_empty() {
+        if publish {
             *self.snapshot.write() = Snapshot { seq: last_seq, index: Arc::new(next) };
         }
         writer.stats.merge(&delta);
         Ok((acks, delta))
+    }
+
+    /// The replication tail: every retained record with sequence number
+    /// strictly greater than `from_seq`, capped at `max` records, plus
+    /// the current high-water mark. An empty vec with a high-water mark
+    /// equal to `from_seq` means the subscriber is caught up.
+    ///
+    /// # Errors
+    ///
+    /// `from_seq` below the retained floor (the index was opened from a
+    /// checkpoint and the earlier history is gone) is refused with
+    /// [`io::ErrorKind::InvalidInput`] — such a follower needs a full
+    /// snapshot copy, not a log tail.
+    pub fn replication_tail(&self, from_seq: u64, max: usize) -> io::Result<(u64, Vec<WalRecord>)> {
+        let repl = self.repl.lock();
+        if from_seq < repl.floor {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "replication tail from seq {from_seq} is below the retained floor {}; \
+                     the subscriber must re-seed from a checkpoint copy",
+                    repl.floor
+                ),
+            ));
+        }
+        let last = repl.records.back().map_or(repl.floor, |r| r.seq);
+        let tail: Vec<WalRecord> =
+            repl.records.iter().filter(|r| r.seq > from_seq).take(max).cloned().collect();
+        Ok((last, tail))
+    }
+
+    /// Apply a batch of replicated WAL records shipped from a primary.
+    /// Records at or below the local high-water mark are skipped
+    /// (idempotent redelivery after a reconnect); the remainder must
+    /// continue the local sequence densely. Applied records go through
+    /// the same divergence checks as crash recovery, land in the local
+    /// WAL under their *shipped* sequence numbers (one fsync per call),
+    /// and are retained for downstream subscribers. Returns the new
+    /// high-water mark.
+    pub fn apply_replicated(&self, records: &[WalRecord]) -> io::Result<u64> {
+        let mut writer = self.writer.lock();
+        if let Some(why) = &writer.poisoned {
+            return Err(io::Error::other(format!(
+                "replicated apply refused, write path poisoned ({why}); reopen to recover"
+            )));
+        }
+        let mut last_seq = writer.stats.last_seq.max(self.snapshot.read().seq);
+        let fresh: Vec<&WalRecord> = records.iter().filter(|r| r.seq > last_seq).collect();
+        if fresh.is_empty() {
+            return Ok(last_seq);
+        }
+        let mut expect = last_seq + 1;
+        for rec in &fresh {
+            if rec.seq != expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("replication gap: expected seq {expect}, got {}", rec.seq),
+                ));
+            }
+            expect += 1;
+        }
+        let dim = self.snapshot.read().index.dim();
+        for rec in &fresh {
+            if let WalOp::Insert { vector, .. } = &rec.op {
+                if vector.len() != dim || !vector.iter().all(|x| x.is_finite()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("replicated record at seq {} carries an invalid vector", rec.seq),
+                    ));
+                }
+            }
+        }
+
+        let mut next = DynamicIndex::clone(&self.snapshot.read().index);
+        let mut delta = MutationStats { batches: 1, ..MutationStats::default() };
+        for rec in &fresh {
+            apply_wal_record(&mut next, rec)?;
+            match rec.op {
+                WalOp::Insert { .. } => delta.inserts += 1,
+                WalOp::Delete { .. } => delta.deletes += 1,
+            }
+        }
+
+        // Durability under the shipped sequence numbers: the local log
+        // assigns dense seqs from the same base as the primary's, so a
+        // mismatch here means the histories forked and the node must
+        // not serve.
+        if let Some(wal) = writer.wal.as_mut() {
+            let wal_bytes_before = wal.size_bytes();
+            let pos = wal.position();
+            let appended = (|| -> io::Result<()> {
+                for rec in &fresh {
+                    let got = wal.append(&rec.op)?;
+                    if got != rec.seq {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "local WAL assigned seq {got} to a record shipped as seq {}",
+                                rec.seq
+                            ),
+                        ));
+                    }
+                }
+                wal.sync()?;
+                Ok(())
+            })();
+            if let Err(e) = appended {
+                let poisoned = match wal.rollback(pos) {
+                    Ok(()) => None,
+                    Err(rb) => Some(format!("{e}; WAL rollback also failed: {rb}")),
+                };
+                writer.poisoned = poisoned;
+                return Err(e);
+            }
+            delta.wal_syncs = 1;
+            delta.wal_records = fresh.len() as u64;
+            delta.wal_bytes = wal.size_bytes() - wal_bytes_before;
+        } else {
+            writer.next_seq = expect;
+        }
+        last_seq = expect - 1;
+        delta.last_seq = last_seq;
+
+        self.repl.lock().records.extend(fresh.iter().map(|r| (*r).clone()));
+        *self.snapshot.write() = Snapshot { seq: last_seq, index: Arc::new(next) };
+        writer.stats.merge(&delta);
+        Ok(last_seq)
+    }
+
+    /// The lowest sequence number replication can serve *from* (see
+    /// [`MutableIndex::replication_tail`]): subscribers asking below
+    /// this floor are refused.
+    pub fn replication_floor(&self) -> u64 {
+        self.repl.lock().floor
     }
 
     /// Write a checkpoint (`checkpoint.c2d`, via tmp-file + rename) of
@@ -826,6 +999,85 @@ mod tests {
         let other = C2lshConfig::builder().bucket_width(2.0).seed(42).build();
         let err = MutableIndex::open(&dir, 4, 100, &other).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replication_tail_ships_and_apply_replicated_converges() {
+        let dir_p = scratch_dir("repl-primary");
+        let dir_f = scratch_dir("repl-follower");
+        let data = points(30, 5, 33);
+        let config = cfg();
+        let primary = MutableIndex::open(&dir_p, 5, 100, &config).unwrap();
+        let follower = MutableIndex::open(&dir_f, 5, 100, &config).unwrap();
+
+        let ops: Vec<MutationOp> = data.iter().take(20).map(insert).collect();
+        primary.apply_batch(&ops).unwrap();
+        primary.apply_batch(&[MutationOp::Delete { oid: 3 }]).unwrap();
+
+        // Ship the whole tail in two pulls.
+        let (last, tail) = primary.replication_tail(0, 15).unwrap();
+        assert_eq!(last, 21);
+        assert_eq!(tail.len(), 15);
+        assert_eq!(follower.apply_replicated(&tail).unwrap(), 15);
+        let (_, tail) = primary.replication_tail(15, 100).unwrap();
+        assert_eq!(tail.len(), 6);
+        assert_eq!(follower.apply_replicated(&tail).unwrap(), 21);
+
+        // Converged: same answers, same seq, same live count.
+        assert_eq!(follower.last_seq(), primary.last_seq());
+        assert_eq!(follower.len(), primary.len());
+        let q = data.get(7).to_vec();
+        assert_eq!(follower.query(&q, 3).0, primary.query(&q, 3).0);
+
+        // Idempotent redelivery: replaying the same tail is a no-op.
+        assert_eq!(follower.apply_replicated(&tail).unwrap(), 21);
+        assert_eq!(follower.len(), primary.len());
+
+        // A gap is refused, not silently applied.
+        let (_, all) = primary.replication_tail(0, 1000).unwrap();
+        let gapped = [all[0].clone(), all[2].clone()];
+        let fresh = MutableIndex::ephemeral(DynamicIndex::new(5, 100, &config));
+        let err = fresh.apply_replicated(&gapped).unwrap_err();
+        assert!(err.to_string().contains("replication gap"), "{err}");
+
+        // Caught-up probe: empty tail, high-water mark echoed.
+        let (last, tail) = primary.replication_tail(21, 100).unwrap();
+        assert_eq!((last, tail.len()), (21, 0));
+
+        // The follower's own WAL carried the shipped seqs: a cold
+        // reopen of the follower directory reproduces the state.
+        drop(follower);
+        let reopened = MutableIndex::open(&dir_f, 5, 100, &config).unwrap();
+        assert_eq!(reopened.last_seq(), 21);
+        assert_eq!(reopened.query(&q, 3).0, primary.query(&q, 3).0);
+        std::fs::remove_dir_all(&dir_p).unwrap();
+        std::fs::remove_dir_all(&dir_f).unwrap();
+    }
+
+    #[test]
+    fn replication_floor_rises_with_checkpointed_reopen() {
+        let dir = scratch_dir("repl-floor");
+        let data = points(10, 4, 34);
+        let config = cfg();
+        {
+            let m = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+            let ops: Vec<MutationOp> = data.iter().map(insert).collect();
+            m.apply_batch(&ops).unwrap();
+            assert_eq!(m.replication_floor(), 0, "fresh open retains from the start");
+            m.checkpoint().unwrap();
+            // A live index keeps its in-memory retention across the
+            // checkpoint — connected followers are unaffected.
+            assert_eq!(m.replication_tail(0, 100).unwrap().1.len(), 10);
+            m.apply_batch(&[MutationOp::Delete { oid: 0 }]).unwrap();
+        }
+        // A reopen only has the post-checkpoint history.
+        let m = MutableIndex::open(&dir, 4, 100, &config).unwrap();
+        assert_eq!(m.replication_floor(), 10);
+        let err = m.replication_tail(5, 100).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let (last, tail) = m.replication_tail(10, 100).unwrap();
+        assert_eq!((last, tail.len()), (11, 1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

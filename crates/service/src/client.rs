@@ -19,13 +19,15 @@
 //!     }
 //!     SearchOutcome::Overloaded => { /* back off and retry */ }
 //!     SearchOutcome::DeadlineExceeded => { /* give up */ }
+//!     SearchOutcome::Stale => { /* retry a fresher replica */ }
 //! }
 //! # Ok(()) }
 //! ```
 
 use crate::protocol::{self, CollectionInfo, ProtoError, QueryCost, Request, Response};
 use crate::snapshot::StatsSnapshot;
-use c2lsh::Predicate;
+use c2lsh::{ErrorKind, Predicate};
+use cc_storage::wal::WalRecord;
 use cc_vector::gt::Neighbor;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -41,6 +43,7 @@ pub struct QueryRequest {
     want_trace: bool,
     filter: Option<Predicate>,
     collection: Option<String>,
+    min_seq: u64,
 }
 
 impl QueryRequest {
@@ -55,6 +58,7 @@ impl QueryRequest {
             want_trace: false,
             filter: None,
             collection: None,
+            min_seq: 0,
         }
     }
 
@@ -98,6 +102,16 @@ impl QueryRequest {
         self
     }
 
+    /// Read-your-writes: only accept an answer from a node that has
+    /// applied at least WAL sequence `seq` (e.g. the `seq` returned by
+    /// an insert ack). A lagging follower answers
+    /// [`SearchOutcome::Stale`] instead of serving old data; 0 (the
+    /// default) disables the bound.
+    pub fn min_seq(mut self, seq: u64) -> Self {
+        self.min_seq = seq;
+        self
+    }
+
     fn to_wire(&self) -> Request {
         Request::QueryV2 {
             k: self.k,
@@ -107,6 +121,7 @@ impl QueryRequest {
             vector: self.vector.clone(),
             filter: self.filter,
             collection: self.collection.clone(),
+            min_seq: self.min_seq,
         }
     }
 }
@@ -133,6 +148,10 @@ pub enum SearchOutcome {
     Overloaded,
     /// The deadline expired while the query was queued.
     DeadlineExceeded,
+    /// The node has not caught up to the request's
+    /// [`QueryRequest::min_seq`] bound — ask another replica (or the
+    /// primary) or retry after replication catches up.
+    Stale,
 }
 
 impl SearchOutcome {
@@ -145,6 +164,9 @@ impl SearchOutcome {
             SearchOutcome::Overloaded => Err(ProtoError::Malformed("server overloaded".into())),
             SearchOutcome::DeadlineExceeded => {
                 Err(ProtoError::Malformed("deadline exceeded".into()))
+            }
+            SearchOutcome::Stale => {
+                Err(ProtoError::Malformed("replica stale for requested min_seq".into()))
             }
         }
     }
@@ -194,6 +216,7 @@ impl Client {
             }
             Response::Overloaded => Ok(SearchOutcome::Overloaded),
             Response::DeadlineExceeded => Ok(SearchOutcome::DeadlineExceeded),
+            Response::Error(e) if e.kind() == ErrorKind::Stale => Ok(SearchOutcome::Stale),
             Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
             other => Err(unexpected(&other)),
         }
@@ -311,6 +334,35 @@ impl Client {
                 }
                 Ok((found, seq))
             }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Subscribe this connection to the server's replication stream,
+    /// resuming after `from_seq` (0 = from the beginning). Returns the
+    /// primary's high-water sequence and the first batch of records
+    /// (possibly empty when already caught up). Keep the stream alive
+    /// with [`Client::repl_ack`].
+    pub fn repl_subscribe(
+        &mut self,
+        replica: &str,
+        from_seq: u64,
+    ) -> Result<(u64, Vec<WalRecord>), ProtoError> {
+        let req = Request::ReplSubscribe { replica: replica.into(), from_seq };
+        match self.call(&req)? {
+            Response::ReplBatch { last_seq, records } => Ok((last_seq, records)),
+            Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Acknowledge that every record up to `applied_seq` is applied and
+    /// durable on this subscriber; the server long-polls and answers
+    /// with the next batch (empty = heartbeat, still caught up).
+    pub fn repl_ack(&mut self, applied_seq: u64) -> Result<(u64, Vec<WalRecord>), ProtoError> {
+        match self.call(&Request::ReplAck { applied_seq })? {
+            Response::ReplBatch { last_seq, records } => Ok((last_seq, records)),
+            Response::Error(e) => Err(ProtoError::Malformed(e.to_string())),
             other => Err(unexpected(&other)),
         }
     }

@@ -76,6 +76,12 @@ impl Collection {
     pub fn dim(&self) -> usize {
         self.dim
     }
+
+    /// Highest WAL sequence applied to this collection's index (the
+    /// freshness bound for `min_seq` reads).
+    pub fn last_seq(&self) -> u64 {
+        self.index.last_seq()
+    }
 }
 
 /// One point-in-time row for the metrics exposition.

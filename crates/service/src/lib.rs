@@ -17,6 +17,12 @@
 //!   graceful drain,
 //! * [`collections`] — the named-collection registry: per-collection
 //!   indexes, WAL directories, metadata manifests and metric counters,
+//! * [`replication`] — the follower side of WAL shipping: subscribe to
+//!   a primary, apply each shipped batch durably, acknowledge,
+//!   reconnect with backoff,
+//! * [`router`] — the scatter-gather front: fan QueryV2 out across
+//!   shard groups, fail over within each group, merge top-k, forward
+//!   writes to the primary,
 //! * [`obs`] — the live metric registry ([`obs::ServerObs`]):
 //!   counters, per-stage latency histograms, trace sampling, the
 //!   slow-query ring, and the Prometheus renderer,
@@ -68,6 +74,8 @@ pub mod collections;
 pub mod json;
 pub mod obs;
 pub mod protocol;
+pub mod replication;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 
@@ -75,5 +83,7 @@ pub use client::{Client, QueryRequest, QueryResult, SearchOutcome};
 pub use collections::CollectionsConfig;
 pub use obs::{BufpoolSnapshot, ServerObs};
 pub use protocol::{CollectionInfo, ProtoError, QueryCost, Request, Response, WireSpan};
+pub use replication::{run_follower, ReplicationConfig, ReplicationStats};
+pub use router::{route, route_with_obs, RouterConfig, RouterStats};
 pub use server::{serve, serve_with_obs, ServeEngine, ServiceConfig, ServiceStats};
 pub use snapshot::StatsSnapshot;

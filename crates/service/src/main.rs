@@ -17,11 +17,23 @@
 //!   pinned buffer pool (`--pool-pages N`, default ~5% of the page
 //!   file). With `--metrics-addr` the pool exports the `cc_bufpool_*`
 //!   Prometheus families.
+//! * `--mode dynamic --replicate-from HOST:PORT`: run as a read-only
+//!   **follower** — never seeds, refuses direct writes, and advances
+//!   only by pulling the primary's WAL stream (`--node-name NAME`
+//!   labels it on the primary's `cc_replica_lag_seq` gauge).
+//! * `--mode router`: no engine at all — scatter-gather reads across
+//!   `--replicas A,B[,…]` groups (repeat the flag per shard group)
+//!   with per-leg `--node-deadline-ms` failover, and forward every
+//!   write to `--primary HOST:PORT`.
 //!
 //! ```text
 //! cargo run -p cc-service --release -- --shards 4
 //! cargo run -p cc-service --release -- --mode dynamic --wal /tmp/cc-wal
 //! cargo run -p cc-service --release -- --mode paged --pool-pages 512
+//! cargo run -p cc-service --release -- --mode dynamic --wal /tmp/f1 \
+//!     --replicate-from 127.0.0.1:7878 --node-name f1 --addr 127.0.0.1:7879
+//! cargo run -p cc-service --release -- --mode router --primary 127.0.0.1:7878 \
+//!     --replicas 127.0.0.1:7879,127.0.0.1:7880 --addr 127.0.0.1:7900
 //! ```
 //!
 //! Flags (all optional): `--addr HOST:PORT` (default `127.0.0.1:7878`),
@@ -79,6 +91,11 @@ struct Args {
     slow_query_ms: u64,
     trace_sample: u32,
     kernel: Option<c2lsh::Kernel>,
+    replicate_from: Option<String>,
+    node_name: Option<String>,
+    primary: Option<String>,
+    replicas: Vec<String>,
+    node_deadline_ms: u64,
 }
 
 impl Args {
@@ -104,6 +121,11 @@ impl Args {
             slow_query_ms: 100,
             trace_sample: 64,
             kernel: None,
+            replicate_from: None,
+            node_name: None,
+            primary: None,
+            replicas: Vec::new(),
+            node_deadline_ms: 500,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -146,6 +168,18 @@ impl Args {
                 "--trace-sample" => {
                     args.trace_sample = parse(&value("--trace-sample"), "--trace-sample")
                 }
+                "--replicate-from" => args.replicate_from = Some(value("--replicate-from")),
+                "--node-name" => args.node_name = Some(value("--node-name")),
+                "--primary" => args.primary = Some(value("--primary")),
+                "--replicas" => {
+                    // Comma-separated within a group; repeat the flag
+                    // for more shard groups.
+                    args.replicas.push(value("--replicas"));
+                }
+                "--node-deadline-ms" => {
+                    args.node_deadline_ms =
+                        parse(&value("--node-deadline-ms"), "--node-deadline-ms")
+                }
                 "--kernel" => {
                     args.kernel = c2lsh::Kernel::parse(&value("--kernel")).unwrap_or_else(|e| {
                         eprintln!("{e}");
@@ -154,13 +188,17 @@ impl Args {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: cc-service [--addr HOST:PORT] [--mode sharded|dynamic|paged] \
+                        "usage: cc-service [--addr HOST:PORT] \
+                         [--mode sharded|dynamic|paged|router] \
                          [--wal DIR] [--paged-file PATH] [--pool-pages N] \
                          [--collections-dir DIR] [--shards S] [--n N] [--dim D] \
                          [--seed SEED] [--bucket-width W] [--queue-cap Q] [--max-batch B] \
                          [--max-delay-us US] [--k-max K] [--checkpoint-wal-bytes BYTES] \
                          [--metrics-addr HOST:PORT] [--slow-query-ms MS] [--trace-sample N] \
-                         [--kernel auto|scalar|sse2|avx2|neon]"
+                         [--kernel auto|scalar|sse2|avx2|neon] \
+                         [--replicate-from HOST:PORT] [--node-name NAME] \
+                         [--primary HOST:PORT] [--replicas A,B[,…]]… \
+                         [--node-deadline-ms MS]"
                     );
                     exit(0);
                 }
@@ -305,6 +343,49 @@ fn main() {
             );
             cc_service::serve_with_obs(&*store, listener, &service, obs)
         }
+        "router" => {
+            let primary = args.primary.clone().unwrap_or_else(|| {
+                eprintln!("--mode router needs --primary HOST:PORT");
+                exit(2);
+            });
+            if args.replicas.is_empty() {
+                eprintln!("--mode router needs at least one --replicas A[,B,…] group");
+                exit(2);
+            }
+            let router = cc_service::RouterConfig {
+                primary,
+                groups: args
+                    .replicas
+                    .iter()
+                    .map(|g| g.split(',').map(str::to_string).collect())
+                    .collect(),
+                node_deadline: Duration::from_millis(args.node_deadline_ms),
+                primary_reads: true,
+            };
+            eprintln!(
+                "cc-service listening on {shown_addr} — router, primary = {}, groups = {:?}",
+                router.primary, router.groups,
+            );
+            match cc_service::route_with_obs(listener, &router, obs) {
+                Ok(stats) => {
+                    eprintln!(
+                        "router drained: {} queries, {} legs, {} failovers, \
+                         {} node errors, {} forwards, {} errors",
+                        stats.queries,
+                        stats.fanout,
+                        stats.failovers,
+                        stats.node_errors,
+                        stats.forwards,
+                        stats.errors,
+                    );
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("router failed: {e}");
+                    exit(1);
+                }
+            }
+        }
         "dynamic" => {
             let engine = match &args.wal {
                 Some(dir) => {
@@ -315,7 +396,15 @@ fn main() {
                 }
                 None => MutableIndex::ephemeral(DynamicIndex::new(args.dim, args.n, &config)),
             };
-            if engine.is_empty() && engine.last_seq() == 0 {
+            // A follower's state may only advance through the
+            // replication stream: never seed it, and refuse direct
+            // writes — either would fork its sequence history from the
+            // primary's.
+            let follower = args.replicate_from.is_some();
+            if follower {
+                service.read_only = true;
+            }
+            if !follower && engine.is_empty() && engine.last_seq() == 0 {
                 // Fresh store: seed it with the synthetic dataset so
                 // the server has something to answer about. A recovered
                 // store keeps its own data untouched.
@@ -347,16 +436,46 @@ fn main() {
                 }
             }
             eprintln!(
-                "cc-service listening on {shown_addr} — dynamic{}, n = {}, d = {}, seq = {}",
+                "cc-service listening on {shown_addr} — dynamic{}{}, n = {}, d = {}, seq = {}",
                 if args.wal.is_some() { " (WAL-backed)" } else { " (ephemeral)" },
+                if follower { ", read-only follower" } else { "" },
                 engine.len(),
                 args.dim,
                 engine.last_seq(),
             );
-            cc_service::serve_with_obs(&engine, listener, &service, obs)
+            match &args.replicate_from {
+                Some(primary) => {
+                    // The pull loop runs next to the serve loop; once
+                    // the serve loop drains, raise the stop flag and
+                    // wait the loop out (bounded by its read timeout).
+                    let name = args
+                        .node_name
+                        .clone()
+                        .unwrap_or_else(|| format!("follower-{}", std::process::id()));
+                    let repl = cc_service::ReplicationConfig::new(primary.clone(), name);
+                    let stop = std::sync::atomic::AtomicBool::new(false);
+                    let engine = &engine;
+                    let repl = &repl;
+                    let stop = &stop;
+                    crossbeam::scope(move |s| {
+                        let puller = s.spawn(move |_| cc_service::run_follower(engine, repl, stop));
+                        let stats = cc_service::serve_with_obs(engine, listener, &service, obs);
+                        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                        let pulled = puller.join().expect("replication thread panicked");
+                        eprintln!(
+                            "replication stopped: {} batches, {} records, \
+                             {} heartbeats, {} reconnects",
+                            pulled.batches, pulled.records, pulled.heartbeats, pulled.reconnects,
+                        );
+                        stats
+                    })
+                    .expect("follower worker panicked")
+                }
+                None => cc_service::serve_with_obs(&engine, listener, &service, obs),
+            }
         }
         other => {
-            eprintln!("unknown --mode {other} (expected sharded, dynamic or paged)");
+            eprintln!("unknown --mode {other} (expected sharded, dynamic, paged or router)");
             exit(2);
         }
     };

@@ -59,6 +59,11 @@ impl BufpoolSnapshot {
 /// layer when the engine is the paged disk tier.
 pub type BufpoolSource = Box<dyn Fn() -> BufpoolSnapshot + Send + Sync>;
 
+/// A provider of per-replica lag rows `(replica, lag_in_seqs)` —
+/// installed by the serving layer when this node is a replication
+/// primary with at least one subscriber.
+pub type ReplicasSource = Box<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
+
 /// Live metric registry for one service instance.
 pub struct ServerObs {
     config: ObsConfig,
@@ -89,6 +94,14 @@ pub struct ServerObs {
     pub traces: Counter,
     /// Queries recorded in the slow log.
     pub slow_queries: Counter,
+    /// Router: per-node sub-queries fanned out (scatter legs issued).
+    pub router_fanout: Counter,
+    /// Router: queries that fell over to another replica after a node
+    /// failed, timed out, or answered stale.
+    pub router_failover: Counter,
+    /// Router: individual node legs that errored (connect failure,
+    /// deadline, stale, or error frame).
+    pub router_node_errors: Counter,
     // Latency histograms, all in nanoseconds.
     queue_wait: Histogram,
     query_total: Histogram,
@@ -109,6 +122,9 @@ pub struct ServerObs {
     /// Buffer-pool snapshot provider; installed when the engine is the
     /// paged disk tier (same locking discipline as `collections`).
     bufpool: Mutex<Option<BufpoolSource>>,
+    /// Per-replica lag provider; installed when this node ships its
+    /// WAL to subscribers (same locking discipline as `collections`).
+    replicas: Mutex<Option<ReplicasSource>>,
 }
 
 impl ServerObs {
@@ -131,6 +147,9 @@ impl ServerObs {
             filtered: Counter::new(),
             traces: Counter::new(),
             slow_queries: Counter::new(),
+            router_fanout: Counter::new(),
+            router_failover: Counter::new(),
+            router_node_errors: Counter::new(),
             queue_wait: Histogram::new(),
             query_total: Histogram::new(),
             stage_hash: Histogram::new(),
@@ -144,6 +163,7 @@ impl ServerObs {
             next_trace_id: AtomicU64::new(1),
             collections: Mutex::new(None),
             bufpool: Mutex::new(None),
+            replicas: Mutex::new(None),
         }
     }
 
@@ -155,6 +175,11 @@ impl ServerObs {
     /// Install (or replace) the buffer-pool snapshot provider.
     pub fn set_bufpool_source(&self, source: BufpoolSource) {
         *self.bufpool.lock().unwrap() = Some(source);
+    }
+
+    /// Install (or replace) the per-replica lag provider.
+    pub fn set_replicas_source(&self, source: ReplicasSource) {
+        *self.replicas.lock().unwrap() = Some(source);
     }
 
     /// A registry with everything off (the plain [`crate::serve`] path).
@@ -303,6 +328,21 @@ impl ServerObs {
             "Queries retained in the slow log.",
             self.slow_queries.get(),
         );
+        doc.counter(
+            "cc_router_fanout_total",
+            "Scatter legs issued by the router (one per node per query).",
+            self.router_fanout.get(),
+        );
+        doc.counter(
+            "cc_router_failover_total",
+            "Queries that fell over to another replica after a node failure.",
+            self.router_failover.get(),
+        );
+        doc.counter(
+            "cc_router_node_errors_total",
+            "Individual node legs that errored (connect, deadline, stale, error frame).",
+            self.router_node_errors.get(),
+        );
         doc.summary_seconds(
             "cc_queue_wait_seconds",
             "Time from admission to engine dispatch.",
@@ -387,6 +427,20 @@ impl ServerObs {
                 "Buffer-pool hit ratio since start (hits / requests).",
                 s.hit_ratio(),
             );
+        }
+        // Per-replica lag, labeled `replica="<name>"`. Present once the
+        // serving layer installed the board (i.e. this node is a
+        // primary) and at least one subscriber has pulled.
+        if let Some(source) = self.replicas.lock().unwrap().as_ref() {
+            let rows = source();
+            if !rows.is_empty() {
+                doc.gauge_labeled(
+                    "cc_replica_lag_seq",
+                    "Sequences the replica still trails the primary by (0 = caught up).",
+                    "replica",
+                    &rows.iter().map(|(name, lag)| (name.clone(), *lag as f64)).collect::<Vec<_>>(),
+                );
+            }
         }
         // Per-collection series, labeled `collection="<name>"`. Only
         // present once the serving layer installed its registry and at

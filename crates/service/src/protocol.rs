@@ -16,16 +16,21 @@
 //!          0x06 Delete    u32 oid
 //!          0x07 QueryV2   u32 k | u32 deadline_ms | u32 flags
 //!                         (bit0 = want stats, bit1 = want trace,
-//!                         bit2 = filter, bit3 = collection) |
+//!                         bit2 = filter, bit3 = collection,
+//!                         bit4 = min_seq) |
 //!                         u32 dim | dim × f32 |
 //!                         [filter block, iff bit2] |
-//!                         [u16 name_len | name, iff bit3]
+//!                         [u16 name_len | name, iff bit3] |
+//!                         [u64 min_seq, iff bit4]
 //!          0x08 Metrics             (Prometheus text exposition)
 //!          0x09 CreateCollection  u16 name_len | name | u32 dim
 //!          0x0A DropCollection    u16 name_len | name
 //!          0x0B ListCollections
 //!          0x0C InsertV2  u16 name_len (0 = default engine) | name |
 //!                         u64 tag | u32 label | u32 dim | dim × f32
+//!          0x0D ReplSubscribe  u16 name_len | replica name |
+//!                              u64 from_seq (ship records > from_seq)
+//!          0x0E ReplAck   u64 applied_seq   (long-polls the next batch)
 //!
 //! response 0x81 Pong
 //!          0x82 TopK      u32 count | count × (u32 id, f64 dist)
@@ -43,7 +48,17 @@
 //!          0x8C CollectionList u32 count | count × (u16 name_len |
 //!                              name | u32 dim | u64 objects)
 //!          0x8F Error     u16 ErrorKind code | utf-8 message
+//!          0x90 ReplBatch u64 last_seq | u32 count | count × record
 //! ```
+//!
+//! A replication *record* is one WAL entry on the wire: `u64 seq | u8
+//! kind`, where kind 1 (insert) continues `u32 oid | u64 tag | u32
+//! label | u32 dim | dim × f32` and kind 2 (delete) continues `u32
+//! oid`. A `ReplBatch` with no records is a heartbeat: `last_seq`
+//! tells the subscriber the primary's high-water mark (equal to the
+//! acked seq when caught up). The subscribe/ack exchange is a pull
+//! loop: the follower sends `ReplSubscribe` once, applies each
+//! `ReplBatch`, and answers with `ReplAck` to request the next.
 //!
 //! The QueryV2 *filter block* serializes a [`c2lsh::Predicate`]: `u8
 //! clause mask (bit0 = label_eq, bit1 = tag_any, bit2 = tag_all)`
@@ -74,6 +89,7 @@
 //! them with `total_cmp` equality, no tolerance.
 
 use c2lsh::{Error, ErrorKind, Predicate};
+use cc_storage::wal::{WalOp, WalRecord};
 use cc_vector::gt::Neighbor;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -228,6 +244,12 @@ pub enum Request {
         /// Route the query to a named collection instead of the
         /// default engine.
         collection: Option<String>,
+        /// Read-your-writes freshness bound: the serving node must have
+        /// applied at least this sequence number, or answer
+        /// [`ErrorKind::Stale`] instead of serving stale data. 0 (the
+        /// default) disables the bound and keeps the frame byte-compatible
+        /// with pre-replication captures.
+        min_seq: u64,
     },
     /// Ask for the Prometheus text exposition (same document the
     /// `--metrics-addr` HTTP listener serves at `/metrics`).
@@ -261,6 +283,26 @@ pub enum Request {
         label: u32,
         /// The vector to insert.
         vector: Vec<f32>,
+    },
+    /// Subscribe this connection to the primary's replication stream,
+    /// asking for records after `from_seq`. Answered with
+    /// [`Response::ReplBatch`]; the subscriber keeps the stream alive
+    /// with [`Request::ReplAck`].
+    ReplSubscribe {
+        /// Subscriber's self-chosen name (shows up in the primary's
+        /// `cc_replica_lag_seq` gauge; same charset rules as
+        /// collection names).
+        replica: String,
+        /// Ship records with sequence numbers strictly greater than
+        /// this (the subscriber's current high-water mark).
+        from_seq: u64,
+    },
+    /// Acknowledge application through `applied_seq` and long-poll the
+    /// next [`Response::ReplBatch`]. Only valid after a
+    /// [`Request::ReplSubscribe`] on the same connection.
+    ReplAck {
+        /// Highest sequence number the subscriber has durably applied.
+        applied_seq: u64,
     },
 }
 
@@ -322,6 +364,15 @@ pub enum Response {
     /// server draining, …). Carries the unified [`c2lsh::Error`] whose
     /// [`ErrorKind`] code rides the wire numerically.
     Error(Error),
+    /// A batch of WAL records for a replication subscriber. Empty
+    /// `records` is a heartbeat; `last_seq` is the primary's current
+    /// high-water mark either way.
+    ReplBatch {
+        /// The primary's highest acknowledged sequence number.
+        last_seq: u64,
+        /// Records after the subscriber's position, in sequence order.
+        records: Vec<WalRecord>,
+    },
 }
 
 /// Why decoding a frame failed.
@@ -371,6 +422,8 @@ const OP_CREATE_COLLECTION: u8 = 0x09;
 const OP_DROP_COLLECTION: u8 = 0x0A;
 const OP_LIST_COLLECTIONS: u8 = 0x0B;
 const OP_INSERT_V2: u8 = 0x0C;
+const OP_REPL_SUBSCRIBE: u8 = 0x0D;
+const OP_REPL_ACK: u8 = 0x0E;
 const OP_PONG: u8 = 0x81;
 const OP_TOPK: u8 = 0x82;
 const OP_OVERLOADED: u8 = 0x83;
@@ -384,12 +437,18 @@ const OP_METRICS_TEXT: u8 = 0x8A;
 const OP_COLLECTION_ACK: u8 = 0x8B;
 const OP_COLLECTION_LIST: u8 = 0x8C;
 const OP_ERROR: u8 = 0x8F;
+const OP_REPL_BATCH: u8 = 0x90;
 
 /// QueryV2 flag bits.
 const FLAG_WANT_STATS: u32 = 1;
 const FLAG_WANT_TRACE: u32 = 2;
 const FLAG_FILTER: u32 = 4;
 const FLAG_COLLECTION: u32 = 8;
+const FLAG_MIN_SEQ: u32 = 16;
+
+/// Replication record kind bytes.
+const REC_INSERT: u8 = 1;
+const REC_DELETE: u8 = 2;
 
 /// Filter-block clause-mask bits.
 const CLAUSE_LABEL: u8 = 1;
@@ -462,6 +521,49 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_wal_record(buf: &mut Vec<u8>, rec: &WalRecord) {
+    put_u64(buf, rec.seq);
+    match &rec.op {
+        WalOp::Insert { oid, vector, tag, label } => {
+            buf.push(REC_INSERT);
+            put_u32(buf, *oid);
+            put_u64(buf, *tag);
+            put_u32(buf, *label);
+            put_u32(buf, vector.len() as u32);
+            for x in vector {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        WalOp::Delete { oid } => {
+            buf.push(REC_DELETE);
+            put_u32(buf, *oid);
+        }
+    }
+}
+
+fn get_wal_record(cur: &mut Cur<'_>) -> Result<WalRecord, ProtoError> {
+    let seq = cur.u64()?;
+    let op = match cur.u8()? {
+        REC_INSERT => {
+            let oid = cur.u32()?;
+            let tag = cur.u64()?;
+            let label = cur.u32()?;
+            let dim = cur.u32()? as usize;
+            if dim == 0 || dim > MAX_FRAME / 4 {
+                return Err(ProtoError::Malformed(format!("bad record dimensionality {dim}")));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vector.push(cur.f32()?);
+            }
+            WalOp::Insert { oid, vector, tag, label }
+        }
+        REC_DELETE => WalOp::Delete { oid: cur.u32()? },
+        kind => return Err(ProtoError::Malformed(format!("unknown record kind {kind}"))),
+    };
+    Ok(WalRecord { seq, op })
 }
 
 fn encode_cost(buf: &mut Vec<u8>, cost: &QueryCost) {
@@ -558,7 +660,16 @@ fn encode_request(req: &Request) -> Vec<u8> {
             put_u32(&mut buf, *oid);
             buf
         }
-        Request::QueryV2 { k, deadline_ms, want_stats, want_trace, vector, filter, collection } => {
+        Request::QueryV2 {
+            k,
+            deadline_ms,
+            want_stats,
+            want_trace,
+            vector,
+            filter,
+            collection,
+            min_seq,
+        } => {
             let mut buf = Vec::with_capacity(17 + vector.len() * 4);
             buf.push(OP_QUERY_V2);
             put_u32(&mut buf, *k);
@@ -576,6 +687,9 @@ fn encode_request(req: &Request) -> Vec<u8> {
             if collection.is_some() {
                 flags |= FLAG_COLLECTION;
             }
+            if *min_seq > 0 {
+                flags |= FLAG_MIN_SEQ;
+            }
             put_u32(&mut buf, flags);
             put_u32(&mut buf, vector.len() as u32);
             for x in vector {
@@ -586,6 +700,9 @@ fn encode_request(req: &Request) -> Vec<u8> {
             }
             if let Some(name) = collection {
                 put_name(&mut buf, name);
+            }
+            if *min_seq > 0 {
+                put_u64(&mut buf, *min_seq);
             }
             buf
         }
@@ -615,6 +732,19 @@ fn encode_request(req: &Request) -> Vec<u8> {
             for x in vector {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
+            buf
+        }
+        Request::ReplSubscribe { replica, from_seq } => {
+            let mut buf = Vec::with_capacity(11 + replica.len());
+            buf.push(OP_REPL_SUBSCRIBE);
+            put_name(&mut buf, replica);
+            put_u64(&mut buf, *from_seq);
+            buf
+        }
+        Request::ReplAck { applied_seq } => {
+            let mut buf = Vec::with_capacity(9);
+            buf.push(OP_REPL_ACK);
+            put_u64(&mut buf, *applied_seq);
             buf
         }
     }
@@ -700,6 +830,16 @@ fn encode_response(resp: &Response) -> Vec<u8> {
             buf.push(OP_ERROR);
             buf.extend_from_slice(&err.kind().code().to_le_bytes());
             buf.extend_from_slice(msg.as_bytes());
+            buf
+        }
+        Response::ReplBatch { last_seq, records } => {
+            let mut buf = Vec::with_capacity(13 + records.len() * 32);
+            buf.push(OP_REPL_BATCH);
+            put_u64(&mut buf, *last_seq);
+            put_u32(&mut buf, records.len() as u32);
+            for rec in records {
+                put_wal_record(&mut buf, rec);
+            }
             buf
         }
     }
@@ -848,6 +988,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
             let filter = if flags & FLAG_FILTER != 0 { Some(get_filter(&mut cur)?) } else { None };
             let collection =
                 if flags & FLAG_COLLECTION != 0 { Some(get_name(&mut cur)?) } else { None };
+            let min_seq = if flags & FLAG_MIN_SEQ != 0 { cur.u64()? } else { 0 };
             Request::QueryV2 {
                 k,
                 deadline_ms,
@@ -856,6 +997,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
                 vector,
                 filter,
                 collection,
+                min_seq,
             }
         }
         OP_METRICS => Request::Metrics,
@@ -880,6 +1022,12 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
             }
             Request::InsertV2 { collection: (!name.is_empty()).then_some(name), tag, label, vector }
         }
+        OP_REPL_SUBSCRIBE => {
+            let replica = get_name(&mut cur)?;
+            let from_seq = cur.u64()?;
+            Request::ReplSubscribe { replica, from_seq }
+        }
+        OP_REPL_ACK => Request::ReplAck { applied_seq: cur.u64()? },
         op => return Err(ProtoError::Malformed(format!("unknown request opcode {op:#04x}"))),
     };
     cur.finish()?;
@@ -970,6 +1118,18 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ProtoError> 
             let kind = ErrorKind::from_code(cur.u16()?);
             Response::Error(Error::new(kind, cur.utf8_rest()?))
         }
+        OP_REPL_BATCH => {
+            let last_seq = cur.u64()?;
+            let count = cur.u32()? as usize;
+            if count > MAX_FRAME / 13 {
+                return Err(ProtoError::Malformed(format!("bad record count {count}")));
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                records.push(get_wal_record(&mut cur)?);
+            }
+            Response::ReplBatch { last_seq, records }
+        }
         op => return Err(ProtoError::Malformed(format!("unknown response opcode {op:#04x}"))),
     };
     cur.finish()?;
@@ -1011,6 +1171,7 @@ mod tests {
                 vector: vec![0.5, -1.25],
                 filter: None,
                 collection: None,
+                min_seq: 0,
             },
             Request::QueryV2 {
                 k: 1,
@@ -1020,6 +1181,7 @@ mod tests {
                 vector: vec![9.0],
                 filter: Some(Predicate::label(7).and_tag_any(0b1010).and_tag_all(u64::MAX)),
                 collection: Some("tenant-a".into()),
+                min_seq: u64::MAX,
             },
             Request::QueryV2 {
                 k: 3,
@@ -1029,7 +1191,11 @@ mod tests {
                 vector: vec![1.0, 2.0],
                 filter: Some(Predicate::tag_any(1)),
                 collection: None,
+                min_seq: 417,
             },
+            Request::ReplSubscribe { replica: "follower-1".into(), from_seq: 0 },
+            Request::ReplSubscribe { replica: "f".into(), from_seq: u64::MAX },
+            Request::ReplAck { applied_seq: 12345 },
             Request::CreateCollection { name: "images".into(), dim: 128 },
             Request::DropCollection { name: "images".into() },
             Request::ListCollections,
@@ -1058,13 +1224,99 @@ mod tests {
             vector: vec![1.0, 2.0, 3.0],
             filter: None,
             collection: None,
+            min_seq: 0,
         };
         let mut wire = Vec::new();
         write_request(&mut wire, &req).unwrap();
         // len(4) + opcode(1) + k(4) + deadline(4) + flags(4) + dim(4) + 3 × f32.
         assert_eq!(wire.len(), 4 + 1 + 4 + 4 + 4 + 4 + 12);
         let flags = u32::from_le_bytes(wire[13..17].try_into().unwrap());
-        assert_eq!(flags & (FLAG_FILTER | FLAG_COLLECTION), 0);
+        assert_eq!(flags & (FLAG_FILTER | FLAG_COLLECTION | FLAG_MIN_SEQ), 0);
+    }
+
+    #[test]
+    fn min_seq_rides_the_tail_of_the_query_frame() {
+        // With the freshness bound set, the flag comes on and the u64
+        // is the last eight payload bytes (after filter + collection).
+        let req = Request::QueryV2 {
+            k: 2,
+            deadline_ms: 0,
+            want_stats: false,
+            want_trace: false,
+            vector: vec![0.5],
+            filter: Some(Predicate::label(1)),
+            collection: Some("c".into()),
+            min_seq: 0xDEAD_BEEF,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let flags = u32::from_le_bytes(wire[13..17].try_into().unwrap());
+        assert_eq!(flags & FLAG_MIN_SEQ, FLAG_MIN_SEQ);
+        let tail = &wire[wire.len() - 8..];
+        assert_eq!(tail, &0xDEAD_BEEFu64.to_le_bytes());
+        assert_eq!(round_trip_request(req.clone()), req);
+    }
+
+    #[test]
+    fn repl_batches_round_trip() {
+        use cc_storage::wal::{WalOp, WalRecord};
+        for resp in [
+            Response::ReplBatch { last_seq: 0, records: vec![] },
+            Response::ReplBatch { last_seq: u64::MAX, records: vec![] },
+            Response::ReplBatch {
+                last_seq: 3,
+                records: vec![
+                    WalRecord {
+                        seq: 1,
+                        op: WalOp::Insert {
+                            oid: 0,
+                            vector: vec![1.5, -2.5, f32::MAX],
+                            tag: u64::MAX,
+                            label: 7,
+                        },
+                    },
+                    WalRecord { seq: 2, op: WalOp::Delete { oid: 0 } },
+                    WalRecord {
+                        seq: 3,
+                        op: WalOp::Insert { oid: 1, vector: vec![0.0], tag: 0, label: 0 },
+                    },
+                ],
+            },
+        ] {
+            assert_eq!(round_trip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn repl_batch_rejects_bad_record_kinds_and_truncations() {
+        use cc_storage::wal::{WalOp, WalRecord};
+        let resp = Response::ReplBatch {
+            last_seq: 2,
+            records: vec![
+                WalRecord {
+                    seq: 1,
+                    op: WalOp::Insert { oid: 9, vector: vec![1.0, 2.0], tag: 3, label: 4 },
+                },
+                WalRecord { seq: 2, op: WalOp::Delete { oid: 9 } },
+            ],
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        for len in 0..wire.len() {
+            match read_response(&mut Cursor::new(&wire[..len])) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(got)) => panic!("truncation to {len} bytes parsed as {got:?}"),
+            }
+        }
+        // The first record's kind byte follows len(4) + opcode(1) +
+        // last_seq(8) + count(4) + seq(8).
+        let kind_at = 4 + 1 + 8 + 4 + 8;
+        assert_eq!(wire[kind_at], REC_INSERT);
+        wire[kind_at] = 0x7E;
+        assert!(matches!(
+            read_response(&mut Cursor::new(&wire[..])),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -1077,6 +1329,7 @@ mod tests {
             vector: vec![1.0],
             filter: Some(Predicate::label(3)),
             collection: None,
+            min_seq: 0,
         };
         let mut wire = Vec::new();
         write_request(&mut wire, &req).unwrap();

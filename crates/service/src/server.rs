@@ -53,12 +53,13 @@ use c2lsh::{
     ShardedEngine,
 };
 use cc_obs::ObsConfig;
+use cc_storage::wal::WalRecord;
 use cc_vector::dataset::Dataset;
 use cc_vector::gt::Neighbor;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -119,6 +120,23 @@ pub trait ServeEngine: Sync {
     /// without a WAL.
     fn checkpoint_if_wal_exceeds(&self, _wal_bytes: u64) -> io::Result<bool> {
         Ok(false)
+    }
+
+    /// Sequence number of the last applied mutation. Freshness-bounded
+    /// queries (`min_seq`) compare against this at admission; engines
+    /// without a mutation history report 0, so any positive bound is
+    /// refused as stale there.
+    fn current_seq(&self) -> u64 {
+        0
+    }
+
+    /// The replication tail for a subscriber at `from_seq` (records
+    /// strictly after it, capped at `max`) plus the engine's high-water
+    /// mark. Engines without a replication log refuse with
+    /// [`io::ErrorKind::Unsupported`], which the server surfaces to the
+    /// subscriber as a typed error frame.
+    fn replication_tail(&self, _from_seq: u64, _max: usize) -> io::Result<(u64, Vec<WalRecord>)> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "engine has no replication log"))
     }
 }
 
@@ -203,6 +221,14 @@ impl ServeEngine for MutableIndex {
     fn checkpoint_if_wal_exceeds(&self, wal_bytes: u64) -> io::Result<bool> {
         MutableIndex::checkpoint_if_wal_exceeds(self, wal_bytes)
     }
+
+    fn current_seq(&self) -> u64 {
+        MutableIndex::last_seq(self)
+    }
+
+    fn replication_tail(&self, from_seq: u64, max: usize) -> io::Result<(u64, Vec<WalRecord>)> {
+        MutableIndex::replication_tail(self, from_seq, max)
+    }
 }
 
 /// Tunables of the serving layer (the engine has its own config).
@@ -236,6 +262,12 @@ pub struct ServiceConfig {
     /// How named collections are provisioned: durable root directory
     /// (default none — ephemeral), index parameters and sizing.
     pub collections: CollectionsConfig,
+    /// Refuse every direct mutation (insert/delete and collection
+    /// create/drop/insert) with [`ErrorKind::Unsupported`]. Set on
+    /// follower nodes, whose state may only advance through the
+    /// replication stream — a direct write would fork the sequence
+    /// history from the primary's.
+    pub read_only: bool,
 }
 
 impl Default for ServiceConfig {
@@ -249,6 +281,7 @@ impl Default for ServiceConfig {
             checkpoint_wal_bytes: 16 << 20,
             obs: ObsConfig::default(),
             collections: CollectionsConfig::default(),
+            read_only: false,
         }
     }
 }
@@ -324,6 +357,33 @@ struct Queue {
     draining: bool,
 }
 
+/// Replication progress per connected subscriber, shared between the
+/// connection handlers (which update it on every subscribe/ack) and
+/// the metrics renderer (which turns it into the per-replica
+/// `cc_replica_lag_seq` gauge).
+struct ReplicaBoard {
+    /// The primary's high-water mark as of the last replication
+    /// interaction (kept here so the lag gauge needs no engine access).
+    last_seq: AtomicU64,
+    /// replica name → highest sequence number it acknowledged.
+    acked: Mutex<HashMap<String, u64>>,
+}
+
+impl ReplicaBoard {
+    fn lag_rows(&self) -> Vec<(String, u64)> {
+        let last = self.last_seq.load(Ordering::Relaxed);
+        let mut rows: Vec<(String, u64)> = self
+            .acked
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, &acked)| (name.clone(), last.saturating_sub(acked)))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
 struct Shared {
     queue: Mutex<Queue>,
     not_empty: Condvar,
@@ -333,6 +393,7 @@ struct Shared {
     local_addr: SocketAddr,
     obs: Arc<ServerObs>,
     collections: Arc<Registry>,
+    replicas: Arc<ReplicaBoard>,
 }
 
 /// Run the service until a [`Request::Shutdown`] arrives: accept
@@ -368,6 +429,14 @@ pub fn serve_with_obs<E: ServeEngine>(
         let registry = Arc::clone(&collections);
         Box::new(move || registry.metrics_rows())
     });
+    let replicas = Arc::new(ReplicaBoard {
+        last_seq: AtomicU64::new(engine.current_seq()),
+        acked: Mutex::new(HashMap::new()),
+    });
+    obs.set_replicas_source({
+        let board = Arc::clone(&replicas);
+        Box::new(move || board.lag_rows())
+    });
     let shared = Shared {
         queue: Mutex::new(Queue { items: VecDeque::new(), draining: false }),
         not_empty: Condvar::new(),
@@ -377,6 +446,7 @@ pub fn serve_with_obs<E: ServeEngine>(
         local_addr,
         obs,
         collections,
+        replicas,
     };
     let shared = &shared;
     let stats = crossbeam::scope(move |s| {
@@ -445,12 +515,56 @@ fn handle_connection<E: ServeEngine>(
     shared.conns.lock().unwrap().retain(|(cid, _)| *cid != id);
 }
 
+/// How long a [`Request::ReplAck`] long-polls for fresh records before
+/// answering with a heartbeat (an empty [`Response::ReplBatch`]).
+const REPL_POLL: Duration = Duration::from_millis(250);
+/// Poll granularity inside the long-poll window.
+const REPL_POLL_STEP: Duration = Duration::from_millis(5);
+/// Soft cap on the payload bytes of one [`Response::ReplBatch`].
+const REPL_BATCH_BYTES: usize = 4 << 20;
+
+/// Records per [`Response::ReplBatch`], derived from the engine's
+/// dimensionality so a full batch stays under [`REPL_BATCH_BYTES`]
+/// (each insert record is ~29 bytes + 4 per coordinate).
+fn repl_batch_cap(dim: usize) -> usize {
+    (REPL_BATCH_BYTES / (29 + dim * 4)).clamp(1, 1024)
+}
+
+/// Answer one replication pull: ship the tail after `from_seq`, update
+/// the lag board, surface engine refusals as typed errors.
+fn answer_repl_pull<E: ServeEngine>(
+    engine: &E,
+    shared: &Shared,
+    replica: &str,
+    from_seq: u64,
+) -> Response {
+    match engine.replication_tail(from_seq, repl_batch_cap(engine.dim())) {
+        Ok((last_seq, records)) => {
+            let last_seq = last_seq.max(engine.current_seq());
+            shared.replicas.last_seq.store(last_seq, Ordering::Relaxed);
+            shared.replicas.acked.lock().unwrap().insert(replica.to_string(), from_seq);
+            Response::ReplBatch { last_seq, records }
+        }
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+            Response::Error(Error::new(ErrorKind::Unsupported, e.to_string()))
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+            // Below the retained floor: the subscriber must re-seed.
+            Response::Error(Error::invalid(e.to_string()))
+        }
+        Err(e) => Response::Error(Error::new(ErrorKind::Io, e.to_string())),
+    }
+}
+
 fn serve_connection<E: ServeEngine>(
     engine: &E,
     shared: &Shared,
     config: &ServiceConfig,
     stream: &mut TcpStream,
 ) -> Result<(), ProtoError> {
+    // Set once this connection subscribes to the replication stream;
+    // ReplAck frames are only meaningful afterwards.
+    let mut repl_name: Option<String> = None;
     loop {
         let req = match protocol::read_request(stream) {
             Ok(None) => return Ok(()), // clean hang-up between frames
@@ -487,6 +601,7 @@ fn serve_connection<E: ServeEngine>(
                     want_stats: false,
                     want_trace: false,
                     filter: None,
+                    min_seq: 0,
                 };
                 answer_query(engine, shared, config, ask)
             }
@@ -498,26 +613,35 @@ fn serve_connection<E: ServeEngine>(
                 vector,
                 filter,
                 collection,
-            } => match collection {
-                Some(name) => answer_collection_query(
-                    shared,
-                    config,
-                    &name,
-                    QueryAsk { k, deadline_ms, vector, v2: true, want_stats, want_trace, filter },
-                ),
-                None => {
-                    let ask = QueryAsk {
-                        k,
-                        deadline_ms,
-                        vector,
-                        v2: true,
-                        want_stats,
-                        want_trace,
-                        filter,
-                    };
-                    answer_query(engine, shared, config, ask)
+                min_seq,
+            } => {
+                let ask = QueryAsk {
+                    k,
+                    deadline_ms,
+                    vector,
+                    v2: true,
+                    want_stats,
+                    want_trace,
+                    filter,
+                    min_seq,
+                };
+                match collection {
+                    Some(name) => answer_collection_query(shared, config, &name, ask),
+                    None => answer_query(engine, shared, config, ask),
                 }
-            },
+            }
+            Request::Insert { .. }
+            | Request::InsertV2 { .. }
+            | Request::Delete { .. }
+            | Request::CreateCollection { .. }
+            | Request::DropCollection { .. }
+                if config.read_only =>
+            {
+                Response::Error(Error::new(
+                    ErrorKind::Unsupported,
+                    "node is a read-only follower; route writes to the primary",
+                ))
+            }
             Request::Insert { vector } => answer_mutation(
                 engine,
                 shared,
@@ -548,6 +672,39 @@ fn serve_connection<E: ServeEngine>(
                 )),
             },
             Request::ListCollections => Response::CollectionList(shared.collections.list()),
+            Request::ReplSubscribe { replica, from_seq } => {
+                // The first pull answers immediately (possibly empty):
+                // the subscriber learns the high-water mark and keeps
+                // the stream alive with acks.
+                let resp = answer_repl_pull(engine, shared, &replica, from_seq);
+                if !matches!(resp, Response::Error(_)) {
+                    repl_name = Some(replica);
+                }
+                resp
+            }
+            Request::ReplAck { applied_seq } => match &repl_name {
+                None => Response::Error(Error::new(
+                    ErrorKind::Protocol,
+                    "ReplAck without a ReplSubscribe on this connection",
+                )),
+                Some(replica) => {
+                    // Long-poll: answer as soon as there are records
+                    // past the acked position, or heartbeat after the
+                    // poll window (also on drain, so subscribers notice
+                    // shutdown promptly).
+                    let deadline = Instant::now() + REPL_POLL;
+                    loop {
+                        if engine.current_seq() > applied_seq
+                            || Instant::now() >= deadline
+                            || shared.stopping.load(Ordering::SeqCst)
+                        {
+                            break;
+                        }
+                        std::thread::sleep(REPL_POLL_STEP);
+                    }
+                    answer_repl_pull(engine, shared, replica, applied_seq)
+                }
+            },
         };
         if matches!(resp, Response::Error(_)) {
             shared.stats.lock().unwrap().errors += 1;
@@ -567,6 +724,9 @@ struct QueryAsk {
     want_stats: bool,
     want_trace: bool,
     filter: Option<Predicate>,
+    /// Read-your-writes bound: refuse (as [`ErrorKind::Stale`]) unless
+    /// this node has applied at least this sequence. Zero disables.
+    min_seq: u64,
 }
 
 /// Validate, admit and wait out one query. Never touches the engine —
@@ -577,7 +737,19 @@ fn answer_query<E: ServeEngine>(
     config: &ServiceConfig,
     ask: QueryAsk,
 ) -> Response {
-    let QueryAsk { k, deadline_ms, vector, v2, want_stats, want_trace, filter } = ask;
+    let QueryAsk { k, deadline_ms, vector, v2, want_stats, want_trace, filter, min_seq } = ask;
+    // Freshness gate: the check runs before admission, and the batcher
+    // only ever applies *more* writes between now and the flush, so
+    // passing here is conservative-correct for read-your-writes.
+    if min_seq > 0 && min_seq > engine.current_seq() {
+        return Response::Error(Error::new(
+            ErrorKind::Stale,
+            format!(
+                "replica is at seq {} but the query requires at least {min_seq}",
+                engine.current_seq()
+            ),
+        ));
+    }
     if vector.len() != engine.dim() {
         return Response::Error(Error::invalid(format!(
             "query dimensionality {} does not match the index ({})",
@@ -695,11 +867,20 @@ fn answer_collection_query(
     name: &str,
     ask: QueryAsk,
 ) -> Response {
-    let QueryAsk { k, vector, want_stats, want_trace, filter, .. } = ask;
+    let QueryAsk { k, vector, want_stats, want_trace, filter, min_seq, .. } = ask;
     let col = match lookup_collection(shared, name) {
         Ok(col) => col,
         Err(e) => return Response::Error(e),
     };
+    if min_seq > 0 && min_seq > col.last_seq() {
+        return Response::Error(Error::new(
+            ErrorKind::Stale,
+            format!(
+                "collection {name:?} is at seq {} but the query requires at least {min_seq}",
+                col.last_seq()
+            ),
+        ));
+    }
     if vector.len() != col.dim() {
         return Response::Error(Error::invalid(format!(
             "query dimensionality {} does not match collection {name:?} ({})",

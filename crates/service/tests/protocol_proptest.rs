@@ -7,11 +7,39 @@
 
 use cc_service::protocol::{read_request, read_response, write_request, write_response};
 use cc_service::{ProtoError, Request, Response};
+use cc_storage::wal::{WalOp, WalRecord};
 use proptest::prelude::*;
 use std::io::Cursor;
 
 fn coord() -> impl Strategy<Value = f32> {
     -1.0e6f32..1.0e6
+}
+
+/// Replica names over `[a-z0-9]` (the vendored shim has no regex
+/// strategies, so spell the alphabet out).
+fn name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..36, 1..24)
+        .prop_map(|v| v.into_iter().map(|b| char::from_digit(b as u32, 36).unwrap()).collect())
+}
+
+/// One replication record: an insert (vector + metadata) or a delete.
+fn wal_record() -> impl Strategy<Value = WalRecord> {
+    (
+        0u64..u64::MAX,
+        0u8..2,
+        proptest::collection::vec(coord(), 1..12),
+        0u64..u64::MAX,
+        0u32..u32::MAX,
+        0u32..u32::MAX,
+    )
+        .prop_map(|(seq, kind, vector, tag, label, oid)| {
+            let op = if kind == 0 {
+                WalOp::Insert { oid, vector, tag, label }
+            } else {
+                WalOp::Delete { oid }
+            };
+            WalRecord { seq, op }
+        })
 }
 
 fn request_wire(req: &Request) -> Vec<u8> {
@@ -94,14 +122,15 @@ proptest! {
         }
     }
 
-    /// Opcodes `0x09..=0x7E` name no request and `0x8B..=0x8E` name no
-    /// response (`0x07`/`0x08` and `0x89`/`0x8A` are the v2
-    /// query/metrics frames): both directions must refuse them as
-    /// malformed no matter what body follows.
+    /// Opcodes `0x0F..=0x7E` name no request and `0x8D`/`0x8E` plus
+    /// `0x91..` name no response (requests run through `0x0E` ReplAck;
+    /// responses skip to `0x8F` Error and `0x90` ReplBatch): both
+    /// directions must refuse them as malformed no matter what body
+    /// follows.
     #[test]
     fn unknown_opcodes_are_rejected(
-        req_op in 0x09u8..0x7F,
-        resp_op in 0x8Bu8..0x8F,
+        req_op in 0x0Fu8..0x7F,
+        sampled_resp_op in 0x91u8..0xFF,
         body in proptest::collection::vec(0u8..255, 0..32),
     ) {
         let mut wire = ((body.len() + 1) as u32).to_le_bytes().to_vec();
@@ -112,11 +141,15 @@ proptest! {
             Err(ProtoError::Malformed(_))
         ), "request opcode {req_op:#04x} must be unknown");
 
-        wire[4] = resp_op;
-        prop_assert!(matches!(
-            read_response(&mut Cursor::new(&wire[..])),
-            Err(ProtoError::Malformed(_))
-        ), "response opcode {resp_op:#04x} must be unknown");
+        // 0x8D/0x8E are the only holes below Error (0x8F) and
+        // ReplBatch (0x90); everything past 0x90 is unassigned.
+        for resp_op in [0x8D, 0x8E, sampled_resp_op] {
+            wire[4] = resp_op;
+            prop_assert!(matches!(
+                read_response(&mut Cursor::new(&wire[..])),
+                Err(ProtoError::Malformed(_))
+            ), "response opcode {resp_op:#04x} must be unknown");
+        }
     }
 
     /// Arbitrary bytes through either decoder: error or clean EOF only,
@@ -125,5 +158,71 @@ proptest! {
     fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(0u8..255, 0..64)) {
         let _ = read_request(&mut Cursor::new(&bytes[..]));
         let _ = read_response(&mut Cursor::new(&bytes[..]));
+    }
+
+    /// The replication control frames round-trip for arbitrary replica
+    /// names and sequence positions.
+    #[test]
+    fn repl_control_frames_round_trip(
+        replica in name(),
+        from_seq in 0u64..u64::MAX,
+        applied_seq in 0u64..u64::MAX,
+    ) {
+        for req in [
+            Request::ReplSubscribe { replica, from_seq },
+            Request::ReplAck { applied_seq },
+        ] {
+            let got = read_request(&mut Cursor::new(request_wire(&req))).unwrap().unwrap();
+            prop_assert_eq!(got, req);
+        }
+    }
+
+    /// A replication batch — the frame that actually carries state
+    /// between processes — round-trips record-exactly for arbitrary
+    /// insert/delete mixes, including the empty heartbeat.
+    #[test]
+    fn repl_batches_round_trip(
+        last_seq in 0u64..u64::MAX,
+        records in proptest::collection::vec(wal_record(), 0..8),
+    ) {
+        let resp = Response::ReplBatch { last_seq, records };
+        let got = read_response(&mut Cursor::new(response_wire(&resp))).unwrap().unwrap();
+        prop_assert_eq!(got, resp);
+    }
+
+    /// Every strict truncation of a replication frame is refused (or
+    /// reads as clean EOF) — a torn batch that decoded to *fewer*
+    /// records than shipped would silently lose acknowledged writes on
+    /// the follower.
+    #[test]
+    fn truncated_repl_frames_never_misparse(
+        replica in name(),
+        seqs in (0u64..u64::MAX, 0u64..u64::MAX),
+        records in proptest::collection::vec(wal_record(), 1..4),
+    ) {
+        for wire in [
+            request_wire(&Request::ReplSubscribe { replica, from_seq: seqs.0 }),
+            request_wire(&Request::ReplAck { applied_seq: seqs.1 }),
+        ] {
+            for len in 0..wire.len() {
+                match read_request(&mut Cursor::new(&wire[..len])) {
+                    Ok(None) | Err(_) => {}
+                    Ok(Some(got)) => panic!(
+                        "request truncated to {len}/{} bytes parsed as {got:?}",
+                        wire.len()
+                    ),
+                }
+            }
+        }
+        let wire = response_wire(&Response::ReplBatch { last_seq: seqs.0, records });
+        for len in 0..wire.len() {
+            match read_response(&mut Cursor::new(&wire[..len])) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(got)) => panic!(
+                    "batch truncated to {len}/{} bytes parsed as {got:?}",
+                    wire.len()
+                ),
+            }
+        }
     }
 }

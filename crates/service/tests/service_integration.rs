@@ -24,6 +24,10 @@ use std::net::TcpListener;
 use std::sync::{mpsc, Barrier};
 use std::time::Duration;
 
+#[path = "harness/mod.rs"]
+mod harness;
+use harness::{with_watchdog, ClusterHarness, NodeSpec};
+
 fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
     generate(Distribution::GaussianMixture { clusters: 8, spread: 0.02, scale: 10.0 }, n, d, seed)
 }
@@ -38,20 +42,6 @@ fn top_k(client: &mut Client, vector: &[f32], k: u32) -> Vec<Neighbor> {
 /// equality of served results (ids *and* f64 distances).
 fn cfg_exact(n: usize) -> C2lshConfig {
     C2lshConfig::builder().bucket_width(1.0).seed(13).beta(Beta::Count(n as u64)).build()
-}
-
-/// Abort the whole test process if `f` does not finish in time — a
-/// hung drain or leaked handler thread must fail CI, not stall it.
-fn with_watchdog(label: &'static str, limit: Duration, f: impl FnOnce()) {
-    let (done_tx, done_rx) = mpsc::channel::<()>();
-    std::thread::spawn(move || {
-        if done_rx.recv_timeout(limit).is_err() {
-            eprintln!("[{label}] did not finish within {limit:?} — leaked threads or hung drain");
-            std::process::abort();
-        }
-    });
-    f();
-    let _ = done_tx.send(());
 }
 
 /// 32 concurrent connections against a 4-shard server: every served
@@ -690,15 +680,9 @@ fn collections_and_filtered_search_over_the_wire() {
 /// happened to be when the KILL landed.
 #[test]
 fn killed_server_recovers_every_acknowledged_mutation() {
-    use std::io::{BufRead, BufReader};
-    use std::process::{Child, Command, Stdio};
-
     const N: usize = 400;
     const D: usize = 8;
     const SEED: u64 = 42;
-
-    let dir = cc_storage::wal::scratch_dir("svc-kill");
-    std::fs::create_dir_all(&dir).unwrap();
 
     // Must match the binary's --mode dynamic seeding parameters.
     let data = generate(
@@ -708,47 +692,25 @@ fn killed_server_recovers_every_acknowledged_mutation() {
         SEED,
     );
 
-    let spawn_server = |dir: &std::path::Path| -> (Child, std::net::SocketAddr) {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_cc-service"))
-            .args([
-                "--addr",
-                "127.0.0.1:0",
-                "--mode",
-                "dynamic",
-                "--wal",
-                dir.to_str().unwrap(),
-                "--n",
-                &N.to_string(),
-                "--dim",
-                &D.to_string(),
-                "--seed",
-                &SEED.to_string(),
-                "--max-delay-us",
-                "500",
-            ])
-            .stderr(Stdio::piped())
-            .spawn()
-            .expect("spawn cc-service");
-        let stderr = child.stderr.take().unwrap();
-        let mut lines = BufReader::new(stderr).lines();
-        let addr = loop {
-            let line = lines
-                .next()
-                .expect("server exited before announcing its address")
-                .expect("read server stderr");
-            if let Some(rest) = line.split("listening on ").nth(1) {
-                let addr = rest.split_whitespace().next().unwrap();
-                break addr.parse().expect("parse announced address");
-            }
-        };
-        // Keep draining stderr so the child never blocks on the pipe.
-        std::thread::spawn(move || for _ in lines {});
-        (child, addr)
-    };
-
     with_watchdog("kill_and_restart", Duration::from_secs(120), || {
-        let (mut child, addr) = spawn_server(&dir);
-        let mut client = Client::connect(addr).unwrap();
+        let cluster = ClusterHarness::new("svc-kill");
+        let wal = cluster.wal_dir("primary");
+        let spec = NodeSpec::new("primary").args(&[
+            "--mode",
+            "dynamic",
+            "--wal",
+            wal.to_str().unwrap(),
+            "--n",
+            &N.to_string(),
+            "--dim",
+            &D.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--max-delay-us",
+            "500",
+        ]);
+        let mut node = cluster.spawn(spec);
+        let mut client = node.client();
         client.ping().unwrap();
 
         // Two acknowledged inserts and one acknowledged delete.
@@ -764,11 +726,10 @@ fn killed_server_recovers_every_acknowledged_mutation() {
         assert_eq!(seq_del, (N + 3) as u64, "dense sequence: seed + 2 inserts + 1 delete");
 
         // SIGKILL: no drain, no flush beyond what the acks certified.
-        child.kill().expect("kill server");
-        child.wait().expect("reap server");
+        node.kill();
 
-        let (mut child, addr) = spawn_server(&dir);
-        let mut client = Client::connect(addr).unwrap();
+        let mut node = cluster.restart(node);
+        let mut client = node.client();
 
         // Every ack must have survived.
         let nn = top_k(&mut client, &novel_a, 1);
@@ -785,8 +746,6 @@ fn killed_server_recovers_every_acknowledged_mutation() {
         let (_, seq) = client.insert(&[9000.0; D]).unwrap();
         assert_eq!(seq, (N + 4) as u64, "sequence must resume after recovery");
 
-        client.shutdown().unwrap();
-        child.wait().expect("server drains after shutdown");
+        node.shutdown();
     });
-    std::fs::remove_dir_all(&dir).ok();
 }
